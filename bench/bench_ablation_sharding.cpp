@@ -1,0 +1,52 @@
+// Ablation / future-work: sharded (simulated distributed-memory) execution
+// of the aggregated query vs the single-node OpenMP kernel.
+//
+// The paper plans MPI scale-out for the non-English data (Section VII).
+// This bench runs the time-sharded variant at several shard counts and
+// verifies the reduction reproduces the single-node result exactly,
+// measuring the partition+reduce overhead a rank decomposition would add
+// on one node.
+#include "common/fixture.hpp"
+#include "engine/sharded.hpp"
+
+namespace gdelt::bench {
+namespace {
+
+void BM_SingleNodeAggregated(benchmark::State& state) {
+  const auto& db = Db();
+  for (auto _ : state) {
+    auto report = engine::CountryCrossReporting(db);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(db.num_mentions()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SingleNodeAggregated);
+
+void BM_ShardedAggregated(benchmark::State& state) {
+  const auto& db = Db();
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto report = engine::ShardedCountryCrossReporting(db, shards);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(db.num_mentions()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardedAggregated)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void Print() {
+  const auto& db = Db();
+  const auto single = engine::CountryCrossReporting(db);
+  const auto sharded = engine::ShardedCountryCrossReporting(db, 8);
+  std::printf("\n=== Ablation: sharded (simulated MPI) execution ===\n");
+  std::printf("8-shard reduction equals single-node result: %s\n",
+              single.counts == sharded.counts ? "yes" : "NO (BUG)");
+  std::printf("Time-range shards model the paper's per-period sub-database "
+              "plan; the reduce step is the MPI_Allreduce equivalent.\n");
+}
+
+}  // namespace
+}  // namespace gdelt::bench
+
+GDELT_BENCH_MAIN(gdelt::bench::Print)

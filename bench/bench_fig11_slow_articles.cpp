@@ -1,0 +1,50 @@
+// Reproduces Figure 11: number of articles with publishing delay greater
+// than one day (outside the 24-hour news cycle) per quarter.
+//
+// Paper shape: a significant decrease over the observation window, which
+// partially explains the declining average delay of Figure 10a.
+#include "analysis/delay.hpp"
+#include "common/fixture.hpp"
+
+namespace gdelt::bench {
+namespace {
+
+void BM_SlowArticles(benchmark::State& state) {
+  const auto& db = Db();
+  for (auto _ : state) {
+    auto series = analysis::SlowArticlesPerQuarter(db);
+    benchmark::DoNotOptimize(series);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(db.num_mentions()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SlowArticles);
+
+void Print() {
+  const auto series = analysis::SlowArticlesPerQuarter(Db());
+  std::printf("\n=== Figure 11: articles with delay > 24 h per quarter ===\n");
+  PrintQuarterSeries("", series);
+  if (series.values.size() >= 8) {
+    // Skip the first ~4 quarters (censoring spin-up: long-delay articles
+    // cannot appear until the dataset is old enough) and compare against
+    // the post-spin-up peak.
+    std::size_t peak = 4;
+    for (std::size_t i = 4; i < series.values.size(); ++i) {
+      if (series.values[i] > series.values[peak]) peak = i;
+    }
+    const double late =
+        static_cast<double>(series.values[series.values.size() - 2]);
+    std::printf("late/peak(%s) ratio: %.2f (paper: significant decrease)\n",
+                QuarterLabel(series.first_quarter +
+                             static_cast<QuarterId>(peak))
+                    .c_str(),
+                static_cast<double>(series.values[peak]) > 0
+                    ? late / static_cast<double>(series.values[peak])
+                    : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace gdelt::bench
+
+GDELT_BENCH_MAIN(gdelt::bench::Print)

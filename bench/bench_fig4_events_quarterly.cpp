@@ -1,0 +1,37 @@
+// Reproduces Figure 4: number of events observed by quarter.
+//
+// Paper shape: roughly stable with a slight decrease over 2018-2019; the
+// first point (2015Q1 starting 18 Feb) is a partial quarter.
+#include "common/fixture.hpp"
+
+namespace gdelt::bench {
+namespace {
+
+void BM_EventsPerQuarter(benchmark::State& state) {
+  const auto& db = Db();
+  for (auto _ : state) {
+    auto series = engine::EventsPerQuarter(db);
+    benchmark::DoNotOptimize(series);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(db.num_events()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventsPerQuarter);
+
+void Print() {
+  const auto series = engine::EventsPerQuarter(Db());
+  std::printf("\n=== Figure 4: events per quarter ===\n");
+  PrintQuarterSeries("", series);
+  if (series.values.size() >= 8) {
+    const double early = static_cast<double>(series.values[4]);
+    const double late =
+        static_cast<double>(series.values[series.values.size() - 2]);
+    std::printf("late/early ratio: %.2f (paper: slight decline in "
+                "2018-2019)\n", late / early);
+  }
+}
+
+}  // namespace
+}  // namespace gdelt::bench
+
+GDELT_BENCH_MAIN(gdelt::bench::Print)

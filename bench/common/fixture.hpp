@@ -1,0 +1,52 @@
+// Shared environment for the reproduction benches.
+//
+// Every bench binary works against the same deterministic synthetic GDELT
+// dataset: generated once into a per-preset cache directory, converted to
+// the binary format once, then loaded by each binary. Set
+// GDELT_BENCH_PRESET=tiny|small|medium (default: medium, the paper's full
+// 2015-02-18..2019-12-31 window at 1/10 source scale) and GDELT_BENCH_SEED
+// to vary it.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "engine/database.hpp"
+#include "engine/queries.hpp"
+#include "gen/config.hpp"
+
+namespace gdelt::bench {
+
+/// The generator configuration selected via environment.
+const gen::GeneratorConfig& Config();
+
+/// Directory with the raw chunk archives (generated on first use).
+const std::string& RawDir();
+
+/// Directory with the converted binary database.
+const std::string& DbDir();
+
+/// The loaded, indexed database (loaded on first use).
+const engine::Database& Db();
+
+/// Prints a per-quarter series in the paper's row format.
+void PrintQuarterSeries(const char* title, const engine::QuarterSeries& s);
+
+/// Prints "label: value" with thousands separators.
+void PrintCount(const char* label, std::uint64_t value);
+
+/// Standard main: run registered benchmarks, then print the reproduction.
+#define GDELT_BENCH_MAIN(print_fn)                                  \
+  int main(int argc, char** argv) {                                 \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {     \
+      return 1;                                                     \
+    }                                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    print_fn();                                                     \
+    return 0;                                                       \
+  }
+
+}  // namespace gdelt::bench

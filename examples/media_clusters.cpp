@@ -1,0 +1,129 @@
+// Example: discovering co-owned media groups with Markov clustering.
+//
+// The paper observes that most of its Top-10 publishers belong to one
+// media group (Newsquest) and suggests that "more clusters of heavily
+// co-reporting and likely co-owned news websites can be found by applying
+// clustering algorithms (e.g. Markov clustering) to the co-reporting
+// matrix" (Section VI-B). This example does exactly that: it builds the
+// co-reporting Jaccard matrix over the most productive sources and runs
+// MCL on it, then checks the found clusters against the generator's
+// planted media groups.
+//
+// Usage: ./examples/media_clusters [work_dir] [top_n]
+#include <cstdio>
+#include <map>
+
+#include "analysis/coreport.hpp"
+#include "convert/converter.hpp"
+#include "engine/queries.hpp"
+#include "gen/emit.hpp"
+#include "gen/generator.hpp"
+#include "graph/mcl.hpp"
+#include "util/strings.hpp"
+
+using namespace gdelt;
+
+int main(int argc, char** argv) {
+  const std::string work_dir = argc > 1 ? argv[1] : "media_clusters_data";
+  const std::size_t top_n =
+      argc > 2 ? ParseUint64(argv[2]).value_or(80) : 80;
+
+  // Build a one-year dataset with several media groups.
+  gen::GeneratorConfig config = gen::GeneratorConfig::Small();
+  config.num_sources = 400;
+  config.media_group_count = 5;
+  config.media_group_size = 10;
+  config.events_per_interval_mean = 1.5;
+  std::printf("Generating dataset with %u planted media groups ...\n",
+              config.media_group_count);
+  const gen::RawDataset dataset = gen::GenerateDataset(config);
+  if (const auto e = gen::EmitDataset(dataset, config, work_dir + "/raw");
+      !e.ok()) {
+    std::fprintf(stderr, "%s\n", e.status().ToString().c_str());
+    return 1;
+  }
+  convert::ConvertOptions options;
+  options.input_dir = work_dir + "/raw";
+  options.output_dir = work_dir + "/db";
+  if (const auto r = convert::ConvertDataset(options); !r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  auto db = engine::Database::Load(work_dir + "/db");
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  // Co-reporting Jaccard over the top publishers (the paper recommends the
+  // symmetric co-reporting matrix over follow-reporting for clustering).
+  const auto top = engine::TopSourcesByArticles(*db, top_n);
+  const auto coreport = analysis::ComputeCoReporting(*db, top);
+  // Mega events and very popular stories give every pair a co-reporting
+  // floor, which would glue the graph into one blob. Sparsify to each
+  // node's strongest neighbors (mutualized) before clustering — the usual
+  // preprocessing for similarity-graph clustering.
+  constexpr std::size_t kNeighbors = 6;
+  graph::DenseMatrix similarity(top.size(), top.size());
+  std::vector<std::pair<double, std::size_t>> row(top.size());
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    for (std::size_t j = 0; j < top.size(); ++j) {
+      row[j] = {i == j ? -1.0 : coreport.Jaccard(i, j), j};
+    }
+    std::partial_sort(row.begin(), row.begin() + kNeighbors, row.end(),
+                      std::greater<>());
+    for (std::size_t k = 0; k < kNeighbors; ++k) {
+      const auto [score, j] = row[k];
+      if (score <= 0.0) break;
+      similarity.At(i, j) = std::max(similarity.At(i, j), score);
+      similarity.At(j, i) = similarity.At(i, j);  // keep it symmetric
+    }
+  }
+
+  graph::MclOptions mcl_options;
+  mcl_options.inflation = 2.4;
+  const graph::MclResult result =
+      graph::MarkovCluster(graph::DenseToSparse(similarity, 1e-4),
+                           mcl_options);
+  std::printf("MCL converged after %d iterations: %u clusters over the top "
+              "%zu sources\n", result.iterations, result.num_clusters,
+              top.size());
+
+  // Ground truth: media group of each selected source (domain lookup).
+  std::map<std::string, std::int32_t> group_of_domain;
+  for (const auto& src : dataset.world.sources) {
+    group_of_domain[src.domain] = src.media_group;
+  }
+
+  // Report each non-trivial cluster with its dominant planted group.
+  std::map<std::uint32_t, std::vector<std::size_t>> members;
+  for (std::size_t i = 0; i < result.cluster.size(); ++i) {
+    members[result.cluster[i]].push_back(i);
+  }
+  int matched_clusters = 0;
+  for (const auto& [label, rows] : members) {
+    if (rows.size() < 3) continue;
+    std::map<std::int32_t, int> group_votes;
+    for (const std::size_t r : rows) {
+      ++group_votes[group_of_domain[std::string(
+          db->source_domain(top[r]))]];
+    }
+    const auto dominant = std::max_element(
+        group_votes.begin(), group_votes.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    const double purity = static_cast<double>(dominant->second) /
+                          static_cast<double>(rows.size());
+    std::printf("  cluster %u: %zu sources, dominant planted group %d "
+                "(purity %.0f%%):", label, rows.size(), dominant->first,
+                purity * 100.0);
+    for (std::size_t k = 0; k < rows.size() && k < 6; ++k) {
+      std::printf(" %s", std::string(db->source_domain(top[rows[k]])).c_str());
+    }
+    if (rows.size() > 6) std::printf(" ...");
+    std::printf("\n");
+    if (dominant->first >= 0 && purity >= 0.6) ++matched_clusters;
+  }
+  std::printf("clusters recovering a planted media group: %d of %u planted\n",
+              matched_clusters, config.media_group_count);
+  return 0;
+}

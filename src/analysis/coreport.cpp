@@ -1,0 +1,298 @@
+#include "analysis/coreport.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "engine/queries.hpp"
+#include "parallel/parallel.hpp"
+
+namespace gdelt::analysis {
+namespace {
+
+/// Maps source id -> matrix slot (-1 = not selected).
+std::vector<std::int32_t> SlotMap(const engine::Database& db,
+                                  std::span<const std::uint32_t> subset) {
+  std::vector<std::int32_t> slot(db.num_sources(), -1);
+  if (subset.empty()) {
+    for (std::uint32_t s = 0; s < db.num_sources(); ++s) {
+      slot[s] = static_cast<std::int32_t>(s);
+    }
+  } else {
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+      slot[subset[k]] = static_cast<std::int32_t>(k);
+    }
+  }
+  return slot;
+}
+
+/// Distinct matrix slots of the sources reporting event e, ascending.
+void DistinctSlots(const engine::Database& db,
+                   const std::vector<std::int32_t>& slot, std::uint32_t e,
+                   std::vector<std::uint32_t>& out) {
+  out.clear();
+  const auto src = db.mention_source_id();
+  for (const std::uint64_t row : db.mentions_by_event().RowsOf(e)) {
+    const std::int32_t s = slot[src[row]];
+    if (s >= 0) out.push_back(static_cast<std::uint32_t>(s));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+}  // namespace
+
+CoReportMatrix::CoReportMatrix(std::size_t n) : n_(n), counts_(n * n, 0) {}
+
+CoReportMatrix ComputeCoReporting(const engine::Database& db,
+                                  std::span<const std::uint32_t> subset) {
+  const auto slot = SlotMap(db, subset);
+  const std::size_t n = subset.empty() ? db.num_sources() : subset.size();
+  CoReportMatrix matrix(n);
+  auto* counts = matrix.mutable_counts().data();
+
+#pragma omp parallel
+  {
+    std::vector<std::uint32_t> slots;
+#pragma omp for schedule(dynamic, 256)
+    for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
+         ++e) {
+      DistinctSlots(db, slot, static_cast<std::uint32_t>(e), slots);
+      // Update the symmetric matrix: diagonal carries e_i.
+      for (std::size_t a = 0; a < slots.size(); ++a) {
+        for (std::size_t b = a; b < slots.size(); ++b) {
+          std::uint32_t& upper = counts[slots[a] * n + slots[b]];
+#pragma omp atomic
+          ++upper;
+        }
+      }
+    }
+  }
+  // Mirror the upper triangle.
+  ParallelFor(n, [&](std::size_t i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      counts[i * n + j] = counts[j * n + i];
+    }
+  });
+  return matrix;
+}
+
+CoReportMatrix ComputeCoReportingSparse(const engine::Database& db,
+                                        std::span<const std::uint32_t> subset) {
+  const auto slot = SlotMap(db, subset);
+  const std::size_t n = subset.empty() ? db.num_sources() : subset.size();
+
+  // Per-thread sparse accumulation keyed by packed (i, j), merged at the
+  // end. Same result as the dense path; trades atomics for hashing.
+  const auto nt = static_cast<std::size_t>(MaxThreads());
+  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> locals(nt);
+#pragma omp parallel
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    auto& local = locals[tid];
+    std::vector<std::uint32_t> slots;
+#pragma omp for schedule(dynamic, 256)
+    for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
+         ++e) {
+      DistinctSlots(db, slot, static_cast<std::uint32_t>(e), slots);
+      for (std::size_t a = 0; a < slots.size(); ++a) {
+        for (std::size_t b = a; b < slots.size(); ++b) {
+          const std::uint64_t key =
+              static_cast<std::uint64_t>(slots[a]) << 32 | slots[b];
+          ++local[key];
+        }
+      }
+    }
+  }
+  CoReportMatrix matrix(n);
+  auto& counts = matrix.mutable_counts();
+  for (const auto& local : locals) {
+    for (const auto& [key, count] : local) {
+      const std::size_t i = key >> 32;
+      const std::size_t j = key & 0xFFFFFFFFu;
+      counts[i * n + j] += count;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      counts[i * n + j] = counts[j * n + i];
+    }
+  }
+  return matrix;
+}
+
+graph::SparseMatrix ComputeCoReportingTimeSliced(const engine::Database& db) {
+  const std::size_t n = db.num_sources();
+  const auto src = db.mention_source_id();
+  const auto added = db.event_added_interval();
+
+  // Slice events by the quarter they entered the database.
+  const auto w = engine::QuartersOf(db);
+  const auto nq = static_cast<std::size_t>(std::max(w.count, 1));
+  std::vector<std::vector<std::uint32_t>> slice_events(nq);
+  for (std::size_t e = 0; e < db.num_events(); ++e) {
+    std::int64_t q =
+        QuarterOfUnixSeconds(IntervalStartUnixSeconds(added[e])) - w.first;
+    q = std::clamp<std::int64_t>(q, 0, static_cast<std::int64_t>(nq) - 1);
+    slice_events[static_cast<std::size_t>(q)].push_back(
+        static_cast<std::uint32_t>(e));
+  }
+
+  // One compressed sparse matrix per time slice (upper triangle + diag),
+  // built in parallel across slices.
+  std::vector<graph::SparseMatrix> slices(nq);
+#pragma omp parallel
+  {
+    std::vector<std::uint32_t> slots;
+#pragma omp for schedule(dynamic)
+    for (std::int64_t qi = 0; qi < static_cast<std::int64_t>(nq); ++qi) {
+      std::unordered_map<std::uint64_t, std::uint32_t> acc;
+      for (const std::uint32_t e : slice_events[static_cast<std::size_t>(qi)]) {
+        slots.clear();
+        for (const std::uint64_t row : db.mentions_by_event().RowsOf(e)) {
+          slots.push_back(src[row]);
+        }
+        std::sort(slots.begin(), slots.end());
+        slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+        for (std::size_t a = 0; a < slots.size(); ++a) {
+          for (std::size_t b = a; b < slots.size(); ++b) {
+            ++acc[static_cast<std::uint64_t>(slots[a]) << 32 | slots[b]];
+          }
+        }
+      }
+      // Compress this slice to CSR (sorted keys give sorted columns).
+      std::vector<std::pair<std::uint64_t, std::uint32_t>> entries(
+          acc.begin(), acc.end());
+      std::sort(entries.begin(), entries.end());
+      graph::SparseMatrix& m = slices[static_cast<std::size_t>(qi)];
+      m.rows = n;
+      m.cols = n;
+      m.row_offsets.assign(n + 1, 0);
+      m.col_index.reserve(entries.size());
+      m.values.reserve(entries.size());
+      for (const auto& [key, count] : entries) {
+        ++m.row_offsets[(key >> 32) + 1];
+        m.col_index.push_back(static_cast<std::uint32_t>(key));
+        m.values.push_back(static_cast<double>(count));
+      }
+      for (std::size_t r = 0; r < n; ++r) {
+        m.row_offsets[r + 1] += m.row_offsets[r];
+      }
+    }
+  }
+
+  // Assemble: sum the per-slice sparse matrices by merging row streams.
+  graph::SparseMatrix global;
+  global.rows = n;
+  global.cols = n;
+  global.row_offsets.assign(n + 1, 0);
+  std::vector<std::vector<std::uint32_t>> row_cols(n);
+  std::vector<std::vector<double>> row_vals(n);
+#pragma omp parallel
+  {
+    std::vector<double> acc(n, 0.0);
+    std::vector<std::uint32_t> touched;
+#pragma omp for schedule(dynamic, 64)
+    for (std::int64_t r = 0; r < static_cast<std::int64_t>(n); ++r) {
+      touched.clear();
+      for (const auto& m : slices) {
+        for (std::uint64_t k = m.row_offsets[r]; k < m.row_offsets[r + 1];
+             ++k) {
+          const std::uint32_t c = m.col_index[k];
+          if (acc[c] == 0.0) touched.push_back(c);
+          acc[c] += m.values[k];
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      auto& cols = row_cols[static_cast<std::size_t>(r)];
+      auto& vals = row_vals[static_cast<std::size_t>(r)];
+      for (const std::uint32_t c : touched) {
+        cols.push_back(c);
+        vals.push_back(acc[c]);
+        acc[c] = 0.0;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    global.row_offsets[r + 1] = global.row_offsets[r] + row_cols[r].size();
+  }
+  global.col_index.reserve(global.row_offsets.back());
+  global.values.reserve(global.row_offsets.back());
+  for (std::size_t r = 0; r < n; ++r) {
+    global.col_index.insert(global.col_index.end(), row_cols[r].begin(),
+                            row_cols[r].end());
+    global.values.insert(global.values.end(), row_vals[r].begin(),
+                         row_vals[r].end());
+  }
+  // Mirror the upper triangle sparsely: build the transpose of the
+  // strictly-upper part with a counting sort (columns stay sorted within
+  // rows), then merge the two sorted row streams.
+  graph::SparseMatrix lower;
+  lower.rows = n;
+  lower.cols = n;
+  lower.row_offsets.assign(n + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::uint64_t k = global.row_offsets[r]; k < global.row_offsets[r + 1];
+         ++k) {
+      if (global.col_index[k] != r) ++lower.row_offsets[global.col_index[k] + 1];
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    lower.row_offsets[r + 1] += lower.row_offsets[r];
+  }
+  lower.col_index.resize(lower.row_offsets.back());
+  lower.values.resize(lower.row_offsets.back());
+  {
+    std::vector<std::uint64_t> cursor(lower.row_offsets.begin(),
+                                      lower.row_offsets.end() - 1);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::uint64_t k = global.row_offsets[r];
+           k < global.row_offsets[r + 1]; ++k) {
+        const std::uint32_t c = global.col_index[k];
+        if (c == r) continue;
+        lower.col_index[cursor[c]] = static_cast<std::uint32_t>(r);
+        lower.values[cursor[c]] = global.values[k];
+        ++cursor[c];
+      }
+    }
+  }
+
+  graph::SparseMatrix full;
+  full.rows = n;
+  full.cols = n;
+  full.row_offsets.assign(n + 1, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    // Disjoint column sets (strictly-upper + diag vs strictly-lower), so
+    // the merged row size is just the sum.
+    full.row_offsets[r + 1] =
+        full.row_offsets[r] +
+        (global.row_offsets[r + 1] - global.row_offsets[r]) +
+        (lower.row_offsets[r + 1] - lower.row_offsets[r]);
+  }
+  full.col_index.resize(full.row_offsets.back());
+  full.values.resize(full.row_offsets.back());
+  ParallelFor(n, [&](std::size_t r) {
+    std::uint64_t at = full.row_offsets[r];
+    std::uint64_t ku = global.row_offsets[r];
+    std::uint64_t kl = lower.row_offsets[r];
+    const std::uint64_t eu = global.row_offsets[r + 1];
+    const std::uint64_t el = lower.row_offsets[r + 1];
+    while (ku < eu || kl < el) {
+      const bool take_lower =
+          ku >= eu ||
+          (kl < el && lower.col_index[kl] < global.col_index[ku]);
+      if (take_lower) {
+        full.col_index[at] = lower.col_index[kl];
+        full.values[at] = lower.values[kl];
+        ++kl;
+      } else {
+        full.col_index[at] = global.col_index[ku];
+        full.values[at] = global.values[ku];
+        ++ku;
+      }
+      ++at;
+    }
+  });
+  return full;
+}
+
+}  // namespace gdelt::analysis

@@ -1,0 +1,126 @@
+#include "analysis/delay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel.hpp"
+
+namespace gdelt::analysis {
+
+std::vector<DelayStats> PerSourceDelayStats(const engine::Database& db) {
+  const auto when = db.mention_interval();
+  const auto event_when = db.mention_event_interval();
+  const std::size_t ns = db.num_sources();
+  std::vector<DelayStats> stats(ns);
+
+#pragma omp parallel
+  {
+    std::vector<std::int64_t> delays;
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t s = 0; s < static_cast<std::int64_t>(ns); ++s) {
+      delays.clear();
+      for (const std::uint64_t row :
+           db.mentions_by_source().RowsOf(static_cast<std::uint32_t>(s))) {
+        const std::int64_t d = when[row] - event_when[row];
+        if (d >= 0) delays.push_back(d);
+      }
+      DelayStats& st = stats[static_cast<std::size_t>(s)];
+      st.article_count = delays.size();
+      if (delays.empty()) continue;
+      std::sort(delays.begin(), delays.end());
+      st.min = delays.front();
+      st.max = delays.back();
+      st.median = delays[delays.size() / 2];
+      double sum = 0.0;
+      for (const std::int64_t d : delays) sum += static_cast<double>(d);
+      st.average = sum / static_cast<double>(delays.size());
+    }
+  }
+  return stats;
+}
+
+std::vector<std::uint64_t> DelayMetricHistogram(
+    const std::vector<DelayStats>& stats, DelayMetric metric, int num_bins) {
+  std::vector<std::uint64_t> bins(static_cast<std::size_t>(num_bins), 0);
+  for (const DelayStats& st : stats) {
+    if (st.article_count == 0) continue;
+    double value = 0.0;
+    switch (metric) {
+      case DelayMetric::kMin: value = static_cast<double>(st.min); break;
+      case DelayMetric::kAverage: value = st.average; break;
+      case DelayMetric::kMedian: value = static_cast<double>(st.median); break;
+      case DelayMetric::kMax: value = static_cast<double>(st.max); break;
+    }
+    std::size_t bin = 0;
+    if (value >= 1.0) {
+      bin = 1 + static_cast<std::size_t>(std::log2(value));
+    }
+    bin = std::min(bin, bins.size() - 1);
+    ++bins[bin];
+  }
+  return bins;
+}
+
+QuarterlyDelay QuarterlyDelayStats(const engine::Database& db) {
+  const auto w = engine::QuartersOf(db);
+  const auto quarters = engine::MentionQuarters(db);
+  const auto when = db.mention_interval();
+  const auto event_when = db.mention_event_interval();
+  const auto nq = static_cast<std::size_t>(w.count);
+
+  QuarterlyDelay result;
+  result.first_quarter = w.first;
+  result.average.assign(nq, 0.0);
+  result.median.assign(nq, 0);
+  if (nq == 0) return result;
+
+  // Group delays by quarter (serial scatter after a parallel count), then
+  // reduce each quarter independently in parallel.
+  std::vector<std::uint64_t> counts =
+      ParallelHistogram(quarters.size(), nq, [&](std::size_t i) {
+        return static_cast<std::size_t>(quarters[i]);
+      });
+  std::vector<std::uint64_t> offsets(nq + 1, 0);
+  for (std::size_t q = 0; q < nq; ++q) offsets[q + 1] = offsets[q] + counts[q];
+  std::vector<std::int64_t> delays(quarters.size());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t i = 0; i < quarters.size(); ++i) {
+    const auto q = static_cast<std::size_t>(quarters[i]);
+    delays[cursor[q]++] = when[i] - event_when[i];
+  }
+
+  ParallelFor(nq, [&](std::size_t q) {
+    auto* begin = delays.data() + offsets[q];
+    auto* end = delays.data() + offsets[q + 1];
+    // Exclude negative (defective) delays.
+    end = std::partition(begin, end, [](std::int64_t d) { return d >= 0; });
+    const auto n = static_cast<std::size_t>(end - begin);
+    if (n == 0) return;
+    double sum = 0.0;
+    for (auto* p = begin; p != end; ++p) sum += static_cast<double>(*p);
+    result.average[q] = sum / static_cast<double>(n);
+    std::nth_element(begin, begin + n / 2, end);
+    result.median[q] = begin[n / 2];
+  });
+  return result;
+}
+
+engine::QuarterSeries SlowArticlesPerQuarter(const engine::Database& db,
+                                             std::int64_t threshold) {
+  const auto w = engine::QuartersOf(db);
+  const auto quarters = engine::MentionQuarters(db);
+  const auto when = db.mention_interval();
+  const auto event_when = db.mention_event_interval();
+  engine::QuarterSeries series;
+  series.first_quarter = w.first;
+  series.values = ParallelHistogram(
+      quarters.size(), static_cast<std::size_t>(w.count),
+      [&](std::size_t i) -> std::size_t {
+        const std::int64_t d = when[i] - event_when[i];
+        if (d <= threshold) return SIZE_MAX;
+        return static_cast<std::size_t>(quarters[i]);
+      });
+  return series;
+}
+
+}  // namespace gdelt::analysis

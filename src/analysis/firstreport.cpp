@@ -1,0 +1,103 @@
+#include "analysis/firstreport.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel.hpp"
+
+namespace gdelt::analysis {
+
+FirstReportStats ComputeFirstReports(const engine::Database& db,
+                                     int histogram_bins) {
+  const std::size_t ns = db.num_sources();
+  FirstReportStats stats;
+  stats.first_reports.assign(ns, 0);
+  stats.first_delay_histogram.assign(
+      static_cast<std::size_t>(histogram_bins), 0);
+  stats.repeat_events.assign(ns, 0);
+  stats.repeat_articles.assign(ns, 0);
+
+  const auto src = db.mention_source_id();
+  const auto when = db.mention_interval();
+  const auto event_when = db.mention_event_interval();
+
+  const auto nt = static_cast<std::size_t>(MaxThreads());
+  struct Local {
+    std::vector<std::uint64_t> first_reports;
+    std::vector<std::uint64_t> hist;
+    std::uint64_t within_hour = 0;
+    std::vector<std::uint64_t> repeat_events;
+    std::vector<std::uint64_t> repeat_articles;
+  };
+  std::vector<Local> locals(nt);
+
+#pragma omp parallel
+  {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    Local& local = locals[tid];
+    local.first_reports.assign(ns, 0);
+    local.hist.assign(static_cast<std::size_t>(histogram_bins), 0);
+    local.repeat_events.assign(ns, 0);
+    local.repeat_articles.assign(ns, 0);
+    std::vector<std::uint32_t> sources_scratch;
+
+#pragma omp for schedule(dynamic, 256)
+    for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
+         ++e) {
+      const auto rows = db.mentions_by_event().RowsOf(
+          static_cast<std::uint32_t>(e));
+      if (rows.empty()) continue;
+      // Rows are in capture order; find the earliest interval (ties ->
+      // first row).
+      std::uint64_t first_row = rows.front();
+      for (const std::uint64_t row : rows) {
+        if (when[row] < when[first_row]) first_row = row;
+      }
+      ++local.first_reports[src[first_row]];
+      const std::int64_t delay = when[first_row] - event_when[first_row];
+      if (delay >= 0) {
+        std::size_t bin = 0;
+        if (delay >= 1) {
+          bin = 1 + static_cast<std::size_t>(
+                        std::log2(static_cast<double>(delay)));
+        }
+        bin = std::min(bin, local.hist.size() - 1);
+        ++local.hist[bin];
+        if (delay <= 4) ++local.within_hour;
+      }
+      // Repeat coverage: multiplicity per source within this event.
+      sources_scratch.clear();
+      for (const std::uint64_t row : rows) {
+        sources_scratch.push_back(src[row]);
+      }
+      std::sort(sources_scratch.begin(), sources_scratch.end());
+      for (std::size_t i = 0; i < sources_scratch.size();) {
+        std::size_t j = i;
+        while (j < sources_scratch.size() &&
+               sources_scratch[j] == sources_scratch[i]) {
+          ++j;
+        }
+        if (j - i >= 2) {
+          ++local.repeat_events[sources_scratch[i]];
+          local.repeat_articles[sources_scratch[i]] += (j - i) - 1;
+        }
+        i = j;
+      }
+    }
+  }
+  for (const Local& local : locals) {
+    if (local.first_reports.empty()) continue;
+    for (std::size_t s = 0; s < ns; ++s) {
+      stats.first_reports[s] += local.first_reports[s];
+      stats.repeat_events[s] += local.repeat_events[s];
+      stats.repeat_articles[s] += local.repeat_articles[s];
+    }
+    for (std::size_t b = 0; b < stats.first_delay_histogram.size(); ++b) {
+      stats.first_delay_histogram[b] += local.hist[b];
+    }
+    stats.events_broken_within_hour += local.within_hour;
+  }
+  return stats;
+}
+
+}  // namespace gdelt::analysis

@@ -1,0 +1,69 @@
+#include "analysis/followreport.hpp"
+
+#include <algorithm>
+
+#include "engine/queries.hpp"
+#include "parallel/parallel.hpp"
+
+namespace gdelt::analysis {
+
+FollowReportMatrix ComputeFollowReporting(
+    const engine::Database& db, std::span<const std::uint32_t> subset) {
+  FollowReportMatrix result;
+  result.n = subset.size();
+  result.follow_counts.assign(result.n * result.n, 0);
+  result.articles.assign(result.n, 0);
+
+  std::vector<std::int32_t> slot(db.num_sources(), -1);
+  for (std::size_t k = 0; k < subset.size(); ++k) {
+    slot[subset[k]] = static_cast<std::int32_t>(k);
+  }
+  const auto per_source = engine::ArticlesPerSource(db);
+  for (std::size_t k = 0; k < subset.size(); ++k) {
+    result.articles[k] = per_source[subset[k]];
+  }
+
+  const auto src = db.mention_source_id();
+  const auto when = db.mention_interval();
+  const std::size_t n = result.n;
+  auto* counts = result.follow_counts.data();
+
+#pragma omp parallel
+  {
+    // Per-event scratch: subset members that have already published, with
+    // their first publication interval.
+    std::vector<std::int64_t> first_pub(n);
+    std::vector<std::uint32_t> seen;  // slots in first-publication order
+#pragma omp for schedule(dynamic, 256)
+    for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
+         ++e) {
+      const auto rows = db.mentions_by_event().RowsOf(
+          static_cast<std::uint32_t>(e));
+      if (rows.size() < 2) continue;
+      seen.clear();
+      for (const std::uint64_t row : rows) {
+        const std::int32_t j = slot[src[row]];
+        if (j < 0) continue;
+        const std::int64_t t = when[row];
+        // Count this article once per member that published strictly
+        // earlier (including j itself on an earlier article).
+        for (const std::uint32_t i : seen) {
+          if (first_pub[i] < t) {
+            std::uint64_t& cell = counts[i * n + static_cast<std::size_t>(j)];
+#pragma omp atomic
+            ++cell;
+          }
+        }
+        // Record j's first publication time.
+        if (std::find(seen.begin(), seen.end(),
+                      static_cast<std::uint32_t>(j)) == seen.end()) {
+          seen.push_back(static_cast<std::uint32_t>(j));
+          first_pub[static_cast<std::size_t>(j)] = t;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gdelt::analysis

@@ -1,0 +1,53 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+
+#include "analysis/distributions.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::analysis {
+
+std::string DatasetStatistics::ToText() const {
+  std::string out;
+  out += "General dataset statistics (cf. paper Table I)\n";
+  out += StrFormat("  Sources                               %s\n",
+                   WithThousands(sources).c_str());
+  out += StrFormat("  Events                                %s\n",
+                   WithThousands(events).c_str());
+  out += StrFormat("  Capture intervals                     %s\n",
+                   WithThousands(capture_intervals).c_str());
+  out += StrFormat("  Articles                              %s\n",
+                   WithThousands(articles).c_str());
+  out += StrFormat("  Min articles per event                %s\n",
+                   WithThousands(min_articles_per_event).c_str());
+  out += StrFormat("  Max articles per event                %s\n",
+                   WithThousands(max_articles_per_event).c_str());
+  out += StrFormat("  Articles per event (weighted average) %.2f\n",
+                   weighted_avg_articles_per_event);
+  return out;
+}
+
+DatasetStatistics ComputeDatasetStatistics(const engine::Database& db) {
+  DatasetStatistics stats;
+  stats.sources = db.num_sources();
+  stats.events = db.num_events();
+  stats.articles = db.num_mentions();
+  stats.capture_intervals =
+      db.num_mentions() == 0
+          ? 0
+          : static_cast<std::uint64_t>(db.last_interval() -
+                                       db.first_interval() + 1);
+  const auto counts = db.event_article_count();
+  std::uint64_t min_c = counts.empty() ? 0 : UINT64_MAX;
+  std::uint64_t max_c = 0;
+  for (const std::uint32_t c : counts) {
+    min_c = std::min<std::uint64_t>(min_c, c);
+    max_c = std::max<std::uint64_t>(max_c, c);
+  }
+  stats.min_articles_per_event = counts.empty() ? 0 : min_c;
+  stats.max_articles_per_event = max_c;
+  stats.weighted_avg_articles_per_event = AverageArticlesPerEvent(db);
+  return stats;
+}
+
+}  // namespace gdelt::analysis

@@ -1,0 +1,87 @@
+#include "analysis/tone.hpp"
+
+#include "parallel/parallel.hpp"
+
+namespace gdelt::analysis {
+namespace {
+
+/// Generic parallel mean-by-bin over events: per-thread partials, merged
+/// deterministically.
+template <typename BinFn, typename ValueFn>
+std::vector<MeanAccumulator> MeanByBin(const engine::Database& db,
+                                       std::size_t bins, BinFn&& bin_of,
+                                       ValueFn&& value_of) {
+  const auto nt = static_cast<std::size_t>(MaxThreads());
+  std::vector<std::vector<MeanAccumulator>> locals(nt);
+  ParallelForChunks(db.num_events(), [&](IndexRange r, int tid) {
+    auto& local = locals[static_cast<std::size_t>(tid)];
+    local.assign(bins, MeanAccumulator{});
+    for (std::size_t e = r.begin; e < r.end; ++e) {
+      const std::size_t b = bin_of(e);
+      if (b >= bins) continue;
+      local[b].sum += value_of(e);
+      ++local[b].count;
+    }
+  });
+  std::vector<MeanAccumulator> merged(bins);
+  for (const auto& local : locals) {
+    if (local.empty()) continue;
+    for (std::size_t b = 0; b < bins; ++b) {
+      merged[b].sum += local[b].sum;
+      merged[b].count += local[b].count;
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::vector<MeanAccumulator> AverageToneByCountry(
+    const engine::Database& db) {
+  const auto country = db.event_country();
+  const auto tone = db.events_tone();
+  return MeanByBin(
+      db, Countries().size(),
+      [&](std::size_t e) -> std::size_t {
+        return country[e] == kNoCountry ? SIZE_MAX : country[e];
+      },
+      [&](std::size_t e) { return tone[e]; });
+}
+
+QuadClassTone ToneByQuadClass(const engine::Database& db) {
+  const auto quad = db.event_quad_class();
+  const auto tone = db.events_tone();
+  const auto goldstein = db.event_goldstein();
+  QuadClassTone result;
+  const auto tones = MeanByBin(
+      db, 5, [&](std::size_t e) -> std::size_t { return quad[e]; },
+      [&](std::size_t e) { return tone[e]; });
+  const auto scores = MeanByBin(
+      db, 5, [&](std::size_t e) -> std::size_t { return quad[e]; },
+      [&](std::size_t e) { return goldstein[e]; });
+  for (std::size_t q = 0; q < 5; ++q) {
+    result.tone[q] = tones[q];
+    result.goldstein[q] = scores[q];
+  }
+  return result;
+}
+
+QuarterlyTone QuarterlyAverageTone(const engine::Database& db) {
+  const auto w = engine::QuartersOf(db);
+  const auto added = db.event_added_interval();
+  const auto tone = db.events_tone();
+  QuarterlyTone result;
+  result.first_quarter = w.first;
+  result.values = MeanByBin(
+      db, static_cast<std::size_t>(w.count),
+      [&](std::size_t e) -> std::size_t {
+        const std::int32_t q =
+            QuarterOfUnixSeconds(IntervalStartUnixSeconds(added[e])) -
+            w.first;
+        return q < 0 ? SIZE_MAX : static_cast<std::size_t>(q);
+      },
+      [&](std::size_t e) { return tone[e]; });
+  return result;
+}
+
+}  // namespace gdelt::analysis

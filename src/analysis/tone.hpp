@@ -1,0 +1,47 @@
+// Tone and Goldstein-scale analytics over the Events table.
+//
+// GDELT codes every event with an average document tone and a Goldstein
+// conflict-cooperation score. The paper's engine focuses on volume and
+// timing, but tone is the database's most-used derived signal; these
+// aggregations round the engine out (and exercise the f64 columns of the
+// binary store).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "engine/database.hpp"
+#include "engine/queries.hpp"
+
+namespace gdelt::analysis {
+
+/// Mean/count pair for incremental aggregation.
+struct MeanAccumulator {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  double Mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Average event tone per located country (index = CountryId).
+std::vector<MeanAccumulator> AverageToneByCountry(const engine::Database& db);
+
+/// Average tone and Goldstein per CAMEO quad class (index 0 unused;
+/// 1..4 = verbal/material cooperation, verbal/material conflict).
+struct QuadClassTone {
+  std::array<MeanAccumulator, 5> tone;
+  std::array<MeanAccumulator, 5> goldstein;
+};
+QuadClassTone ToneByQuadClass(const engine::Database& db);
+
+/// Average event tone per quarter (by DATEADDED).
+struct QuarterlyTone {
+  QuarterId first_quarter = 0;
+  std::vector<MeanAccumulator> values;
+};
+QuarterlyTone QuarterlyAverageTone(const engine::Database& db);
+
+}  // namespace gdelt::analysis

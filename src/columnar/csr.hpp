@@ -1,0 +1,69 @@
+// CSR-style inverted indexes over columns.
+//
+// The converter materializes two of these alongside the mentions table:
+//   event  -> rows of its mentions (who reported on this event)
+//   source -> rows of its mentions (everything a site published)
+// They are what make co-reporting and follow-reporting (Section VI-B)
+// feasible: both walk "all articles of an event" lists instead of
+// re-scanning the full table per pair.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+
+namespace gdelt {
+
+/// Rows grouped by a dense u32 key: offsets[k]..offsets[k+1] index into
+/// `rows`, which lists the row ids with key k in ascending row order.
+struct CsrIndex {
+  std::vector<std::uint64_t> offsets;  ///< size num_keys + 1
+  std::vector<std::uint64_t> rows;     ///< size = number of input rows
+
+  std::size_t num_keys() const noexcept {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+
+  /// Row ids having key k.
+  std::span<const std::uint64_t> RowsOf(std::uint32_t k) const noexcept {
+    return {rows.data() + offsets[k],
+            static_cast<std::size_t>(offsets[k + 1] - offsets[k])};
+  }
+
+  /// Group size for key k.
+  std::uint64_t CountOf(std::uint32_t k) const noexcept {
+    return offsets[k + 1] - offsets[k];
+  }
+};
+
+/// Builds a CsrIndex from a key column. `keys[i]` < num_keys for all i
+/// (callers guarantee this; checked in debug builds). Two-pass counting
+/// sort; the counting pass is parallel, the scatter pass is sequential to
+/// keep row order within each key ascending (stability matters for
+/// follow-reporting, which relies on time-sorted mention rows).
+inline CsrIndex BuildCsrIndex(std::span<const std::uint32_t> keys,
+                              std::size_t num_keys) {
+  CsrIndex csr;
+  std::vector<std::uint64_t> counts =
+      ParallelHistogram(keys.size(), num_keys,
+                        [&](std::size_t i) -> std::size_t { return keys[i]; });
+  csr.offsets.resize(num_keys + 1);
+  std::uint64_t acc = 0;
+  for (std::size_t k = 0; k < num_keys; ++k) {
+    csr.offsets[k] = acc;
+    acc += counts[k];
+  }
+  csr.offsets[num_keys] = acc;
+
+  csr.rows.resize(acc);
+  std::vector<std::uint64_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    csr.rows[cursor[keys[i]]++] = i;
+  }
+  return csr;
+}
+
+}  // namespace gdelt

@@ -1,0 +1,52 @@
+#include "columnar/dictionary.hpp"
+
+#include <memory>
+
+#include "columnar/table.hpp"
+
+namespace gdelt {
+
+std::uint32_t StringDictionary::GetOrAdd(std::string_view s) {
+  const auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+std::optional<std::uint32_t> StringDictionary::Find(
+    std::string_view s) const noexcept {
+  const auto it = index_.find(s);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status StringDictionary::WriteToFile(const std::string& path) const {
+  Table table;
+  Column& col = table.AddColumn("value", ColumnType::kStr);
+  col.Reserve(strings_.size());
+  for (const auto& s : strings_) col.AppendString(s);
+  return table.WriteToFile(path);
+}
+
+Result<StringDictionary> StringDictionary::ReadFromFile(
+    const std::string& path) {
+  GDELT_ASSIGN_OR_RETURN(Table table, Table::ReadFromFile(path));
+  const Column* col = table.FindColumn("value");
+  if (!col || col->type() != ColumnType::kStr) {
+    return status::DataLoss("dictionary file '" + path +
+                            "' lacks a string 'value' column");
+  }
+  StringDictionary dict;
+  for (std::size_t i = 0; i < col->size(); ++i) {
+    dict.GetOrAdd(col->StringAt(i));
+  }
+  if (dict.size() != col->size()) {
+    return status::DataLoss("dictionary file '" + path +
+                            "' contains duplicate entries");
+  }
+  return dict;
+}
+
+}  // namespace gdelt

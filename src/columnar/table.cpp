@@ -1,0 +1,237 @@
+#include "columnar/table.hpp"
+
+#include <cstring>
+
+#include "io/crc32.hpp"
+#include "io/file.hpp"
+#include "io/mmap.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt {
+namespace {
+
+constexpr char kMagicHead[8] = {'G', 'D', 'L', 'T', 'T', 'B', 'L', '1'};
+constexpr char kMagicTail[8] = {'G', 'D', 'L', 'T', 'E', 'N', 'D', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+}  // namespace
+
+Column& Table::AddColumn(const std::string& name, ColumnType type) {
+  auto [it, inserted] = columns_.emplace(name, Column(type));
+  if (!inserted) std::abort();  // duplicate column name is a programming bug
+  return it->second;
+}
+
+const Column* Table::FindColumn(std::string_view name) const noexcept {
+  const auto it = columns_.find(std::string(name));
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+Column* Table::FindColumn(std::string_view name) noexcept {
+  const auto it = columns_.find(std::string(name));
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+const Column& Table::GetColumn(std::string_view name) const {
+  const Column* col = FindColumn(name);
+  if (!col) std::abort();
+  return *col;
+}
+
+std::size_t Table::num_rows() const noexcept {
+  return columns_.empty() ? 0 : columns_.begin()->second.size();
+}
+
+Status Table::Validate() const {
+  const std::size_t rows = num_rows();
+  for (const auto& [name, col] : columns_) {
+    if (col.size() != rows) {
+      return status::Internal(StrFormat(
+          "column '%s' has %zu rows, expected %zu", name.c_str(), col.size(),
+          rows));
+    }
+  }
+  return Status::Ok();
+}
+
+std::size_t Table::MemoryBytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [name, col] : columns_) total += col.MemoryBytes();
+  return total;
+}
+
+namespace {
+
+/// Accumulates a CRC while forwarding writes to the file.
+class ChecksummedWriter {
+ public:
+  explicit ChecksummedWriter(BinaryWriter& w) : writer_(w) {}
+
+  Status Write(const void* data, std::size_t size) {
+    crc_ = Crc32Update(crc_, data, size);
+    return writer_.WriteBytes(data, size);
+  }
+  template <typename T>
+  Status WritePod(const T& v) {
+    return Write(&v, sizeof(v));
+  }
+  Status WriteString(std::string_view s) {
+    GDELT_RETURN_IF_ERROR(WritePod(static_cast<std::uint32_t>(s.size())));
+    return Write(s.data(), s.size());
+  }
+  std::uint32_t crc() const noexcept { return crc_; }
+
+ private:
+  BinaryWriter& writer_;
+  std::uint32_t crc_ = 0;
+};
+
+}  // namespace
+
+Status Table::WriteToFile(const std::string& path) const {
+  GDELT_RETURN_IF_ERROR(Validate());
+  BinaryWriter file;
+  GDELT_RETURN_IF_ERROR(file.Open(path));
+  ChecksummedWriter out(file);
+
+  GDELT_RETURN_IF_ERROR(out.Write(kMagicHead, sizeof(kMagicHead)));
+  GDELT_RETURN_IF_ERROR(out.WritePod(kFormatVersion));
+  GDELT_RETURN_IF_ERROR(
+      out.WritePod(static_cast<std::uint32_t>(columns_.size())));
+  GDELT_RETURN_IF_ERROR(out.WritePod(static_cast<std::uint64_t>(num_rows())));
+
+  for (const auto& [name, col] : columns_) {
+    GDELT_RETURN_IF_ERROR(out.WriteString(name));
+    GDELT_RETURN_IF_ERROR(out.WritePod(static_cast<std::uint8_t>(col.type())));
+    if (col.type() == ColumnType::kStr) {
+      GDELT_RETURN_IF_ERROR(out.WritePod(static_cast<std::uint64_t>(
+          col.raw_offsets().size() * sizeof(std::uint64_t))));
+      GDELT_RETURN_IF_ERROR(
+          out.WritePod(static_cast<std::uint64_t>(col.raw_chars().size())));
+    } else {
+      GDELT_RETURN_IF_ERROR(
+          out.WritePod(static_cast<std::uint64_t>(col.raw_bytes().size())));
+      GDELT_RETURN_IF_ERROR(out.WritePod(std::uint64_t{0}));
+    }
+  }
+
+  for (const auto& [name, col] : columns_) {
+    if (col.type() == ColumnType::kStr) {
+      GDELT_RETURN_IF_ERROR(
+          out.Write(col.raw_offsets().data(),
+                    col.raw_offsets().size() * sizeof(std::uint64_t)));
+      GDELT_RETURN_IF_ERROR(
+          out.Write(col.raw_chars().data(), col.raw_chars().size()));
+    } else {
+      GDELT_RETURN_IF_ERROR(
+          out.Write(col.raw_bytes().data(), col.raw_bytes().size()));
+    }
+  }
+
+  GDELT_RETURN_IF_ERROR(file.WritePod(out.crc()));
+  GDELT_RETURN_IF_ERROR(file.WriteBytes(kMagicTail, sizeof(kMagicTail)));
+  return file.Close();
+}
+
+Result<Table> Table::ReadFromFile(const std::string& path) {
+  GDELT_ASSIGN_OR_RETURN(MemoryMappedFile file, MemoryMappedFile::Open(path));
+  const std::string_view buffer = file.view();
+  constexpr std::size_t kFrame = sizeof(kMagicHead) + sizeof(kMagicTail) +
+                                 sizeof(std::uint32_t) /* crc */;
+  if (buffer.size() < kFrame) {
+    return status::DataLoss("table file '" + path + "' is truncated");
+  }
+  if (std::memcmp(buffer.data(), kMagicHead, sizeof(kMagicHead)) != 0) {
+    return status::DataLoss("bad table header magic in '" + path + "'");
+  }
+  if (std::memcmp(buffer.data() + buffer.size() - sizeof(kMagicTail),
+                  kMagicTail, sizeof(kMagicTail)) != 0) {
+    return status::DataLoss("bad table trailer magic in '" + path + "'");
+  }
+  const std::size_t body_size =
+      buffer.size() - sizeof(kMagicTail) - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buffer.data() + body_size, sizeof(stored_crc));
+  const std::uint32_t actual_crc =
+      Crc32Update(0, buffer.data(), body_size);
+  if (stored_crc != actual_crc) {
+    return status::DataLoss("checksum mismatch in table file '" + path + "'");
+  }
+
+  BinaryReader in(buffer.data(), body_size);
+  GDELT_RETURN_IF_ERROR(in.Skip(sizeof(kMagicHead)));
+  std::uint32_t version = 0;
+  std::uint32_t num_columns = 0;
+  std::uint64_t num_rows = 0;
+  GDELT_RETURN_IF_ERROR(in.ReadPod(version));
+  if (version != kFormatVersion) {
+    return status::DataLoss(
+        StrFormat("unsupported table format version %u", version));
+  }
+  GDELT_RETURN_IF_ERROR(in.ReadPod(num_columns));
+  GDELT_RETURN_IF_ERROR(in.ReadPod(num_rows));
+
+  struct ColumnDesc {
+    std::string name;
+    ColumnType type;
+    std::uint64_t payload_bytes;
+    std::uint64_t chars_bytes;
+  };
+  std::vector<ColumnDesc> descs(num_columns);
+  for (auto& d : descs) {
+    GDELT_RETURN_IF_ERROR(in.ReadString(d.name));
+    std::uint8_t type = 0;
+    GDELT_RETURN_IF_ERROR(in.ReadPod(type));
+    if (type > static_cast<std::uint8_t>(ColumnType::kStr)) {
+      return status::DataLoss("invalid column type in '" + path + "'");
+    }
+    d.type = static_cast<ColumnType>(type);
+    GDELT_RETURN_IF_ERROR(in.ReadPod(d.payload_bytes));
+    GDELT_RETURN_IF_ERROR(in.ReadPod(d.chars_bytes));
+  }
+
+  Table table;
+  for (const auto& d : descs) {
+    Column& col = table.AddColumn(d.name, d.type);
+    if (d.type == ColumnType::kStr) {
+      const std::uint64_t expected =
+          (num_rows + 1) * sizeof(std::uint64_t);
+      if (d.payload_bytes != expected) {
+        return status::DataLoss("string column '" + d.name +
+                                "' has inconsistent offsets size");
+      }
+      auto& offsets = col.mutable_raw_offsets();
+      offsets.resize(num_rows + 1);
+      GDELT_RETURN_IF_ERROR(
+          in.ReadBytes(offsets.data(), static_cast<std::size_t>(expected)));
+      auto& chars = col.mutable_raw_chars();
+      chars.resize(static_cast<std::size_t>(d.chars_bytes));
+      GDELT_RETURN_IF_ERROR(in.ReadBytes(
+          chars.data(), static_cast<std::size_t>(d.chars_bytes)));
+      if (offsets.front() != 0 || offsets.back() != chars.size()) {
+        return status::DataLoss("string column '" + d.name +
+                                "' has corrupt offsets");
+      }
+      for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+        if (offsets[i] > offsets[i + 1]) {
+          return status::DataLoss("string column '" + d.name +
+                                  "' offsets not monotone");
+        }
+      }
+    } else {
+      const std::uint64_t expected = num_rows * ColumnTypeSize(d.type);
+      if (d.payload_bytes != expected) {
+        return status::DataLoss("column '" + d.name +
+                                "' has inconsistent payload size");
+      }
+      auto& bytes = col.mutable_raw_bytes();
+      bytes.resize(static_cast<std::size_t>(expected));
+      GDELT_RETURN_IF_ERROR(
+          in.ReadBytes(bytes.data(), static_cast<std::size_t>(expected)));
+    }
+  }
+  GDELT_RETURN_IF_ERROR(table.Validate());
+  return table;
+}
+
+}  // namespace gdelt

@@ -1,0 +1,72 @@
+// A named collection of equal-length columns with a checksummed binary
+// file format ("convert once, scan forever").
+//
+// File layout (little-endian):
+//   magic "GDLTTBL1"
+//   u32 format version
+//   u32 column count, u64 row count
+//   per column: name (u32 len + bytes), u8 type,
+//               u64 payload bytes, u64 chars bytes (0 unless kStr)
+//   per column payload:
+//     fixed width: the raw element array
+//     kStr: (rows+1) u64 offsets, then the chars blob
+//   u32 CRC-32 of everything above
+//   magic "GDLTEND1"
+//
+// Readers verify magics, version, per-column sizes and the trailing CRC, so
+// truncation and bit corruption surface as DataLoss instead of bad results.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "columnar/column.hpp"
+#include "util/status.hpp"
+
+namespace gdelt {
+
+/// An immutable-after-build table of equal-length columns.
+class Table {
+ public:
+  /// Adds a column; all columns must end up the same length.
+  /// Returns the new column for appending.
+  Column& AddColumn(const std::string& name, ColumnType type);
+
+  /// Column by name; nullptr if absent.
+  const Column* FindColumn(std::string_view name) const noexcept;
+  Column* FindColumn(std::string_view name) noexcept;
+
+  /// Column by name; aborts if absent (engine-internal access to columns
+  /// whose presence was validated at load).
+  const Column& GetColumn(std::string_view name) const;
+
+  bool HasColumn(std::string_view name) const noexcept {
+    return FindColumn(name) != nullptr;
+  }
+
+  std::size_t num_columns() const noexcept { return columns_.size(); }
+
+  /// Rows, taken from the first column (0 for an empty table).
+  std::size_t num_rows() const noexcept;
+
+  /// Checks all columns have equal length.
+  Status Validate() const;
+
+  /// Total heap bytes across columns.
+  std::size_t MemoryBytes() const noexcept;
+
+  /// Serializes to a file (see format above).
+  Status WriteToFile(const std::string& path) const;
+
+  /// Loads a table, verifying framing and checksum.
+  static Result<Table> ReadFromFile(const std::string& path);
+
+  const std::map<std::string, Column>& columns() const noexcept {
+    return columns_;
+  }
+
+ private:
+  std::map<std::string, Column> columns_;
+};
+
+}  // namespace gdelt

@@ -1,0 +1,326 @@
+#include "convert/converter.hpp"
+
+#include <set>
+#include <unordered_map>
+
+#include "columnar/dictionary.hpp"
+#include "columnar/table.hpp"
+#include "convert/binary_format.hpp"
+#include "convert/master_list.hpp"
+#include "csv/tsv.hpp"
+#include "gtime/timestamp.hpp"
+#include "io/crc32.hpp"
+#include "io/file.hpp"
+#include "io/zipstore.hpp"
+#include "schema/countries.hpp"
+#include "schema/gdelt_schema.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::convert {
+namespace {
+
+/// Parses a 14-digit GDELT timestamp field into an interval id.
+/// Returns false (and leaves `out` unchanged) on malformed input.
+bool FieldToInterval(std::string_view field, IntervalId& out) {
+  const auto parsed = ParseGdeltTimestamp(field);
+  if (!parsed.ok()) return false;
+  out = IntervalOfCivil(parsed.value());
+  return true;
+}
+
+/// Parses the Events "Day" field (YYYYMMDD) into the interval of midnight.
+bool DayToInterval(std::string_view field, IntervalId& out) {
+  const auto day = ParseUint64(field);
+  if (!day || *day < 19000101 || *day > 99991231) return false;
+  const auto packed = *day * 1000000ull;  // midnight
+  const auto parsed = ParseGdeltTimestamp(packed);
+  if (!parsed.ok()) return false;
+  out = IntervalOfCivil(parsed.value());
+  return true;
+}
+
+struct EventColumns {
+  Column* global_id;
+  Column* event_interval;
+  Column* added_interval;
+  Column* country;
+  Column* num_articles_wire;
+  Column* goldstein;
+  Column* avg_tone;
+  Column* quad_class;
+  Column* source_url;
+};
+
+struct MentionColumns {
+  Column* event_row;
+  Column* global_event_id;
+  Column* event_interval;
+  Column* mention_interval;
+  Column* source_id;
+  Column* confidence;
+  Column* url;  // may be null when keep_urls = false
+};
+
+}  // namespace
+
+std::string ConvertReport::ToText() const {
+  std::string out;
+  out += "GDELT conversion report\n";
+  out += "=======================\n";
+  out += StrFormat("archives processed:              %llu\n",
+                   static_cast<unsigned long long>(archives_processed));
+  out += StrFormat("event rows:                      %llu\n",
+                   static_cast<unsigned long long>(event_rows));
+  out += StrFormat("mention rows:                    %llu\n",
+                   static_cast<unsigned long long>(mention_rows));
+  out += StrFormat("distinct sources:                %u\n", num_sources);
+  out += "\nProblems found during dataset analysis (cf. paper Table II)\n";
+  out += StrFormat("missformatted master entries:    %u\n",
+                   malformed_master_entries);
+  out += StrFormat("missing archives:                %u\n", missing_archives);
+  out += StrFormat("missing event source URL:        %u\n",
+                   missing_event_source_url);
+  out += StrFormat("event date after first article:  %u\n",
+                   future_event_dates);
+  out += StrFormat("corrupt archives:                %u\n", corrupt_archives);
+  out += StrFormat("malformed rows:                  %llu\n",
+                   static_cast<unsigned long long>(malformed_rows));
+  out += StrFormat("orphan mentions:                 %llu\n",
+                   static_cast<unsigned long long>(orphan_mentions));
+  for (const auto& note : notes) {
+    out += "note: " + note + "\n";
+  }
+  return out;
+}
+
+Result<ConvertReport> ConvertDataset(const ConvertOptions& options) {
+  ConvertReport report;
+
+  GDELT_ASSIGN_OR_RETURN(
+      const std::string master_text,
+      ReadWholeFile(options.input_dir + "/masterfilelist.txt"));
+  MasterList master = ParseMasterList(master_text);
+  report.malformed_master_entries = master.malformed_entries;
+  for (const auto& sample : master.malformed_samples) {
+    report.notes.push_back("malformed master entry: '" + sample + "'");
+  }
+
+  // Check archive availability once; classify into processing lists.
+  // Missing archives are counted per dataset chunk (distinct timestamp
+  // prefix), matching the paper's "missing archives for dataset chunks".
+  std::vector<const MasterEntry*> export_archives;
+  std::vector<const MasterEntry*> mention_archives;
+  std::set<std::string_view> missing_chunk_stamps;
+  for (const auto& entry : master.entries) {
+    const std::string path = options.input_dir + "/" + entry.file_name;
+    if (!FileExists(path)) {
+      const std::string_view name = entry.file_name;
+      missing_chunk_stamps.insert(name.substr(0, name.find('.')));
+      continue;
+    }
+    switch (entry.kind) {
+      case ArchiveKind::kExport: export_archives.push_back(&entry); break;
+      case ArchiveKind::kMentions: mention_archives.push_back(&entry); break;
+      case ArchiveKind::kOther:
+        report.notes.push_back("unrecognized archive name: " +
+                               entry.file_name);
+        break;
+    }
+  }
+  report.missing_archives =
+      static_cast<std::uint32_t>(missing_chunk_stamps.size());
+
+  // Loads and CRC-checks one archive, returning the contained CSV text.
+  auto load_archive = [&](const MasterEntry& entry) -> Result<std::string> {
+    const std::string path = options.input_dir + "/" + entry.file_name;
+    GDELT_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+    if (options.verify_archive_checksums && Crc32(bytes) != entry.crc32) {
+      return status::DataLoss("archive checksum mismatch: " +
+                              entry.file_name);
+    }
+    GDELT_ASSIGN_OR_RETURN(ZipReader zip, ZipReader::Open(bytes));
+    if (zip.entries().empty()) {
+      return status::DataLoss("archive has no entries: " + entry.file_name);
+    }
+    return zip.ReadEntry(std::size_t{0});
+  };
+
+  // ---- Pass A: events --------------------------------------------------
+  Table events;
+  EventColumns ec{};
+  ec.global_id = &events.AddColumn(std::string(events_col::kGlobalId),
+                                   ColumnType::kU64);
+  ec.event_interval = &events.AddColumn(
+      std::string(events_col::kEventInterval), ColumnType::kI64);
+  ec.added_interval = &events.AddColumn(
+      std::string(events_col::kAddedInterval), ColumnType::kI64);
+  ec.country =
+      &events.AddColumn(std::string(events_col::kCountry), ColumnType::kU16);
+  ec.num_articles_wire = &events.AddColumn(
+      std::string(events_col::kNumArticlesWire), ColumnType::kU32);
+  ec.goldstein = &events.AddColumn(std::string(events_col::kGoldstein),
+                                   ColumnType::kF64);
+  ec.avg_tone =
+      &events.AddColumn(std::string(events_col::kAvgTone), ColumnType::kF64);
+  ec.quad_class = &events.AddColumn(std::string(events_col::kQuadClass),
+                                    ColumnType::kU8);
+  ec.source_url = &events.AddColumn(std::string(events_col::kSourceUrl),
+                                    ColumnType::kStr);
+
+  std::unordered_map<std::uint64_t, std::uint32_t> event_row_of;
+
+  for (const MasterEntry* entry : export_archives) {
+    auto csv = load_archive(*entry);
+    if (!csv.ok()) {
+      ++report.corrupt_archives;
+      report.notes.push_back(csv.status().ToString());
+      continue;
+    }
+    ++report.archives_processed;
+    RowReader rows(*csv, kEventFieldCount);
+    const std::vector<std::string_view>* fields = nullptr;
+    while (rows.Next(fields)) {
+      const auto& f = *fields;
+      const auto gid = ParseUint64(f[Index(EventField::kGlobalEventId)]);
+      IntervalId day_interval = 0;
+      IntervalId added_interval = 0;
+      if (!gid ||
+          !DayToInterval(f[Index(EventField::kDay)], day_interval) ||
+          !FieldToInterval(f[Index(EventField::kDateAdded)],
+                           added_interval)) {
+        ++report.malformed_rows;
+        continue;
+      }
+      const std::string_view url = f[Index(EventField::kSourceUrl)];
+      if (url.empty()) ++report.missing_event_source_url;
+
+      CountryId country = kNoCountry;
+      const std::string_view fips =
+          f[Index(EventField::kActionGeoCountryCode)];
+      if (!fips.empty()) {
+        if (const auto c = CountryByFips(fips)) country = *c;
+      }
+      const auto row = static_cast<std::uint32_t>(events.num_rows());
+      if (!event_row_of.emplace(*gid, row).second) {
+        ++report.malformed_rows;  // duplicate event id
+        continue;
+      }
+      ec.global_id->Append<std::uint64_t>(*gid);
+      ec.event_interval->Append<std::int64_t>(day_interval);
+      ec.added_interval->Append<std::int64_t>(added_interval);
+      ec.country->Append<std::uint16_t>(country);
+      ec.num_articles_wire->Append<std::uint32_t>(static_cast<std::uint32_t>(
+          ParseUint64(f[Index(EventField::kNumArticles)]).value_or(0)));
+      ec.goldstein->Append<double>(
+          ParseDouble(f[Index(EventField::kGoldsteinScale)]).value_or(0.0));
+      ec.avg_tone->Append<double>(
+          ParseDouble(f[Index(EventField::kAvgTone)]).value_or(0.0));
+      ec.quad_class->Append<std::uint8_t>(static_cast<std::uint8_t>(
+          ParseUint64(f[Index(EventField::kQuadClass)]).value_or(0)));
+      ec.source_url->AppendString(url);
+    }
+    report.malformed_rows += rows.errors().size();
+  }
+  report.event_rows = events.num_rows();
+
+  // ---- Pass B: mentions ------------------------------------------------
+  Table mentions;
+  MentionColumns mc{};
+  mc.event_row = &mentions.AddColumn(std::string(mentions_col::kEventRow),
+                                     ColumnType::kU32);
+  mc.global_event_id = &mentions.AddColumn(
+      std::string(mentions_col::kGlobalEventId), ColumnType::kU64);
+  mc.event_interval = &mentions.AddColumn(
+      std::string(mentions_col::kEventInterval), ColumnType::kI64);
+  mc.mention_interval = &mentions.AddColumn(
+      std::string(mentions_col::kMentionInterval), ColumnType::kI64);
+  mc.source_id = &mentions.AddColumn(std::string(mentions_col::kSourceId),
+                                     ColumnType::kU32);
+  mc.confidence = &mentions.AddColumn(std::string(mentions_col::kConfidence),
+                                      ColumnType::kU8);
+  mc.url = options.keep_urls
+               ? &mentions.AddColumn(std::string(mentions_col::kUrl),
+                                     ColumnType::kStr)
+               : nullptr;
+
+  StringDictionary sources;
+  // Events whose recorded time postdates one of their article captures
+  // (Table II row 4). Flag per dense event row, counted once per event.
+  std::vector<bool> future_dated(events.num_rows(), false);
+
+  for (const MasterEntry* entry : mention_archives) {
+    auto csv = load_archive(*entry);
+    if (!csv.ok()) {
+      ++report.corrupt_archives;
+      report.notes.push_back(csv.status().ToString());
+      continue;
+    }
+    ++report.archives_processed;
+    RowReader rows(*csv, kMentionFieldCount);
+    const std::vector<std::string_view>* fields = nullptr;
+    while (rows.Next(fields)) {
+      const auto& f = *fields;
+      const auto gid = ParseUint64(f[Index(MentionField::kGlobalEventId)]);
+      IntervalId event_interval = 0;
+      IntervalId mention_interval = 0;
+      if (!gid ||
+          !FieldToInterval(f[Index(MentionField::kEventTimeDate)],
+                           event_interval) ||
+          !FieldToInterval(f[Index(MentionField::kMentionTimeDate)],
+                           mention_interval)) {
+        ++report.malformed_rows;
+        continue;
+      }
+      const std::string_view source_name =
+          f[Index(MentionField::kMentionSourceName)];
+      if (source_name.empty()) {
+        ++report.malformed_rows;
+        continue;
+      }
+      std::uint32_t event_row = kOrphanEventRow;
+      const auto it = event_row_of.find(*gid);
+      if (it != event_row_of.end()) {
+        event_row = it->second;
+        if (mention_interval < event_interval && !future_dated[event_row]) {
+          future_dated[event_row] = true;
+          ++report.future_event_dates;
+        }
+      } else {
+        ++report.orphan_mentions;
+      }
+      mc.event_row->Append<std::uint32_t>(event_row);
+      mc.global_event_id->Append<std::uint64_t>(*gid);
+      mc.event_interval->Append<std::int64_t>(event_interval);
+      mc.mention_interval->Append<std::int64_t>(mention_interval);
+      mc.source_id->Append<std::uint32_t>(sources.GetOrAdd(source_name));
+      mc.confidence->Append<std::uint8_t>(static_cast<std::uint8_t>(
+          ParseUint64(f[Index(MentionField::kConfidence)]).value_or(0)));
+      if (mc.url) {
+        mc.url->AppendString(f[Index(MentionField::kMentionIdentifier)]);
+      }
+    }
+    report.malformed_rows += rows.errors().size();
+  }
+  report.mention_rows = mentions.num_rows();
+  report.num_sources = sources.size();
+
+  // ---- Write the binary database ----------------------------------------
+  GDELT_RETURN_IF_ERROR(MakeDirectories(options.output_dir));
+  GDELT_RETURN_IF_ERROR(events.WriteToFile(
+      options.output_dir + "/" + std::string(kEventsTableFile)));
+  GDELT_RETURN_IF_ERROR(mentions.WriteToFile(
+      options.output_dir + "/" + std::string(kMentionsTableFile)));
+  GDELT_RETURN_IF_ERROR(sources.WriteToFile(
+      options.output_dir + "/" + std::string(kSourcesDictFile)));
+  GDELT_RETURN_IF_ERROR(WriteWholeFile(
+      options.output_dir + "/" + std::string(kReportFile), report.ToText()));
+  GDELT_LOG(kInfo,
+            StrFormat("converted %llu events, %llu mentions, %u sources",
+                      static_cast<unsigned long long>(report.event_rows),
+                      static_cast<unsigned long long>(report.mention_rows),
+                      report.num_sources));
+  return report;
+}
+
+}  // namespace gdelt::convert

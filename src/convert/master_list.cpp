@@ -1,0 +1,65 @@
+#include "convert/master_list.hpp"
+
+#include "csv/tsv.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::convert {
+
+ArchiveKind ClassifyArchive(std::string_view file_name) noexcept {
+  if (EndsWith(file_name, ".export.CSV.zip")) return ArchiveKind::kExport;
+  if (EndsWith(file_name, ".mentions.CSV.zip")) return ArchiveKind::kMentions;
+  return ArchiveKind::kOther;
+}
+
+MasterList ParseMasterList(std::string_view text) {
+  MasterList list;
+  LineIterator lines(text);
+  std::string_view line;
+  std::vector<std::string_view> fields;
+  while (lines.Next(line)) {
+    if (TrimView(line).empty()) continue;
+    SplitInto(line, ' ', fields);
+    bool ok = fields.size() == 3;
+    MasterEntry entry;
+    if (ok) {
+      const auto size = ParseUint64(fields[0]);
+      ok = size.has_value();
+      if (ok) entry.size = *size;
+    }
+    if (ok) {
+      // CRC is 8 hex digits.
+      ok = fields[1].size() == 8;
+      if (ok) {
+        std::uint32_t crc = 0;
+        for (char c : fields[1]) {
+          const int digit = c >= '0' && c <= '9'   ? c - '0'
+                            : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                            : c >= 'A' && c <= 'F' ? c - 'A' + 10
+                                                   : -1;
+          if (digit < 0) {
+            ok = false;
+            break;
+          }
+          crc = crc << 4 | static_cast<std::uint32_t>(digit);
+        }
+        entry.crc32 = crc;
+      }
+    }
+    if (ok) {
+      entry.file_name = std::string(fields[2]);
+      ok = !entry.file_name.empty();
+    }
+    if (!ok) {
+      ++list.malformed_entries;
+      if (list.malformed_samples.size() < 10) {
+        list.malformed_samples.emplace_back(line);
+      }
+      continue;
+    }
+    entry.kind = ClassifyArchive(entry.file_name);
+    list.entries.push_back(std::move(entry));
+  }
+  return list;
+}
+
+}  // namespace gdelt::convert

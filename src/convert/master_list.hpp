@@ -1,0 +1,42 @@
+// GDELT master file list handling.
+//
+// The master list enumerates every 15-minute archive with its size and
+// checksum. Parsing is defensive: the real list contains malformed entries
+// (53 of them in the paper's window, Table II), and archives it names can
+// be absent from the mirror (8 in the paper). Both conditions are counted,
+// not fatal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gdelt::convert {
+
+/// Kind of archive a master entry points at.
+enum class ArchiveKind : std::uint8_t { kExport, kMentions, kOther };
+
+/// One well-formed master list entry.
+struct MasterEntry {
+  std::uint64_t size = 0;
+  std::uint32_t crc32 = 0;
+  std::string file_name;
+  ArchiveKind kind = ArchiveKind::kOther;
+};
+
+/// Parse result, with defect counters.
+struct MasterList {
+  std::vector<MasterEntry> entries;
+  std::uint32_t malformed_entries = 0;
+  std::vector<std::string> malformed_samples;  ///< up to 10, for the report
+};
+
+/// Parses master list text ("<size> <crc32-hex> <name>" per line).
+MasterList ParseMasterList(std::string_view text);
+
+/// Classifies an archive file name.
+ArchiveKind ClassifyArchive(std::string_view file_name) noexcept;
+
+}  // namespace gdelt::convert

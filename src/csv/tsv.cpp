@@ -1,0 +1,36 @@
+#include "csv/tsv.hpp"
+
+#include "util/strings.hpp"
+
+namespace gdelt {
+
+bool RowReader::Next(const std::vector<std::string_view>*& fields) {
+  std::string_view line;
+  while (lines_.Next(line)) {
+    ++line_number_;
+    if (line.empty()) continue;  // tolerate blank lines / trailing newline
+    SplitInto(line, '\t', fields_);
+    if (fields_.size() != expected_fields_) {
+      errors_.push_back(
+          {line_number_,
+           StrFormat("expected %zu fields, got %zu", expected_fields_,
+                     fields_.size())});
+      continue;
+    }
+    ++rows_read_;
+    fields = &fields_;
+    return true;
+  }
+  return false;
+}
+
+void AppendTsvRow(std::string& out,
+                  const std::vector<std::string_view>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out += '\t';
+    out += fields[i];
+  }
+  out += '\n';
+}
+
+}  // namespace gdelt

@@ -1,0 +1,81 @@
+// Zero-copy parsing of GDELT's tab-separated files.
+//
+// GDELT 2.0 files carry a ".CSV" extension but are tab-delimited with no
+// quoting and one record per line. Parsing them reduces to line splitting
+// plus field splitting; both are done on string_views over the raw buffer
+// so conversion of a multi-GB chunk does not allocate per row.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gdelt {
+
+/// Iterates lines of a buffer, handling "\n" and "\r\n" endings and a
+/// missing final newline.
+class LineIterator {
+ public:
+  explicit LineIterator(std::string_view buffer) noexcept
+      : buffer_(buffer) {}
+
+  /// Returns false when the buffer is exhausted; otherwise fills `line`
+  /// (without the terminator) and advances.
+  bool Next(std::string_view& line) noexcept {
+    if (pos_ >= buffer_.size()) return false;
+    const auto nl = buffer_.find('\n', pos_);
+    std::size_t end = nl == std::string_view::npos ? buffer_.size() : nl;
+    std::size_t next = nl == std::string_view::npos ? buffer_.size() : nl + 1;
+    if (end > pos_ && buffer_[end - 1] == '\r') --end;
+    line = buffer_.substr(pos_, end - pos_);
+    pos_ = next;
+    return true;
+  }
+
+  /// Byte offset of the next unread character.
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  std::string_view buffer_;
+  std::size_t pos_ = 0;
+};
+
+/// One malformed input line, reported by RowReader.
+struct RowError {
+  std::uint64_t line_number = 0;  ///< 1-based
+  std::string message;
+};
+
+/// Streams fixed-width TSV rows out of a buffer, collecting rows with the
+/// wrong column count as errors instead of aborting — the preprocessing
+/// tool counts these toward the Table II defect statistics.
+class RowReader {
+ public:
+  /// `expected_fields` is the schema's column count.
+  RowReader(std::string_view buffer, std::size_t expected_fields) noexcept
+      : lines_(buffer), expected_fields_(expected_fields) {}
+
+  /// Advances to the next well-formed row; its fields alias the buffer and
+  /// stay valid until the next call. Returns false at end of input.
+  bool Next(const std::vector<std::string_view>*& fields);
+
+  const std::vector<RowError>& errors() const noexcept { return errors_; }
+  std::uint64_t rows_read() const noexcept { return rows_read_; }
+  std::uint64_t line_number() const noexcept { return line_number_; }
+
+ private:
+  LineIterator lines_;
+  std::size_t expected_fields_;
+  std::vector<std::string_view> fields_;
+  std::vector<RowError> errors_;
+  std::uint64_t rows_read_ = 0;
+  std::uint64_t line_number_ = 0;
+};
+
+/// Serializes one row as tab-separated text plus newline (generator side).
+void AppendTsvRow(std::string& out,
+                  const std::vector<std::string_view>& fields);
+
+}  // namespace gdelt

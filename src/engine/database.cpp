@@ -1,0 +1,168 @@
+#include "engine/database.hpp"
+
+#include <algorithm>
+
+#include "convert/binary_format.hpp"
+#include "parallel/numa.hpp"
+#include "parallel/parallel.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::engine {
+namespace {
+
+using convert::kOrphanEventRow;
+
+/// Fetches a typed span from a table column, validating name and type.
+template <typename T>
+Status BindSpan(const Table& table, std::string_view name,
+                std::span<const T>& out) {
+  const Column* col = table.FindColumn(name);
+  if (!col) {
+    return status::DataLoss("missing column '" + std::string(name) + "'");
+  }
+  if (col->type() != column_detail::TypeTag<T>::value) {
+    return status::DataLoss("column '" + std::string(name) +
+                            "' has unexpected type");
+  }
+  out = col->Values<T>();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Database> Database::Load(const std::string& dir,
+                                const LoadOptions& options) {
+  Database db;
+  GDELT_ASSIGN_OR_RETURN(
+      db.events_,
+      Table::ReadFromFile(dir + "/" + std::string(convert::kEventsTableFile)));
+  GDELT_ASSIGN_OR_RETURN(db.mentions_,
+                         Table::ReadFromFile(
+                             dir + "/" + std::string(convert::kMentionsTableFile)));
+  GDELT_ASSIGN_OR_RETURN(
+      db.sources_, StringDictionary::ReadFromFile(
+                       dir + "/" + std::string(convert::kSourcesDictFile)));
+
+  db.num_events_ = db.events_.num_rows();
+  db.num_mentions_ = db.mentions_.num_rows();
+
+  namespace ec = convert::events_col;
+  namespace mc = convert::mentions_col;
+  GDELT_RETURN_IF_ERROR(
+      BindSpan(db.mentions_, mc::kEventRow, db.mention_event_row_));
+  GDELT_RETURN_IF_ERROR(
+      BindSpan(db.mentions_, mc::kEventInterval, db.mention_event_interval_));
+  GDELT_RETURN_IF_ERROR(
+      BindSpan(db.mentions_, mc::kMentionInterval, db.mention_interval_));
+  GDELT_RETURN_IF_ERROR(
+      BindSpan(db.mentions_, mc::kSourceId, db.mention_source_id_));
+  GDELT_RETURN_IF_ERROR(
+      BindSpan(db.mentions_, mc::kConfidence, db.mention_confidence_));
+  GDELT_RETURN_IF_ERROR(
+      BindSpan(db.events_, ec::kGlobalId, db.event_global_id_));
+  GDELT_RETURN_IF_ERROR(
+      BindSpan(db.events_, ec::kAddedInterval, db.event_added_interval_));
+  GDELT_RETURN_IF_ERROR(BindSpan(db.events_, ec::kCountry, db.event_country_));
+  GDELT_RETURN_IF_ERROR(BindSpan(db.events_, ec::kAvgTone, db.event_tone_));
+  GDELT_RETURN_IF_ERROR(
+      BindSpan(db.events_, ec::kGoldstein, db.event_goldstein_));
+  GDELT_RETURN_IF_ERROR(
+      BindSpan(db.events_, ec::kQuadClass, db.event_quad_class_));
+  if (!db.events_.HasColumn(ec::kSourceUrl)) {
+    return status::DataLoss("missing column 'source_url'");
+  }
+
+  // Referential integrity: every non-orphan event_row must be in range and
+  // every source id must be in the dictionary.
+  for (const std::uint32_t row : db.mention_event_row_) {
+    if (row != kOrphanEventRow && row >= db.num_events_) {
+      return status::DataLoss("mention references event row out of range");
+    }
+  }
+  for (const std::uint32_t sid : db.mention_source_id_) {
+    if (sid >= db.sources_.size()) {
+      return status::DataLoss("mention references unknown source id");
+    }
+  }
+
+  // Derived: source -> country via the TLD heuristic (Section VI-C).
+  db.source_country_.resize(db.sources_.size());
+  ParallelFor(db.sources_.size(), [&](std::size_t i) {
+    const auto country =
+        CountryOfSourceDomain(db.sources_.At(static_cast<std::uint32_t>(i)));
+    db.source_country_[i] = country.value_or(kNoCountry);
+  });
+
+  // Derived: true article counts per event.
+  db.event_article_count_.assign(db.num_events_, 0);
+  {
+    auto counts = ParallelHistogram(
+        db.num_mentions_, db.num_events_, [&](std::size_t i) -> std::size_t {
+          const std::uint32_t row = db.mention_event_row_[i];
+          return row == kOrphanEventRow ? SIZE_MAX : row;
+        });
+    ParallelFor(db.num_events_, [&](std::size_t e) {
+      db.event_article_count_[e] = static_cast<std::uint32_t>(counts[e]);
+    });
+  }
+
+  // Timeline bounds.
+  db.first_interval_ = ParallelReduce<std::int64_t>(
+      db.num_mentions_, INT64_MAX,
+      [&](std::size_t i) { return db.mention_interval_[i]; },
+      [](std::int64_t a, std::int64_t b) { return std::min(a, b); });
+  db.last_interval_ = ParallelReduce<std::int64_t>(
+      db.num_mentions_, INT64_MIN,
+      [&](std::size_t i) { return db.mention_interval_[i]; },
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+  if (db.num_mentions_ == 0) {
+    db.first_interval_ = db.last_interval_ = 0;
+  }
+
+  if (options.build_indexes) {
+    // Orphan mentions go into an extra trailing bucket so keys stay dense.
+    std::vector<std::uint32_t> event_keys(db.num_mentions_);
+    ParallelFor(db.num_mentions_, [&](std::size_t i) {
+      const std::uint32_t row = db.mention_event_row_[i];
+      event_keys[i] = row == kOrphanEventRow
+                          ? static_cast<std::uint32_t>(db.num_events_)
+                          : row;
+    });
+    db.mentions_by_event_ = BuildCsrIndex(event_keys, db.num_events_ + 1);
+    db.mentions_by_source_ =
+        BuildCsrIndex(db.mention_source_id_, db.sources_.size());
+  }
+
+  if (options.numa_first_touch) {
+    // Fault the big read-side buffers in with the same static thread
+    // distribution the scan kernels use (read-only page warming).
+    WarmPagesParallel(db.mention_interval_.data(),
+                      db.mention_interval_.size() * sizeof(std::int64_t));
+    WarmPagesParallel(db.mention_event_interval_.data(),
+                      db.mention_event_interval_.size() * sizeof(std::int64_t));
+    WarmPagesParallel(db.mention_source_id_.data(),
+                      db.mention_source_id_.size() * sizeof(std::uint32_t));
+  }
+
+  GDELT_LOG(kInfo, StrFormat("database loaded: %zu events, %zu mentions, "
+                             "%u sources, %.1f MiB resident",
+                             db.num_events_, db.num_mentions_,
+                             db.sources_.size(),
+                             static_cast<double>(db.MemoryBytes()) /
+                                 (1024.0 * 1024.0)));
+  return db;
+}
+
+std::size_t Database::MemoryBytes() const noexcept {
+  std::size_t total = events_.MemoryBytes() + mentions_.MemoryBytes();
+  total += source_country_.capacity() * sizeof(std::uint16_t);
+  total += event_article_count_.capacity() * sizeof(std::uint32_t);
+  total += mentions_by_event_.offsets.capacity() * sizeof(std::uint64_t) +
+           mentions_by_event_.rows.capacity() * sizeof(std::uint64_t);
+  total += mentions_by_source_.offsets.capacity() * sizeof(std::uint64_t) +
+           mentions_by_source_.rows.capacity() * sizeof(std::uint64_t);
+  return total;
+}
+
+}  // namespace gdelt::engine

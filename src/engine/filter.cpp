@@ -1,0 +1,139 @@
+#include "engine/filter.hpp"
+
+#include <algorithm>
+
+#include "convert/binary_format.hpp"
+#include "parallel/parallel.hpp"
+
+namespace gdelt::engine {
+namespace {
+
+/// Evaluates the conjunction for one mention row.
+bool Matches(const Database& db, const MentionFilter& f, std::uint64_t i) {
+  const std::int64_t at = db.mention_interval()[i];
+  if (at < f.begin_interval || at >= f.end_interval) return false;
+  if (db.mention_confidence()[i] < f.min_confidence) return false;
+  if (f.publisher_country != kNoCountry &&
+      db.source_country()[db.mention_source_id()[i]] != f.publisher_country) {
+    return false;
+  }
+  const std::uint32_t row = db.mention_event_row()[i];
+  if (row == convert::kOrphanEventRow) {
+    if (f.exclude_orphans || f.event_country != kNoCountry) return false;
+  } else if (f.event_country != kNoCountry &&
+             db.event_country()[row] != f.event_country) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> SelectMentions(const Database& db,
+                                          const MentionFilter& filter) {
+  const std::size_t n = db.num_mentions();
+  // Pass 1: per-chunk match counts; pass 2: scatter rows in order.
+  const auto nt = static_cast<std::size_t>(MaxThreads());
+  std::vector<std::uint64_t> chunk_counts(nt, 0);
+  std::vector<IndexRange> chunk_ranges(nt);
+  ParallelForChunks(n, [&](IndexRange r, int tid) {
+    chunk_ranges[static_cast<std::size_t>(tid)] = r;
+    std::uint64_t count = 0;
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      if (Matches(db, filter, i)) ++count;
+    }
+    chunk_counts[static_cast<std::size_t>(tid)] = count;
+  });
+  std::vector<std::uint64_t> offsets(nt, 0);
+  std::uint64_t total = 0;
+  for (std::size_t t = 0; t < nt; ++t) {
+    offsets[t] = total;
+    total += chunk_counts[t];
+  }
+  std::vector<std::uint64_t> rows(total);
+  ParallelForChunks(n, [&](IndexRange r, int tid) {
+    // Ranges are deterministic, so this chunk matches pass 1's.
+    std::uint64_t at = offsets[static_cast<std::size_t>(tid)];
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      if (Matches(db, filter, i)) rows[at++] = i;
+    }
+  });
+  return rows;
+}
+
+std::vector<std::uint64_t> ArticlesPerSource(
+    const Database& db, std::span<const std::uint64_t> rows) {
+  const auto src = db.mention_source_id();
+  return ParallelHistogram(rows.size(), db.num_sources(),
+                           [&](std::size_t k) -> std::size_t {
+                             return src[rows[k]];
+                           });
+}
+
+CountryCrossReport CountryCrossReporting(
+    const Database& db, std::span<const std::uint64_t> rows) {
+  const std::size_t nc = Countries().size();
+  const auto event_row = db.mention_event_row();
+  const auto src = db.mention_source_id();
+  const auto event_country = db.event_country();
+  const auto source_country = db.source_country();
+
+  CountryCrossReport report;
+  report.num_countries = nc;
+  const std::size_t matrix_bins = nc * nc;
+  auto flat = ParallelHistogram(
+      rows.size(), matrix_bins + nc, [&](std::size_t k) -> std::size_t {
+        const std::uint64_t i = rows[k];
+        const std::uint16_t pub = source_country[src[i]];
+        if (pub == kNoCountry) return SIZE_MAX;
+        const std::uint32_t row = event_row[i];
+        if (row == convert::kOrphanEventRow) return matrix_bins + pub;
+        const std::uint16_t rep = event_country[row];
+        if (rep == kNoCountry) return matrix_bins + pub;
+        return static_cast<std::size_t>(rep) * nc + pub;
+      });
+  report.counts.assign(flat.begin(),
+                       flat.begin() + static_cast<std::ptrdiff_t>(matrix_bins));
+  report.articles_per_publisher.assign(
+      flat.begin() + static_cast<std::ptrdiff_t>(matrix_bins), flat.end());
+  for (std::size_t rep = 0; rep < nc; ++rep) {
+    for (std::size_t pub = 0; pub < nc; ++pub) {
+      report.articles_per_publisher[pub] += report.counts[rep * nc + pub];
+    }
+  }
+  return report;
+}
+
+QuarterSeries ArticlesPerQuarter(const Database& db,
+                                 std::span<const std::uint64_t> rows) {
+  const QuarterWindow w = QuartersOf(db);
+  const auto when = db.mention_interval();
+  QuarterSeries series;
+  series.first_quarter = w.first;
+  series.values = ParallelHistogram(
+      rows.size(), static_cast<std::size_t>(w.count),
+      [&](std::size_t k) -> std::size_t {
+        const std::int32_t q =
+            QuarterOfUnixSeconds(IntervalStartUnixSeconds(when[rows[k]])) -
+            w.first;
+        return q < 0 ? SIZE_MAX : static_cast<std::size_t>(q);
+      });
+  return series;
+}
+
+std::uint64_t DistinctEvents(const Database& db,
+                             std::span<const std::uint64_t> rows) {
+  const auto event_row = db.mention_event_row();
+  // Flag array over events; orphans tracked separately by global id being
+  // unavailable — they are excluded from the distinct count.
+  std::vector<std::uint8_t> seen(db.num_events() + 1, 0);
+  for (const std::uint64_t i : rows) {
+    const std::uint32_t row = event_row[i];
+    if (row != convert::kOrphanEventRow) seen[row] = 1;
+  }
+  std::uint64_t count = 0;
+  for (const std::uint8_t s : seen) count += s;
+  return count;
+}
+
+}  // namespace gdelt::engine

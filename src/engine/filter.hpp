@@ -1,0 +1,64 @@
+// User-defined query restriction: predicate filters over the mentions
+// table, materialized as row sets that the aggregate kernels accept.
+//
+// The paper's engine processes "user-defined queries ... optimized for
+// in-memory handling" (Section IV). The headline tables are full-table
+// aggregates, but real use restricts by time window (one quarter, one
+// week of a crisis), by GDELT's extraction confidence, or by
+// publisher/event country. A MentionFilter captures those predicates; the
+// filtered kernel overloads then aggregate only the selected rows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/database.hpp"
+#include "engine/queries.hpp"
+
+namespace gdelt::engine {
+
+/// Conjunctive predicates over mention rows. Default-constructed = all.
+struct MentionFilter {
+  /// Capture-interval window [begin, end).
+  std::int64_t begin_interval = INT64_MIN;
+  std::int64_t end_interval = INT64_MAX;
+  /// Minimum GDELT extraction confidence (0 = any).
+  std::uint8_t min_confidence = 0;
+  /// Restrict to articles from this country's press (kNoCountry = any).
+  CountryId publisher_country = kNoCountry;
+  /// Restrict to events located in this country (kNoCountry = any).
+  CountryId event_country = kNoCountry;
+  /// Drop mentions whose event row is unknown (lost archives).
+  bool exclude_orphans = false;
+
+  /// True if every mention passes (the no-op filter).
+  bool IsAll() const noexcept {
+    return begin_interval == INT64_MIN && end_interval == INT64_MAX &&
+           min_confidence == 0 && publisher_country == kNoCountry &&
+           event_country == kNoCountry && !exclude_orphans;
+  }
+};
+
+/// Mention rows matching the filter, ascending. Parallel two-pass build.
+std::vector<std::uint64_t> SelectMentions(const Database& db,
+                                          const MentionFilter& filter);
+
+/// Article count per source over a row subset.
+std::vector<std::uint64_t> ArticlesPerSource(
+    const Database& db, std::span<const std::uint64_t> rows);
+
+/// Country cross-reporting over a row subset (same semantics as the
+/// full-table kernel).
+CountryCrossReport CountryCrossReporting(
+    const Database& db, std::span<const std::uint64_t> rows);
+
+/// Articles per quarter over a row subset.
+QuarterSeries ArticlesPerQuarter(const Database& db,
+                                 std::span<const std::uint64_t> rows);
+
+/// Distinct events touched by a row subset.
+std::uint64_t DistinctEvents(const Database& db,
+                             std::span<const std::uint64_t> rows);
+
+}  // namespace gdelt::engine

@@ -1,0 +1,267 @@
+#include "engine/queries.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "convert/binary_format.hpp"
+
+namespace gdelt::engine {
+
+std::vector<std::uint64_t> ArticlesPerSource(const Database& db,
+                                             Schedule schedule) {
+  const auto src = db.mention_source_id();
+  const std::size_t n_sources = db.num_sources();
+  // ParallelHistogram is static-scheduled internally; for the ablation we
+  // also offer a per-thread-accumulator variant under other schedules.
+  if (schedule == Schedule::kStatic) {
+    return ParallelHistogram(src.size(), n_sources,
+                             [&](std::size_t i) -> std::size_t {
+                               return src[i];
+                             });
+  }
+  std::vector<std::uint64_t> counts(n_sources, 0);
+  ParallelFor(
+      src.size(),
+      [&](std::size_t i) {
+        std::uint64_t& slot = counts[src[i]];
+#pragma omp atomic
+        ++slot;
+      },
+      schedule);
+  return counts;
+}
+
+std::vector<std::uint32_t> TopSourcesByArticles(const Database& db,
+                                                std::size_t k) {
+  const auto counts = ArticlesPerSource(db);
+  std::vector<std::uint32_t> ids(counts.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  const std::size_t take = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(take),
+                    ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+                      if (counts[a] != counts[b]) return counts[a] > counts[b];
+                      return a < b;
+                    });
+  ids.resize(take);
+  return ids;
+}
+
+std::vector<TopEvent> TopReportedEvents(const Database& db, std::size_t k) {
+  const auto counts = db.event_article_count();
+  std::vector<std::uint32_t> rows(counts.size());
+  std::iota(rows.begin(), rows.end(), 0u);
+  const std::size_t take = std::min(k, rows.size());
+  std::partial_sort(rows.begin(),
+                    rows.begin() + static_cast<std::ptrdiff_t>(take),
+                    rows.end(), [&](std::uint32_t a, std::uint32_t b) {
+                      if (counts[a] != counts[b]) return counts[a] > counts[b];
+                      return a < b;
+                    });
+  std::vector<TopEvent> out(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    out[i] = {rows[i], counts[rows[i]]};
+  }
+  return out;
+}
+
+QuarterWindow QuartersOf(const Database& db) {
+  QuarterWindow w;
+  w.first = QuarterOfUnixSeconds(IntervalStartUnixSeconds(db.first_interval()));
+  const QuarterId last =
+      QuarterOfUnixSeconds(IntervalStartUnixSeconds(db.last_interval()));
+  w.count = db.num_mentions() == 0 ? 0 : last - w.first + 1;
+  return w;
+}
+
+std::vector<std::int32_t> MentionQuarters(const Database& db) {
+  const auto intervals = db.mention_interval();
+  const QuarterWindow w = QuartersOf(db);
+  std::vector<std::int32_t> quarters(intervals.size());
+  ParallelFor(intervals.size(), [&](std::size_t i) {
+    quarters[i] =
+        QuarterOfUnixSeconds(IntervalStartUnixSeconds(intervals[i])) - w.first;
+  });
+  return quarters;
+}
+
+QuarterSeries ArticlesPerQuarter(const Database& db) {
+  const QuarterWindow w = QuartersOf(db);
+  const auto quarters = MentionQuarters(db);
+  QuarterSeries series;
+  series.first_quarter = w.first;
+  series.values = ParallelHistogram(
+      quarters.size(), static_cast<std::size_t>(w.count),
+      [&](std::size_t i) -> std::size_t {
+        return static_cast<std::size_t>(quarters[i]);
+      });
+  return series;
+}
+
+QuarterSeries EventsPerQuarter(const Database& db) {
+  const QuarterWindow w = QuartersOf(db);
+  const auto added = db.event_added_interval();
+  QuarterSeries series;
+  series.first_quarter = w.first;
+  series.values = ParallelHistogram(
+      added.size(), static_cast<std::size_t>(w.count),
+      [&](std::size_t i) -> std::size_t {
+        const std::int32_t q =
+            QuarterOfUnixSeconds(IntervalStartUnixSeconds(added[i])) - w.first;
+        return q < 0 ? SIZE_MAX : static_cast<std::size_t>(q);
+      });
+  return series;
+}
+
+QuarterSeries ActiveSourcesPerQuarter(const Database& db) {
+  const QuarterWindow w = QuartersOf(db);
+  const auto quarters = MentionQuarters(db);
+  const auto src = db.mention_source_id();
+  const std::size_t nq = static_cast<std::size_t>(w.count);
+  const std::size_t ns = db.num_sources();
+
+  // (source, quarter) presence bitmap, built with per-thread OR then merged.
+  const auto nt = static_cast<std::size_t>(MaxThreads());
+  std::vector<std::vector<std::uint8_t>> locals(nt);
+  ParallelForChunks(quarters.size(), [&](IndexRange r, int tid) {
+    auto& local = locals[static_cast<std::size_t>(tid)];
+    local.assign(nq * ns, 0);
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      local[static_cast<std::size_t>(quarters[i]) * ns + src[i]] = 1;
+    }
+  });
+  QuarterSeries series;
+  series.first_quarter = w.first;
+  series.values.assign(nq, 0);
+  for (std::size_t q = 0; q < nq; ++q) {
+    std::uint64_t active = 0;
+    for (std::size_t s = 0; s < ns; ++s) {
+      for (const auto& local : locals) {
+        if (!local.empty() && local[q * ns + s]) {
+          ++active;
+          break;
+        }
+      }
+    }
+    series.values[q] = active;
+  }
+  return series;
+}
+
+std::vector<QuarterSeries> SourceArticlesPerQuarter(
+    const Database& db, std::span<const std::uint32_t> source_ids) {
+  const QuarterWindow w = QuartersOf(db);
+  const auto nq = static_cast<std::size_t>(w.count);
+  const auto quarters = MentionQuarters(db);
+  const auto src = db.mention_source_id();
+
+  // Map requested ids to output slots.
+  std::vector<std::int32_t> slot_of(db.num_sources(), -1);
+  for (std::size_t s = 0; s < source_ids.size(); ++s) {
+    slot_of[source_ids[s]] = static_cast<std::int32_t>(s);
+  }
+  const std::size_t bins = source_ids.size() * nq;
+  auto flat = ParallelHistogram(
+      quarters.size(), bins, [&](std::size_t i) -> std::size_t {
+        const std::int32_t slot = slot_of[src[i]];
+        if (slot < 0) return SIZE_MAX;
+        return static_cast<std::size_t>(slot) * nq +
+               static_cast<std::size_t>(quarters[i]);
+      });
+
+  std::vector<QuarterSeries> out(source_ids.size());
+  for (std::size_t s = 0; s < source_ids.size(); ++s) {
+    out[s].first_quarter = w.first;
+    out[s].values.assign(flat.begin() + static_cast<std::ptrdiff_t>(s * nq),
+                         flat.begin() + static_cast<std::ptrdiff_t>((s + 1) * nq));
+  }
+  return out;
+}
+
+CountryCrossReport CountryCrossReporting(const Database& db,
+                                         Schedule schedule) {
+  const std::size_t nc = Countries().size();
+  const auto event_row = db.mention_event_row();
+  const auto src = db.mention_source_id();
+  const auto event_country = db.event_country();
+  const auto source_country = db.source_country();
+
+  CountryCrossReport report;
+  report.num_countries = nc;
+
+  // counts: publishing column is defined for every mention with a known
+  // source country; the reported row additionally needs a geotagged event.
+  const std::size_t matrix_bins = nc * nc;
+  const std::size_t total_bins = matrix_bins + nc;  // + publisher totals
+  std::vector<std::uint64_t> flat;
+  auto binner = [&](std::size_t i) -> std::size_t {
+    const std::uint16_t pub = source_country[src[i]];
+    if (pub == kNoCountry) return SIZE_MAX;
+    const std::uint32_t row = event_row[i];
+    if (row == convert::kOrphanEventRow) return matrix_bins + pub;
+    const std::uint16_t rep = event_country[row];
+    if (rep == kNoCountry) return matrix_bins + pub;
+    // A located article contributes to both the matrix cell and the
+    // publisher total; encode matrix cell here, add totals in a second
+    // cheap pass below.
+    return static_cast<std::size_t>(rep) * nc + pub;
+  };
+  (void)schedule;  // one-pass histogram is static; ablation uses kernels
+  flat = ParallelHistogram(event_row.size(), total_bins, binner);
+
+  report.counts.assign(flat.begin(),
+                       flat.begin() + static_cast<std::ptrdiff_t>(matrix_bins));
+  report.articles_per_publisher.assign(
+      flat.begin() + static_cast<std::ptrdiff_t>(matrix_bins), flat.end());
+  // Publisher totals = untagged bucket + all located cells of the column.
+  for (std::size_t rep = 0; rep < nc; ++rep) {
+    for (std::size_t pub = 0; pub < nc; ++pub) {
+      report.articles_per_publisher[pub] += report.counts[rep * nc + pub];
+    }
+  }
+  return report;
+}
+
+std::vector<CountryId> CountriesByReportedEvents(const Database& db,
+                                                 std::size_t k) {
+  const auto country = db.event_country();
+  auto counts = ParallelHistogram(country.size(), Countries().size(),
+                                  [&](std::size_t i) -> std::size_t {
+                                    return country[i] == kNoCountry
+                                               ? SIZE_MAX
+                                               : country[i];
+                                  });
+  std::vector<CountryId> ids(counts.size());
+  std::iota(ids.begin(), ids.end(), static_cast<CountryId>(0));
+  const std::size_t take = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(take),
+                    ids.end(), [&](CountryId a, CountryId b) {
+                      if (counts[a] != counts[b]) return counts[a] > counts[b];
+                      return a < b;
+                    });
+  ids.resize(take);
+  return ids;
+}
+
+std::vector<CountryId> CountriesByPublishedArticles(const Database& db,
+                                                    std::size_t k) {
+  const auto src = db.mention_source_id();
+  const auto source_country = db.source_country();
+  auto counts = ParallelHistogram(src.size(), Countries().size(),
+                                  [&](std::size_t i) -> std::size_t {
+                                    const std::uint16_t c =
+                                        source_country[src[i]];
+                                    return c == kNoCountry ? SIZE_MAX : c;
+                                  });
+  std::vector<CountryId> ids(counts.size());
+  std::iota(ids.begin(), ids.end(), static_cast<CountryId>(0));
+  const std::size_t take = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(take),
+                    ids.end(), [&](CountryId a, CountryId b) {
+                      if (counts[a] != counts[b]) return counts[a] > counts[b];
+                      return a < b;
+                    });
+  ids.resize(take);
+  return ids;
+}
+
+}  // namespace gdelt::engine

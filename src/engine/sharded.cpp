@@ -1,0 +1,107 @@
+#include "engine/sharded.hpp"
+
+#include "convert/binary_format.hpp"
+#include "parallel/parallel.hpp"
+
+namespace gdelt::engine {
+
+std::vector<Shard> MakeTimeShards(const Database& db,
+                                  std::size_t num_shards) {
+  const auto ranges = SplitRange(db.num_mentions(), num_shards);
+  std::vector<Shard> shards;
+  shards.reserve(ranges.size());
+  for (const auto& r : ranges) {
+    shards.push_back({r.begin, r.end});
+  }
+  return shards;
+}
+
+CrossReportPartial CrossReportingOnShard(const Database& db,
+                                         const Shard& shard) {
+  const std::size_t nc = Countries().size();
+  const auto event_row = db.mention_event_row();
+  const auto src = db.mention_source_id();
+  const auto event_country = db.event_country();
+  const auto source_country = db.source_country();
+
+  CrossReportPartial partial;
+  partial.counts.assign(nc * nc, 0);
+  partial.articles_per_publisher.assign(nc, 0);
+  for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
+    const std::uint16_t pub = source_country[src[i]];
+    if (pub == kNoCountry) continue;
+    const std::uint32_t row = event_row[i];
+    const std::uint16_t rep = row == convert::kOrphanEventRow
+                                  ? kNoCountry
+                                  : event_country[row];
+    if (rep == kNoCountry) {
+      ++partial.articles_per_publisher[pub];
+    } else {
+      ++partial.counts[static_cast<std::size_t>(rep) * nc + pub];
+    }
+  }
+  return partial;
+}
+
+CountryCrossReport ReduceCrossReport(
+    const std::vector<CrossReportPartial>& partials) {
+  const std::size_t nc = Countries().size();
+  CountryCrossReport report;
+  report.num_countries = nc;
+  report.counts.assign(nc * nc, 0);
+  report.articles_per_publisher.assign(nc, 0);
+  for (const auto& partial : partials) {
+    for (std::size_t k = 0; k < nc * nc; ++k) {
+      report.counts[k] += partial.counts[k];
+    }
+    for (std::size_t c = 0; c < nc; ++c) {
+      report.articles_per_publisher[c] += partial.articles_per_publisher[c];
+    }
+  }
+  // Publisher totals include located articles (column sums), as in the
+  // single-node kernel.
+  for (std::size_t rep = 0; rep < nc; ++rep) {
+    for (std::size_t pub = 0; pub < nc; ++pub) {
+      report.articles_per_publisher[pub] += report.counts[rep * nc + pub];
+    }
+  }
+  return report;
+}
+
+CountryCrossReport ShardedCountryCrossReporting(const Database& db,
+                                                std::size_t num_shards) {
+  const auto shards = MakeTimeShards(db, num_shards);
+  std::vector<CrossReportPartial> partials(shards.size());
+  // Each shard runs on its own thread — the local stand-in for one rank.
+#pragma omp parallel for schedule(static)
+  for (std::int64_t s = 0; s < static_cast<std::int64_t>(shards.size());
+       ++s) {
+    partials[static_cast<std::size_t>(s)] =
+        CrossReportingOnShard(db, shards[static_cast<std::size_t>(s)]);
+  }
+  return ReduceCrossReport(partials);
+}
+
+std::vector<std::uint64_t> ShardedArticlesPerSource(const Database& db,
+                                                    std::size_t num_shards) {
+  const auto shards = MakeTimeShards(db, num_shards);
+  const auto src = db.mention_source_id();
+  std::vector<std::vector<std::uint64_t>> partials(
+      shards.size(), std::vector<std::uint64_t>(db.num_sources(), 0));
+#pragma omp parallel for schedule(static)
+  for (std::int64_t s = 0; s < static_cast<std::int64_t>(shards.size());
+       ++s) {
+    auto& local = partials[static_cast<std::size_t>(s)];
+    const Shard& shard = shards[static_cast<std::size_t>(s)];
+    for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
+      ++local[src[i]];
+    }
+  }
+  std::vector<std::uint64_t> merged(db.num_sources(), 0);
+  for (const auto& local : partials) {
+    for (std::size_t k = 0; k < merged.size(); ++k) merged[k] += local[k];
+  }
+  return merged;
+}
+
+}  // namespace gdelt::engine

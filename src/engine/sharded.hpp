@@ -1,0 +1,56 @@
+// Sharded execution of the aggregated queries — the paper's planned
+// distributed-memory (MPI) extension, simulated in-process.
+//
+// "It is expected that this will require adding distributed memory
+//  capabilities using MPI to handle the substantial amount of additional
+//  data." (Section VII.)
+//
+// The mentions table is range-partitioned into contiguous shards (capture
+// order == time order, so these are time shards — exactly how per-period
+// sub-databases would live on different ranks). Each shard computes its
+// partial aggregate independently; partials are then reduced, mirroring
+// an MPI_Allreduce. Results are bit-identical to the single-node kernels,
+// which the tests assert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/database.hpp"
+#include "engine/queries.hpp"
+
+namespace gdelt::engine {
+
+/// A contiguous range of mention rows processed as one shard.
+struct Shard {
+  std::uint64_t begin = 0;  ///< first mention row
+  std::uint64_t end = 0;    ///< one past the last mention row
+};
+
+/// Splits the database's mentions into `num_shards` near-equal contiguous
+/// row ranges (time ranges, since rows are in capture order).
+std::vector<Shard> MakeTimeShards(const Database& db, std::size_t num_shards);
+
+/// Per-shard partial of the country cross-reporting aggregate.
+struct CrossReportPartial {
+  std::vector<std::uint64_t> counts;              ///< nc * nc
+  std::vector<std::uint64_t> articles_per_publisher;  ///< nc (untagged only)
+};
+
+/// Computes one shard's partial (what a single MPI rank would do).
+CrossReportPartial CrossReportingOnShard(const Database& db,
+                                         const Shard& shard);
+
+/// Reduces shard partials into the final report (the allreduce step).
+CountryCrossReport ReduceCrossReport(
+    const std::vector<CrossReportPartial>& partials);
+
+/// End-to-end sharded aggregated query; equals CountryCrossReporting().
+CountryCrossReport ShardedCountryCrossReporting(const Database& db,
+                                                std::size_t num_shards);
+
+/// Sharded per-source article counts (simple additive reduction).
+std::vector<std::uint64_t> ShardedArticlesPerSource(const Database& db,
+                                                    std::size_t num_shards);
+
+}  // namespace gdelt::engine

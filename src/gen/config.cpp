@@ -1,0 +1,44 @@
+#include "gen/config.hpp"
+
+namespace gdelt::gen {
+
+GeneratorConfig GeneratorConfig::Tiny() {
+  GeneratorConfig cfg;
+  cfg.start_date = {2015, 2, 18, 0, 0, 0};
+  cfg.end_date = {2015, 3, 18, 0, 0, 0};  // four weeks
+  cfg.intervals_per_chunk = 96;           // daily archives
+  cfg.num_sources = 120;
+  cfg.media_group_count = 3;
+  cfg.media_group_size = 8;
+  cfg.events_per_interval_mean = 1.0;
+  cfg.max_articles_per_event = 120;
+  cfg.mega_event_count = 2;
+  cfg.defect_malformed_master_entries = 2;
+  cfg.defect_missing_archives = 1;
+  cfg.defect_missing_source_url = 1;
+  cfg.defect_future_event_dates = 2;
+  return cfg;
+}
+
+GeneratorConfig GeneratorConfig::Small() {
+  GeneratorConfig cfg;  // defaults: one year, 1200 sources
+  return cfg;
+}
+
+GeneratorConfig GeneratorConfig::Medium() {
+  GeneratorConfig cfg;
+  cfg.start_date = {2015, 2, 18, 0, 0, 0};
+  cfg.end_date = {2020, 1, 1, 0, 0, 0};  // the paper's full window
+  cfg.intervals_per_chunk = 672;         // weekly archives keep file counts sane
+  cfg.num_sources = 2100;                // 1/10 of the paper's 20,996
+  cfg.media_group_count = 8;
+  cfg.media_group_size = 12;
+  cfg.events_per_interval_mean = 2.0;
+  cfg.defect_malformed_master_entries = 53;  // Table II values
+  cfg.defect_missing_archives = 8;
+  cfg.defect_missing_source_url = 1;
+  cfg.defect_future_event_dates = 4;
+  return cfg;
+}
+
+}  // namespace gdelt::gen

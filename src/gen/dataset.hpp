@@ -1,0 +1,69 @@
+// In-memory representation of a generated raw dataset plus the ground
+// truth the generator knows about it (used by tests to validate the whole
+// convert -> load -> query pipeline, and by benches to label outputs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/world.hpp"
+#include "gtime/timestamp.hpp"
+
+namespace gdelt::gen {
+
+/// One synthetic GDELT event (row of the Events/"export" table).
+struct EventRecord {
+  std::uint64_t global_event_id = 0;
+  IntervalId event_interval = 0;   ///< when the event happened
+  IntervalId added_interval = 0;   ///< DATEADDED: first article's capture
+  CountryId location = kNoCountry; ///< ActionGeo country (kNoCountry = untagged)
+  std::string source_url;          ///< first article URL ("" = injected defect)
+  double goldstein = 0.0;
+  double avg_tone = 0.0;
+  std::uint8_t quad_class = 1;
+  std::uint32_t num_articles = 0;  ///< ground-truth mention count
+  bool is_mega = false;
+};
+
+/// One synthetic article (row of the Mentions table).
+struct MentionRecord {
+  std::uint64_t global_event_id = 0;
+  IntervalId event_interval = 0;
+  IntervalId mention_interval = 0;
+  std::uint32_t source_index = 0;  ///< into World::sources
+  std::uint32_t article_seq = 0;   ///< per-event sequence for URL building
+  std::uint8_t confidence = 100;
+};
+
+/// What the generator knows to be true about the dataset it made.
+struct GroundTruth {
+  std::uint64_t num_events = 0;
+  std::uint64_t num_mentions = 0;
+  std::uint64_t num_intervals = 0;       ///< timeline length in 15-min units
+  std::uint32_t num_sources_modeled = 0; ///< world size (appearing may be fewer)
+  std::uint64_t min_articles_per_event = 0;
+  std::uint64_t max_articles_per_event = 0;
+  /// Injected defect counts (should be re-discovered by the converter).
+  std::uint32_t malformed_master_entries = 0;
+  std::uint32_t missing_archives = 0;
+  std::uint32_t missing_source_url = 0;
+  std::uint32_t future_event_dates = 0;
+  /// Articles per source index (world order), for Fig 6 cross-checks.
+  std::vector<std::uint64_t> articles_per_source;
+};
+
+/// A complete generated dataset before serialization.
+struct RawDataset {
+  World world;
+  std::vector<EventRecord> events;      ///< sorted by added_interval
+  std::vector<MentionRecord> mentions;  ///< sorted by mention_interval
+  GroundTruth truth;
+  IntervalId first_interval = 0;        ///< timeline start
+  IntervalId end_interval = 0;          ///< exclusive
+};
+
+/// Article URL for a mention (deterministic from its fields).
+std::string MentionUrl(const World& world, const MentionRecord& m);
+
+}  // namespace gdelt::gen

@@ -1,0 +1,205 @@
+#include "gen/emit.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "io/crc32.hpp"
+#include "io/file.hpp"
+#include "io/zipstore.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::gen {
+namespace {
+
+std::string Stamp(IntervalId interval) {
+  return FormatGdeltTimestamp(IntervalStartCivil(interval));
+}
+
+/// Appends "<size> <crc32 hex> <name>\n".
+void AppendMasterLine(std::string& master, std::string_view file_bytes,
+                      const std::string& name) {
+  master += StrFormat("%zu %08x ", file_bytes.size(), Crc32(file_bytes));
+  master += name;
+  master += '\n';
+}
+
+}  // namespace
+
+void AppendEventRow(std::string& out, const World& world,
+                    const EventRecord& ev) {
+  (void)world;
+  const CivilDateTime when = IntervalStartCivil(ev.event_interval);
+  const CivilDateTime added = IntervalStartCivil(ev.added_interval);
+  const std::uint64_t day = static_cast<std::uint64_t>(when.year) * 10000 +
+                            when.month * 100 + when.day;
+  const int month_year = when.year * 100 + when.month;
+  const double fraction_date =
+      when.year + (when.month - 1) / 12.0 + (when.day - 1) / 365.0;
+  const bool tagged = ev.location != kNoCountry;
+
+  // 61 tab-separated fields in wire order; actor fields are left empty the
+  // way sparse real rows are.
+  out += std::to_string(ev.global_event_id);             // GlobalEventID
+  out += '\t';
+  out += std::to_string(day);                            // Day
+  out += '\t';
+  out += std::to_string(month_year);                     // MonthYear
+  out += '\t';
+  out += std::to_string(when.year);                      // Year
+  out += '\t';
+  out += StrFormat("%.4f", fraction_date);               // FractionDate
+  for (int i = 0; i < 20; ++i) out += '\t';              // Actor1*/Actor2* (empty)
+  out += "\t1";                                          // IsRootEvent
+  out += "\t010\t010\t01";                               // Event(Base/Root)Code
+  out += '\t';
+  out += std::to_string(ev.quad_class);                  // QuadClass
+  out += '\t';
+  out += StrFormat("%.1f", ev.goldstein);                // GoldsteinScale
+  out += '\t';
+  out += std::to_string(ev.num_articles);                // NumMentions
+  out += '\t';
+  out += std::to_string(std::max<std::uint32_t>(1, ev.num_articles / 3));  // NumSources
+  out += '\t';
+  out += std::to_string(ev.num_articles);                // NumArticles
+  out += '\t';
+  out += StrFormat("%.2f", ev.avg_tone);                 // AvgTone
+  for (int i = 0; i < 16; ++i) out += '\t';              // Actor1Geo_*, Actor2Geo_* (empty)
+  out += '\t';
+  out += tagged ? "1" : "0";                             // ActionGeo_Type
+  out += '\t';
+  if (tagged) out += CountryName(ev.location);           // ActionGeo_FullName
+  out += '\t';
+  if (tagged) out += CountryFips(ev.location);           // ActionGeo_CountryCode
+  out += "\t\t";                                         // ADM1, ADM2
+  out += "\t0\t0\t";                                     // Lat, Long, FeatureID
+  out += '\t';
+  out += FormatGdeltTimestamp(added);                    // DATEADDED
+  out += '\t';
+  out += ev.source_url;                                  // SOURCEURL
+  out += '\n';
+}
+
+void AppendMentionRow(std::string& out, const World& world,
+                      const MentionRecord& m) {
+  const SourceModel& src = world.sources[m.source_index];
+  out += std::to_string(m.global_event_id);              // GlobalEventID
+  out += '\t';
+  out += FormatGdeltTimestamp(IntervalStartCivil(m.event_interval));
+  out += '\t';
+  out += FormatGdeltTimestamp(IntervalStartCivil(m.mention_interval));
+  out += "\t1\t";                                        // MentionType = web
+  out += src.domain;                                     // MentionSourceName
+  out += '\t';
+  out += MentionUrl(world, m);                           // MentionIdentifier
+  out += "\t1\t-1\t-1\t100\t1\t";                        // SentenceID..InRawText
+  out += std::to_string(m.confidence);                   // Confidence
+  out += "\t2500\t-2.5\t\t";                             // DocLen, DocTone, Translation, Extras
+  out += '\n';
+}
+
+Result<EmitResult> EmitDataset(const RawDataset& dataset,
+                               const GeneratorConfig& config,
+                               const std::string& out_dir) {
+  GDELT_RETURN_IF_ERROR(MakeDirectories(out_dir));
+
+  const std::uint64_t total_intervals =
+      static_cast<std::uint64_t>(dataset.end_interval -
+                                 dataset.first_interval);
+  const std::uint64_t ipc = std::max<std::uint32_t>(1, config.intervals_per_chunk);
+  const std::uint64_t num_chunks = (total_intervals + ipc - 1) / ipc;
+
+  // Deterministically select chunks whose archives will be "missing".
+  // Spread them through the middle of the timeline.
+  std::set<std::uint64_t> missing_chunks;
+  for (std::uint32_t k = 0;
+       k < config.defect_missing_archives && num_chunks > 2; ++k) {
+    missing_chunks.insert(1 + (k * 37 + 11) % (num_chunks - 2));
+  }
+
+  EmitResult result;
+  result.num_chunks = num_chunks;
+  std::string master;
+
+  std::size_t ev_cursor = 0;
+  std::size_t me_cursor = 0;
+  std::string events_csv;
+  std::string mentions_csv;
+
+  for (std::uint64_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const IntervalId chunk_begin =
+        dataset.first_interval + static_cast<IntervalId>(chunk * ipc);
+    const IntervalId chunk_end =
+        std::min<IntervalId>(chunk_begin + static_cast<IntervalId>(ipc),
+                             dataset.end_interval);
+    events_csv.clear();
+    mentions_csv.clear();
+
+    std::uint64_t chunk_events = 0;
+    std::uint64_t chunk_mentions = 0;
+    while (ev_cursor < dataset.events.size() &&
+           dataset.events[ev_cursor].added_interval < chunk_end) {
+      AppendEventRow(events_csv, dataset.world, dataset.events[ev_cursor]);
+      ++ev_cursor;
+      ++chunk_events;
+    }
+    while (me_cursor < dataset.mentions.size() &&
+           dataset.mentions[me_cursor].mention_interval < chunk_end) {
+      AppendMentionRow(mentions_csv, dataset.world,
+                       dataset.mentions[me_cursor]);
+      ++me_cursor;
+      ++chunk_mentions;
+    }
+
+    const std::string stamp = Stamp(chunk_begin);
+    const std::string export_name = stamp + ".export.CSV";
+    const std::string mentions_name = stamp + ".mentions.CSV";
+
+    // Serialize both archives in memory first so the master list can carry
+    // their true size and checksum even for "missing" ones.
+    for (const auto& [csv, base] :
+         {std::pair<const std::string&, const std::string&>(events_csv,
+                                                            export_name),
+          std::pair<const std::string&, const std::string&>(mentions_csv,
+                                                            mentions_name)}) {
+      const std::string zip_name = base + ".zip";
+      const std::string zip_path = out_dir + "/" + zip_name;
+      ZipWriter zip;
+      GDELT_RETURN_IF_ERROR(zip.Open(zip_path));
+      GDELT_RETURN_IF_ERROR(zip.AddEntry(base, csv));
+      GDELT_RETURN_IF_ERROR(zip.Finish());
+      GDELT_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(zip_path));
+      AppendMasterLine(master, bytes, zip_name);
+      if (missing_chunks.count(chunk)) {
+        // Listed in the master but absent on disk: delete what we wrote.
+        std::remove(zip_path.c_str());
+      } else {
+        ++result.chunk_files_written;
+      }
+    }
+    if (missing_chunks.count(chunk)) {
+      result.dropped_events += chunk_events;
+      result.dropped_mentions += chunk_mentions;
+    }
+
+    // Sprinkle malformed master entries between chunk blocks.
+    if (chunk < config.defect_malformed_master_entries) {
+      switch (chunk % 3) {
+        case 0: master += "corrupt-master-entry\n"; break;
+        case 1: master += "12345 deadbeef\n"; break;   // missing filename
+        default: master += "notanumber ffff0000 bogus.export.CSV.zip\n";
+      }
+    }
+  }
+  // Any remaining malformed entries go at the end (tiny datasets).
+  for (std::uint64_t k = num_chunks;
+       k < config.defect_malformed_master_entries; ++k) {
+    master += "corrupt-master-entry\n";
+  }
+
+  result.master_path = out_dir + "/masterfilelist.txt";
+  GDELT_RETURN_IF_ERROR(WriteWholeFile(result.master_path, master));
+  return result;
+}
+
+}  // namespace gdelt::gen

@@ -1,0 +1,44 @@
+// Serializes a RawDataset to disk in GDELT 2.0 wire format:
+//   <out_dir>/masterfilelist.txt          (size, checksum, filename per line)
+//   <out_dir>/<stamp>.export.CSV.zip      (Events rows of the chunk)
+//   <out_dir>/<stamp>.mentions.CSV.zip    (Mentions rows of the chunk)
+//
+// Defects from the config are materialized here: malformed master-list
+// lines, and archives that are listed but absent on disk (their rows are
+// lost, exactly as a failed download would lose them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/dataset.hpp"
+#include "util/status.hpp"
+
+namespace gdelt::gen {
+
+/// Outcome of emission, including what the injected missing archives cost.
+struct EmitResult {
+  std::string master_path;
+  std::uint64_t num_chunks = 0;
+  std::uint64_t chunk_files_written = 0;
+  /// Rows lost because their chunk archive was injected as "missing".
+  std::uint64_t dropped_events = 0;
+  std::uint64_t dropped_mentions = 0;
+};
+
+/// Writes the dataset under `out_dir` (created if needed).
+Result<EmitResult> EmitDataset(const RawDataset& dataset,
+                               const GeneratorConfig& config,
+                               const std::string& out_dir);
+
+/// Serializes one Events row in the 61-column wire format (exposed for
+/// round-trip tests).
+void AppendEventRow(std::string& out, const World& world,
+                    const EventRecord& ev);
+
+/// Serializes one Mentions row in the 16-column wire format.
+void AppendMentionRow(std::string& out, const World& world,
+                      const MentionRecord& m);
+
+}  // namespace gdelt::gen

@@ -1,0 +1,459 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace gdelt::gen {
+namespace {
+
+/// Per-quarter categorical samplers over sources (global and per-country),
+/// weighted by productivity and restricted to quarter-active sources.
+struct QuarterSamplers {
+  // [quarter] -> parallel arrays (cumulative weight, source index)
+  std::vector<std::vector<double>> global_cum;
+  std::vector<std::vector<std::uint32_t>> global_ids;
+  // [quarter][country] -> same, for home-biased draws
+  std::vector<std::vector<std::vector<double>>> home_cum;
+  std::vector<std::vector<std::vector<std::uint32_t>>> home_ids;
+};
+
+QuarterSamplers BuildSamplers(const World& world) {
+  QuarterSamplers s;
+  const auto nq = static_cast<std::size_t>(world.num_quarters);
+  const std::size_t nc = Countries().size();
+  s.global_cum.resize(nq);
+  s.global_ids.resize(nq);
+  s.home_cum.assign(nq, std::vector<std::vector<double>>(nc));
+  s.home_ids.assign(nq, std::vector<std::vector<std::uint32_t>>(nc));
+  for (std::size_t q = 0; q < nq; ++q) {
+    double acc = 0.0;
+    std::vector<double> home_acc(nc, 0.0);
+    for (std::uint32_t i = 0; i < world.sources.size(); ++i) {
+      const SourceModel& src = world.sources[i];
+      if (!src.active_quarters[q]) continue;
+      acc += src.productivity;
+      s.global_cum[q].push_back(acc);
+      s.global_ids[q].push_back(i);
+      if (src.country != kNoCountry) {
+        home_acc[src.country] += src.productivity;
+        s.home_cum[q][src.country].push_back(home_acc[src.country]);
+        s.home_ids[q][src.country].push_back(i);
+      }
+    }
+  }
+  return s;
+}
+
+std::uint32_t DrawFrom(const std::vector<double>& cum,
+                       const std::vector<std::uint32_t>& ids,
+                       Xoshiro256& rng) {
+  const std::size_t at = SampleCumulative(cum, rng);
+  return ids[at];
+}
+
+/// Discrete power-law sample on [1, cap]: P(A) ~ A^-alpha.
+std::uint32_t SampleArticleCount(Xoshiro256& rng, double alpha,
+                                 std::uint32_t cap) {
+  double u = UniformDouble(rng);
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  const double x = std::pow(1.0 - u, -1.0 / (alpha - 1.0));
+  const auto a = static_cast<std::uint32_t>(x);
+  return std::min(std::max<std::uint32_t>(a, 1), cap);
+}
+
+/// One publishing delay in 15-minute intervals.
+IntervalId SampleDelay(const GeneratorConfig& cfg, SpeedClass speed,
+                       double tail_prob, Xoshiro256& rng) {
+  if (Bernoulli(rng, tail_prob)) {
+    // Heavy-tail republication: week / month / year anniversaries (the
+    // three outlier groups visible in Fig 9's maximum-delay plot).
+    const double u = UniformDouble(rng);
+    const double mode = u < 0.50 ? 672.0 : u < 0.85 ? 2880.0 : 35040.0;
+    const double d = mode * LogNormalDouble(rng, 0.0, 0.06);
+    return std::max<IntervalId>(1, static_cast<IntervalId>(std::llround(d)));
+  }
+  double mu = cfg.delay_lognormal_mu;
+  double sigma = cfg.delay_lognormal_sigma;
+  switch (speed) {
+    case SpeedClass::kFast:
+      mu = 1.45;   // median ~4 intervals = 1 h
+      sigma = 0.65;
+      break;
+    case SpeedClass::kAverage:
+      break;       // config body: median ~17 intervals ~ 4.2 h
+    case SpeedClass::kSlow:
+      mu = 6.0;    // median ~4 days
+      sigma = 1.0;
+      break;
+  }
+  const double d = LogNormalDouble(rng, mu, sigma);
+  return std::max<IntervalId>(1, static_cast<IntervalId>(std::llround(d)));
+}
+
+/// Activity trend factor for a quarter (slight 2018-19 decline, Figs 3-5).
+double DeclineFactor(const GeneratorConfig& cfg, QuarterId q) {
+  const std::int32_t year = q / 4;
+  if (year <= 2017) return 1.0;
+  return std::pow(cfg.late_period_decline, year - 2017);
+}
+
+class Generator {
+ public:
+  explicit Generator(const GeneratorConfig& cfg)
+      : cfg_(cfg), rng_(cfg.seed) {}
+
+  RawDataset Run() {
+    RawDataset ds;
+    ds.world = BuildWorld(cfg_, rng_);
+    ds.first_interval = IntervalOfCivil(cfg_.start_date);
+    ds.end_interval = IntervalOfCivil(cfg_.end_date);
+    const auto total =
+        static_cast<std::uint64_t>(ds.end_interval - ds.first_interval);
+
+    samplers_ = BuildSamplers(ds.world);
+    // Normalized publishing share per country, used to scale the
+    // home-country draw probability so the Table VII diagonal boost is a
+    // uniform modest factor rather than exploding for small countries.
+    {
+      const auto pub = MakePublishingWeights();
+      double total = 0.0;
+      for (const double v : pub.weight) total += v;
+      pub_share_.resize(pub.weight.size());
+      for (std::size_t c = 0; c < pub.weight.size(); ++c) {
+        pub_share_[c] = pub.weight[c] / total;
+      }
+    }
+    // Agenda-share weights: the flagship group 0 receives ~5x the agenda
+    // of any other group.
+    group_agenda_cum_.clear();
+    double agenda_acc = 0.0;
+    for (std::size_t g = 0; g < ds.world.group_members.size(); ++g) {
+      agenda_acc += g == 0 ? 5.0 : 1.0;
+      group_agenda_cum_.push_back(agenda_acc);
+    }
+
+    // Precompute interval -> relative quarter (runs of equal value).
+    quarter_of_.resize(total);
+    for (std::uint64_t t = 0; t < total; ++t) {
+      const QuarterId q = QuarterOfUnixSeconds(
+          IntervalStartUnixSeconds(ds.first_interval + static_cast<IntervalId>(t)));
+      quarter_of_[t] = q - ds.world.first_quarter;
+    }
+
+    next_event_id_ = 410000000ull;
+    ds.truth.articles_per_source.assign(ds.world.sources.size(), 0);
+
+    for (std::uint64_t t = 0; t < total; ++t) {
+      const double decline = DeclineFactor(
+          cfg_, ds.world.first_quarter + quarter_of_[t]);
+      const std::uint64_t n =
+          PoissonCount(rng_, cfg_.events_per_interval_mean * decline);
+      for (std::uint64_t k = 0; k < n; ++k) {
+        GenerateOrdinaryEvent(ds, static_cast<IntervalId>(t));
+      }
+    }
+    PlantMegaEvents(ds, total);
+    InjectRecordDefects(ds);
+    Finalize(ds);
+    return ds;
+  }
+
+ private:
+  void GenerateOrdinaryEvent(RawDataset& ds, IntervalId rel_t) {
+    const IntervalId abs_t = ds.first_interval + rel_t;
+    const std::int32_t q = quarter_of_[static_cast<std::size_t>(rel_t)];
+
+    EventRecord ev;
+    ev.global_event_id = next_event_id_++;
+    ev.event_interval = abs_t;
+    // ~12 % of events carry no geotag (the paper notes local news is often
+    // untagged); they are excluded from the country tables but still count
+    // for everything else.
+    ev.location = Bernoulli(rng_, 0.88)
+                      ? static_cast<CountryId>(SampleCumulative(
+                            ds.world.event_weights.cumulative, rng_))
+                      : kNoCountry;
+    ev.quad_class = static_cast<std::uint8_t>(1 + UniformBelow(rng_, 4));
+    // Conflict events (CAMEO quad classes 3/4) carry negative tone and
+    // Goldstein scores; cooperation is mildly positive — gives the tone
+    // analytics real signal to find.
+    const bool conflict = ev.quad_class >= 3;
+    ev.goldstein = (conflict ? -4.0 : 3.0) + NormalDouble(rng_) * 3.0;
+    ev.avg_tone = (conflict ? -3.5 : 1.0) + NormalDouble(rng_) * 2.5;
+
+    // Media-group agenda: a share of all events (regardless of location —
+    // the real Newsquest papers cover US stories heavily, cf. Table VI)
+    // enters one group's shared agenda, creating the intra-group
+    // co-reporting block of Table IV / Fig 7. The flagship UK group 0
+    // gets the lion's share, which is what pushes its members to the top
+    // of the publisher ranking (Fig 6).
+    std::int32_t agenda_group = -1;
+    agenda_participants_.clear();
+    if (!ds.world.group_members.empty() && Bernoulli(rng_, 0.30)) {
+      agenda_group = static_cast<std::int32_t>(
+          SampleCumulative(group_agenda_cum_, rng_));
+      // Only a subset of the group picks up any given agenda story; this
+      // keeps individual member volume high while holding the pairwise
+      // overlap (and so Table IV's f_ij) at the paper's modest level.
+      for (const std::uint32_t m :
+           ds.world.group_members[static_cast<std::size_t>(agenda_group)]) {
+        if (Bernoulli(rng_, 0.35)) agenda_participants_.push_back(m);
+      }
+      if (agenda_participants_.empty()) agenda_group = -1;
+    }
+
+    const std::uint32_t target = SampleArticleCount(
+        rng_, cfg_.event_popularity_alpha, cfg_.max_articles_per_event);
+    const double tail_prob = TailProb(ds, abs_t);
+
+    std::uint32_t emitted = 0;
+    // First article: a quick report fixes DATEADDED.
+    {
+      const std::uint32_t src = DrawSource(q, ev.location, agenda_group);
+      const IntervalId delay = 1 + static_cast<IntervalId>(UniformBelow(rng_, 3));
+      if (!EmitMention(ds, ev, src, delay, emitted)) return;  // censored
+      ev.added_interval = abs_t + delay;
+      ev.source_url = MentionUrl(ds.world, ds.mentions.back());
+    }
+    for (std::uint32_t a = 1; a < target; ++a) {
+      const std::uint32_t src = DrawSource(q, ev.location, agenda_group);
+      const IntervalId delay =
+          SampleDelay(cfg_, ds.world.sources[src].speed, tail_prob, rng_);
+      EmitMention(ds, ev, src, delay, emitted);
+      // Repeat articles by the same site (thorough reporting / syndication
+      // refreshes) — these land on the diagonal of Table IV.
+      if (Bernoulli(rng_, cfg_.repeat_article_rate)) {
+        const IntervalId extra =
+            delay + 1 +
+            static_cast<IntervalId>(std::llround(LogNormalDouble(rng_, 1.5, 0.8)));
+        EmitMention(ds, ev, src, extra, emitted);
+      }
+    }
+    if (emitted == 0) return;
+    ev.num_articles = emitted;
+    ds.events.push_back(std::move(ev));
+  }
+
+  /// Chooses the publishing source for one article of an event.
+  std::uint32_t DrawSource(std::int32_t q, CountryId location,
+                           std::int32_t agenda_group) {
+    if (agenda_group >= 0 && Bernoulli(rng_, 0.45)) {
+      return agenda_participants_[UniformBelow(rng_,
+                                               agenda_participants_.size())];
+    }
+    const auto qi = static_cast<std::size_t>(q);
+    if (location != kNoCountry &&
+        !samplers_.home_cum[qi][location].empty() &&
+        Bernoulli(rng_, HomeShare(location))) {
+      return DrawFrom(samplers_.home_cum[qi][location],
+                      samplers_.home_ids[qi][location], rng_);
+    }
+    return DrawFrom(samplers_.global_cum[qi], samplers_.global_ids[qi], rng_);
+  }
+
+  /// Probability that an article about an event in `location` is drawn
+  /// from that country's own press. Scaling by the country's publishing
+  /// share makes the home boost a uniform (1 + bias) factor on the
+  /// Table VII diagonal, matching the paper's modest elevation (e.g.
+  /// Australia 5.3 % vs a 2.8 % baseline) for small and large countries
+  /// alike.
+  double HomeShare(CountryId location) const noexcept {
+    return std::min(0.5, cfg_.home_country_bias * pub_share_[location]);
+  }
+
+  double TailProb(const RawDataset& ds, IntervalId abs_t) const noexcept {
+    const double span =
+        static_cast<double>(ds.end_interval - ds.first_interval);
+    const double x = static_cast<double>(abs_t - ds.first_interval) / span;
+    return cfg_.delay_tail_prob_initial +
+           (cfg_.delay_tail_prob_final - cfg_.delay_tail_prob_initial) * x;
+  }
+
+  /// Appends one mention if it falls inside the capture window.
+  bool EmitMention(RawDataset& ds, const EventRecord& ev, std::uint32_t src,
+                   IntervalId delay, std::uint32_t& emitted) {
+    const IntervalId at = ev.event_interval + delay;
+    if (at >= ds.end_interval) return false;  // censored by dataset end
+    MentionRecord m;
+    m.global_event_id = ev.global_event_id;
+    m.event_interval = ev.event_interval;
+    m.mention_interval = at;
+    m.source_index = src;
+    m.article_seq = emitted;
+    m.confidence = static_cast<std::uint8_t>(10 + UniformBelow(rng_, 91));
+    ds.mentions.push_back(std::move(m));
+    ds.truth.articles_per_source[src]++;
+    ++emitted;
+    return true;
+  }
+
+  void PlantMegaEvents(RawDataset& ds, std::uint64_t total_intervals) {
+    // Spread across the middle of the timeline; 9 located in the USA and
+    // one in Russia, mirroring Table III's composition.
+    for (std::uint32_t k = 0; k < cfg_.mega_event_count; ++k) {
+      const auto rel_t = static_cast<IntervalId>(
+          total_intervals * (k + 1) / (cfg_.mega_event_count + 2));
+      const IntervalId abs_t = ds.first_interval + rel_t;
+      const std::int32_t q = quarter_of_[static_cast<std::size_t>(rel_t)];
+
+      EventRecord ev;
+      ev.global_event_id = next_event_id_++;
+      ev.event_interval = abs_t;
+      ev.location = (k == cfg_.mega_event_count - 1) ? country::kRussia
+                                                     : country::kUSA;
+      ev.goldstein = -8.0;
+      ev.avg_tone = -6.0;
+      ev.quad_class = 4;
+      ev.is_mega = true;
+
+      std::uint32_t emitted = 0;
+      const double tail_prob = TailProb(ds, abs_t) * 0.3;
+      bool first = true;
+      // Graded coverage: the biggest mega event reaches ~`coverage` of the
+      // then-active sources, later ones slightly less, giving the smooth
+      // top-10 falloff of Table III.
+      const double coverage =
+          cfg_.mega_event_coverage * (1.0 - 0.035 * k);
+      const auto qi = static_cast<std::size_t>(q);
+      const double active_count =
+          static_cast<double>(samplers_.global_ids[qi].size());
+      // Mega events must outrank every ordinary event, whose article count
+      // is capped (plus ~25 % repeats). When the active-source pool is
+      // small relative to the cap, run several coverage rounds (repeat
+      // waves of reporting on the big story) to clear the bar.
+      const double min_target = 1.8 * cfg_.max_articles_per_event;
+      const double per_round = std::max(coverage * active_count * 1.35, 1.0);
+      const int rounds = static_cast<int>(
+          std::clamp(std::ceil(min_target / per_round), 1.0, 8.0));
+      for (int round = 0; round < rounds; ++round) {
+        for (std::size_t j = 0; j < samplers_.global_ids[qi].size(); ++j) {
+          const std::uint32_t src = samplers_.global_ids[qi][j];
+          if (!Bernoulli(rng_, coverage)) continue;
+          const IntervalId delay =
+              first ? 1
+                    : SampleDelay(cfg_, ds.world.sources[src].speed,
+                                  tail_prob, rng_);
+          if (EmitMention(ds, ev, src, delay, emitted) && first) {
+            ev.added_interval = abs_t + delay;
+            ev.source_url = MentionUrl(ds.world, ds.mentions.back());
+            first = false;
+          }
+          // Follow-up coverage on the big story.
+          if (Bernoulli(rng_, 0.35)) {
+            const IntervalId extra = delay + 2 + static_cast<IntervalId>(
+                std::llround(LogNormalDouble(rng_, 2.0, 0.9)));
+            EmitMention(ds, ev, src, extra, emitted);
+          }
+        }
+      }
+      if (emitted == 0) continue;
+      ev.num_articles = emitted;
+      ds.events.push_back(std::move(ev));
+    }
+  }
+
+  void InjectRecordDefects(RawDataset& ds) {
+    // Missing SOURCEURL (Table II row 3).
+    std::uint32_t injected = 0;
+    for (std::size_t i = 0; i < ds.events.size() &&
+                            injected < cfg_.defect_missing_source_url;
+         i += 97) {
+      if (ds.events[i].is_mega) continue;
+      ds.events[i].source_url.clear();
+      ++injected;
+    }
+    ds.truth.missing_source_url = injected;
+
+    // Event date recorded after the first article's publication
+    // (Table II row 4): shift the event time past its first mention.
+    injected = 0;
+    for (std::size_t i = 50; i < ds.events.size() &&
+                             injected < cfg_.defect_future_event_dates;
+         i += 211) {
+      EventRecord& ev = ds.events[i];
+      if (ev.is_mega) continue;
+      // First mention is at added_interval; move the event 6 h past it.
+      ev.event_interval = ev.added_interval + 24;
+      ++injected;
+    }
+    ds.truth.future_event_dates = injected;
+    // Note: mentions keep their original event_interval copy only for
+    // non-defective events; re-sync below in Finalize.
+  }
+
+  void Finalize(RawDataset& ds) {
+    // Re-sync the event_interval carried by mentions with their event
+    // (after defect injection) — GDELT mentions repeat the event time.
+    std::unordered_map<std::uint64_t, IntervalId> event_time;
+    event_time.reserve(ds.events.size());
+    for (const auto& ev : ds.events) {
+      event_time.emplace(ev.global_event_id, ev.event_interval);
+    }
+    for (auto& m : ds.mentions) {
+      const auto it = event_time.find(m.global_event_id);
+      if (it != event_time.end()) m.event_interval = it->second;
+    }
+
+    std::sort(ds.events.begin(), ds.events.end(),
+              [](const EventRecord& a, const EventRecord& b) {
+                if (a.added_interval != b.added_interval) {
+                  return a.added_interval < b.added_interval;
+                }
+                return a.global_event_id < b.global_event_id;
+              });
+    std::sort(ds.mentions.begin(), ds.mentions.end(),
+              [](const MentionRecord& a, const MentionRecord& b) {
+                if (a.mention_interval != b.mention_interval) {
+                  return a.mention_interval < b.mention_interval;
+                }
+                if (a.global_event_id != b.global_event_id) {
+                  return a.global_event_id < b.global_event_id;
+                }
+                return a.article_seq < b.article_seq;
+              });
+
+    GroundTruth& t = ds.truth;
+    t.num_events = ds.events.size();
+    t.num_mentions = ds.mentions.size();
+    t.num_intervals =
+        static_cast<std::uint64_t>(ds.end_interval - ds.first_interval);
+    t.num_sources_modeled = static_cast<std::uint32_t>(ds.world.sources.size());
+    t.min_articles_per_event = ~0ull;
+    t.max_articles_per_event = 0;
+    for (const auto& ev : ds.events) {
+      t.min_articles_per_event =
+          std::min<std::uint64_t>(t.min_articles_per_event, ev.num_articles);
+      t.max_articles_per_event =
+          std::max<std::uint64_t>(t.max_articles_per_event, ev.num_articles);
+    }
+    if (ds.events.empty()) t.min_articles_per_event = 0;
+  }
+
+  const GeneratorConfig& cfg_;
+  Xoshiro256 rng_;
+  QuarterSamplers samplers_;
+  std::vector<double> group_agenda_cum_;
+  std::vector<double> pub_share_;
+  std::vector<std::uint32_t> agenda_participants_;
+  std::vector<std::int32_t> quarter_of_;
+  std::uint64_t next_event_id_ = 0;
+};
+
+}  // namespace
+
+std::string MentionUrl(const World& world, const MentionRecord& m) {
+  return StrFormat("https://%s/articles/%llu-%u",
+                   world.sources[m.source_index].domain.c_str(),
+                   static_cast<unsigned long long>(m.global_event_id),
+                   m.article_seq);
+}
+
+RawDataset GenerateDataset(const GeneratorConfig& config) {
+  return Generator(config).Run();
+}
+
+}  // namespace gdelt::gen

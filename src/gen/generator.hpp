@@ -1,0 +1,13 @@
+// Sampling engine of the synthetic GDELT world (see config.hpp for the
+// modeled phenomena and the paper sections they back).
+#pragma once
+
+#include "gen/config.hpp"
+#include "gen/dataset.hpp"
+
+namespace gdelt::gen {
+
+/// Generates a complete dataset in memory. Deterministic in config.seed.
+RawDataset GenerateDataset(const GeneratorConfig& config);
+
+}  // namespace gdelt::gen

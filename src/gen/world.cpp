@@ -1,0 +1,191 @@
+#include "gen/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace gdelt::gen {
+namespace {
+
+/// Name stems for synthetic domains; combined with an index and the
+/// country TLD they give unique, realistic-looking hosts.
+constexpr const char* kStems[] = {
+    "herald",  "gazette", "times",   "post",     "tribune", "echo",
+    "courier", "press",   "journal", "observer", "mirror",  "chronicle",
+    "star",    "daily",   "express", "standard", "argus",   "record",
+    "sentinel", "bulletin",
+};
+constexpr std::size_t kNumStems = sizeof(kStems) / sizeof(kStems[0]);
+
+std::string DomainName(std::uint32_t index, CountryId country) {
+  const std::string_view tld = Countries()[country].tld;
+  std::string host = kStems[index % kNumStems];
+  host += std::to_string(index / kNumStems);
+  host += '.';
+  if (tld == "uk") {
+    host += "co.uk";  // British papers use .co.uk
+  } else {
+    host += tld;
+  }
+  return host;
+}
+
+}  // namespace
+
+CountryEventWeights MakeEventWeights() {
+  // Approximates the "Reported Country" ranking of Table VI: the USA
+  // accounts for ~40 % of located articles, the UK ~5 %, then
+  // India/China/Australia/Canada/Nigeria/Russia/Israel/Pakistan at 1-3 %,
+  // and a thin tail over the remaining registry.
+  CountryEventWeights w;
+  const auto& countries = Countries();
+  w.weight.assign(countries.size(), 0.4);  // tail countries
+  w.weight[country::kUSA] = 40.0;
+  w.weight[country::kUK] = 5.0;
+  w.weight[country::kIndia] = 2.9;
+  w.weight[country::kChina] = 2.7;
+  w.weight[country::kAustralia] = 2.9;
+  w.weight[country::kCanada] = 2.4;
+  w.weight[country::kNigeria] = 1.45;
+  w.weight[country::kRussia] = 3.0;
+  w.weight[country::kIsrael] = 2.5;
+  w.weight[country::kPakistan] = 1.4;
+  w.weight[country::kItaly] = 1.1;
+  w.weight[country::kSouthAfrica] = 0.9;
+  w.weight[country::kBangladesh] = 0.7;
+  w.weight[country::kPhilippines] = 0.7;
+
+  w.cumulative.resize(w.weight.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < w.weight.size(); ++i) {
+    acc += w.weight[i];
+    w.cumulative[i] = acc;
+  }
+  return w;
+}
+
+CountryPublishingWeights MakePublishingWeights() {
+  // Publishing-side volume (Table VI columns): UK slightly above USA
+  // (regional British papers push enormous article counts), Australia
+  // third, then India and a long tail of English-language press.
+  CountryPublishingWeights w;
+  const auto& countries = Countries();
+  w.weight.assign(countries.size(), 0.02);
+  w.weight[country::kUK] = 34.0;
+  w.weight[country::kUSA] = 26.0;
+  w.weight[country::kAustralia] = 12.0;
+  w.weight[country::kIndia] = 1.6;
+  w.weight[country::kItaly] = 0.95;
+  w.weight[country::kCanada] = 0.85;
+  w.weight[country::kSouthAfrica] = 0.55;
+  w.weight[country::kNigeria] = 0.45;
+  w.weight[country::kBangladesh] = 0.38;
+  w.weight[country::kPhilippines] = 0.30;
+  return w;
+}
+
+World BuildWorld(const GeneratorConfig& config, Xoshiro256& rng) {
+  assert(config.num_sources >=
+         config.media_group_count * config.media_group_size);
+  World world;
+  world.first_quarter = QuarterOfCivil(config.start_date);
+  // end_date is exclusive; the quarter containing (end - 1 interval) is the
+  // last one. Using end_date directly is fine unless it is exactly at a
+  // quarter boundary, so subtract one second for the computation.
+  const auto last_q = QuarterOfUnixSeconds(ToUnixSeconds(config.end_date) - 1);
+  world.num_quarters = last_q - world.first_quarter + 1;
+
+  const auto publishing = MakePublishingWeights();
+  std::vector<double> pub_cumulative(publishing.weight.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < publishing.weight.size(); ++i) {
+    acc += publishing.weight[i];
+    pub_cumulative[i] = acc;
+  }
+
+  world.sources.reserve(config.num_sources);
+  world.group_members.resize(config.media_group_count);
+
+  for (std::uint32_t i = 0; i < config.num_sources; ++i) {
+    SourceModel src;
+    const bool in_group =
+        i < config.media_group_count * config.media_group_size;
+    if (in_group) {
+      const std::uint32_t group = i / config.media_group_size;
+      src.media_group = static_cast<std::int32_t>(group);
+      // Group 0 is the dominant UK regional group; later groups fall in
+      // the USA and Australia, mirroring the anglophone ranking.
+      src.country = group == 0 ? country::kUK
+                   : group % 3 == 1 ? country::kUSA
+                   : group % 3 == 2 ? country::kAustralia
+                                    : country::kUK;
+      world.group_members[group].push_back(i);
+    } else {
+      // Every country gets a small baseline press corps (one daily, one
+      // periodical) before the rest is sampled by publishing weight —
+      // real GDELT covers the whole English-language world, so even the
+      // 50th-ranked country has sources reporting on the USA (Fig 8's
+      // bright first row).
+      const std::uint32_t ordinal =
+          i - config.media_group_count * config.media_group_size;
+      const auto num_countries =
+          static_cast<std::uint32_t>(Countries().size());
+      if (ordinal < 2 * num_countries) {
+        src.country = static_cast<CountryId>(ordinal % num_countries);
+        src.baseline_daily = ordinal < num_countries;
+      } else {
+        src.country =
+            static_cast<CountryId>(SampleCumulative(pub_cumulative, rng));
+      }
+    }
+    src.domain = DomainName(i, src.country);
+
+    // Productivity model: media-group members are prolific content mills;
+    // independents split into many tiny periodicals and Pareto-distributed
+    // dailies (capped so no lucky independent outranks the flagship group).
+    if (in_group) {
+      src.productivity = 18.0 + 3.0 * UniformDouble(rng);
+      if (src.media_group == 0) src.productivity *= 2.2;
+    } else if (src.baseline_daily) {
+      src.productivity = 1.0 + UniformDouble(rng);  // modest national daily
+    } else if (Bernoulli(rng, config.periodical_fraction)) {
+      src.productivity =
+          config.periodical_weight * LogNormalDouble(rng, 0.0, 0.5);
+    } else {
+      const double pareto =
+          std::pow(1.0 - UniformDouble(rng), -1.0 / config.daily_pareto_alpha);
+      src.productivity = std::min(pareto, 30.0);
+    }
+
+    const double speed_draw = UniformDouble(rng);
+    if (in_group) {
+      src.speed = SpeedClass::kAverage;  // Table VIII: Top 10 are average
+    } else if (speed_draw < config.fast_source_fraction) {
+      src.speed = SpeedClass::kFast;
+    } else if (speed_draw < config.fast_source_fraction +
+                                config.slow_source_fraction) {
+      src.speed = SpeedClass::kSlow;
+    } else {
+      src.speed = SpeedClass::kAverage;
+    }
+
+    src.active_quarters.resize(static_cast<std::size_t>(world.num_quarters));
+    for (std::int32_t q = 0; q < world.num_quarters; ++q) {
+      src.active_quarters[static_cast<std::size_t>(q)] =
+          in_group || Bernoulli(rng, config.quarterly_activity_rate);
+    }
+    // Ensure every source is active somewhere so it appears in the data.
+    if (std::none_of(src.active_quarters.begin(), src.active_quarters.end(),
+                     [](bool b) { return b; })) {
+      src.active_quarters[UniformBelow(
+          rng, static_cast<std::uint64_t>(world.num_quarters))] = true;
+    }
+    world.sources.push_back(std::move(src));
+  }
+
+  world.event_weights = MakeEventWeights();
+  return world;
+}
+
+}  // namespace gdelt::gen

@@ -1,0 +1,65 @@
+// The static part of the synthetic world: countries, sources, media groups.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/config.hpp"
+#include "schema/countries.hpp"
+#include "util/rng.hpp"
+
+namespace gdelt::gen {
+
+/// Publishing-speed class of a source (Section VI-E's three groups).
+enum class SpeedClass : std::uint8_t { kFast = 0, kAverage = 1, kSlow = 2 };
+
+/// One modeled news website.
+struct SourceModel {
+  std::string domain;          ///< e.g. "heraldpost3.co.uk"
+  CountryId country = kNoCountry;
+  std::int32_t media_group = -1;  ///< -1 = independent
+  double productivity = 1.0;   ///< base draw weight
+  /// True for the guaranteed one-daily-per-country baseline source.
+  bool baseline_daily = false;
+  SpeedClass speed = SpeedClass::kAverage;
+  /// Bitset over quarters (index relative to the timeline start quarter):
+  /// true = source publishes this quarter.
+  std::vector<bool> active_quarters;
+};
+
+/// Relative share of world events located in each country (drives the
+/// "reported on" axis of Tables VI-VII: USA ~40 %, UK ~5 %, then a tail).
+struct CountryEventWeights {
+  std::vector<double> weight;      ///< indexed by CountryId
+  std::vector<double> cumulative;  ///< for sampling
+};
+
+/// Relative share of the publishing world per country (drives the
+/// "publishing" axis: UK and USA dominate article volume).
+struct CountryPublishingWeights {
+  std::vector<double> weight;  ///< indexed by CountryId
+};
+
+/// Full static world.
+struct World {
+  std::vector<SourceModel> sources;
+  CountryEventWeights event_weights;
+  std::int32_t first_quarter = 0;  ///< QuarterId of the timeline start
+  std::int32_t num_quarters = 0;
+
+  /// Sources owned by media group g (same order as generation).
+  std::vector<std::vector<std::uint32_t>> group_members;
+};
+
+/// Builds the deterministic world for a config.
+World BuildWorld(const GeneratorConfig& config, Xoshiro256& rng);
+
+/// The event-location weight table used by BuildWorld (exposed for tests
+/// and for benches that need the ground-truth ranking).
+CountryEventWeights MakeEventWeights();
+
+/// Publishing weights (how many sources/articles each country contributes).
+CountryPublishingWeights MakePublishingWeights();
+
+}  // namespace gdelt::gen

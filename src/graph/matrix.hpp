@@ -1,0 +1,70 @@
+// Dense and CSR sparse matrices for the graph-analysis extension
+// (Markov clustering of the co-reporting matrix, paper Section VI-B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gdelt::graph {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& At(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double At(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+  std::span<double> Row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> Row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Compressed-sparse-row matrix of doubles.
+struct SparseMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint64_t> row_offsets;  ///< rows + 1
+  std::vector<std::uint32_t> col_index;
+  std::vector<double> values;
+
+  std::size_t nnz() const noexcept { return values.size(); }
+};
+
+/// Converts dense -> sparse, dropping entries with |v| <= threshold.
+SparseMatrix DenseToSparse(const DenseMatrix& dense, double threshold = 0.0);
+
+/// Converts sparse -> dense.
+DenseMatrix SparseToDense(const SparseMatrix& sparse);
+
+/// Sparse * sparse (both CSR), parallel over result rows.
+SparseMatrix Multiply(const SparseMatrix& a, const SparseMatrix& b);
+
+/// Normalizes every row of a sparse matrix to sum 1 (row-stochastic).
+/// Zero rows get an implicit self-loop (single diagonal 1).
+/// MCL here uses the row-stochastic convention; for the symmetric
+/// co-reporting matrix this is equivalent to the classic column form.
+void NormalizeRows(SparseMatrix& m);
+
+/// Frobenius distance between two same-shape sparse matrices.
+double FrobeniusDistance(const SparseMatrix& a, const SparseMatrix& b);
+
+}  // namespace gdelt::graph

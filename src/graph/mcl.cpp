@@ -1,0 +1,133 @@
+#include "graph/mcl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gdelt::graph {
+namespace {
+
+/// Elementwise power + row renormalization + pruning.
+void Inflate(SparseMatrix& m, double inflation, double prune_threshold) {
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    double sum = 0.0;
+    for (std::uint64_t k = m.row_offsets[r]; k < m.row_offsets[r + 1]; ++k) {
+      m.values[k] = std::pow(m.values[k], inflation);
+      sum += m.values[k];
+    }
+    if (sum > 0.0) {
+      for (std::uint64_t k = m.row_offsets[r]; k < m.row_offsets[r + 1];
+           ++k) {
+        m.values[k] /= sum;
+      }
+    }
+  }
+  // Prune tiny entries and renormalize the survivors.
+  SparseMatrix pruned;
+  pruned.rows = m.rows;
+  pruned.cols = m.cols;
+  pruned.row_offsets.assign(m.rows + 1, 0);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    std::uint64_t nnz = 0;
+    for (std::uint64_t k = m.row_offsets[r]; k < m.row_offsets[r + 1]; ++k) {
+      if (m.values[k] > prune_threshold) ++nnz;
+    }
+    pruned.row_offsets[r + 1] = pruned.row_offsets[r] + std::max<std::uint64_t>(nnz, 1);
+  }
+  pruned.col_index.resize(pruned.row_offsets.back());
+  pruned.values.resize(pruned.row_offsets.back());
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    std::uint64_t at = pruned.row_offsets[r];
+    std::uint64_t kept = 0;
+    double best_val = -1.0;
+    std::uint32_t best_col = static_cast<std::uint32_t>(r);
+    double sum = 0.0;
+    for (std::uint64_t k = m.row_offsets[r]; k < m.row_offsets[r + 1]; ++k) {
+      if (m.values[k] > best_val) {
+        best_val = m.values[k];
+        best_col = m.col_index[k];
+      }
+      if (m.values[k] > prune_threshold) {
+        pruned.col_index[at + kept] = m.col_index[k];
+        pruned.values[at + kept] = m.values[k];
+        sum += m.values[k];
+        ++kept;
+      }
+    }
+    if (kept == 0) {
+      // Keep at least the strongest entry so the walk never dies.
+      pruned.col_index[at] = best_col;
+      pruned.values[at] = 1.0;
+      continue;
+    }
+    for (std::uint64_t k = 0; k < kept; ++k) {
+      pruned.values[at + k] /= sum;
+    }
+  }
+  m = std::move(pruned);
+}
+
+/// Connected components over the symmetrized support of m.
+void SupportComponents(const SparseMatrix& m, MclResult& result) {
+  const std::size_t n = m.rows;
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  const auto find = [&](std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::uint64_t k = m.row_offsets[r]; k < m.row_offsets[r + 1]; ++k) {
+      const std::uint32_t a = find(static_cast<std::uint32_t>(r));
+      const std::uint32_t b = find(m.col_index[k]);
+      if (a != b) parent[a] = b;
+    }
+  }
+  result.cluster.assign(n, 0);
+  std::vector<std::uint32_t> label(n, UINT32_MAX);
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t root = find(static_cast<std::uint32_t>(i));
+    if (label[root] == UINT32_MAX) label[root] = next++;
+    result.cluster[i] = label[root];
+  }
+  result.num_clusters = next;
+}
+
+}  // namespace
+
+MclResult MarkovCluster(const SparseMatrix& similarity,
+                        const MclOptions& options) {
+  SparseMatrix m = similarity;
+  if (options.add_self_loops) {
+    DenseMatrix dense = SparseToDense(m);
+    for (std::size_t i = 0; i < dense.rows(); ++i) {
+      // Self-loop weight = max of the row (standard MCL preconditioning).
+      double mx = 0.0;
+      for (const double v : dense.Row(i)) mx = std::max(mx, v);
+      dense.At(i, i) = mx > 0.0 ? mx : 1.0;
+    }
+    m = DenseToSparse(dense);
+  }
+  NormalizeRows(m);
+
+  MclResult result;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    SparseMatrix expanded = Multiply(m, m);
+    Inflate(expanded, options.inflation, options.prune_threshold);
+    const double delta = FrobeniusDistance(expanded, m);
+    m = std::move(expanded);
+    result.iterations = it + 1;
+    if (delta < options.convergence_eps) {
+      result.converged = true;
+      break;
+    }
+  }
+  SupportComponents(m, result);
+  return result;
+}
+
+}  // namespace gdelt::graph

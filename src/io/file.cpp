@@ -1,0 +1,166 @@
+#include "io/file.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace gdelt {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    return status::IoError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return status::IoError("read error on '" + path + "'");
+  }
+  return data;
+}
+
+Status WriteWholeFile(const std::string& path, std::string_view data) {
+  BinaryWriter writer;
+  GDELT_RETURN_IF_ERROR(writer.Open(path));
+  GDELT_RETURN_IF_ERROR(writer.WriteBytes(data.data(), data.size()));
+  return writer.Close();
+}
+
+bool FileExists(const std::string& path) noexcept {
+  std::error_code ec;
+  return fs::is_regular_file(path, ec);
+}
+
+Result<std::uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) {
+    return status::IoError("cannot stat '" + path + "': " + ec.message());
+  }
+  return static_cast<std::uint64_t>(size);
+}
+
+Status MakeDirectories(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return status::IoError("cannot create directory '" + path +
+                           "': " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::string>> ListDirectoryFiles(const std::string& path) {
+  std::error_code ec;
+  if (!fs::is_directory(path, ec)) {
+    return status::NotFound("not a directory: '" + path + "'");
+  }
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(path, ec)) {
+    if (entry.is_regular_file(ec)) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+BinaryWriter::~BinaryWriter() {
+  if (file_) std::fclose(file_);
+}
+
+Status BinaryWriter::Open(const std::string& path) {
+  if (file_) return status::FailedPrecondition("writer already open");
+  file_ = std::fopen(path.c_str(), "wb");
+  if (!file_) {
+    return status::IoError("cannot create '" + path +
+                           "': " + std::strerror(errno));
+  }
+  path_ = path;
+  offset_ = 0;
+  return Status::Ok();
+}
+
+Status BinaryWriter::WriteBytes(const void* data, std::size_t size) {
+  if (!file_) return status::FailedPrecondition("writer not open");
+  if (size == 0) return Status::Ok();
+  if (std::fwrite(data, 1, size, file_) != size) {
+    return status::IoError("write failed on '" + path_ + "'");
+  }
+  offset_ += size;
+  return Status::Ok();
+}
+
+Status BinaryWriter::WriteString(std::string_view s) {
+  const auto len = static_cast<std::uint32_t>(s.size());
+  GDELT_RETURN_IF_ERROR(WritePod(len));
+  return WriteBytes(s.data(), s.size());
+}
+
+Status BinaryWriter::Close() {
+  if (!file_) return Status::Ok();
+  const bool flush_failed = std::fflush(file_) != 0;
+  const bool close_failed = std::fclose(file_) != 0;
+  file_ = nullptr;
+  if (flush_failed || close_failed) {
+    return status::IoError("close failed on '" + path_ + "'");
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadBytes(void* out, std::size_t size) noexcept {
+  if (size > remaining()) {
+    return status::DataLoss("unexpected end of input");
+  }
+  std::memcpy(out, data_ + offset_, size);
+  offset_ += size;
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadString(std::string& out) {
+  std::uint32_t len = 0;
+  GDELT_RETURN_IF_ERROR(ReadPod(len));
+  if (len > remaining()) {
+    return status::DataLoss("string length exceeds remaining input");
+  }
+  out.assign(reinterpret_cast<const char*>(data_ + offset_), len);
+  offset_ += len;
+  return Status::Ok();
+}
+
+Result<std::string_view> BinaryReader::ReadView(std::size_t size) noexcept {
+  if (size > remaining()) {
+    return status::DataLoss("unexpected end of input");
+  }
+  std::string_view view(reinterpret_cast<const char*>(data_ + offset_), size);
+  offset_ += size;
+  return view;
+}
+
+Status BinaryReader::Skip(std::size_t size) noexcept {
+  if (size > remaining()) {
+    return status::DataLoss("skip past end of input");
+  }
+  offset_ += size;
+  return Status::Ok();
+}
+
+Status BinaryReader::SeekTo(std::uint64_t offset) noexcept {
+  if (offset > size_) {
+    return status::OutOfRange("seek past end of input");
+  }
+  offset_ = offset;
+  return Status::Ok();
+}
+
+}  // namespace gdelt

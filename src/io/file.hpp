@@ -1,0 +1,104 @@
+// Buffered file I/O helpers for the converter and the binary table format.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gdelt {
+
+/// Reads an entire file into a string.
+Result<std::string> ReadWholeFile(const std::string& path);
+
+/// Writes (truncates) a file with the given bytes.
+Status WriteWholeFile(const std::string& path, std::string_view data);
+
+/// True if the path exists and is a regular file.
+bool FileExists(const std::string& path) noexcept;
+
+/// Size of a regular file, or error.
+Result<std::uint64_t> FileSize(const std::string& path);
+
+/// Recursively creates directories (no error if they exist).
+Status MakeDirectories(const std::string& path);
+
+/// Lists regular files in a directory (non-recursive), sorted by name.
+Result<std::vector<std::string>> ListDirectoryFiles(const std::string& path);
+
+/// Sequential binary writer with an internal buffer and POD helpers.
+/// All multi-byte values are little-endian (native on every target we
+/// support; asserted in the table format header).
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+  ~BinaryWriter();
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  /// Opens (truncates) the file for writing.
+  Status Open(const std::string& path);
+
+  /// Appends raw bytes.
+  Status WriteBytes(const void* data, std::size_t size);
+
+  /// Appends a trivially-copyable value.
+  template <typename T>
+  Status WritePod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return WriteBytes(&value, sizeof(value));
+  }
+
+  /// Appends a length-prefixed (u32) string.
+  Status WriteString(std::string_view s);
+
+  /// Bytes written so far.
+  std::uint64_t offset() const noexcept { return offset_; }
+
+  /// Flushes and closes; returns any deferred write error.
+  Status Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t offset_ = 0;
+};
+
+/// Sequential binary reader over an in-memory byte span (callers mmap or
+/// slurp the file first; tables are consumed fully anyway).
+class BinaryReader {
+ public:
+  BinaryReader(const void* data, std::size_t size) noexcept
+      : data_(static_cast<const unsigned char*>(data)), size_(size) {}
+
+  Status ReadBytes(void* out, std::size_t size) noexcept;
+
+  template <typename T>
+  Status ReadPod(T& out) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(&out, sizeof(out));
+  }
+
+  /// Reads a length-prefixed (u32) string.
+  Status ReadString(std::string& out);
+
+  /// Returns a view over `size` bytes at the cursor and advances, without
+  /// copying. The view aliases the underlying buffer.
+  Result<std::string_view> ReadView(std::size_t size) noexcept;
+
+  Status Skip(std::size_t size) noexcept;
+  Status SeekTo(std::uint64_t offset) noexcept;
+
+  std::uint64_t offset() const noexcept { return offset_; }
+  std::size_t remaining() const noexcept { return size_ - offset_; }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::uint64_t offset_ = 0;
+};
+
+}  // namespace gdelt

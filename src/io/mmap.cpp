@@ -1,0 +1,69 @@
+#include "io/mmap.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gdelt {
+
+MemoryMappedFile::~MemoryMappedFile() { Release(); }
+
+MemoryMappedFile::MemoryMappedFile(MemoryMappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)) {}
+
+MemoryMappedFile& MemoryMappedFile::operator=(
+    MemoryMappedFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+void MemoryMappedFile::Release() noexcept {
+  if (mapped_ && data_) {
+    ::munmap(data_, size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+Result<MemoryMappedFile> MemoryMappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return status::IoError("cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return status::IoError("cannot stat '" + path +
+                           "': " + std::strerror(errno));
+  }
+  MemoryMappedFile file;
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return status::IoError("mmap failed on '" + path +
+                             "': " + std::strerror(errno));
+    }
+    file.data_ = static_cast<char*>(addr);
+    file.mapped_ = true;
+  }
+  ::close(fd);  // mapping persists after close
+  return file;
+}
+
+}  // namespace gdelt

@@ -1,0 +1,42 @@
+// Read-only memory-mapped files.
+//
+// The binary column store is loaded via mmap so that multi-GB tables appear
+// in memory without a copy, and page-in happens lazily during the first
+// parallel scan (combined with first-touch placement, see parallel/numa.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace gdelt {
+
+/// RAII wrapper over an mmap'd read-only file.
+class MemoryMappedFile {
+ public:
+  MemoryMappedFile() = default;
+  ~MemoryMappedFile();
+  MemoryMappedFile(MemoryMappedFile&& other) noexcept;
+  MemoryMappedFile& operator=(MemoryMappedFile&& other) noexcept;
+  MemoryMappedFile(const MemoryMappedFile&) = delete;
+  MemoryMappedFile& operator=(const MemoryMappedFile&) = delete;
+
+  /// Maps the whole file read-only. Empty files map to a null span.
+  static Result<MemoryMappedFile> Open(const std::string& path);
+
+  const char* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  std::string_view view() const noexcept { return {data_, size_}; }
+  bool is_open() const noexcept { return data_ != nullptr || size_ == 0; }
+
+ private:
+  void Release() noexcept;
+
+  char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace gdelt

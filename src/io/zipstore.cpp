@@ -1,0 +1,236 @@
+#include "io/zipstore.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "io/crc32.hpp"
+
+namespace gdelt {
+namespace {
+
+constexpr std::uint32_t kLocalHeaderSig = 0x04034b50;
+constexpr std::uint32_t kCentralHeaderSig = 0x02014b50;
+constexpr std::uint32_t kEndOfCentralDirSig = 0x06054b50;
+constexpr std::uint16_t kVersion = 20;
+constexpr std::uint16_t kMethodStored = 0;
+
+}  // namespace
+
+Status ZipWriter::Open(const std::string& path) { return writer_.Open(path); }
+
+Status ZipWriter::AddEntry(std::string_view name, std::string_view data) {
+  if (name.empty() || name.size() > 0xFFFF) {
+    return status::InvalidArgument("zip entry name empty or too long");
+  }
+  if (data.size() > 0xFFFFFFFFull) {
+    return status::InvalidArgument("zip64 not supported (entry too large)");
+  }
+  Entry entry;
+  entry.name = std::string(name);
+  entry.crc = Crc32(data);
+  entry.size = data.size();
+  entry.local_header_offset = writer_.offset();
+
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(kLocalHeaderSig));
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(kVersion));               // version needed
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint16_t{0}));       // flags
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(kMethodStored));          // method
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint32_t{0}));       // dos time+date
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(entry.crc));
+  const auto size32 = static_cast<std::uint32_t>(entry.size);
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(size32));                 // compressed
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(size32));                 // uncompressed
+  const auto name_len = static_cast<std::uint16_t>(entry.name.size());
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(name_len));
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint16_t{0}));       // extra len
+  GDELT_RETURN_IF_ERROR(writer_.WriteBytes(entry.name.data(), entry.name.size()));
+  GDELT_RETURN_IF_ERROR(writer_.WriteBytes(data.data(), data.size()));
+
+  entries_.push_back(std::move(entry));
+  return Status::Ok();
+}
+
+Status ZipWriter::Finish() {
+  std::set<std::string_view> names;
+  for (const auto& e : entries_) {
+    if (!names.insert(e.name).second) {
+      return status::AlreadyExists("duplicate zip entry '" + e.name + "'");
+    }
+  }
+  const std::uint64_t central_start = writer_.offset();
+  for (const auto& e : entries_) {
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(kCentralHeaderSig));
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(kVersion));            // made by
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(kVersion));            // needed
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint16_t{0}));    // flags
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(kMethodStored));
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint32_t{0}));    // dos time+date
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(e.crc));
+    const auto size32 = static_cast<std::uint32_t>(e.size);
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(size32));
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(size32));
+    GDELT_RETURN_IF_ERROR(
+        writer_.WritePod(static_cast<std::uint16_t>(e.name.size())));
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint16_t{0}));    // extra len
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint16_t{0}));    // comment len
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint16_t{0}));    // disk number
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint16_t{0}));    // internal attrs
+    GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint32_t{0}));    // external attrs
+    GDELT_RETURN_IF_ERROR(
+        writer_.WritePod(static_cast<std::uint32_t>(e.local_header_offset)));
+    GDELT_RETURN_IF_ERROR(writer_.WriteBytes(e.name.data(), e.name.size()));
+  }
+  const std::uint64_t central_size = writer_.offset() - central_start;
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(kEndOfCentralDirSig));
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint16_t{0}));      // this disk
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint16_t{0}));      // cd start disk
+  const auto count = static_cast<std::uint16_t>(entries_.size());
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(count));                 // entries (disk)
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(count));                 // entries (total)
+  GDELT_RETURN_IF_ERROR(
+      writer_.WritePod(static_cast<std::uint32_t>(central_size)));
+  GDELT_RETURN_IF_ERROR(
+      writer_.WritePod(static_cast<std::uint32_t>(central_start)));
+  GDELT_RETURN_IF_ERROR(writer_.WritePod(std::uint16_t{0}));      // comment len
+  return writer_.Close();
+}
+
+Result<ZipReader> ZipReader::Open(std::string_view buffer) {
+  // EOCD is at the very end when there is no archive comment; scan a short
+  // window backwards to also accept commented archives.
+  constexpr std::size_t kEocdMinSize = 22;
+  if (buffer.size() < kEocdMinSize) {
+    return status::DataLoss("zip too small for end-of-central-directory");
+  }
+  const std::size_t scan_limit =
+      buffer.size() >= kEocdMinSize + 0xFFFF ? buffer.size() - 0xFFFF : 0;
+  std::size_t eocd_pos = std::string_view::npos;
+  for (std::size_t pos = buffer.size() - kEocdMinSize;; --pos) {
+    std::uint32_t sig = 0;
+    std::memcpy(&sig, buffer.data() + pos, sizeof(sig));
+    if (sig == kEndOfCentralDirSig) {
+      eocd_pos = pos;
+      break;
+    }
+    if (pos == scan_limit) break;
+  }
+  if (eocd_pos == std::string_view::npos) {
+    return status::DataLoss("zip end-of-central-directory not found");
+  }
+
+  BinaryReader eocd(buffer.data() + eocd_pos, buffer.size() - eocd_pos);
+  std::uint32_t sig = 0;
+  std::uint16_t u16 = 0;
+  std::uint16_t total_entries = 0;
+  std::uint32_t central_size = 0;
+  std::uint32_t central_start = 0;
+  GDELT_RETURN_IF_ERROR(eocd.ReadPod(sig));
+  GDELT_RETURN_IF_ERROR(eocd.ReadPod(u16));            // this disk
+  GDELT_RETURN_IF_ERROR(eocd.ReadPod(u16));            // cd start disk
+  GDELT_RETURN_IF_ERROR(eocd.ReadPod(u16));            // entries this disk
+  GDELT_RETURN_IF_ERROR(eocd.ReadPod(total_entries));
+  GDELT_RETURN_IF_ERROR(eocd.ReadPod(central_size));
+  GDELT_RETURN_IF_ERROR(eocd.ReadPod(central_start));
+  if (central_start + static_cast<std::uint64_t>(central_size) >
+      buffer.size()) {
+    return status::DataLoss("zip central directory out of bounds");
+  }
+
+  ZipReader reader;
+  reader.buffer_ = buffer;
+  BinaryReader cd(buffer.data() + central_start, central_size);
+  for (std::uint16_t i = 0; i < total_entries; ++i) {
+    std::uint16_t method = 0;
+    std::uint16_t name_len = 0;
+    std::uint16_t extra_len = 0;
+    std::uint16_t comment_len = 0;
+    std::uint32_t u32 = 0;
+    Entry entry;
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(sig));
+    if (sig != kCentralHeaderSig) {
+      return status::DataLoss("bad central directory entry signature");
+    }
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(u16));            // made by
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(u16));            // needed
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(u16));            // flags
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(method));
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(u32));            // dos time+date
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(entry.crc));
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(u32));            // compressed size
+    entry.size = u32;
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(u32));            // uncompressed size
+    if (u32 != entry.size && method == kMethodStored) {
+      return status::DataLoss("stored zip entry size mismatch");
+    }
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(name_len));
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(extra_len));
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(comment_len));
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(u16));            // disk number
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(u16));            // internal attrs
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(u32));            // external attrs
+    GDELT_RETURN_IF_ERROR(cd.ReadPod(u32));            // local header offset
+    entry.local_header_offset = u32;
+    GDELT_ASSIGN_OR_RETURN(const std::string_view name, cd.ReadView(name_len));
+    entry.name = std::string(name);
+    GDELT_RETURN_IF_ERROR(cd.Skip(extra_len));
+    GDELT_RETURN_IF_ERROR(cd.Skip(comment_len));
+    if (method != kMethodStored) {
+      return status::Unimplemented("zip entry '" + entry.name +
+                                   "' uses unsupported compression method");
+    }
+    reader.entries_.push_back(std::move(entry));
+  }
+  return reader;
+}
+
+Result<std::string> ZipReader::ReadEntry(std::string_view name) const {
+  const auto it =
+      std::find_if(entries_.begin(), entries_.end(),
+                   [&](const Entry& e) { return e.name == name; });
+  if (it == entries_.end()) {
+    return status::NotFound("zip entry '" + std::string(name) + "' not found");
+  }
+  return ReadEntry(static_cast<std::size_t>(it - entries_.begin()));
+}
+
+Result<std::string> ZipReader::ReadEntry(std::size_t index) const {
+  if (index >= entries_.size()) {
+    return status::OutOfRange("zip entry index out of range");
+  }
+  const Entry& entry = entries_[index];
+  if (entry.local_header_offset >= buffer_.size()) {
+    return status::DataLoss("zip local header out of bounds");
+  }
+  BinaryReader local(buffer_.data() + entry.local_header_offset,
+                     buffer_.size() - entry.local_header_offset);
+  std::uint32_t sig = 0;
+  std::uint16_t u16 = 0;
+  std::uint16_t name_len = 0;
+  std::uint16_t extra_len = 0;
+  std::uint32_t u32 = 0;
+  GDELT_RETURN_IF_ERROR(local.ReadPod(sig));
+  if (sig != kLocalHeaderSig) {
+    return status::DataLoss("bad local header signature for '" + entry.name +
+                            "'");
+  }
+  GDELT_RETURN_IF_ERROR(local.ReadPod(u16));          // version needed
+  GDELT_RETURN_IF_ERROR(local.ReadPod(u16));          // flags
+  GDELT_RETURN_IF_ERROR(local.ReadPod(u16));          // method
+  GDELT_RETURN_IF_ERROR(local.ReadPod(u32));          // dos time+date
+  GDELT_RETURN_IF_ERROR(local.ReadPod(u32));          // crc
+  GDELT_RETURN_IF_ERROR(local.ReadPod(u32));          // compressed size
+  GDELT_RETURN_IF_ERROR(local.ReadPod(u32));          // uncompressed size
+  GDELT_RETURN_IF_ERROR(local.ReadPod(name_len));
+  GDELT_RETURN_IF_ERROR(local.ReadPod(extra_len));
+  GDELT_RETURN_IF_ERROR(local.Skip(name_len));
+  GDELT_RETURN_IF_ERROR(local.Skip(extra_len));
+  GDELT_ASSIGN_OR_RETURN(const std::string_view data,
+                         local.ReadView(entry.size));
+  if (Crc32(data) != entry.crc) {
+    return status::DataLoss("crc mismatch in zip entry '" + entry.name + "'");
+  }
+  return std::string(data);
+}
+
+}  // namespace gdelt

@@ -1,0 +1,71 @@
+// Store-mode (method 0, uncompressed) PKZIP container reader/writer.
+//
+// GDELT distributes each 15-minute chunk as "<stamp>.export.CSV.zip" /
+// "<stamp>.mentions.CSV.zip". The synthetic generator emits the same
+// container format and the converter reads it back, so the whole
+// "download -> unpack -> parse" pipeline of the paper is exercised
+// end-to-end without external compression libraries. Only method 0 is
+// supported; entries are CRC-checked on read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/file.hpp"
+#include "util/status.hpp"
+
+namespace gdelt {
+
+/// Streams entries into a .zip file (store mode).
+class ZipWriter {
+ public:
+  /// Creates/truncates the archive file.
+  Status Open(const std::string& path);
+
+  /// Appends one entry. Names must be unique (checked at Finish).
+  Status AddEntry(std::string_view name, std::string_view data);
+
+  /// Writes central directory + end record and closes the file.
+  Status Finish();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::uint32_t crc = 0;
+    std::uint64_t size = 0;
+    std::uint64_t local_header_offset = 0;
+  };
+
+  BinaryWriter writer_;
+  std::vector<Entry> entries_;
+};
+
+/// Parses a .zip archive from an in-memory buffer (caller keeps it alive).
+class ZipReader {
+ public:
+  struct Entry {
+    std::string name;
+    std::uint32_t crc = 0;
+    std::uint64_t size = 0;
+    std::uint64_t local_header_offset = 0;
+  };
+
+  /// Parses the central directory. `buffer` must outlive the reader.
+  static Result<ZipReader> Open(std::string_view buffer);
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  /// Extracts one entry by name, verifying its CRC-32.
+  Result<std::string> ReadEntry(std::string_view name) const;
+
+  /// Extracts entry by index, verifying its CRC-32.
+  Result<std::string> ReadEntry(std::size_t index) const;
+
+ private:
+  std::string_view buffer_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace gdelt

@@ -1,0 +1,71 @@
+// Parallel merge sort on top of OpenMP tasks.
+//
+// Used by the engine's sort-based group-by and top-k paths. Falls back to
+// std::sort below a grain size; the merge step is also parallelized by
+// splitting at the median of the larger side.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <vector>
+
+namespace gdelt {
+
+namespace sort_detail {
+
+constexpr std::size_t kSerialGrain = 1 << 14;
+
+template <typename It, typename Cmp>
+void MergeSortTask(It first, It last, typename std::iterator_traits<It>::value_type* buffer,
+                   Cmp cmp, int depth) {
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  if (n <= kSerialGrain || depth <= 0) {
+    std::sort(first, last, cmp);
+    return;
+  }
+  const It mid = first + static_cast<std::ptrdiff_t>(n / 2);
+#pragma omp task shared(cmp) if (depth > 0)
+  MergeSortTask(first, mid, buffer, cmp, depth - 1);
+  MergeSortTask(mid, last, buffer + n / 2, cmp, depth - 1);
+#pragma omp taskwait
+  std::merge(std::make_move_iterator(first), std::make_move_iterator(mid),
+             std::make_move_iterator(mid), std::make_move_iterator(last),
+             buffer, cmp);
+  std::move(buffer, buffer + n, first);
+}
+
+}  // namespace sort_detail
+
+/// Sorts [first, last) with `cmp`, using OpenMP tasks for large inputs.
+/// Stable across runs and thread counts (merge order is deterministic).
+template <typename It, typename Cmp = std::less<>>
+void ParallelSort(It first, It last, Cmp cmp = {}) {
+  using T = typename std::iterator_traits<It>::value_type;
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  if (n <= sort_detail::kSerialGrain) {
+    std::sort(first, last, cmp);
+    return;
+  }
+  std::vector<T> buffer(n);
+  // Depth chosen so there are ~4 tasks per thread for load balance.
+  int depth = 0;
+  for (std::size_t tasks = 1;
+       tasks < 4 * static_cast<std::size_t>(omp_get_max_threads());
+       tasks *= 2) {
+    ++depth;
+  }
+#pragma omp parallel
+#pragma omp single nowait
+  sort_detail::MergeSortTask(first, last, buffer.data(), cmp, depth);
+}
+
+template <typename T, typename Cmp = std::less<>>
+void ParallelSort(std::vector<T>& v, Cmp cmp = {}) {
+  ParallelSort(v.begin(), v.end(), cmp);
+}
+
+}  // namespace gdelt

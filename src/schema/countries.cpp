@@ -1,0 +1,128 @@
+#include "schema/countries.hpp"
+
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace gdelt {
+namespace {
+
+// The first 14 entries are the countries named in the paper's tables
+// (Tables V-VII); the rest round out the global news landscape the
+// generator models. FIPS 10-4 codes (note: CH = China, AS = Australia,
+// SF = South Africa, RP = Philippines, NI = Nigeria, RS = Russia).
+const std::vector<CountryInfo> kCountries = {
+    {"US", "com", "USA"},
+    {"UK", "uk", "UK"},
+    {"AS", "au", "Australia"},
+    {"IN", "in", "India"},
+    {"IT", "it", "Italy"},
+    {"CA", "ca", "Canada"},
+    {"SF", "za", "South Africa"},
+    {"NI", "ng", "Nigeria"},
+    {"BG", "bd", "Bangladesh"},
+    {"RP", "ph", "Philippines"},
+    {"CH", "cn", "China"},
+    {"RS", "ru", "Russia"},
+    {"IS", "il", "Israel"},
+    {"PK", "pk", "Pakistan"},
+    {"GM", "de", "Germany"},
+    {"FR", "fr", "France"},
+    {"SP", "es", "Spain"},
+    {"BR", "br", "Brazil"},
+    {"MX", "mx", "Mexico"},
+    {"JA", "jp", "Japan"},
+    {"KS", "kr", "South Korea"},
+    {"ID", "id", "Indonesia"},
+    {"TU", "tr", "Turkey"},
+    {"EG", "eg", "Egypt"},
+    {"KE", "ke", "Kenya"},
+    {"GH", "gh", "Ghana"},
+    {"NZ", "nz", "New Zealand"},
+    {"EI", "ie", "Ireland"},
+    {"NL", "nl", "Netherlands"},
+    {"SW", "se", "Sweden"},
+    {"NO", "no", "Norway"},
+    {"DA", "dk", "Denmark"},
+    {"FI", "fi", "Finland"},
+    {"PL", "pl", "Poland"},
+    {"GR", "gr", "Greece"},
+    {"PO", "pt", "Portugal"},
+    {"SZ", "ch", "Switzerland"},
+    {"AU", "at", "Austria"},
+    {"BE", "be", "Belgium"},
+    {"CE", "lk", "Sri Lanka"},
+    {"NP", "np", "Nepal"},
+    {"MY", "my", "Malaysia"},
+    {"SN", "sg", "Singapore"},
+    {"TH", "th", "Thailand"},
+    {"VM", "vn", "Vietnam"},
+    {"SA", "sa", "Saudi Arabia"},
+    {"AE", "ae", "UAE"},
+    {"QA", "qa", "Qatar"},
+    {"JO", "jo", "Jordan"},
+    {"LE", "lb", "Lebanon"},
+    {"AR", "ar", "Argentina"},
+    {"CI", "cl", "Chile"},
+    {"CO", "co", "Colombia"},
+    {"PE", "pe", "Peru"},
+    {"VE", "ve", "Venezuela"},
+    {"UP", "ua", "Ukraine"},
+    {"RO", "ro", "Romania"},
+    {"HU", "hu", "Hungary"},
+    {"EZ", "cz", "Czechia"},
+    {"TZ", "tz", "Tanzania"},
+    {"UG", "ug", "Uganda"},
+    {"ZI", "zw", "Zimbabwe"},
+};
+
+std::unordered_map<std::string_view, CountryId> MakeFipsIndex() {
+  std::unordered_map<std::string_view, CountryId> index;
+  for (std::size_t i = 0; i < kCountries.size(); ++i) {
+    index.emplace(kCountries[i].fips, static_cast<CountryId>(i));
+  }
+  return index;
+}
+
+std::unordered_map<std::string_view, CountryId> MakeTldIndex() {
+  std::unordered_map<std::string_view, CountryId> index;
+  for (std::size_t i = 0; i < kCountries.size(); ++i) {
+    index.emplace(kCountries[i].tld, static_cast<CountryId>(i));
+  }
+  return index;
+}
+
+}  // namespace
+
+const std::vector<CountryInfo>& Countries() noexcept { return kCountries; }
+
+std::optional<CountryId> CountryByFips(std::string_view fips) noexcept {
+  static const auto index = MakeFipsIndex();
+  const auto it = index.find(fips);
+  if (it == index.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<CountryId> CountryByTld(std::string_view tld) noexcept {
+  static const auto index = MakeTldIndex();
+  const auto it = index.find(tld);
+  if (it == index.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<CountryId> CountryOfSourceDomain(
+    std::string_view domain) noexcept {
+  const std::string_view tld = TopLevelDomain(domain);
+  if (tld.empty()) return std::nullopt;
+  return CountryByTld(tld);
+}
+
+std::string_view CountryName(CountryId id) noexcept {
+  return kCountries[id].name;
+}
+
+std::string_view CountryFips(CountryId id) noexcept {
+  return kCountries[id].fips;
+}
+
+}  // namespace gdelt

@@ -1,0 +1,64 @@
+// Country registry: FIPS 10-4 codes (used by GDELT geo columns) and
+// top-level domains (used by the paper to attribute news sources to
+// countries, Section VI-C).
+//
+// The paper assigns each news website a country from its TLD, with ".com"
+// attributed to the USA — an acknowledged approximation (the Guardian is
+// counted as US). We reproduce exactly that heuristic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace gdelt {
+
+/// Dense country identifier; index into Countries().
+using CountryId = std::uint16_t;
+
+/// Sentinel for "no/unknown country".
+constexpr CountryId kNoCountry = 0xFFFF;
+
+struct CountryInfo {
+  std::string_view fips;  ///< FIPS 10-4 code as used by ActionGeo_CountryCode
+  std::string_view tld;   ///< ccTLD without dot; "com" maps to USA
+  std::string_view name;
+};
+
+/// The full registry, ordered; CountryId indexes this vector.
+const std::vector<CountryInfo>& Countries() noexcept;
+
+/// Looks up by FIPS code (e.g. "US", "UK", "CH" = China). Case-sensitive.
+std::optional<CountryId> CountryByFips(std::string_view fips) noexcept;
+
+/// Looks up by TLD label (lower-case, no dot; "com" -> USA heuristic).
+std::optional<CountryId> CountryByTld(std::string_view tld) noexcept;
+
+/// Attributes a source domain/URL to a country via its TLD, per the paper.
+std::optional<CountryId> CountryOfSourceDomain(std::string_view domain) noexcept;
+
+/// Convenience accessors; `id` must be a valid CountryId.
+std::string_view CountryName(CountryId id) noexcept;
+std::string_view CountryFips(CountryId id) noexcept;
+
+/// Well-known ids fixed by registry order (used by benches to label the
+/// paper's Top-10 tables).
+namespace country {
+constexpr CountryId kUSA = 0;
+constexpr CountryId kUK = 1;
+constexpr CountryId kAustralia = 2;
+constexpr CountryId kIndia = 3;
+constexpr CountryId kItaly = 4;
+constexpr CountryId kCanada = 5;
+constexpr CountryId kSouthAfrica = 6;
+constexpr CountryId kNigeria = 7;
+constexpr CountryId kBangladesh = 8;
+constexpr CountryId kPhilippines = 9;
+constexpr CountryId kChina = 10;
+constexpr CountryId kRussia = 11;
+constexpr CountryId kIsrael = 12;
+constexpr CountryId kPakistan = 13;
+}  // namespace country
+
+}  // namespace gdelt

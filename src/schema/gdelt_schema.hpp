@@ -1,0 +1,132 @@
+// Column schemas of the GDELT 2.0 Event Database wire format.
+//
+// Every 15 minutes GDELT publishes an Events table ("export") and a
+// Mentions table. Both are tab-separated. The converter parses the full
+// column set; the analysis engine materializes only the columns the paper's
+// queries need (see columnar/).
+//
+// Column lists follow the official GDELT 2.0 codebooks:
+//   Events:   61 columns (event coding, actors, CAMEO, geo, DATEADDED, URL)
+//   Mentions: 16 columns (event id, times, source, identifier, confidence)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace gdelt {
+
+/// Events ("export") table columns, in wire order.
+enum class EventField : std::uint8_t {
+  kGlobalEventId = 0,
+  kDay,
+  kMonthYear,
+  kYear,
+  kFractionDate,
+  kActor1Code,
+  kActor1Name,
+  kActor1CountryCode,
+  kActor1KnownGroupCode,
+  kActor1EthnicCode,
+  kActor1Religion1Code,
+  kActor1Religion2Code,
+  kActor1Type1Code,
+  kActor1Type2Code,
+  kActor1Type3Code,
+  kActor2Code,
+  kActor2Name,
+  kActor2CountryCode,
+  kActor2KnownGroupCode,
+  kActor2EthnicCode,
+  kActor2Religion1Code,
+  kActor2Religion2Code,
+  kActor2Type1Code,
+  kActor2Type2Code,
+  kActor2Type3Code,
+  kIsRootEvent,
+  kEventCode,
+  kEventBaseCode,
+  kEventRootCode,
+  kQuadClass,
+  kGoldsteinScale,
+  kNumMentions,
+  kNumSources,
+  kNumArticles,
+  kAvgTone,
+  kActor1GeoType,
+  kActor1GeoFullName,
+  kActor1GeoCountryCode,
+  kActor1GeoAdm1Code,
+  kActor1GeoAdm2Code,
+  kActor1GeoLat,
+  kActor1GeoLong,
+  kActor1GeoFeatureId,
+  kActor2GeoType,
+  kActor2GeoFullName,
+  kActor2GeoCountryCode,
+  kActor2GeoAdm1Code,
+  kActor2GeoAdm2Code,
+  kActor2GeoLat,
+  kActor2GeoLong,
+  kActor2GeoFeatureId,
+  kActionGeoType,
+  kActionGeoFullName,
+  kActionGeoCountryCode,
+  kActionGeoAdm1Code,
+  kActionGeoAdm2Code,
+  kActionGeoLat,
+  kActionGeoLong,
+  kActionGeoFeatureId,
+  kDateAdded,
+  kSourceUrl,
+};
+
+/// Number of columns in the Events wire format.
+constexpr std::size_t kEventFieldCount = 61;
+
+/// Mentions table columns, in wire order.
+enum class MentionField : std::uint8_t {
+  kGlobalEventId = 0,
+  kEventTimeDate,     ///< YYYYMMDDHHMMSS of the event's first record
+  kMentionTimeDate,   ///< YYYYMMDDHHMMSS of the 15-min capture interval
+  kMentionType,       ///< 1 = web
+  kMentionSourceName, ///< registered domain of the publishing site
+  kMentionIdentifier, ///< article URL
+  kSentenceId,
+  kActor1CharOffset,
+  kActor2CharOffset,
+  kActionCharOffset,
+  kInRawText,
+  kConfidence,
+  kMentionDocLen,
+  kMentionDocTone,
+  kMentionDocTranslationInfo,
+  kExtras,
+};
+
+/// Number of columns in the Mentions wire format.
+constexpr std::size_t kMentionFieldCount = 16;
+
+/// Wire-order column names (Events), as in the GDELT codebook.
+std::string_view EventFieldName(EventField f) noexcept;
+
+/// Wire-order column names (Mentions).
+std::string_view MentionFieldName(MentionField f) noexcept;
+
+/// Index of a field within a parsed row.
+constexpr std::size_t Index(EventField f) noexcept {
+  return static_cast<std::size_t>(f);
+}
+constexpr std::size_t Index(MentionField f) noexcept {
+  return static_cast<std::size_t>(f);
+}
+
+/// CAMEO quad classes (column kQuadClass).
+enum class QuadClass : std::uint8_t {
+  kVerbalCooperation = 1,
+  kMaterialCooperation = 2,
+  kVerbalConflict = 3,
+  kMaterialConflict = 4,
+};
+
+}  // namespace gdelt

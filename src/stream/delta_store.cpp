@@ -1,0 +1,192 @@
+#include "stream/delta_store.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "convert/binary_format.hpp"
+#include "csv/tsv.hpp"
+#include "gtime/timestamp.hpp"
+#include "io/file.hpp"
+#include "io/zipstore.hpp"
+#include "schema/gdelt_schema.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::stream {
+namespace {
+
+bool FieldToInterval(std::string_view field, std::int64_t& out) {
+  const auto parsed = ParseGdeltTimestamp(field);
+  if (!parsed.ok()) return false;
+  out = IntervalOfCivil(parsed.value());
+  return true;
+}
+
+}  // namespace
+
+DeltaStore::DeltaStore(const engine::Database* base) : base_(base) {
+  if (base_) {
+    base_sources_ = base_->num_sources();
+    // Global event id -> base row, for resolving delta mentions of events
+    // that entered the database before streaming began.
+    base_event_row_of_.reserve(base_->num_events());
+    const auto gids = base_->event_global_id();
+    for (std::size_t r = 0; r < gids.size(); ++r) {
+      base_event_row_of_.emplace(gids[r], static_cast<std::uint32_t>(r));
+    }
+  }
+}
+
+std::uint32_t DeltaStore::SourceIdFor(std::string_view domain) {
+  if (base_) {
+    if (const auto id = base_->sources().Find(domain)) return *id;
+  }
+  const auto it = new_source_ids_.find(std::string(domain));
+  if (it != new_source_ids_.end()) return base_sources_ + it->second;
+  const auto idx = static_cast<std::uint32_t>(new_sources_.size());
+  new_sources_.emplace_back(domain);
+  new_source_ids_.emplace(new_sources_.back(), idx);
+  return base_sources_ + idx;
+}
+
+std::string_view DeltaStore::source_domain(std::uint32_t id) const noexcept {
+  if (id < base_sources_) return base_->source_domain(id);
+  return new_sources_[id - base_sources_];
+}
+
+Status DeltaStore::IngestArchivePair(const std::string& export_zip_path,
+                                     const std::string& mentions_zip_path) {
+  for (const auto& [path, is_export] :
+       {std::pair<const std::string&, bool>(export_zip_path, true),
+        std::pair<const std::string&, bool>(mentions_zip_path, false)}) {
+    if (path.empty()) continue;
+    GDELT_ASSIGN_OR_RETURN(const std::string bytes, ReadWholeFile(path));
+    GDELT_ASSIGN_OR_RETURN(const ZipReader zip, ZipReader::Open(bytes));
+    if (zip.entries().empty()) {
+      return status::DataLoss("empty archive: " + path);
+    }
+    GDELT_ASSIGN_OR_RETURN(const std::string csv,
+                           zip.ReadEntry(std::size_t{0}));
+    if (is_export) {
+      GDELT_RETURN_IF_ERROR(IngestEventsCsv(csv));
+    } else {
+      GDELT_RETURN_IF_ERROR(IngestMentionsCsv(csv));
+    }
+  }
+  return Status::Ok();
+}
+
+Status DeltaStore::IngestEventsCsv(std::string_view csv) {
+  RowReader rows(csv, kEventFieldCount);
+  const std::vector<std::string_view>* fields = nullptr;
+  while (rows.Next(fields)) {
+    const auto& f = *fields;
+    const auto gid = ParseUint64(f[Index(EventField::kGlobalEventId)]);
+    std::int64_t added = 0;
+    if (!gid ||
+        !FieldToInterval(f[Index(EventField::kDateAdded)], added)) {
+      ++malformed_rows_;
+      continue;
+    }
+    if (base_event_row_of_.count(*gid) || event_row_of_.count(*gid)) {
+      ++malformed_rows_;  // duplicate event
+      continue;
+    }
+    CountryId country = kNoCountry;
+    const std::string_view fips =
+        f[Index(EventField::kActionGeoCountryCode)];
+    if (!fips.empty()) {
+      if (const auto c = CountryByFips(fips)) country = *c;
+    }
+    const auto row = static_cast<std::uint32_t>(event_interval_.size());
+    event_interval_.push_back(added);
+    event_country_.push_back(country);
+    event_row_of_.emplace(*gid, row);
+  }
+  malformed_rows_ += rows.errors().size();
+  return Status::Ok();
+}
+
+Status DeltaStore::IngestMentionsCsv(std::string_view csv) {
+  RowReader rows(csv, kMentionFieldCount);
+  const std::vector<std::string_view>* fields = nullptr;
+  while (rows.Next(fields)) {
+    const auto& f = *fields;
+    const auto gid = ParseUint64(f[Index(MentionField::kGlobalEventId)]);
+    std::int64_t when = 0;
+    const std::string_view source =
+        f[Index(MentionField::kMentionSourceName)];
+    if (!gid || source.empty() ||
+        !FieldToInterval(f[Index(MentionField::kMentionTimeDate)], when)) {
+      ++malformed_rows_;
+      continue;
+    }
+    std::uint32_t event_ref = kUnknownEvent;
+    if (const auto it = event_row_of_.find(*gid); it != event_row_of_.end()) {
+      event_ref = it->second;
+    } else if (const auto bit = base_event_row_of_.find(*gid);
+               bit != base_event_row_of_.end()) {
+      event_ref = bit->second | kBaseFlag;
+    }
+    mention_source_.push_back(SourceIdFor(source));
+    mention_interval_.push_back(when);
+    mention_event_.push_back(event_ref);
+    mention_event_gid_.push_back(*gid);
+  }
+  malformed_rows_ += rows.errors().size();
+  return Status::Ok();
+}
+
+std::vector<std::uint64_t> DeltaStore::CombinedArticlesPerSource() const {
+  std::vector<std::uint64_t> counts(num_sources(), 0);
+  if (base_) {
+    const auto base_counts = engine::ArticlesPerSource(*base_);
+    std::copy(base_counts.begin(), base_counts.end(), counts.begin());
+  }
+  for (const std::uint32_t s : mention_source_) ++counts[s];
+  return counts;
+}
+
+std::uint64_t DeltaStore::CombinedMentionCount() const noexcept {
+  return (base_ ? base_->num_mentions() : 0) + delta_mentions();
+}
+
+std::vector<std::uint32_t> DeltaStore::CombinedTopSources(
+    std::size_t k) const {
+  const auto counts = CombinedArticlesPerSource();
+  std::vector<std::uint32_t> ids(counts.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  const std::size_t take = std::min(k, ids.size());
+  std::partial_sort(ids.begin(),
+                    ids.begin() + static_cast<std::ptrdiff_t>(take),
+                    ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+                      if (counts[a] != counts[b]) return counts[a] > counts[b];
+                      return a < b;
+                    });
+  ids.resize(take);
+  return ids;
+}
+
+std::uint64_t DeltaStore::CombinedArticlesAboutCountry(
+    CountryId country) const {
+  std::uint64_t total = 0;
+  if (base_) {
+    const auto event_row = base_->mention_event_row();
+    const auto event_country = base_->event_country();
+    for (const std::uint32_t row : event_row) {
+      if (row != convert::kOrphanEventRow && event_country[row] == country) {
+        ++total;
+      }
+    }
+  }
+  for (const std::uint32_t ref : mention_event_) {
+    if (ref == kUnknownEvent) continue;
+    if (ref & kBaseFlag) {
+      if (base_->event_country()[ref & ~kBaseFlag] == country) ++total;
+    } else if (event_country_[ref] == country) {
+      ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace gdelt::stream

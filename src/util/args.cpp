@@ -1,0 +1,133 @@
+#include "util/args.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace gdelt {
+
+void ArgParser::AddString(std::string name, std::string default_value,
+                          std::string help) {
+  options_[std::move(name)] =
+      Option{Type::kString, std::move(default_value), std::move(help)};
+}
+
+void ArgParser::AddInt(std::string name, std::int64_t default_value,
+                       std::string help) {
+  options_[std::move(name)] =
+      Option{Type::kInt, std::to_string(default_value), std::move(help)};
+}
+
+void ArgParser::AddDouble(std::string name, double default_value,
+                          std::string help) {
+  options_[std::move(name)] =
+      Option{Type::kDouble, std::to_string(default_value), std::move(help)};
+}
+
+void ArgParser::AddBool(std::string name, bool default_value,
+                        std::string help) {
+  options_[std::move(name)] =
+      Option{Type::kBool, default_value ? "true" : "false", std::move(help)};
+}
+
+Status ArgParser::SetValue(const std::string& name, std::string value) {
+  const auto it = options_.find(name);
+  if (it == options_.end()) {
+    return status::InvalidArgument("unknown option --" + name);
+  }
+  Option& opt = it->second;
+  switch (opt.type) {
+    case Type::kInt:
+      if (!ParseInt64(value)) {
+        return status::InvalidArgument("option --" + name +
+                                       " expects an integer, got '" + value +
+                                       "'");
+      }
+      break;
+    case Type::kDouble:
+      if (!ParseDouble(value)) {
+        return status::InvalidArgument("option --" + name +
+                                       " expects a number, got '" + value +
+                                       "'");
+      }
+      break;
+    case Type::kBool:
+      if (value != "true" && value != "false") {
+        return status::InvalidArgument("option --" + name +
+                                       " expects true/false, got '" + value +
+                                       "'");
+      }
+      break;
+    case Type::kString:
+      break;
+  }
+  opt.value = std::move(value);
+  return Status::Ok();
+}
+
+Status ArgParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      GDELT_RETURN_IF_ERROR(SetValue(std::string(body.substr(0, eq)),
+                                     std::string(body.substr(eq + 1))));
+      continue;
+    }
+    const std::string name(body);
+    const auto it = options_.find(name);
+    if (it == options_.end()) {
+      return status::InvalidArgument("unknown option --" + name);
+    }
+    if (it->second.type == Type::kBool) {
+      it->second.value = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return status::InvalidArgument("option --" + name + " needs a value");
+    }
+    GDELT_RETURN_IF_ERROR(SetValue(name, argv[++i]));
+  }
+  return Status::Ok();
+}
+
+std::string ArgParser::GetString(std::string_view name) const {
+  const auto it = options_.find(name);
+  assert(it != options_.end() && "GetString on unregistered option");
+  return it->second.value;
+}
+
+std::int64_t ArgParser::GetInt(std::string_view name) const {
+  const auto it = options_.find(name);
+  assert(it != options_.end() && "GetInt on unregistered option");
+  return ParseInt64(it->second.value).value_or(0);
+}
+
+double ArgParser::GetDouble(std::string_view name) const {
+  const auto it = options_.find(name);
+  assert(it != options_.end() && "GetDouble on unregistered option");
+  return ParseDouble(it->second.value).value_or(0.0);
+}
+
+bool ArgParser::GetBool(std::string_view name) const {
+  const auto it = options_.find(name);
+  assert(it != options_.end() && "GetBool on unregistered option");
+  return it->second.value == "true";
+}
+
+std::string ArgParser::HelpText() const {
+  std::string out = description_;
+  out += "\n\nOptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out += "  --" + name + " (default: " + opt.value + ")\n      " +
+           opt.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace gdelt

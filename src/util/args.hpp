@@ -1,0 +1,64 @@
+// Tiny command-line argument parser for the tools and examples.
+//
+// Supports `--flag`, `--key=value` and `--key value`; everything else is a
+// positional argument. Unknown flags are an error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gdelt {
+
+/// Declarative argument parser: register options, then Parse(argc, argv).
+class ArgParser {
+ public:
+  /// `program_description` is printed by HelpText().
+  explicit ArgParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  /// Registers a string-valued option with a default.
+  void AddString(std::string name, std::string default_value,
+                 std::string help);
+  /// Registers an integer-valued option with a default.
+  void AddInt(std::string name, std::int64_t default_value, std::string help);
+  /// Registers a double-valued option with a default.
+  void AddDouble(std::string name, double default_value, std::string help);
+  /// Registers a boolean flag (false unless present, or --name=false given).
+  void AddBool(std::string name, bool default_value, std::string help);
+
+  /// Parses argv. Returns an error for unknown/dup/badly-typed options.
+  Status Parse(int argc, const char* const* argv);
+
+  std::string GetString(std::string_view name) const;
+  std::int64_t GetInt(std::string_view name) const;
+  double GetDouble(std::string_view name) const;
+  bool GetBool(std::string_view name) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Usage text listing all options with defaults and help strings.
+  std::string HelpText() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Option {
+    Type type;
+    std::string value;  ///< current textual value
+    std::string help;
+  };
+
+  Status SetValue(const std::string& name, std::string value);
+
+  std::string description_;
+  std::map<std::string, Option, std::less<>> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gdelt

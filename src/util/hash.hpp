@@ -1,0 +1,36 @@
+// Hashing primitives for dictionary encoding and group-by aggregation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gdelt {
+
+/// FNV-1a 64-bit over raw bytes. Stable across platforms/runs, which matters
+/// because the binary table format stores hash-partitioned dictionaries.
+constexpr std::uint64_t Fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Fast avalanche mix for integer keys (from Murmur3 finalizer).
+constexpr std::uint64_t MixU64(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4));
+}
+
+}  // namespace gdelt

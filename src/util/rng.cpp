@@ -1,0 +1,38 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gdelt {
+
+ZipfDistribution::ZipfDistribution(std::uint64_t n, double alpha)
+    : alpha_(alpha) {
+  assert(n >= 1);
+  assert(alpha > 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    acc += std::pow(static_cast<double>(k), -alpha);
+    cdf_[k - 1] = acc;
+  }
+  const double norm = 1.0 / acc;
+  for (auto& v : cdf_) v *= norm;
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+std::uint64_t ZipfDistribution::operator()(Xoshiro256& rng) const noexcept {
+  const double u = UniformDouble(rng);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
+}
+
+std::size_t SampleCumulative(const std::vector<double>& cumulative,
+                             Xoshiro256& rng) noexcept {
+  if (cumulative.empty()) return 0;
+  const double u = UniformDouble(rng) * cumulative.back();
+  const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  const auto idx = static_cast<std::size_t>(it - cumulative.begin());
+  return std::min(idx, cumulative.size() - 1);
+}
+
+}  // namespace gdelt

@@ -1,0 +1,32 @@
+// Wall-clock timing for query profiling and the scaling experiment (Fig 12).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gdelt {
+
+/// Monotonic stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void Reset() noexcept { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t ElapsedMicros() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gdelt

@@ -1,0 +1,189 @@
+#include "convert/converter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convert/master_list.hpp"
+#include "gen/emit.hpp"
+#include "gen/generator.hpp"
+#include "io/crc32.hpp"
+#include "io/file.hpp"
+#include "io/zipstore.hpp"
+#include "test_util.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::convert {
+namespace {
+
+using ::gdelt::testing::TempDir;
+
+TEST(MasterListTest, ParsesWellFormedEntries) {
+  const MasterList list = ParseMasterList(
+      "123 0000abcd 20150218000000.export.CSV.zip\n"
+      "456 DEADBEEF 20150218000000.mentions.CSV.zip\n"
+      "789 12345678 readme.txt\n");
+  ASSERT_EQ(list.entries.size(), 3u);
+  EXPECT_EQ(list.malformed_entries, 0u);
+  EXPECT_EQ(list.entries[0].size, 123u);
+  EXPECT_EQ(list.entries[0].crc32, 0x0000ABCDu);
+  EXPECT_EQ(list.entries[0].kind, ArchiveKind::kExport);
+  EXPECT_EQ(list.entries[1].crc32, 0xDEADBEEFu);
+  EXPECT_EQ(list.entries[1].kind, ArchiveKind::kMentions);
+  EXPECT_EQ(list.entries[2].kind, ArchiveKind::kOther);
+}
+
+TEST(MasterListTest, CountsMalformedEntries) {
+  const MasterList list = ParseMasterList(
+      "garbage\n"                                   // 1 field
+      "12 deadbeef\n"                               // 2 fields
+      "notanum ffff0000 x.zip\n"                    // bad size
+      "12 nothex00x x.zip\n"                        // bad crc chars
+      "12 abc x.zip\n"                              // crc too short
+      "5 00000000 ok.export.CSV.zip\n"              // fine
+      "\n"                                          // blank: ignored
+      "1 2 3 4\n");                                 // 4 fields
+  EXPECT_EQ(list.entries.size(), 1u);
+  EXPECT_EQ(list.malformed_entries, 6u);
+  EXPECT_LE(list.malformed_samples.size(), 10u);
+  EXPECT_FALSE(list.malformed_samples.empty());
+}
+
+TEST(MasterListTest, ClassifyArchive) {
+  EXPECT_EQ(ClassifyArchive("a.export.CSV.zip"), ArchiveKind::kExport);
+  EXPECT_EQ(ClassifyArchive("a.mentions.CSV.zip"), ArchiveKind::kMentions);
+  EXPECT_EQ(ClassifyArchive("a.gkg.csv.zip"), ArchiveKind::kOther);
+}
+
+class ConvertedTinyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dirs_ = new TempDir("convert");
+    cfg_ = gen::GeneratorConfig::Tiny();
+    dataset_ = new gen::RawDataset(gen::GenerateDataset(cfg_));
+    auto emitted = gen::EmitDataset(*dataset_, cfg_, dirs_->path() + "/raw");
+    ASSERT_TRUE(emitted.ok());
+    emitted_ = new gen::EmitResult(*emitted);
+    ConvertOptions options;
+    options.input_dir = dirs_->path() + "/raw";
+    options.output_dir = dirs_->path() + "/db";
+    auto report = ConvertDataset(options);
+    ASSERT_TRUE(report.ok());
+    report_ = new ConvertReport(*report);
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    delete emitted_;
+    delete dataset_;
+    delete dirs_;
+  }
+
+  static inline TempDir* dirs_ = nullptr;
+  static inline gen::GeneratorConfig cfg_;
+  static inline gen::RawDataset* dataset_ = nullptr;
+  static inline gen::EmitResult* emitted_ = nullptr;
+  static inline ConvertReport* report_ = nullptr;
+};
+
+TEST_F(ConvertedTinyTest, RowTotalsMatchGroundTruth) {
+  EXPECT_EQ(report_->event_rows,
+            dataset_->truth.num_events - emitted_->dropped_events);
+  EXPECT_EQ(report_->mention_rows,
+            dataset_->truth.num_mentions - emitted_->dropped_mentions);
+  EXPECT_GT(report_->num_sources, 0u);
+  EXPECT_LE(report_->num_sources, cfg_.num_sources);
+}
+
+TEST_F(ConvertedTinyTest, TableTwoDefectsRediscovered) {
+  EXPECT_EQ(report_->malformed_master_entries,
+            cfg_.defect_malformed_master_entries);
+  EXPECT_EQ(report_->missing_archives, cfg_.defect_missing_archives);
+  EXPECT_EQ(report_->missing_event_source_url,
+            cfg_.defect_missing_source_url);
+  // Future-dated events are only discoverable if their event row survived
+  // the missing archive; tolerate <= injected.
+  EXPECT_LE(report_->future_event_dates, cfg_.defect_future_event_dates);
+  EXPECT_GE(report_->future_event_dates, 1u);
+  EXPECT_EQ(report_->corrupt_archives, 0u);
+  EXPECT_EQ(report_->malformed_rows, 0u);
+}
+
+TEST_F(ConvertedTinyTest, OrphansComeFromMissingChunk) {
+  // Mentions of events whose event row was dropped with the missing chunk.
+  EXPECT_GT(report_->orphan_mentions, 0u);
+}
+
+TEST_F(ConvertedTinyTest, WritesAllOutputFiles) {
+  const std::string out = dirs_->path() + "/db";
+  EXPECT_TRUE(FileExists(out + "/events.tbl"));
+  EXPECT_TRUE(FileExists(out + "/mentions.tbl"));
+  EXPECT_TRUE(FileExists(out + "/sources.dict"));
+  EXPECT_TRUE(FileExists(out + "/convert_report.txt"));
+  const auto report_text = ReadWholeFile(out + "/convert_report.txt");
+  ASSERT_TRUE(report_text.ok());
+  EXPECT_NE(report_text->find("missing archives"), std::string::npos);
+}
+
+TEST(ConvertErrorsTest, MissingMasterListFails) {
+  TempDir dir("nomaster");
+  ConvertOptions options;
+  options.input_dir = dir.path();
+  options.output_dir = dir.path() + "/db";
+  EXPECT_EQ(ConvertDataset(options).status().code(), StatusCode::kIoError);
+}
+
+TEST(ConvertErrorsTest, CorruptArchiveCountedNotFatal) {
+  TempDir dir("corrupt");
+  const auto cfg = gen::GeneratorConfig::Tiny();
+  const auto ds = gen::GenerateDataset(cfg);
+  auto emitted = gen::EmitDataset(ds, cfg, dir.path() + "/raw");
+  ASSERT_TRUE(emitted.ok());
+  // Corrupt the first listed export archive on disk.
+  const auto master = ReadWholeFile(dir.path() + "/raw/masterfilelist.txt");
+  ASSERT_TRUE(master.ok());
+  const MasterList list = ParseMasterList(*master);
+  const std::string victim =
+      dir.path() + "/raw/" + list.entries.front().file_name;
+  auto bytes = ReadWholeFile(victim);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() / 2] ^= 0xFF;
+  ASSERT_TRUE(WriteWholeFile(victim, *bytes).ok());
+
+  ConvertOptions options;
+  options.input_dir = dir.path() + "/raw";
+  options.output_dir = dir.path() + "/db";
+  const auto report = ConvertDataset(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->corrupt_archives, 1u);
+}
+
+TEST(ConvertErrorsTest, MalformedRowsCounted) {
+  TempDir dir("badrows");
+  const auto cfg = gen::GeneratorConfig::Tiny();
+  const auto ds = gen::GenerateDataset(cfg);
+  ASSERT_TRUE(gen::EmitDataset(ds, cfg, dir.path() + "/raw").ok());
+  // Append an extra archive with malformed rows and list it in the master.
+  const std::string bad_csv = "not\tenough\tfields\n";
+  ZipWriter zip;
+  const std::string zip_path =
+      dir.path() + "/raw/20990101000000.export.CSV.zip";
+  ASSERT_TRUE(zip.Open(zip_path).ok());
+  ASSERT_TRUE(zip.AddEntry("20990101000000.export.CSV", bad_csv).ok());
+  ASSERT_TRUE(zip.Finish().ok());
+  auto zip_bytes = ReadWholeFile(zip_path);
+  ASSERT_TRUE(zip_bytes.ok());
+  auto master = ReadWholeFile(dir.path() + "/raw/masterfilelist.txt");
+  ASSERT_TRUE(master.ok());
+  *master += StrFormat("%zu %08x 20990101000000.export.CSV.zip\n",
+                       zip_bytes->size(), Crc32(*zip_bytes));
+  ASSERT_TRUE(
+      WriteWholeFile(dir.path() + "/raw/masterfilelist.txt", *master).ok());
+
+  ConvertOptions options;
+  options.input_dir = dir.path() + "/raw";
+  options.output_dir = dir.path() + "/db";
+  const auto report = ConvertDataset(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->malformed_rows, 1u);
+}
+
+}  // namespace
+}  // namespace gdelt::convert

@@ -1,0 +1,95 @@
+#include "csv/tsv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gdelt {
+namespace {
+
+TEST(LineIteratorTest, UnixAndWindowsEndings) {
+  LineIterator it("a\nb\r\nc");
+  std::string_view line;
+  ASSERT_TRUE(it.Next(line));
+  EXPECT_EQ(line, "a");
+  ASSERT_TRUE(it.Next(line));
+  EXPECT_EQ(line, "b");
+  ASSERT_TRUE(it.Next(line));
+  EXPECT_EQ(line, "c");
+  EXPECT_FALSE(it.Next(line));
+}
+
+TEST(LineIteratorTest, EmptyLinesAndTrailingNewline) {
+  LineIterator it("\n\nx\n");
+  std::string_view line;
+  ASSERT_TRUE(it.Next(line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(it.Next(line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(it.Next(line));
+  EXPECT_EQ(line, "x");
+  EXPECT_FALSE(it.Next(line));
+}
+
+TEST(LineIteratorTest, EmptyBuffer) {
+  LineIterator it("");
+  std::string_view line;
+  EXPECT_FALSE(it.Next(line));
+}
+
+TEST(RowReaderTest, ReadsWellFormedRows) {
+  RowReader rows("1\t2\t3\n4\t5\t6\n", 3);
+  const std::vector<std::string_view>* fields = nullptr;
+  ASSERT_TRUE(rows.Next(fields));
+  EXPECT_EQ((*fields)[0], "1");
+  EXPECT_EQ((*fields)[2], "3");
+  ASSERT_TRUE(rows.Next(fields));
+  EXPECT_EQ((*fields)[1], "5");
+  EXPECT_FALSE(rows.Next(fields));
+  EXPECT_EQ(rows.rows_read(), 2u);
+  EXPECT_TRUE(rows.errors().empty());
+}
+
+TEST(RowReaderTest, CollectsMalformedRows) {
+  RowReader rows("a\tb\nonly-one\nc\td\ntoo\tmany\tfields\n", 2);
+  const std::vector<std::string_view>* fields = nullptr;
+  int good = 0;
+  while (rows.Next(fields)) ++good;
+  EXPECT_EQ(good, 2);
+  ASSERT_EQ(rows.errors().size(), 2u);
+  EXPECT_EQ(rows.errors()[0].line_number, 2u);
+  EXPECT_EQ(rows.errors()[1].line_number, 4u);
+  EXPECT_NE(rows.errors()[0].message.find("expected 2"), std::string::npos);
+}
+
+TEST(RowReaderTest, SkipsBlankLines) {
+  RowReader rows("\n1\t2\n\n3\t4\n", 2);
+  const std::vector<std::string_view>* fields = nullptr;
+  int good = 0;
+  while (rows.Next(fields)) ++good;
+  EXPECT_EQ(good, 2);
+  EXPECT_TRUE(rows.errors().empty());
+}
+
+TEST(RowReaderTest, EmptyFieldsPreserved) {
+  RowReader rows("\t\t\n", 3);
+  const std::vector<std::string_view>* fields = nullptr;
+  ASSERT_TRUE(rows.Next(fields));
+  EXPECT_EQ((*fields)[0], "");
+  EXPECT_EQ((*fields)[1], "");
+  EXPECT_EQ((*fields)[2], "");
+}
+
+TEST(AppendTsvRowTest, RoundTripsThroughReader) {
+  std::string buf;
+  AppendTsvRow(buf, {"x", "", "z"});
+  AppendTsvRow(buf, {"1", "2", "3"});
+  RowReader rows(buf, 3);
+  const std::vector<std::string_view>* fields = nullptr;
+  ASSERT_TRUE(rows.Next(fields));
+  EXPECT_EQ((*fields)[1], "");
+  ASSERT_TRUE(rows.Next(fields));
+  EXPECT_EQ((*fields)[2], "3");
+  EXPECT_FALSE(rows.Next(fields));
+}
+
+}  // namespace
+}  // namespace gdelt

@@ -1,0 +1,189 @@
+#include "engine/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "convert/converter.hpp"
+#include "gen/emit.hpp"
+#include "gen/generator.hpp"
+#include "test_util.hpp"
+
+namespace gdelt::engine {
+namespace {
+
+using ::gdelt::testing::TempDir;
+using ::gdelt::testing::TestDbBuilder;
+
+/// Brute-force reference selection.
+std::vector<std::uint64_t> BruteForceSelect(const Database& db,
+                                            const MentionFilter& f) {
+  std::vector<std::uint64_t> rows;
+  for (std::uint64_t i = 0; i < db.num_mentions(); ++i) {
+    const std::int64_t at = db.mention_interval()[i];
+    if (at < f.begin_interval || at >= f.end_interval) continue;
+    if (db.mention_confidence()[i] < f.min_confidence) continue;
+    if (f.publisher_country != kNoCountry &&
+        db.source_country()[db.mention_source_id()[i]] !=
+            f.publisher_country) {
+      continue;
+    }
+    const std::uint32_t row = db.mention_event_row()[i];
+    if (row == convert::kOrphanEventRow) {
+      if (f.exclude_orphans || f.event_country != kNoCountry) continue;
+    } else if (f.event_country != kNoCountry &&
+               db.event_country()[row] != f.event_country) {
+      continue;
+    }
+    rows.push_back(i);
+  }
+  return rows;
+}
+
+class FilterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dirs_ = new TempDir("filter");
+    auto cfg = gen::GeneratorConfig::Tiny();
+    const auto dataset = gen::GenerateDataset(cfg);
+    ASSERT_TRUE(gen::EmitDataset(dataset, cfg, dirs_->path() + "/raw").ok());
+    convert::ConvertOptions options;
+    options.input_dir = dirs_->path() + "/raw";
+    options.output_dir = dirs_->path() + "/db";
+    ASSERT_TRUE(convert::ConvertDataset(options).ok());
+    auto db = Database::Load(dirs_->path() + "/db");
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete dirs_;
+  }
+
+  static inline TempDir* dirs_ = nullptr;
+  static inline Database* db_ = nullptr;
+};
+
+TEST_F(FilterTest, AllFilterSelectsEverything) {
+  const MentionFilter all;
+  EXPECT_TRUE(all.IsAll());
+  const auto rows = SelectMentions(*db_, all);
+  EXPECT_EQ(rows.size(), db_->num_mentions());
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+}
+
+TEST_F(FilterTest, TimeWindowMatchesBruteForce) {
+  MentionFilter f;
+  const std::int64_t span = db_->last_interval() - db_->first_interval();
+  f.begin_interval = db_->first_interval() + span / 4;
+  f.end_interval = db_->first_interval() + span / 2;
+  const auto rows = SelectMentions(*db_, f);
+  EXPECT_EQ(rows, BruteForceSelect(*db_, f));
+  EXPECT_GT(rows.size(), 0u);
+  EXPECT_LT(rows.size(), db_->num_mentions());
+}
+
+TEST_F(FilterTest, ConfidenceFilterMatchesBruteForce) {
+  MentionFilter f;
+  f.min_confidence = 60;
+  const auto rows = SelectMentions(*db_, f);
+  EXPECT_EQ(rows, BruteForceSelect(*db_, f));
+  for (const auto i : rows) {
+    EXPECT_GE(db_->mention_confidence()[i], 60);
+  }
+}
+
+TEST_F(FilterTest, CountryFiltersMatchBruteForce) {
+  for (const CountryId c : {country::kUSA, country::kUK, country::kIndia}) {
+    MentionFilter pub;
+    pub.publisher_country = c;
+    EXPECT_EQ(SelectMentions(*db_, pub), BruteForceSelect(*db_, pub));
+    MentionFilter loc;
+    loc.event_country = c;
+    EXPECT_EQ(SelectMentions(*db_, loc), BruteForceSelect(*db_, loc));
+  }
+}
+
+TEST_F(FilterTest, ConjunctionMatchesBruteForce) {
+  MentionFilter f;
+  f.publisher_country = country::kUK;
+  f.event_country = country::kUSA;
+  f.min_confidence = 40;
+  f.exclude_orphans = true;
+  const auto rows = SelectMentions(*db_, f);
+  EXPECT_EQ(rows, BruteForceSelect(*db_, f));
+}
+
+TEST_F(FilterTest, ExcludeOrphansDropsOnlyOrphans) {
+  MentionFilter f;
+  f.exclude_orphans = true;
+  const auto rows = SelectMentions(*db_, f);
+  std::uint64_t orphans = 0;
+  for (const std::uint32_t row : db_->mention_event_row()) {
+    if (row == convert::kOrphanEventRow) ++orphans;
+  }
+  EXPECT_EQ(rows.size() + orphans, db_->num_mentions());
+}
+
+TEST_F(FilterTest, FilteredArticlesPerSourceConsistent) {
+  MentionFilter f;
+  f.publisher_country = country::kUK;
+  const auto rows = SelectMentions(*db_, f);
+  const auto counts = ArticlesPerSource(*db_, rows);
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < db_->num_sources(); ++s) {
+    total += counts[s];
+    if (counts[s] > 0) {
+      EXPECT_EQ(db_->source_country()[s], country::kUK);
+    }
+  }
+  EXPECT_EQ(total, rows.size());
+}
+
+TEST_F(FilterTest, FilteredCrossReportEqualsFullOnAllRows) {
+  const auto rows = SelectMentions(*db_, MentionFilter{});
+  const auto filtered = CountryCrossReporting(*db_, rows);
+  const auto full = CountryCrossReporting(*db_);
+  EXPECT_EQ(filtered.counts, full.counts);
+  EXPECT_EQ(filtered.articles_per_publisher, full.articles_per_publisher);
+}
+
+TEST_F(FilterTest, FilteredQuarterSeriesSumsToSelection) {
+  MentionFilter f;
+  f.min_confidence = 50;
+  const auto rows = SelectMentions(*db_, f);
+  const auto series = ArticlesPerQuarter(*db_, rows);
+  std::uint64_t sum = 0;
+  for (const auto v : series.values) sum += v;
+  EXPECT_EQ(sum, rows.size());
+}
+
+TEST_F(FilterTest, DistinctEventsBounds) {
+  const auto all_rows = SelectMentions(*db_, MentionFilter{});
+  const auto distinct = DistinctEvents(*db_, all_rows);
+  EXPECT_EQ(distinct, db_->num_events());
+  MentionFilter f;
+  f.event_country = country::kUSA;
+  const auto usa_rows = SelectMentions(*db_, f);
+  EXPECT_LE(DistinctEvents(*db_, usa_rows), distinct);
+  EXPECT_GT(DistinctEvents(*db_, usa_rows), 0u);
+}
+
+TEST(FilterSmallTest, EmptySelection) {
+  TempDir dir("filter0");
+  TestDbBuilder builder;
+  const auto e = builder.AddEvent(100, country::kUSA);
+  builder.AddMention(e, 101, "x.com");
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  MentionFilter f;
+  f.begin_interval = 99999;
+  const auto rows = SelectMentions(*db, f);
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(DistinctEvents(*db, rows), 0u);
+  const auto counts = ArticlesPerSource(*db, rows);
+  EXPECT_EQ(counts[0], 0u);
+}
+
+}  // namespace
+}  // namespace gdelt::engine

@@ -1,0 +1,97 @@
+#include "analysis/firstreport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace gdelt::analysis {
+namespace {
+
+using ::gdelt::testing::TempDir;
+using ::gdelt::testing::TestDbBuilder;
+
+TEST(FirstReportTest, HandComputedScenario) {
+  TempDir dir("firstreport");
+  TestDbBuilder builder;
+  // E1 at 100: a first (delay 2), then b, then a again (repeat).
+  const auto e1 = builder.AddEvent(100);
+  builder.AddMention(e1, 102, "a.com");
+  builder.AddMention(e1, 105, "b.com");
+  builder.AddMention(e1, 110, "a.com");
+  // E2 at 200: b first (delay 3).
+  const auto e2 = builder.AddEvent(200);
+  builder.AddMention(e2, 203, "b.com");
+  // E3 at 300: b first with delay 40 (beyond the 1-hour cut).
+  const auto e3 = builder.AddEvent(300);
+  builder.AddMention(e3, 340, "b.com");
+  builder.AddMention(e3, 341, "b.com");
+  builder.AddMention(e3, 342, "b.com");
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  const auto a = *db->sources().Find("a.com");
+  const auto b = *db->sources().Find("b.com");
+
+  const FirstReportStats stats = ComputeFirstReports(*db);
+  EXPECT_EQ(stats.first_reports[a], 1u);
+  EXPECT_EQ(stats.first_reports[b], 2u);
+  // Delays: 2 (bin 2), 3 (bin 2), 40 (bin 6: [32,64)).
+  EXPECT_EQ(stats.first_delay_histogram[2], 2u);
+  EXPECT_EQ(stats.first_delay_histogram[6], 1u);
+  EXPECT_EQ(stats.events_broken_within_hour, 2u);
+  // Repeats: a has 1 repeat event with 1 extra article; b has 1 repeat
+  // event (E3) with 2 extra articles.
+  EXPECT_EQ(stats.repeat_events[a], 1u);
+  EXPECT_EQ(stats.repeat_articles[a], 1u);
+  EXPECT_EQ(stats.repeat_events[b], 1u);
+  EXPECT_EQ(stats.repeat_articles[b], 2u);
+  EXPECT_DOUBLE_EQ(stats.RepeatRate(b, 6), 2.0 / 6.0);
+}
+
+TEST(FirstReportTest, TieBreaksByCaptureOrder) {
+  TempDir dir("firstreport2");
+  TestDbBuilder builder;
+  const auto e = builder.AddEvent(100);
+  builder.AddMention(e, 101, "x.com");  // same interval, inserted first
+  builder.AddMention(e, 101, "y.com");
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  const FirstReportStats stats = ComputeFirstReports(*db);
+  EXPECT_EQ(stats.first_reports[*db->sources().Find("x.com")], 1u);
+  EXPECT_EQ(stats.first_reports[*db->sources().Find("y.com")], 0u);
+}
+
+TEST(FirstReportTest, TotalsAreConsistent) {
+  TempDir dir("firstreport3");
+  TestDbBuilder builder;
+  for (int i = 0; i < 20; ++i) {
+    const auto e = builder.AddEvent(1000 + i * 10);
+    builder.AddMention(e, 1001 + i * 10, i % 2 ? "a.com" : "b.com");
+    builder.AddMention(e, 1005 + i * 10, "c.com");
+  }
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  const FirstReportStats stats = ComputeFirstReports(*db);
+  std::uint64_t total_first = 0;
+  for (const auto f : stats.first_reports) total_first += f;
+  EXPECT_EQ(total_first, db->num_events());
+  std::uint64_t hist_total = 0;
+  for (const auto h : stats.first_delay_histogram) hist_total += h;
+  EXPECT_EQ(hist_total, db->num_events());  // no negative-delay defects here
+}
+
+TEST(FirstReportTest, NegativeFirstDelayExcludedFromHistogram) {
+  TempDir dir("firstreport4");
+  TestDbBuilder builder;
+  const auto e = builder.AddEvent(5000);
+  builder.AddMention(e, 4990, "t.com");  // future-dated event
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  const FirstReportStats stats = ComputeFirstReports(*db);
+  EXPECT_EQ(stats.first_reports[*db->sources().Find("t.com")], 1u);
+  std::uint64_t hist_total = 0;
+  for (const auto h : stats.first_delay_histogram) hist_total += h;
+  EXPECT_EQ(hist_total, 0u);
+}
+
+}  // namespace
+}  // namespace gdelt::analysis

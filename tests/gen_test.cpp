@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "csv/tsv.hpp"
+#include "gen/emit.hpp"
+#include "gen/generator.hpp"
+#include "io/file.hpp"
+#include "schema/gdelt_schema.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+
+namespace gdelt::gen {
+namespace {
+
+using ::gdelt::testing::TempDir;
+
+GeneratorConfig TestConfig() { return GeneratorConfig::Tiny(); }
+
+TEST(WorldTest, SourcesHaveValidCountriesAndDomains) {
+  auto cfg = TestConfig();
+  Xoshiro256 rng(cfg.seed);
+  const World world = BuildWorld(cfg, rng);
+  ASSERT_EQ(world.sources.size(), cfg.num_sources);
+  std::set<std::string> domains;
+  for (const auto& src : world.sources) {
+    EXPECT_LT(src.country, Countries().size());
+    EXPECT_TRUE(domains.insert(src.domain).second)
+        << "duplicate domain " << src.domain;
+    // The TLD heuristic must attribute each source to its true country —
+    // this is what makes the country analyses self-consistent.
+    const auto attributed = CountryOfSourceDomain(src.domain);
+    ASSERT_TRUE(attributed.has_value()) << src.domain;
+    EXPECT_EQ(*attributed, src.country) << src.domain;
+    EXPECT_EQ(src.active_quarters.size(),
+              static_cast<std::size_t>(world.num_quarters));
+    EXPECT_TRUE(std::any_of(src.active_quarters.begin(),
+                            src.active_quarters.end(),
+                            [](bool b) { return b; }));
+  }
+}
+
+TEST(WorldTest, MediaGroupMembersAlwaysActive) {
+  auto cfg = TestConfig();
+  Xoshiro256 rng(cfg.seed);
+  const World world = BuildWorld(cfg, rng);
+  ASSERT_EQ(world.group_members.size(), cfg.media_group_count);
+  for (const auto& members : world.group_members) {
+    EXPECT_EQ(members.size(), cfg.media_group_size);
+    for (const auto m : members) {
+      for (const bool active : world.sources[m].active_quarters) {
+        EXPECT_TRUE(active);
+      }
+    }
+  }
+  // Group 0 is the UK regional group.
+  EXPECT_EQ(world.sources[world.group_members[0][0]].country, country::kUK);
+}
+
+TEST(WorldTest, EventWeightsFavorUsa) {
+  const auto w = MakeEventWeights();
+  ASSERT_EQ(w.weight.size(), Countries().size());
+  for (std::size_t c = 0; c < w.weight.size(); ++c) {
+    if (c != country::kUSA) {
+      EXPECT_GT(w.weight[country::kUSA], w.weight[c]);
+    }
+  }
+  EXPECT_TRUE(std::is_sorted(w.cumulative.begin(), w.cumulative.end()));
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  const auto cfg = TestConfig();
+  const RawDataset a = GenerateDataset(cfg);
+  const RawDataset b = GenerateDataset(cfg);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_EQ(a.mentions.size(), b.mentions.size());
+  for (std::size_t i = 0; i < a.events.size(); i += 17) {
+    EXPECT_EQ(a.events[i].global_event_id, b.events[i].global_event_id);
+    EXPECT_EQ(a.events[i].event_interval, b.events[i].event_interval);
+  }
+  for (std::size_t i = 0; i < a.mentions.size(); i += 97) {
+    EXPECT_EQ(a.mentions[i].source_index, b.mentions[i].source_index);
+    EXPECT_EQ(a.mentions[i].mention_interval, b.mentions[i].mention_interval);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto cfg = TestConfig();
+  const RawDataset a = GenerateDataset(cfg);
+  cfg.seed = 777;
+  const RawDataset b = GenerateDataset(cfg);
+  EXPECT_NE(a.mentions.size(), b.mentions.size());
+}
+
+class GeneratedDatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new RawDataset(GenerateDataset(TestConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static const RawDataset& ds() { return *dataset_; }
+
+ private:
+  static RawDataset* dataset_;
+};
+
+RawDataset* GeneratedDatasetTest::dataset_ = nullptr;
+
+TEST_F(GeneratedDatasetTest, SortedAndInWindow) {
+  EXPECT_TRUE(std::is_sorted(ds().events.begin(), ds().events.end(),
+                             [](const EventRecord& a, const EventRecord& b) {
+                               return a.added_interval < b.added_interval;
+                             }));
+  EXPECT_TRUE(std::is_sorted(
+      ds().mentions.begin(), ds().mentions.end(),
+      [](const MentionRecord& a, const MentionRecord& b) {
+        return a.mention_interval < b.mention_interval;
+      }));
+  for (const auto& m : ds().mentions) {
+    EXPECT_GE(m.mention_interval, ds().first_interval);
+    EXPECT_LT(m.mention_interval, ds().end_interval);
+  }
+}
+
+TEST_F(GeneratedDatasetTest, TruthMatchesRecords) {
+  EXPECT_EQ(ds().truth.num_events, ds().events.size());
+  EXPECT_EQ(ds().truth.num_mentions, ds().mentions.size());
+  std::uint64_t article_sum = 0;
+  std::uint64_t max_articles = 0;
+  for (const auto& ev : ds().events) {
+    EXPECT_GE(ev.num_articles, 1u) << "events need >= 1 article";
+    article_sum += ev.num_articles;
+    max_articles = std::max<std::uint64_t>(max_articles, ev.num_articles);
+  }
+  EXPECT_EQ(article_sum, ds().mentions.size());
+  EXPECT_EQ(ds().truth.max_articles_per_event, max_articles);
+  EXPECT_EQ(ds().truth.min_articles_per_event, 1u);
+
+  std::vector<std::uint64_t> per_source(ds().world.sources.size(), 0);
+  for (const auto& m : ds().mentions) ++per_source[m.source_index];
+  EXPECT_EQ(per_source, ds().truth.articles_per_source);
+}
+
+TEST_F(GeneratedDatasetTest, MegaEventsAreLargest) {
+  std::uint32_t max_ordinary = 0;
+  std::uint32_t min_mega = UINT32_MAX;
+  int megas = 0;
+  for (const auto& ev : ds().events) {
+    if (ev.is_mega) {
+      min_mega = std::min(min_mega, ev.num_articles);
+      ++megas;
+    } else {
+      max_ordinary = std::max(max_ordinary, ev.num_articles);
+    }
+  }
+  EXPECT_EQ(megas, static_cast<int>(TestConfig().mega_event_count));
+  EXPECT_GT(min_mega, max_ordinary)
+      << "planted mega events must top the article ranking (Table III)";
+}
+
+TEST_F(GeneratedDatasetTest, DefectsInjected) {
+  const auto cfg = TestConfig();
+  EXPECT_EQ(ds().truth.missing_source_url, cfg.defect_missing_source_url);
+  EXPECT_EQ(ds().truth.future_event_dates, cfg.defect_future_event_dates);
+  std::uint32_t empty_urls = 0;
+  std::uint32_t future = 0;
+  for (const auto& ev : ds().events) {
+    if (ev.source_url.empty()) ++empty_urls;
+    if (ev.event_interval > ev.added_interval) ++future;
+  }
+  EXPECT_EQ(empty_urls, cfg.defect_missing_source_url);
+  EXPECT_EQ(future, cfg.defect_future_event_dates);
+}
+
+TEST_F(GeneratedDatasetTest, DelaysArePositiveExceptDefects) {
+  // Map global id -> future-dated flag.
+  std::set<std::uint64_t> future_ids;
+  for (const auto& ev : ds().events) {
+    if (ev.event_interval > ev.added_interval) {
+      future_ids.insert(ev.global_event_id);
+    }
+  }
+  for (const auto& m : ds().mentions) {
+    if (future_ids.count(m.global_event_id)) continue;
+    EXPECT_GE(m.mention_interval - m.event_interval, 1);
+  }
+}
+
+TEST(EmitTest, RowsHaveWireFieldCounts) {
+  const RawDataset ds = GenerateDataset(TestConfig());
+  std::string events_csv;
+  AppendEventRow(events_csv, ds.world, ds.events.front());
+  RowReader event_rows(events_csv, kEventFieldCount);
+  const std::vector<std::string_view>* fields = nullptr;
+  ASSERT_TRUE(event_rows.Next(fields)) << "61-column event row expected";
+  EXPECT_TRUE(event_rows.errors().empty());
+
+  std::string mentions_csv;
+  AppendMentionRow(mentions_csv, ds.world, ds.mentions.front());
+  RowReader mention_rows(mentions_csv, kMentionFieldCount);
+  ASSERT_TRUE(mention_rows.Next(fields)) << "16-column mention row expected";
+  EXPECT_TRUE(mention_rows.errors().empty());
+}
+
+TEST(EmitTest, WritesChunksAndMaster) {
+  TempDir dir("emit");
+  const auto cfg = TestConfig();
+  const RawDataset ds = GenerateDataset(cfg);
+  const auto result = EmitDataset(ds, cfg, dir.path());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->num_chunks, 0u);
+  // Missing-archive injection: written files < listed files.
+  EXPECT_EQ(result->chunk_files_written,
+            result->num_chunks * 2 - cfg.defect_missing_archives * 2);
+  EXPECT_TRUE(FileExists(result->master_path));
+  EXPECT_GT(result->dropped_events + result->dropped_mentions, 0u);
+}
+
+}  // namespace
+}  // namespace gdelt::gen

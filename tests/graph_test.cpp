@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/matrix.hpp"
+#include "graph/mcl.hpp"
+#include "util/rng.hpp"
+
+namespace gdelt::graph {
+namespace {
+
+DenseMatrix RandomDense(std::size_t r, std::size_t c, double density,
+                        Xoshiro256& rng) {
+  DenseMatrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      if (UniformDouble(rng) < density) {
+        m.At(i, j) = UniformDouble(rng) * 10.0;
+      }
+    }
+  }
+  return m;
+}
+
+DenseMatrix MultiplyDense(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double av = a.At(i, k);
+      if (av == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out.At(i, j) += av * b.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(MatrixTest, DenseSparseRoundTrip) {
+  Xoshiro256 rng(5);
+  const DenseMatrix dense = RandomDense(20, 30, 0.2, rng);
+  const SparseMatrix sparse = DenseToSparse(dense);
+  const DenseMatrix back = SparseToDense(sparse);
+  for (std::size_t i = 0; i < dense.rows(); ++i) {
+    for (std::size_t j = 0; j < dense.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(back.At(i, j), dense.At(i, j));
+    }
+  }
+}
+
+TEST(MatrixTest, SparseThresholdDropsSmallEntries) {
+  DenseMatrix dense(2, 2);
+  dense.At(0, 0) = 0.5;
+  dense.At(0, 1) = 1e-9;
+  dense.At(1, 1) = -2.0;
+  const SparseMatrix sparse = DenseToSparse(dense, 1e-6);
+  EXPECT_EQ(sparse.nnz(), 2u);
+}
+
+TEST(MatrixTest, SparseMultiplyMatchesDense) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const DenseMatrix a = RandomDense(15, 12, 0.3, rng);
+    const DenseMatrix b = RandomDense(12, 18, 0.3, rng);
+    const DenseMatrix expected = MultiplyDense(a, b);
+    const SparseMatrix got = Multiply(DenseToSparse(a), DenseToSparse(b));
+    const DenseMatrix got_dense = SparseToDense(got);
+    for (std::size_t i = 0; i < expected.rows(); ++i) {
+      for (std::size_t j = 0; j < expected.cols(); ++j) {
+        EXPECT_NEAR(got_dense.At(i, j), expected.At(i, j), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(MatrixTest, NormalizeRowsMakesStochastic) {
+  Xoshiro256 rng(9);
+  DenseMatrix dense = RandomDense(10, 10, 0.4, rng);
+  for (std::size_t j = 0; j < 10; ++j) dense.At(3, j) = 0.0;  // zero row
+  SparseMatrix m = DenseToSparse(dense);
+  NormalizeRows(m);
+  for (std::size_t r = 0; r < m.rows; ++r) {
+    double sum = 0.0;
+    for (std::uint64_t k = m.row_offsets[r]; k < m.row_offsets[r + 1]; ++k) {
+      EXPECT_GE(m.values[k], 0.0);
+      sum += m.values[k];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "row " << r;
+  }
+}
+
+TEST(MatrixTest, FrobeniusDistanceProperties) {
+  Xoshiro256 rng(11);
+  const DenseMatrix dense = RandomDense(8, 8, 0.5, rng);
+  const SparseMatrix a = DenseToSparse(dense);
+  EXPECT_DOUBLE_EQ(FrobeniusDistance(a, a), 0.0);
+  DenseMatrix shifted = dense;
+  shifted.At(2, 3) += 1.5;
+  shifted.At(7, 0) -= 2.0;
+  const SparseMatrix b = DenseToSparse(shifted);
+  EXPECT_NEAR(FrobeniusDistance(a, b), std::sqrt(1.5 * 1.5 + 4.0), 1e-9);
+  EXPECT_NEAR(FrobeniusDistance(a, b), FrobeniusDistance(b, a), 1e-12);
+}
+
+/// Builds a planted-partition similarity: dense blocks on the diagonal,
+/// sparse weak noise across blocks.
+SparseMatrix PlantedPartition(const std::vector<std::size_t>& block_sizes,
+                              Xoshiro256& rng) {
+  std::size_t n = 0;
+  for (const auto s : block_sizes) n += s;
+  DenseMatrix dense(n, n);
+  std::size_t at = 0;
+  for (const auto size : block_sizes) {
+    for (std::size_t i = at; i < at + size; ++i) {
+      for (std::size_t j = at; j < at + size; ++j) {
+        if (i != j) dense.At(i, j) = 0.8 + 0.2 * UniformDouble(rng);
+      }
+    }
+    at += size;
+  }
+  // Weak inter-block noise.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (dense.At(i, j) == 0.0 && i != j && UniformDouble(rng) < 0.05) {
+        dense.At(i, j) = 0.02;
+        dense.At(j, i) = 0.02;
+      }
+    }
+  }
+  return DenseToSparse(dense);
+}
+
+TEST(MclTest, RecoversPlantedClusters) {
+  Xoshiro256 rng(13);
+  const std::vector<std::size_t> blocks{8, 12, 10};
+  const SparseMatrix sim = PlantedPartition(blocks, rng);
+  const MclResult result = MarkovCluster(sim);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.num_clusters, 3u);
+  // All members of a block share a label; different blocks differ.
+  std::size_t at = 0;
+  std::set<std::uint32_t> labels;
+  for (const auto size : blocks) {
+    const std::uint32_t label = result.cluster[at];
+    for (std::size_t i = at; i < at + size; ++i) {
+      EXPECT_EQ(result.cluster[i], label) << "node " << i;
+    }
+    EXPECT_TRUE(labels.insert(label).second);
+    at += size;
+  }
+}
+
+TEST(MclTest, IdentityLikeInputYieldsSingletons) {
+  // No similarity at all: every node is its own cluster.
+  DenseMatrix dense(6, 6);
+  const SparseMatrix sim = DenseToSparse(dense);
+  const MclResult result = MarkovCluster(sim);
+  EXPECT_EQ(result.num_clusters, 6u);
+}
+
+TEST(MclTest, SingleBlockIsOneCluster) {
+  Xoshiro256 rng(17);
+  const SparseMatrix sim = PlantedPartition({15}, rng);
+  const MclResult result = MarkovCluster(sim);
+  EXPECT_EQ(result.num_clusters, 1u);
+}
+
+TEST(MclTest, HigherInflationNeverCoarsens) {
+  Xoshiro256 rng(19);
+  const SparseMatrix sim = PlantedPartition({6, 6}, rng);
+  MclOptions fine;
+  fine.inflation = 4.0;
+  MclOptions coarse;
+  coarse.inflation = 1.4;
+  const auto fine_result = MarkovCluster(sim, fine);
+  const auto coarse_result = MarkovCluster(sim, coarse);
+  EXPECT_GE(fine_result.num_clusters, coarse_result.num_clusters);
+}
+
+}  // namespace
+}  // namespace gdelt::graph

@@ -1,0 +1,153 @@
+#include "gtime/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace gdelt {
+namespace {
+
+TEST(CivilTest, KnownEpochs) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);
+  EXPECT_EQ(DaysFromCivil(2015, 2, 18), 16484);
+}
+
+TEST(CivilTest, RoundTripDays) {
+  for (std::int64_t d = -400000; d <= 400000; d += 37) {
+    std::int32_t y;
+    unsigned m, day;
+    CivilFromDays(d, y, m, day);
+    EXPECT_EQ(DaysFromCivil(y, m, day), d);
+  }
+}
+
+TEST(LeapYearTest, Rules) {
+  EXPECT_TRUE(IsLeapYear(2016));
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_FALSE(IsLeapYear(2019));
+  EXPECT_EQ(DaysInMonth(2016, 2), 29);
+  EXPECT_EQ(DaysInMonth(2015, 2), 28);
+  EXPECT_EQ(DaysInMonth(2015, 12), 31);
+  EXPECT_EQ(DaysInMonth(2015, 4), 30);
+}
+
+TEST(UnixSecondsTest, RoundTripRandom) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    // 2015..2020, the paper's window.
+    const std::int64_t t =
+        1424217600 + static_cast<std::int64_t>(UniformBelow(rng, 153000000));
+    const CivilDateTime civil = FromUnixSeconds(t);
+    EXPECT_EQ(ToUnixSeconds(civil), t);
+  }
+}
+
+TEST(GdeltTimestampTest, PackUnpack) {
+  const CivilDateTime t{2015, 2, 18, 23, 0, 0};
+  EXPECT_EQ(ToGdeltTimestamp(t), 20150218230000ull);
+  const auto parsed = ParseGdeltTimestamp(std::uint64_t{20150218230000ull});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), t);
+  EXPECT_EQ(FormatGdeltTimestamp(t), "20150218230000");
+}
+
+TEST(GdeltTimestampTest, TextParse) {
+  EXPECT_TRUE(ParseGdeltTimestamp("20191231235959").ok());
+  EXPECT_FALSE(ParseGdeltTimestamp("2019123123595").ok());    // 13 digits
+  EXPECT_FALSE(ParseGdeltTimestamp("2019123123595x").ok());   // non-numeric
+  EXPECT_FALSE(ParseGdeltTimestamp("").ok());
+}
+
+struct BadStamp {
+  std::uint64_t packed;
+  const char* why;
+};
+
+class InvalidTimestampTest : public ::testing::TestWithParam<BadStamp> {};
+
+TEST_P(InvalidTimestampTest, Rejected) {
+  EXPECT_FALSE(ParseGdeltTimestamp(GetParam().packed).ok())
+      << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, InvalidTimestampTest,
+    ::testing::Values(BadStamp{20151318000000ull, "month 13"},
+                      BadStamp{20150018000000ull, "month 0"},
+                      BadStamp{20150232000000ull, "Feb 32"},
+                      BadStamp{20150229000000ull, "Feb 29 non-leap"},
+                      BadStamp{20150218240000ull, "hour 24"},
+                      BadStamp{20150218236000ull, "minute 60"},
+                      BadStamp{20150218230060ull, "second 60"},
+                      BadStamp{18991231000000ull, "before 1900"},
+                      BadStamp{99999218230000ull, "year overflow"}));
+
+TEST(GdeltTimestampTest, LeapDayAccepted) {
+  EXPECT_TRUE(ParseGdeltTimestamp(std::uint64_t{20160229120000ull}).ok());
+}
+
+TEST(IntervalTest, FifteenMinuteArithmetic) {
+  const CivilDateTime t{2015, 2, 18, 0, 0, 0};
+  const IntervalId id = IntervalOfCivil(t);
+  EXPECT_EQ(IntervalStartUnixSeconds(id), ToUnixSeconds(t));
+  // 14:59 into the interval still maps to the same id.
+  CivilDateTime inside = t;
+  inside.minute = 14;
+  inside.second = 59;
+  EXPECT_EQ(IntervalOfCivil(inside), id);
+  inside.minute = 15;
+  inside.second = 0;
+  EXPECT_EQ(IntervalOfCivil(inside), id + 1);
+}
+
+TEST(IntervalTest, DayHas96Intervals) {
+  const IntervalId start = IntervalOfCivil({2016, 5, 1, 0, 0, 0});
+  const IntervalId next_day = IntervalOfCivil({2016, 5, 2, 0, 0, 0});
+  EXPECT_EQ(next_day - start, kIntervalsPerDay);
+  EXPECT_EQ(kIntervalsPerDay, 96);
+}
+
+TEST(IntervalTest, RoundTripStart) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto id = static_cast<IntervalId>(UniformBelow(rng, 2000000));
+    EXPECT_EQ(IntervalOfUnixSeconds(IntervalStartUnixSeconds(id)), id);
+  }
+}
+
+TEST(IntervalTest, NegativeSecondsFloor) {
+  EXPECT_EQ(IntervalOfUnixSeconds(-1), -1);
+  EXPECT_EQ(IntervalOfUnixSeconds(-900), -1);
+  EXPECT_EQ(IntervalOfUnixSeconds(-901), -2);
+  EXPECT_EQ(IntervalOfUnixSeconds(0), 0);
+}
+
+TEST(QuarterTest, Bucketing) {
+  EXPECT_EQ(QuarterOfCivil({2015, 1, 1, 0, 0, 0}), MakeQuarter(2015, 1));
+  EXPECT_EQ(QuarterOfCivil({2015, 3, 31, 23, 59, 59}), MakeQuarter(2015, 1));
+  EXPECT_EQ(QuarterOfCivil({2015, 4, 1, 0, 0, 0}), MakeQuarter(2015, 2));
+  EXPECT_EQ(QuarterOfCivil({2015, 12, 31, 0, 0, 0}), MakeQuarter(2015, 4));
+  EXPECT_EQ(QuarterOfCivil({2016, 1, 1, 0, 0, 0}), MakeQuarter(2016, 1));
+}
+
+TEST(QuarterTest, LabelsAndStarts) {
+  EXPECT_EQ(QuarterLabel(MakeQuarter(2015, 1)), "2015Q1");
+  EXPECT_EQ(QuarterLabel(MakeQuarter(2019, 4)), "2019Q4");
+  const CivilDateTime start = QuarterStartCivil(MakeQuarter(2017, 3));
+  EXPECT_EQ(start.year, 2017);
+  EXPECT_EQ(start.month, 7);
+  EXPECT_EQ(start.day, 1);
+}
+
+TEST(QuarterTest, DenselyOrderedAcrossYears) {
+  EXPECT_EQ(MakeQuarter(2016, 1) - MakeQuarter(2015, 4), 1);
+  // The paper's window spans 2015Q1..2019Q4 = 20 quarters.
+  EXPECT_EQ(MakeQuarter(2019, 4) - MakeQuarter(2015, 1) + 1, 20);
+}
+
+}  // namespace
+}  // namespace gdelt

@@ -1,0 +1,53 @@
+#include "parallel/numa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace gdelt {
+namespace {
+
+TEST(NumaTest, DetectsAtLeastOneNode) {
+  const NumaTopology topo = DetectNumaTopology();
+  ASSERT_GE(topo.num_nodes(), 1);
+  EXPECT_GE(topo.num_cpus(), 1u);
+  for (const auto& node : topo.nodes) {
+    EXPECT_FALSE(node.cpus.empty());
+  }
+  EXPECT_FALSE(topo.ToString().empty());
+}
+
+TEST(NumaTest, FirstTouchZeroesAcrossPages) {
+  std::vector<unsigned char> buf(4096 * 8 + 123, 0xFF);
+  FirstTouchParallel(buf.data(), buf.size());
+  // One byte per page is zeroed; everything else untouched.
+  for (std::size_t page = 0; page * 4096 < buf.size(); ++page) {
+    EXPECT_EQ(buf[page * 4096], 0);
+  }
+  EXPECT_EQ(buf[1], 0xFF);
+}
+
+TEST(NumaTest, WarmPagesDoesNotModify) {
+  std::vector<unsigned char> buf(4096 * 4 + 7);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<unsigned char>(i * 31);
+  }
+  const auto copy = buf;
+  WarmPagesParallel(buf.data(), buf.size());
+  EXPECT_EQ(buf, copy);
+}
+
+TEST(NumaTest, WarmEmptyBufferIsSafe) {
+  WarmPagesParallel(nullptr, 0);
+  FirstTouchParallel(nullptr, 0);
+}
+
+TEST(NumaTest, RoundRobinPinningDoesNotCrash) {
+  // Pinning may fail in restricted sandboxes; the call must stay safe.
+  const NumaTopology topo = DetectNumaTopology();
+  PinOpenMpThreadsRoundRobin(topo);
+}
+
+}  // namespace
+}  // namespace gdelt

@@ -1,0 +1,91 @@
+#include "schema/gdelt_schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "schema/countries.hpp"
+
+namespace gdelt {
+namespace {
+
+TEST(SchemaTest, EventFieldPositions) {
+  // Spot-check wire positions against the GDELT 2.0 codebook.
+  EXPECT_EQ(Index(EventField::kGlobalEventId), 0u);
+  EXPECT_EQ(Index(EventField::kDay), 1u);
+  EXPECT_EQ(Index(EventField::kQuadClass), 29u);
+  EXPECT_EQ(Index(EventField::kNumArticles), 33u);
+  EXPECT_EQ(Index(EventField::kActionGeoCountryCode), 53u);
+  EXPECT_EQ(Index(EventField::kDateAdded), 59u);
+  EXPECT_EQ(Index(EventField::kSourceUrl), 60u);
+  EXPECT_EQ(kEventFieldCount, 61u);
+}
+
+TEST(SchemaTest, MentionFieldPositions) {
+  EXPECT_EQ(Index(MentionField::kGlobalEventId), 0u);
+  EXPECT_EQ(Index(MentionField::kEventTimeDate), 1u);
+  EXPECT_EQ(Index(MentionField::kMentionTimeDate), 2u);
+  EXPECT_EQ(Index(MentionField::kMentionSourceName), 4u);
+  EXPECT_EQ(Index(MentionField::kMentionIdentifier), 5u);
+  EXPECT_EQ(Index(MentionField::kConfidence), 11u);
+  EXPECT_EQ(kMentionFieldCount, 16u);
+}
+
+TEST(SchemaTest, FieldNamesMatchCodebook) {
+  EXPECT_EQ(EventFieldName(EventField::kGlobalEventId), "GlobalEventID");
+  EXPECT_EQ(EventFieldName(EventField::kDateAdded), "DATEADDED");
+  EXPECT_EQ(EventFieldName(EventField::kSourceUrl), "SOURCEURL");
+  EXPECT_EQ(EventFieldName(EventField::kActionGeoCountryCode),
+            "ActionGeo_CountryCode");
+  EXPECT_EQ(MentionFieldName(MentionField::kMentionSourceName),
+            "MentionSourceName");
+}
+
+TEST(CountryTest, RegistryInvariants) {
+  const auto& countries = Countries();
+  ASSERT_GE(countries.size(), 14u);
+  ASSERT_LE(countries.size(), 64u) << "bitmask kernels require <= 64";
+  std::set<std::string_view> fips;
+  std::set<std::string_view> tlds;
+  for (const auto& c : countries) {
+    EXPECT_TRUE(fips.insert(c.fips).second) << "duplicate FIPS " << c.fips;
+    EXPECT_TRUE(tlds.insert(c.tld).second) << "duplicate TLD " << c.tld;
+    EXPECT_FALSE(c.name.empty());
+  }
+}
+
+TEST(CountryTest, WellKnownIdsMatchRegistry) {
+  EXPECT_EQ(CountryName(country::kUSA), "USA");
+  EXPECT_EQ(CountryName(country::kUK), "UK");
+  EXPECT_EQ(CountryName(country::kChina), "China");
+  EXPECT_EQ(CountryFips(country::kChina), "CH");
+  EXPECT_EQ(CountryFips(country::kAustralia), "AS");
+  EXPECT_EQ(CountryFips(country::kSouthAfrica), "SF");
+}
+
+TEST(CountryTest, FipsLookup) {
+  EXPECT_EQ(*CountryByFips("US"), country::kUSA);
+  EXPECT_EQ(*CountryByFips("RS"), country::kRussia);
+  EXPECT_FALSE(CountryByFips("XX").has_value());
+  EXPECT_FALSE(CountryByFips("").has_value());
+  EXPECT_FALSE(CountryByFips("us").has_value()) << "case-sensitive";
+}
+
+TEST(CountryTest, TldLookupAndComHeuristic) {
+  EXPECT_EQ(*CountryByTld("com"), country::kUSA);
+  EXPECT_EQ(*CountryByTld("uk"), country::kUK);
+  EXPECT_FALSE(CountryByTld("org").has_value());
+}
+
+TEST(CountryTest, SourceDomainAttribution) {
+  // The paper's acknowledged approximation: theguardian.com counts as US.
+  EXPECT_EQ(*CountryOfSourceDomain("www.theguardian.com"), country::kUSA);
+  EXPECT_EQ(*CountryOfSourceDomain("herald0.co.uk"), country::kUK);
+  EXPECT_EQ(*CountryOfSourceDomain("https://news.com.au/x"),
+            country::kAustralia);
+  EXPECT_FALSE(CountryOfSourceDomain("weird.invalidtld").has_value());
+  EXPECT_FALSE(CountryOfSourceDomain("").has_value());
+}
+
+}  // namespace
+}  // namespace gdelt

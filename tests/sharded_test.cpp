@@ -1,0 +1,81 @@
+#include "engine/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convert/converter.hpp"
+#include "gen/emit.hpp"
+#include "gen/generator.hpp"
+#include "test_util.hpp"
+
+namespace gdelt::engine {
+namespace {
+
+using ::gdelt::testing::TempDir;
+
+class ShardedTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static void SetUpTestSuite() {
+    dirs_ = new TempDir("sharded");
+    auto cfg = gen::GeneratorConfig::Tiny();
+    cfg.defect_missing_archives = 0;
+    const auto dataset = gen::GenerateDataset(cfg);
+    ASSERT_TRUE(gen::EmitDataset(dataset, cfg, dirs_->path() + "/raw").ok());
+    convert::ConvertOptions options;
+    options.input_dir = dirs_->path() + "/raw";
+    options.output_dir = dirs_->path() + "/db";
+    ASSERT_TRUE(convert::ConvertDataset(options).ok());
+    auto db = Database::Load(dirs_->path() + "/db");
+    ASSERT_TRUE(db.ok());
+    db_ = new Database(std::move(*db));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete dirs_;
+  }
+
+  static inline TempDir* dirs_ = nullptr;
+  static inline Database* db_ = nullptr;
+};
+
+TEST_P(ShardedTest, ShardsPartitionMentions) {
+  const std::size_t k = GetParam();
+  const auto shards = MakeTimeShards(*db_, k);
+  ASSERT_FALSE(shards.empty());
+  EXPECT_EQ(shards.front().begin, 0u);
+  EXPECT_EQ(shards.back().end, db_->num_mentions());
+  for (std::size_t s = 1; s < shards.size(); ++s) {
+    EXPECT_EQ(shards[s].begin, shards[s - 1].end);
+  }
+}
+
+TEST_P(ShardedTest, CrossReportingEqualsSingleNode) {
+  const auto single = CountryCrossReporting(*db_);
+  const auto sharded = ShardedCountryCrossReporting(*db_, GetParam());
+  EXPECT_EQ(sharded.counts, single.counts);
+  EXPECT_EQ(sharded.articles_per_publisher, single.articles_per_publisher);
+}
+
+TEST_P(ShardedTest, ArticlesPerSourceEqualsSingleNode) {
+  const auto single = ArticlesPerSource(*db_);
+  const auto sharded = ShardedArticlesPerSource(*db_, GetParam());
+  EXPECT_EQ(sharded, single);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedTest,
+                         ::testing::Values(1, 2, 3, 8, 64));
+
+TEST(ShardedEdgeTest, MoreShardsThanRows) {
+  TempDir dir("shardedge");
+  testing::TestDbBuilder builder;
+  const auto e = builder.AddEvent(100, country::kUSA);
+  builder.AddMention(e, 101, "x.com");
+  builder.AddMention(e, 102, "y.co.uk");
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  const auto single = CountryCrossReporting(*db);
+  const auto sharded = ShardedCountryCrossReporting(*db, 16);
+  EXPECT_EQ(sharded.counts, single.counts);
+}
+
+}  // namespace
+}  // namespace gdelt::engine

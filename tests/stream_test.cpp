@@ -1,0 +1,187 @@
+#include "stream/delta_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "convert/converter.hpp"
+#include "convert/master_list.hpp"
+#include "gen/emit.hpp"
+#include "gen/generator.hpp"
+#include "io/crc32.hpp"
+#include "io/file.hpp"
+#include "test_util.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::stream {
+namespace {
+
+using ::gdelt::testing::TempDir;
+
+/// Splits a generated raw dataset: chunks before `cut` form the base (via
+/// the converter); chunks from `cut` on are streamed into a DeltaStore.
+class StreamTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dirs_ = new TempDir("stream");
+    auto cfg = gen::GeneratorConfig::Tiny();
+    cfg.defect_missing_archives = 0;
+    cfg.defect_malformed_master_entries = 0;
+    dataset_ = new gen::RawDataset(gen::GenerateDataset(cfg));
+    ASSERT_TRUE(
+        gen::EmitDataset(*dataset_, cfg, dirs_->path() + "/raw").ok());
+
+    // Enumerate chunk archives from the master list, in order.
+    auto master = ReadWholeFile(dirs_->path() + "/raw/masterfilelist.txt");
+    ASSERT_TRUE(master.ok());
+    const auto list = convert::ParseMasterList(*master);
+    std::vector<std::string> exports;
+    std::vector<std::string> mentions;
+    for (const auto& e : list.entries) {
+      if (e.kind == convert::ArchiveKind::kExport) {
+        exports.push_back(e.file_name);
+      } else if (e.kind == convert::ArchiveKind::kMentions) {
+        mentions.push_back(e.file_name);
+      }
+    }
+    ASSERT_EQ(exports.size(), mentions.size());
+    const std::size_t cut = exports.size() * 3 / 4;
+
+    // Base: copy the first `cut` chunks plus a reduced master list.
+    ASSERT_TRUE(MakeDirectories(dirs_->path() + "/base").ok());
+    std::string base_master;
+    for (std::size_t i = 0; i < cut; ++i) {
+      for (const std::string* name : {&exports[i], &mentions[i]}) {
+        auto bytes = ReadWholeFile(dirs_->path() + "/raw/" + *name);
+        ASSERT_TRUE(bytes.ok());
+        ASSERT_TRUE(WriteWholeFile(dirs_->path() + "/base/" + *name, *bytes)
+                        .ok());
+        base_master += StrFormat("%zu %08x ", bytes->size(), Crc32(*bytes));
+        base_master += *name;
+        base_master += '\n';
+      }
+    }
+    ASSERT_TRUE(WriteWholeFile(dirs_->path() + "/base/masterfilelist.txt",
+                               base_master)
+                    .ok());
+    convert::ConvertOptions options;
+    options.input_dir = dirs_->path() + "/base";
+    options.output_dir = dirs_->path() + "/db";
+    ASSERT_TRUE(convert::ConvertDataset(options).ok());
+    auto db = engine::Database::Load(dirs_->path() + "/db");
+    ASSERT_TRUE(db.ok());
+    db_ = new engine::Database(std::move(*db));
+
+    // Stream the tail chunks.
+    delta_ = new DeltaStore(db_);
+    for (std::size_t i = cut; i < exports.size(); ++i) {
+      ASSERT_TRUE(delta_
+                      ->IngestArchivePair(
+                          dirs_->path() + "/raw/" + exports[i],
+                          dirs_->path() + "/raw/" + mentions[i])
+                      .ok());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete delta_;
+    delete db_;
+    delete dataset_;
+    delete dirs_;
+  }
+
+  static inline TempDir* dirs_ = nullptr;
+  static inline gen::RawDataset* dataset_ = nullptr;
+  static inline engine::Database* db_ = nullptr;
+  static inline DeltaStore* delta_ = nullptr;
+};
+
+TEST_F(StreamTest, CombinedTotalsEqualGroundTruth) {
+  EXPECT_EQ(delta_->CombinedMentionCount(), dataset_->truth.num_mentions);
+  EXPECT_EQ(db_->num_events() + delta_->delta_events(),
+            dataset_->truth.num_events);
+  EXPECT_EQ(delta_->malformed_rows(), 0u);
+  EXPECT_GT(delta_->delta_mentions(), 0u);
+}
+
+TEST_F(StreamTest, CombinedArticlesPerSourceEqualGroundTruth) {
+  const auto counts = delta_->CombinedArticlesPerSource();
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < delta_->num_sources(); ++s) {
+    total += counts[s];
+    // Ground-truth lookup by domain.
+    const std::string domain(delta_->source_domain(s));
+    bool found = false;
+    for (std::size_t w = 0; w < dataset_->world.sources.size(); ++w) {
+      if (dataset_->world.sources[w].domain == domain) {
+        EXPECT_EQ(counts[s], dataset_->truth.articles_per_source[w])
+            << domain;
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << domain;
+  }
+  EXPECT_EQ(total, dataset_->truth.num_mentions);
+}
+
+TEST_F(StreamTest, CombinedCountryCountsEqualGroundTruth) {
+  // Brute force from the generator's records: articles about USA events.
+  std::uint64_t expected = 0;
+  std::unordered_map<std::uint64_t, CountryId> loc;
+  for (const auto& ev : dataset_->events) {
+    loc[ev.global_event_id] = ev.location;
+  }
+  for (const auto& m : dataset_->mentions) {
+    if (loc[m.global_event_id] == country::kUSA) ++expected;
+  }
+  EXPECT_EQ(delta_->CombinedArticlesAboutCountry(country::kUSA), expected);
+}
+
+TEST_F(StreamTest, TopSourcesAreConsistentWithCounts) {
+  const auto counts = delta_->CombinedArticlesPerSource();
+  const auto top = delta_->CombinedTopSources(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(counts[top[i - 1]], counts[top[i]]);
+  }
+}
+
+TEST(DeltaStoreColdStartTest, IngestWithoutBase) {
+  DeltaStore delta(nullptr);
+  // Hand-written rows in wire format.
+  const auto cfg = gen::GeneratorConfig::Tiny();
+  const auto dataset = gen::GenerateDataset(cfg);
+  std::string events_csv;
+  std::string mentions_csv;
+  for (std::size_t i = 0; i < 10 && i < dataset.events.size(); ++i) {
+    gen::AppendEventRow(events_csv, dataset.world, dataset.events[i]);
+  }
+  for (std::size_t i = 0; i < 50 && i < dataset.mentions.size(); ++i) {
+    gen::AppendMentionRow(mentions_csv, dataset.world, dataset.mentions[i]);
+  }
+  ASSERT_TRUE(delta.IngestEventsCsv(events_csv).ok());
+  ASSERT_TRUE(delta.IngestMentionsCsv(mentions_csv).ok());
+  EXPECT_EQ(delta.delta_events(), 10u);
+  EXPECT_EQ(delta.delta_mentions(), 50u);
+  EXPECT_GT(delta.num_sources(), 0u);
+  EXPECT_EQ(delta.CombinedMentionCount(), 50u);
+}
+
+TEST(DeltaStoreErrorsTest, MalformedRowsAreCounted) {
+  DeltaStore delta(nullptr);
+  ASSERT_TRUE(delta.IngestMentionsCsv("way\ttoo\tfew\tfields\n").ok());
+  EXPECT_EQ(delta.malformed_rows(), 1u);
+  ASSERT_TRUE(delta
+                  .IngestEventsCsv("not-a-valid-event-row\n")
+                  .ok());
+  EXPECT_EQ(delta.malformed_rows(), 2u);
+}
+
+TEST(DeltaStoreErrorsTest, MissingArchiveFails) {
+  DeltaStore delta(nullptr);
+  EXPECT_FALSE(delta.IngestArchivePair("/no/such.zip", "").ok());
+}
+
+}  // namespace
+}  // namespace gdelt::stream

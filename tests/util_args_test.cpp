@@ -1,0 +1,84 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gdelt {
+namespace {
+
+ArgParser MakeParser() {
+  ArgParser p("test tool");
+  p.AddString("name", "default", "a name");
+  p.AddInt("count", 3, "a count");
+  p.AddDouble("rate", 0.5, "a rate");
+  p.AddBool("verbose", false, "chatty");
+  return p;
+}
+
+Status ParseArgs(ArgParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return p.Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgsTest, Defaults) {
+  ArgParser p = MakeParser();
+  ASSERT_TRUE(ParseArgs(p, {}).ok());
+  EXPECT_EQ(p.GetString("name"), "default");
+  EXPECT_EQ(p.GetInt("count"), 3);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate"), 0.5);
+  EXPECT_FALSE(p.GetBool("verbose"));
+}
+
+TEST(ArgsTest, KeyValueForms) {
+  ArgParser p = MakeParser();
+  ASSERT_TRUE(
+      ParseArgs(p, {"--name=alpha", "--count", "7", "--rate=2.5"}).ok());
+  EXPECT_EQ(p.GetString("name"), "alpha");
+  EXPECT_EQ(p.GetInt("count"), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("rate"), 2.5);
+}
+
+TEST(ArgsTest, BoolFlagAndExplicit) {
+  ArgParser p = MakeParser();
+  ASSERT_TRUE(ParseArgs(p, {"--verbose"}).ok());
+  EXPECT_TRUE(p.GetBool("verbose"));
+
+  ArgParser q = MakeParser();
+  ASSERT_TRUE(ParseArgs(q, {"--verbose=false"}).ok());
+  EXPECT_FALSE(q.GetBool("verbose"));
+}
+
+TEST(ArgsTest, Positionals) {
+  ArgParser p = MakeParser();
+  ASSERT_TRUE(ParseArgs(p, {"input.txt", "--count", "2", "out.txt"}).ok());
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.txt");
+  EXPECT_EQ(p.positional()[1], "out.txt");
+}
+
+TEST(ArgsTest, UnknownOptionFails) {
+  ArgParser p = MakeParser();
+  EXPECT_EQ(ParseArgs(p, {"--bogus", "1"}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ArgsTest, BadTypeFails) {
+  ArgParser p = MakeParser();
+  EXPECT_FALSE(ParseArgs(p, {"--count", "seven"}).ok());
+  ArgParser q = MakeParser();
+  EXPECT_FALSE(ParseArgs(q, {"--verbose=banana"}).ok());
+}
+
+TEST(ArgsTest, MissingValueFails) {
+  ArgParser p = MakeParser();
+  EXPECT_FALSE(ParseArgs(p, {"--count"}).ok());
+}
+
+TEST(ArgsTest, HelpTextMentionsOptions) {
+  ArgParser p = MakeParser();
+  const std::string help = p.HelpText();
+  EXPECT_NE(help.find("--count"), std::string::npos);
+  EXPECT_NE(help.find("a rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdelt

@@ -1,0 +1,168 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace gdelt {
+namespace {
+
+TEST(XoshiroTest, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(XoshiroTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(XoshiroTest, JumpDecorrelates) {
+  Xoshiro256 a(7);
+  Xoshiro256 b = a.Split();
+  // The split stream must differ from the parent's continuation.
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a() != b()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(UniformDoubleTest, InUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = UniformDouble(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformBelowTest, RespectsBound) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = UniformBelow(rng, 10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+  EXPECT_EQ(UniformBelow(rng, 0), 0u);
+  EXPECT_EQ(UniformBelow(rng, 1), 0u);
+}
+
+TEST(UniformIntTest, InclusiveRange) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = UniformInt(rng, -3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(NormalTest, MomentsApproximatelyStandard) {
+  Xoshiro256 rng(17);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = NormalDouble(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(LogNormalTest, MedianIsExpMu) {
+  Xoshiro256 rng(19);
+  const double mu = 2.83;
+  std::vector<double> xs(50001);
+  for (auto& x : xs) x = LogNormalDouble(rng, mu, 0.75);
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  EXPECT_NEAR(xs[25000], std::exp(mu), std::exp(mu) * 0.05);
+}
+
+TEST(PoissonTest, MeanMatches) {
+  Xoshiro256 rng(23);
+  for (const double mean : {0.5, 4.0, 100.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(PoissonCount(rng, mean));
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+  EXPECT_EQ(PoissonCount(rng, 0.0), 0u);
+  EXPECT_EQ(PoissonCount(rng, -1.0), 0u);
+}
+
+TEST(BernoulliTest, Extremes) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(Bernoulli(rng, 0.0));
+    EXPECT_TRUE(Bernoulli(rng, 1.0));
+  }
+}
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, RanksFollowPowerLaw) {
+  const double alpha = GetParam();
+  Xoshiro256 rng(31);
+  ZipfDistribution zipf(100, alpha);
+  std::vector<std::uint64_t> counts(101, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = zipf(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 100u);
+    ++counts[v];
+  }
+  // Rank 1 must dominate, and the empirical ratio P(1)/P(2) ~ 2^alpha.
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[8]);
+  const double ratio =
+      static_cast<double>(counts[1]) / static_cast<double>(counts[2]);
+  EXPECT_NEAR(ratio, std::pow(2.0, alpha), std::pow(2.0, alpha) * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfTest, ::testing::Values(0.8, 1.05, 2.0));
+
+TEST(ShuffleTest, PermutesAllElements) {
+  Xoshiro256 rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  Shuffle(v, rng);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+TEST(SampleCumulativeTest, RespectsWeights) {
+  Xoshiro256 rng(41);
+  const std::vector<double> cum{1.0, 1.0, 11.0};  // weights 1, 0, 10
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[SampleCumulative(cum, rng)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 5);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(SampleCumulativeTest, EmptyReturnsZero) {
+  Xoshiro256 rng(43);
+  EXPECT_EQ(SampleCumulative({}, rng), 0u);
+}
+
+}  // namespace
+}  // namespace gdelt

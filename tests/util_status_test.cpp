@@ -1,0 +1,82 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gdelt {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = status::ParseError("bad row");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad row");
+  EXPECT_EQ(s.ToString(), "ParseError: bad row");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_FALSE(StatusCodeName(static_cast<StatusCode>(c)).empty());
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  const std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+Status FailingOp() { return status::IoError("disk"); }
+Status UsesReturnIfError() {
+  GDELT_RETURN_IF_ERROR(FailingOp());
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  const Status s = UsesReturnIfError();
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+Result<int> GiveInt(bool ok) {
+  if (!ok) return status::Internal("nope");
+  return 5;
+}
+Status UsesAssignOrReturn(bool ok, int& out) {
+  GDELT_ASSIGN_OR_RETURN(const int v, GiveInt(ok));
+  out = v + 1;
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnBothPaths) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(true, out).ok());
+  EXPECT_EQ(out, 6);
+  out = 0;
+  EXPECT_EQ(UsesAssignOrReturn(false, out).code(), StatusCode::kInternal);
+  EXPECT_EQ(out, 0);
+}
+
+}  // namespace
+}  // namespace gdelt

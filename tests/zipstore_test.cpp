@@ -1,0 +1,117 @@
+#include "io/zipstore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/file.hpp"
+#include "test_util.hpp"
+
+namespace gdelt {
+namespace {
+
+using testing::TempDir;
+
+std::string MakeArchive(const TempDir& dir,
+                        const std::vector<std::pair<std::string, std::string>>&
+                            entries) {
+  const std::string path = dir.path() + "/a.zip";
+  ZipWriter writer;
+  EXPECT_TRUE(writer.Open(path).ok());
+  for (const auto& [name, data] : entries) {
+    EXPECT_TRUE(writer.AddEntry(name, data).ok());
+  }
+  EXPECT_TRUE(writer.Finish().ok());
+  auto bytes = ReadWholeFile(path);
+  EXPECT_TRUE(bytes.ok());
+  return *bytes;
+}
+
+TEST(ZipTest, RoundTripSingleEntry) {
+  TempDir dir("zip1");
+  const std::string bytes =
+      MakeArchive(dir, {{"20150218000000.export.CSV", "row1\trow2\n"}});
+  auto reader = ZipReader::Open(bytes);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader->entries().size(), 1u);
+  EXPECT_EQ(reader->entries()[0].name, "20150218000000.export.CSV");
+  const auto data = reader->ReadEntry("20150218000000.export.CSV");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "row1\trow2\n");
+}
+
+TEST(ZipTest, RoundTripMultipleEntriesAndBinary) {
+  TempDir dir("zipN");
+  std::string binary(1000, '\0');
+  for (std::size_t i = 0; i < binary.size(); ++i) {
+    binary[i] = static_cast<char>(i * 13);
+  }
+  const std::string bytes =
+      MakeArchive(dir, {{"a.csv", "aaa"}, {"b.csv", binary}, {"c.csv", ""}});
+  auto reader = ZipReader::Open(bytes);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader->entries().size(), 3u);
+  EXPECT_EQ(*reader->ReadEntry("a.csv"), "aaa");
+  EXPECT_EQ(*reader->ReadEntry("b.csv"), binary);
+  EXPECT_EQ(*reader->ReadEntry("c.csv"), "");
+  EXPECT_EQ(*reader->ReadEntry(std::size_t{1}), binary);
+}
+
+TEST(ZipTest, MissingEntryIsNotFound) {
+  TempDir dir("zipm");
+  const std::string bytes = MakeArchive(dir, {{"a.csv", "x"}});
+  auto reader = ZipReader::Open(bytes);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->ReadEntry("b.csv").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(reader->ReadEntry(std::size_t{5}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ZipTest, DuplicateEntryRejectedAtFinish) {
+  TempDir dir("zipd");
+  ZipWriter writer;
+  ASSERT_TRUE(writer.Open(dir.path() + "/d.zip").ok());
+  ASSERT_TRUE(writer.AddEntry("x", "1").ok());
+  ASSERT_TRUE(writer.AddEntry("x", "2").ok());
+  EXPECT_EQ(writer.Finish().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ZipTest, CorruptPayloadFailsCrc) {
+  TempDir dir("zipc");
+  std::string bytes = MakeArchive(dir, {{"a.csv", "hello world"}});
+  // Flip a byte inside the stored payload (after the 30-byte local header
+  // and the 5-byte name).
+  bytes[30 + 5 + 2] ^= 0x01;
+  auto reader = ZipReader::Open(bytes);
+  ASSERT_TRUE(reader.ok());  // central directory still fine
+  EXPECT_EQ(reader->ReadEntry("a.csv").status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ZipTest, TruncatedArchiveFails) {
+  TempDir dir("zipt");
+  const std::string bytes = MakeArchive(dir, {{"a.csv", "data"}});
+  EXPECT_FALSE(ZipReader::Open(bytes.substr(0, bytes.size() - 10)).ok());
+  EXPECT_FALSE(ZipReader::Open(bytes.substr(0, 5)).ok());
+  EXPECT_FALSE(ZipReader::Open("").ok());
+}
+
+TEST(ZipTest, GarbageIsRejected) {
+  const std::string garbage(100, 'g');
+  EXPECT_EQ(ZipReader::Open(garbage).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ZipTest, EmptyArchiveRoundTrips) {
+  TempDir dir("zip0");
+  const std::string bytes = MakeArchive(dir, {});
+  auto reader = ZipReader::Open(bytes);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->entries().empty());
+}
+
+TEST(ZipTest, RejectsEmptyName) {
+  TempDir dir("zipe");
+  ZipWriter writer;
+  ASSERT_TRUE(writer.Open(dir.path() + "/e.zip").ok());
+  EXPECT_EQ(writer.AddEntry("", "x").code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gdelt
