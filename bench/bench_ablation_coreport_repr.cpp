@@ -1,17 +1,26 @@
-// Ablation: dense-matrix vs sparse-hash accumulation for the co-reporting
-// matrix (DESIGN.md section 5).
+// Ablation: co-reporting matrix representations (DESIGN.md section 5).
 //
+// Four kernels over the same memoized event -> distinct-source index:
+//   tiled        - atomic-free per-thread tiles, deterministic tile merge
+//                  (the default ComputeCoReporting)
+//   dense-atomic - shared dense matrix, per-pair omp atomic (pre-tiling
+//                  baseline; quantifies the contention the tiles remove)
+//   sparse-hash  - per-thread hash maps merged at the end
+//   time-sliced  - the paper's per-quarter sparse assembly over all sources
 // The paper argues that a dense representation (~1.8 GB for all 21 k
 // sources) is the most efficient choice "due to the large number of
-// updates", with sparse per-period assembly as the scalable alternative.
-// This bench quantifies that trade-off on the top-N source subsets.
+// updates"; this bench quantifies that trade-off on the top-N source
+// subsets and writes machine-readable timings to BENCH_coreport_repr.json.
+#include <cmath>
+
 #include "analysis/coreport.hpp"
 #include "common/fixture.hpp"
+#include "util/timer.hpp"
 
 namespace gdelt::bench {
 namespace {
 
-void BM_CoReportDense(benchmark::State& state) {
+void BM_CoReportTiled(benchmark::State& state) {
   const auto& db = Db();
   const auto top = engine::TopSourcesByArticles(
       db, static_cast<std::size_t>(state.range(0)));
@@ -22,7 +31,21 @@ void BM_CoReportDense(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(db.num_mentions()) *
                           static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_CoReportDense)->Arg(50)->Arg(200)->Arg(800)
+BENCHMARK(BM_CoReportTiled)->Arg(50)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CoReportDenseAtomic(benchmark::State& state) {
+  const auto& db = Db();
+  const auto top = engine::TopSourcesByArticles(
+      db, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto m = analysis::ComputeCoReportingDenseAtomic(db, top);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(db.num_mentions()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoReportDenseAtomic)->Arg(50)->Arg(200)->Arg(800)
     ->Unit(benchmark::kMillisecond);
 
 void BM_CoReportSparse(benchmark::State& state) {
@@ -51,7 +74,7 @@ void BM_CoReportTimeSliced(benchmark::State& state) {
 }
 BENCHMARK(BM_CoReportTimeSliced)->Unit(benchmark::kMillisecond);
 
-void BM_CoReportDenseAllSources(benchmark::State& state) {
+void BM_CoReportTiledAllSources(benchmark::State& state) {
   const auto& db = Db();
   for (auto _ : state) {
     auto m = analysis::ComputeCoReporting(db);
@@ -60,17 +83,96 @@ void BM_CoReportDenseAllSources(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(db.num_mentions()) *
                           static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_CoReportDenseAllSources)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CoReportTiledAllSources)->Unit(benchmark::kMillisecond);
+
+/// Best-of-3 wall time of `fn` at `threads` OpenMP threads.
+template <typename Fn>
+double TimeAt(int threads, Fn&& fn) {
+  SetThreads(threads);
+  fn();  // warm up (and lazily build the shared index outside the timing)
+  double best = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    WallTimer timer;
+    benchmark::DoNotOptimize(fn());
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
 
 void Print() {
   const auto& db = Db();
-  // Verify once that both paths agree (cheap insurance in the harness).
-  const auto top = engine::TopSourcesByArticles(db, 100);
-  const auto dense = analysis::ComputeCoReporting(db, top);
-  const auto sparse = analysis::ComputeCoReportingSparse(db, top);
-  std::printf("\n=== Ablation: co-reporting accumulation ===\n");
-  std::printf("dense and sparse paths agree: %s\n",
-              dense.counts() == sparse.counts() ? "yes" : "NO (BUG)");
+  const int hw = MaxThreads();
+  const auto top = engine::TopSourcesByArticles(db, 800);
+
+  std::printf("\n=== Ablation: co-reporting representation ===\n");
+  // Verify once that all paths agree (cheap insurance in the harness).
+  {
+    const auto subset = engine::TopSourcesByArticles(db, 100);
+    const auto tiled = analysis::ComputeCoReporting(db, subset);
+    const auto atomic = analysis::ComputeCoReportingDenseAtomic(db, subset);
+    const auto sparse = analysis::ComputeCoReportingSparse(db, subset);
+    analysis::TiledCoReportOptions force_sparse;
+    force_sparse.dense_partials_budget_bytes = 0;
+    const auto tiled_sparse =
+        analysis::ComputeCoReporting(db, subset, force_sparse);
+    std::printf("tiled, dense-atomic, sparse-hash paths agree: %s\n",
+                (tiled.counts() == atomic.counts() &&
+                 tiled.counts() == sparse.counts() &&
+                 tiled.counts() == tiled_sparse.counts())
+                    ? "yes"
+                    : "NO (BUG)");
+  }
+
+  // Timed head-to-head on the top-800 subset, single- and multi-threaded,
+  // recorded as JSON for the perf trajectory.
+  BenchJsonWriter json("coreport_repr");
+  double tiled_mt = 0.0, atomic_mt = 0.0, sparse_mt = 0.0;
+  std::printf("top-800 subset, best of 3 (seconds):\n");
+  std::printf("  %-14s %10s %10s %9s\n", "kernel", "1 thread", "max thr",
+              "scaling");
+  const auto report = [&](const char* name, double t1, double tn) {
+    std::printf("  %-14s %10.4f %10.4f %8.2fx\n", name, t1, tn,
+                tn > 0 ? t1 / tn : 0.0);
+    json.Record(name, 1, t1);
+    json.Record(name, hw, tn);
+  };
+  {
+    const auto run = [&] { return analysis::ComputeCoReporting(db, top); };
+    const double t1 = TimeAt(1, run);
+    tiled_mt = TimeAt(hw, run);
+    report("tiled", t1, tiled_mt);
+  }
+  {
+    const auto run = [&] {
+      return analysis::ComputeCoReportingDenseAtomic(db, top);
+    };
+    const double t1 = TimeAt(1, run);
+    atomic_mt = TimeAt(hw, run);
+    report("dense-atomic", t1, atomic_mt);
+  }
+  {
+    const auto run = [&] {
+      return analysis::ComputeCoReportingSparse(db, top);
+    };
+    const double t1 = TimeAt(1, run);
+    sparse_mt = TimeAt(hw, run);
+    report("sparse-hash", t1, sparse_mt);
+  }
+  {
+    const auto run = [&] {
+      return analysis::ComputeCoReportingTimeSliced(db);
+    };
+    const double t1 = TimeAt(1, run);
+    const double tn = TimeAt(hw, run);
+    report("time-sliced", t1, tn);
+  }
+  SetThreads(hw);
+  std::printf("tiled vs dense-atomic at %d thread(s): %.2fx%s\n", hw,
+              tiled_mt > 0 ? atomic_mt / tiled_mt : 0.0,
+              hw == 1 ? " (single-core host: contention invisible)" : "");
+  std::printf("tiled is fastest multi-threaded variant: %s\n",
+              (tiled_mt <= atomic_mt && tiled_mt <= sparse_mt) ? "yes" : "NO");
+
   const auto sliced = analysis::ComputeCoReportingTimeSliced(db);
   std::printf("time-sliced sparse assembly over all %u sources: %zu nnz "
               "(%.2f%% of dense cells; the paper's per-period plan)\n",

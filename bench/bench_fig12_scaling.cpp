@@ -44,6 +44,7 @@ void Print() {
   const int hw = MaxThreads();
   std::printf("\n=== Figure 12: aggregated-query OpenMP scaling ===\n");
   std::printf("  %-10s %12s %9s\n", "threads", "seconds", "speedup");
+  BenchJsonWriter json("fig12_scaling");
   double t1 = 0.0;
   for (int t = 1; t <= hw; t *= 2) {
     SetThreads(t);
@@ -56,6 +57,7 @@ void Print() {
       best = std::min(best, timer.ElapsedSeconds());
     }
     if (t == 1) t1 = best;
+    json.Record("aggregated-query", t, best);
     std::printf("  %-10d %12.4f %8.2fx\n", t, best,
                 t1 > 0 ? t1 / best : 0.0);
   }

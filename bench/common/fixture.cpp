@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <utility>
 
 #include "convert/converter.hpp"
 #include "gen/emit.hpp"
@@ -88,6 +89,49 @@ const engine::Database& Db() {
     return std::move(*loaded);
   }();
   return db;
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name)
+    : name_(std::move(bench_name)) {}
+
+BenchJsonWriter::~BenchJsonWriter() {
+  if (!written_ && !entries_.empty()) Flush();
+}
+
+void BenchJsonWriter::Record(const std::string& kernel, int threads,
+                             double wall_seconds) {
+  entries_.push_back({kernel, threads, wall_seconds});
+  written_ = false;
+}
+
+std::string BenchJsonWriter::Flush() {
+  const char* dir_env = std::getenv("GDELT_BENCH_JSON_DIR");
+  const std::string path =
+      std::string(dir_env ? dir_env : ".") + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "[bench json] cannot write %s\n", path.c_str());
+    return path;
+  }
+  const char* preset_env = std::getenv("GDELT_BENCH_PRESET");
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"preset\": \"%s\",\n"
+               "  \"seed\": %llu,\n  \"entries\": [\n",
+               name_.c_str(), preset_env ? preset_env : "medium",
+               static_cast<unsigned long long>(Config().seed));
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"threads\": %d, "
+                 "\"wall_s\": %.6f}%s\n",
+                 entries_[i].kernel.c_str(), entries_[i].threads,
+                 entries_[i].wall_seconds,
+                 i + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench json] wrote %s (%zu entries)\n", path.c_str(),
+               entries_.size());
+  written_ = true;
+  return path;
 }
 
 void PrintQuarterSeries(const char* title,

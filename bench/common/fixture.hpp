@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <vector>
 
 #include "engine/database.hpp"
 #include "engine/queries.hpp"
@@ -29,6 +30,38 @@ const std::string& DbDir();
 
 /// The loaded, indexed database (loaded on first use).
 const engine::Database& Db();
+
+/// Machine-readable perf records, so future PRs have a trajectory to
+/// compare against. Collects (kernel variant, threads, wall seconds)
+/// entries and writes them as BENCH_<name>.json into the directory named
+/// by GDELT_BENCH_JSON_DIR (default: current directory). The file holds
+/// one JSON object: {"bench", "preset", "seed", "entries": [...]}.
+class BenchJsonWriter {
+ public:
+  /// `bench_name` becomes the file stem: BENCH_<bench_name>.json.
+  explicit BenchJsonWriter(std::string bench_name);
+  /// Writes the file (no-op if Record was never called).
+  ~BenchJsonWriter();
+
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  /// Adds one timing record.
+  void Record(const std::string& kernel, int threads, double wall_seconds);
+
+  /// Writes BENCH_<name>.json now; returns the path written.
+  std::string Flush();
+
+ private:
+  struct Entry {
+    std::string kernel;
+    int threads;
+    double wall_seconds;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+  bool written_ = false;
+};
 
 /// Prints a per-quarter series in the paper's row format.
 void PrintQuarterSeries(const char* title, const engine::QuarterSeries& s);

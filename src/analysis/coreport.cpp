@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "engine/queries.hpp"
 #include "parallel/parallel.hpp"
@@ -25,18 +26,109 @@ std::vector<std::int32_t> SlotMap(const engine::Database& db,
   return slot;
 }
 
-/// Distinct matrix slots of the sources reporting event e, ascending.
-void DistinctSlots(const engine::Database& db,
-                   const std::vector<std::int32_t>& slot, std::uint32_t e,
-                   std::vector<std::uint32_t>& out) {
+/// Selected matrix slots of the sources reporting event e. The memoized
+/// index already holds the distinct sorted source ids, so this is a pure
+/// filter-and-map: the result is distinct but, under an arbitrary subset
+/// ordering, not necessarily ascending — pair updates use (min, max).
+void SelectSlots(const CsrSetIndex& index,
+                 const std::vector<std::int32_t>& slot, std::uint32_t e,
+                 std::vector<std::uint32_t>& out) {
   out.clear();
-  const auto src = db.mention_source_id();
-  for (const std::uint64_t row : db.mentions_by_event().RowsOf(e)) {
-    const std::int32_t s = slot[src[row]];
-    if (s >= 0) out.push_back(static_cast<std::uint32_t>(s));
+  for (const std::uint32_t s : index.ValuesOf(e)) {
+    const std::int32_t k = slot[s];
+    if (k >= 0) out.push_back(static_cast<std::uint32_t>(k));
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+/// Packs an unordered slot pair into the upper-triangular key i <= j.
+inline std::uint64_t UpperKey(std::uint32_t a, std::uint32_t b) noexcept {
+  const std::uint32_t i = std::min(a, b);
+  const std::uint32_t j = std::max(a, b);
+  return static_cast<std::uint64_t>(i) << 32 | j;
+}
+
+/// Copies the upper triangle (including diagonal) onto the lower one.
+void MirrorLowerTriangle(std::uint32_t* counts, std::size_t n) {
+  ParallelFor(n, [&](std::size_t i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      counts[i * n + j] = counts[j * n + i];
+    }
+  });
+}
+
+/// Tiled kernel, dense flavor: each part accumulates into a private n*n
+/// matrix (upper triangle only), merged deterministically in tile order.
+void TiledDense(const engine::Database& db, const CsrSetIndex& index,
+                const std::vector<std::int32_t>& slot, std::size_t n,
+                std::size_t num_parts, const TiledCoReportOptions& options,
+                CoReportMatrix& matrix) {
+  const auto parts = SplitRange(db.num_events(), num_parts);
+  std::vector<std::vector<std::uint32_t>> locals(parts.size());
+  ParallelFor(parts.size(), [&](std::size_t p) {
+    auto& local = locals[p];
+    local.assign(n * n, 0);
+    std::vector<std::uint32_t> slots;
+    for (std::size_t e = parts[p].begin; e < parts[p].end; ++e) {
+      SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
+      for (std::size_t a = 0; a < slots.size(); ++a) {
+        ++local[static_cast<std::size_t>(slots[a]) * n + slots[a]];
+        for (std::size_t b = a + 1; b < slots.size(); ++b) {
+          const std::uint64_t key = UpperKey(slots[a], slots[b]);
+          ++local[(key >> 32) * n + (key & 0xFFFFFFFFu)];
+        }
+      }
+    }
+  });
+  MergeTiledPartials(std::span<std::uint32_t>(matrix.mutable_counts()),
+                     locals, options.tile_elems);
+}
+
+/// Tiled kernel, sparse flavor for large n: per-part hash accumulation
+/// compressed to key-sorted runs, then merged into the dense result by
+/// disjoint row tiles — each tile is written by exactly one task, runs are
+/// visited in part order, so the merge is atomic-free and deterministic.
+void TiledSparse(const engine::Database& db, const CsrSetIndex& index,
+                 const std::vector<std::int32_t>& slot, std::size_t n,
+                 std::size_t num_parts, const TiledCoReportOptions& options,
+                 CoReportMatrix& matrix) {
+  const auto parts = SplitRange(db.num_events(), num_parts);
+  using Run = std::vector<std::pair<std::uint64_t, std::uint32_t>>;
+  std::vector<Run> runs(parts.size());
+  ParallelFor(parts.size(), [&](std::size_t p) {
+    std::unordered_map<std::uint64_t, std::uint32_t> acc;
+    std::vector<std::uint32_t> slots;
+    for (std::size_t e = parts[p].begin; e < parts[p].end; ++e) {
+      SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
+      for (std::size_t a = 0; a < slots.size(); ++a) {
+        ++acc[UpperKey(slots[a], slots[a])];
+        for (std::size_t b = a + 1; b < slots.size(); ++b) {
+          ++acc[UpperKey(slots[a], slots[b])];
+        }
+      }
+    }
+    runs[p].assign(acc.begin(), acc.end());
+    std::sort(runs[p].begin(), runs[p].end());
+  });
+
+  auto* counts = matrix.mutable_counts().data();
+  const std::size_t tile_rows =
+      std::max<std::size_t>(1, options.tile_elems / std::max<std::size_t>(n, 1));
+  const std::size_t num_tiles = (n + tile_rows - 1) / tile_rows;
+  ParallelFor(num_tiles, [&](std::size_t t) {
+    const std::uint64_t row_begin = t * tile_rows;
+    const std::uint64_t row_end =
+        std::min<std::uint64_t>(n, row_begin + tile_rows);
+    const std::uint64_t key_begin = row_begin << 32;
+    const std::uint64_t key_end = row_end << 32;
+    for (const Run& run : runs) {
+      auto it = std::lower_bound(
+          run.begin(), run.end(), key_begin,
+          [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+      for (; it != run.end() && it->first < key_end; ++it) {
+        counts[(it->first >> 32) * n + (it->first & 0xFFFFFFFFu)] += it->second;
+      }
+    }
+  });
 }
 
 }  // namespace
@@ -44,10 +136,32 @@ void DistinctSlots(const engine::Database& db,
 CoReportMatrix::CoReportMatrix(std::size_t n) : n_(n), counts_(n * n, 0) {}
 
 CoReportMatrix ComputeCoReporting(const engine::Database& db,
-                                  std::span<const std::uint32_t> subset) {
+                                  std::span<const std::uint32_t> subset,
+                                  const TiledCoReportOptions& options) {
   const auto slot = SlotMap(db, subset);
   const std::size_t n = subset.empty() ? db.num_sources() : subset.size();
   CoReportMatrix matrix(n);
+  if (n == 0 || db.num_events() == 0) return matrix;
+  const auto& index = db.event_distinct_sources();
+
+  const auto num_parts = static_cast<std::size_t>(MaxThreads());
+  const std::size_t dense_bytes = num_parts * n * n * sizeof(std::uint32_t);
+  if (dense_bytes <= options.dense_partials_budget_bytes) {
+    TiledDense(db, index, slot, n, num_parts, options, matrix);
+  } else {
+    TiledSparse(db, index, slot, n, num_parts, options, matrix);
+  }
+  MirrorLowerTriangle(matrix.mutable_counts().data(), n);
+  return matrix;
+}
+
+CoReportMatrix ComputeCoReportingDenseAtomic(
+    const engine::Database& db, std::span<const std::uint32_t> subset) {
+  const auto slot = SlotMap(db, subset);
+  const std::size_t n = subset.empty() ? db.num_sources() : subset.size();
+  CoReportMatrix matrix(n);
+  if (n == 0) return matrix;
+  const auto& index = db.event_distinct_sources();
   auto* counts = matrix.mutable_counts().data();
 
 #pragma omp parallel
@@ -56,23 +170,25 @@ CoReportMatrix ComputeCoReporting(const engine::Database& db,
 #pragma omp for schedule(dynamic, 256)
     for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
          ++e) {
-      DistinctSlots(db, slot, static_cast<std::uint32_t>(e), slots);
-      // Update the symmetric matrix: diagonal carries e_i.
+      SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
+      // Update the shared symmetric matrix: diagonal carries e_i.
       for (std::size_t a = 0; a < slots.size(); ++a) {
-        for (std::size_t b = a; b < slots.size(); ++b) {
-          std::uint32_t& upper = counts[slots[a] * n + slots[b]];
+        {
+          std::uint32_t& diag =
+              counts[static_cast<std::size_t>(slots[a]) * n + slots[a]];
+#pragma omp atomic
+          ++diag;
+        }
+        for (std::size_t b = a + 1; b < slots.size(); ++b) {
+          const std::uint64_t key = UpperKey(slots[a], slots[b]);
+          std::uint32_t& upper = counts[(key >> 32) * n + (key & 0xFFFFFFFFu)];
 #pragma omp atomic
           ++upper;
         }
       }
     }
   }
-  // Mirror the upper triangle.
-  ParallelFor(n, [&](std::size_t i) {
-    for (std::size_t j = 0; j < i; ++j) {
-      counts[i * n + j] = counts[j * n + i];
-    }
-  });
+  MirrorLowerTriangle(counts, n);
   return matrix;
 }
 
@@ -80,6 +196,9 @@ CoReportMatrix ComputeCoReportingSparse(const engine::Database& db,
                                         std::span<const std::uint32_t> subset) {
   const auto slot = SlotMap(db, subset);
   const std::size_t n = subset.empty() ? db.num_sources() : subset.size();
+  CoReportMatrix matrix(n);
+  if (n == 0) return matrix;
+  const auto& index = db.event_distinct_sources();
 
   // Per-thread sparse accumulation keyed by packed (i, j), merged at the
   // end. Same result as the dense path; trades atomics for hashing.
@@ -93,17 +212,15 @@ CoReportMatrix ComputeCoReportingSparse(const engine::Database& db,
 #pragma omp for schedule(dynamic, 256)
     for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
          ++e) {
-      DistinctSlots(db, slot, static_cast<std::uint32_t>(e), slots);
+      SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
       for (std::size_t a = 0; a < slots.size(); ++a) {
-        for (std::size_t b = a; b < slots.size(); ++b) {
-          const std::uint64_t key =
-              static_cast<std::uint64_t>(slots[a]) << 32 | slots[b];
-          ++local[key];
+        ++local[UpperKey(slots[a], slots[a])];
+        for (std::size_t b = a + 1; b < slots.size(); ++b) {
+          ++local[UpperKey(slots[a], slots[b])];
         }
       }
     }
   }
-  CoReportMatrix matrix(n);
   auto& counts = matrix.mutable_counts();
   for (const auto& local : locals) {
     for (const auto& [key, count] : local) {
@@ -112,18 +229,14 @@ CoReportMatrix ComputeCoReportingSparse(const engine::Database& db,
       counts[i * n + j] += count;
     }
   }
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < i; ++j) {
-      counts[i * n + j] = counts[j * n + i];
-    }
-  }
+  MirrorLowerTriangle(counts.data(), n);
   return matrix;
 }
 
 graph::SparseMatrix ComputeCoReportingTimeSliced(const engine::Database& db) {
   const std::size_t n = db.num_sources();
-  const auto src = db.mention_source_id();
   const auto added = db.event_added_interval();
+  const auto& index = db.event_distinct_sources();
 
   // Slice events by the quarter they entered the database.
   const auto w = engine::QuartersOf(db);
@@ -138,21 +251,17 @@ graph::SparseMatrix ComputeCoReportingTimeSliced(const engine::Database& db) {
   }
 
   // One compressed sparse matrix per time slice (upper triangle + diag),
-  // built in parallel across slices.
+  // built in parallel across slices. The memoized index hands every event
+  // its distinct sources already sorted, so keys come out ordered per
+  // event without any per-event sort.
   std::vector<graph::SparseMatrix> slices(nq);
 #pragma omp parallel
   {
-    std::vector<std::uint32_t> slots;
 #pragma omp for schedule(dynamic)
     for (std::int64_t qi = 0; qi < static_cast<std::int64_t>(nq); ++qi) {
       std::unordered_map<std::uint64_t, std::uint32_t> acc;
       for (const std::uint32_t e : slice_events[static_cast<std::size_t>(qi)]) {
-        slots.clear();
-        for (const std::uint64_t row : db.mentions_by_event().RowsOf(e)) {
-          slots.push_back(src[row]);
-        }
-        std::sort(slots.begin(), slots.end());
-        slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+        const auto slots = index.ValuesOf(e);
         for (std::size_t a = 0; a < slots.size(); ++a) {
           for (std::size_t b = a; b < slots.size(); ++b) {
             ++acc[static_cast<std::uint64_t>(slots[a]) << 32 | slots[b]];

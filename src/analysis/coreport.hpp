@@ -5,8 +5,15 @@
 //     c_ij = e_ij / (e_i + e_j - e_ij).
 // Following the paper, the pair counts are accumulated into a dense matrix
 // (~1.8 GB for all 21 k real sources; a few MB at our scale) because the
-// update count is enormous; a sparse assembly path over per-quarter blocks
-// is provided as the ablation alternative.
+// update count is enormous.
+//
+// Every kernel below consumes the database's memoized event ->
+// distinct-source index (engine::Database::event_distinct_sources()), so
+// the per-event sort/dedup is paid once per database, not once per query.
+// The default kernel is the atomic-free tiled one; the shared-matrix
+// atomic kernel and the hash-based sparse kernel stay available as the
+// representation ablation (bench_ablation_coreport_repr), which quantifies
+// the win. All kernels produce bitwise-identical count matrices.
 #pragma once
 
 #include <cstdint>
@@ -47,13 +54,36 @@ class CoReportMatrix {
   std::vector<std::uint32_t> counts_;
 };
 
+/// Tuning knobs for the tiled kernel; the defaults are right for
+/// production use — tests lower them to force the large-n sparse path.
+struct TiledCoReportOptions {
+  /// Ceiling on the total size of per-thread dense partial matrices
+  /// (threads * n * n * 4 bytes). Below it each thread accumulates into a
+  /// private dense upper-triangular matrix; above it threads accumulate
+  /// sparse (hashed) partials compressed to sorted runs instead.
+  std::size_t dense_partials_budget_bytes = std::size_t{512} << 20;
+  /// Merge granularity: elements per output tile (dense merge) and the
+  /// basis for the row-tile width (sparse merge).
+  std::size_t tile_elems = std::size_t{1} << 14;
+};
+
 /// Computes co-reporting over a subset of sources (empty subset = all).
 /// `subset[k]` is the source id occupying matrix row/col k.
-/// Parallel over events; updates use atomics (the matrix is shared).
+/// This is the atomic-free tiled kernel: parallel over event ranges with
+/// per-thread private accumulation, merged deterministically in tile
+/// order (parallel/MergeTiledPartials) — no atomics on the hot path and
+/// bitwise-reproducible output at any thread count.
 CoReportMatrix ComputeCoReporting(const engine::Database& db,
-                                  std::span<const std::uint32_t> subset = {});
+                                  std::span<const std::uint32_t> subset = {},
+                                  const TiledCoReportOptions& options = {});
 
-/// Sparse-assembly alternative (the ablation of DESIGN.md section 5):
+/// The pre-tiling baseline kept for the representation ablation: a shared
+/// dense matrix updated with per-pair atomics. Identical counts,
+/// contended at high thread counts.
+CoReportMatrix ComputeCoReportingDenseAtomic(
+    const engine::Database& db, std::span<const std::uint32_t> subset = {});
+
+/// Hash-based alternative (the ablation of DESIGN.md section 5):
 /// accumulates per-thread hash maps of pair counts and merges them.
 /// Produces identical counts; compared for speed/memory in the bench.
 CoReportMatrix ComputeCoReportingSparse(

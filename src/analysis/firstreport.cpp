@@ -20,6 +20,7 @@ FirstReportStats ComputeFirstReports(const engine::Database& db,
   const auto src = db.mention_source_id();
   const auto when = db.mention_interval();
   const auto event_when = db.mention_event_interval();
+  const auto& index = db.event_distinct_sources();
 
   const auto nt = static_cast<std::size_t>(MaxThreads());
   struct Local {
@@ -39,7 +40,7 @@ FirstReportStats ComputeFirstReports(const engine::Database& db,
     local.hist.assign(static_cast<std::size_t>(histogram_bins), 0);
     local.repeat_events.assign(ns, 0);
     local.repeat_articles.assign(ns, 0);
-    std::vector<std::uint32_t> sources_scratch;
+    std::vector<std::uint32_t> multiplicity;
 
 #pragma omp for schedule(dynamic, 256)
     for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
@@ -65,23 +66,26 @@ FirstReportStats ComputeFirstReports(const engine::Database& db,
         ++local.hist[bin];
         if (delay <= 4) ++local.within_hour;
       }
-      // Repeat coverage: multiplicity per source within this event.
-      sources_scratch.clear();
-      for (const std::uint64_t row : rows) {
-        sources_scratch.push_back(src[row]);
-      }
-      std::sort(sources_scratch.begin(), sources_scratch.end());
-      for (std::size_t i = 0; i < sources_scratch.size();) {
-        std::size_t j = i;
-        while (j < sources_scratch.size() &&
-               sources_scratch[j] == sources_scratch[i]) {
-          ++j;
+      // Repeat coverage: multiplicity per source within this event. The
+      // memoized index holds the event's distinct sources sorted, so
+      // instead of re-sorting the mention rows we bucket each row against
+      // that list; events with as many distinct sources as rows (the
+      // common case) have no repeats and are skipped outright.
+      const auto distinct = index.ValuesOf(static_cast<std::uint32_t>(e));
+      if (distinct.size() < rows.size()) {
+        multiplicity.assign(distinct.size(), 0);
+        for (const std::uint64_t row : rows) {
+          const auto at = std::lower_bound(distinct.begin(), distinct.end(),
+                                           src[row]) -
+                          distinct.begin();
+          ++multiplicity[static_cast<std::size_t>(at)];
         }
-        if (j - i >= 2) {
-          ++local.repeat_events[sources_scratch[i]];
-          local.repeat_articles[sources_scratch[i]] += (j - i) - 1;
+        for (std::size_t d = 0; d < distinct.size(); ++d) {
+          if (multiplicity[d] >= 2) {
+            ++local.repeat_events[distinct[d]];
+            local.repeat_articles[distinct[d]] += multiplicity[d] - 1;
+          }
         }
-        i = j;
       }
     }
   }

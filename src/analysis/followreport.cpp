@@ -25,11 +25,19 @@ FollowReportMatrix ComputeFollowReporting(
 
   const auto src = db.mention_source_id();
   const auto when = db.mention_interval();
+  const auto& index = db.event_distinct_sources();
   const std::size_t n = result.n;
-  auto* counts = result.follow_counts.data();
+
+  // Per-thread count matrices merged in thread order: no atomics on the
+  // hot path and deterministic output at any thread count.
+  const auto nt = static_cast<std::size_t>(MaxThreads());
+  std::vector<std::vector<std::uint64_t>> locals(nt);
 
 #pragma omp parallel
   {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    auto& local = locals[tid];
+    local.assign(n * n, 0);
     // Per-event scratch: subset members that have already published, with
     // their first publication interval.
     std::vector<std::int64_t> first_pub(n);
@@ -37,6 +45,17 @@ FollowReportMatrix ComputeFollowReporting(
 #pragma omp for schedule(dynamic, 256)
     for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
          ++e) {
+      // Prefilter on the memoized distinct-source list: most events have
+      // no subset member at all, so their mention rows are never walked.
+      bool any_member = false;
+      for (const std::uint32_t s :
+           index.ValuesOf(static_cast<std::uint32_t>(e))) {
+        if (slot[s] >= 0) {
+          any_member = true;
+          break;
+        }
+      }
+      if (!any_member) continue;
       const auto rows = db.mentions_by_event().RowsOf(
           static_cast<std::uint32_t>(e));
       if (rows.size() < 2) continue;
@@ -49,9 +68,7 @@ FollowReportMatrix ComputeFollowReporting(
         // earlier (including j itself on an earlier article).
         for (const std::uint32_t i : seen) {
           if (first_pub[i] < t) {
-            std::uint64_t& cell = counts[i * n + static_cast<std::size_t>(j)];
-#pragma omp atomic
-            ++cell;
+            ++local[i * n + static_cast<std::size_t>(j)];
           }
         }
         // Record j's first publication time.
@@ -63,6 +80,7 @@ FollowReportMatrix ComputeFollowReporting(
       }
     }
   }
+  MergeTiledPartials(std::span<std::uint64_t>(result.follow_counts), locals);
   return result;
 }
 

@@ -38,6 +38,37 @@ struct CsrIndex {
   }
 };
 
+/// CSR-shaped mapping from a dense u32 key to a *sorted, deduplicated*
+/// list of u32 values: values[offsets[k]..offsets[k+1]) are the distinct
+/// values of key k in ascending order. This is the shape of the memoized
+/// event -> distinct-source index: the per-event sort/dedup that every
+/// co-reporting-family query used to redo per invocation is paid once and
+/// shared (see engine::Database::event_distinct_sources()).
+struct CsrSetIndex {
+  std::vector<std::uint64_t> offsets;  ///< size num_keys + 1
+  std::vector<std::uint32_t> values;   ///< sorted unique within each key
+
+  std::size_t num_keys() const noexcept {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+
+  /// Distinct values of key k, ascending.
+  std::span<const std::uint32_t> ValuesOf(std::uint32_t k) const noexcept {
+    return {values.data() + offsets[k],
+            static_cast<std::size_t>(offsets[k + 1] - offsets[k])};
+  }
+
+  /// Number of distinct values of key k.
+  std::uint64_t CountOf(std::uint32_t k) const noexcept {
+    return offsets[k + 1] - offsets[k];
+  }
+
+  std::size_t MemoryBytes() const noexcept {
+    return offsets.capacity() * sizeof(std::uint64_t) +
+           values.capacity() * sizeof(std::uint32_t);
+  }
+};
+
 /// Builds a CsrIndex from a key column. `keys[i]` < num_keys for all i
 /// (callers guarantee this; checked in debug builds). Two-pass counting
 /// sort; the counting pass is parallel, the scatter pass is sequential to

@@ -29,7 +29,56 @@ Status BindSpan(const Table& table, std::string_view name,
   return Status::Ok();
 }
 
+/// Builds the event -> distinct-source index: one parallel pass where each
+/// thread sorts/dedups its contiguous event range into a private buffer,
+/// then a prefix sum over per-event counts and a parallel copy into the
+/// final CSR arrays. Deterministic: output depends only on the data.
+CsrSetIndex BuildEventDistinctSources(const CsrIndex& by_event,
+                                      std::span<const std::uint32_t> src,
+                                      std::size_t num_events) {
+  CsrSetIndex index;
+  index.offsets.assign(num_events + 1, 0);
+
+  const auto parts = SplitRange(num_events, static_cast<std::size_t>(MaxThreads()));
+  std::vector<std::vector<std::uint32_t>> locals(parts.size());
+  ParallelFor(parts.size(), [&](std::size_t p) {
+    auto& local = locals[p];
+    std::vector<std::uint32_t> scratch;
+    for (std::size_t e = parts[p].begin; e < parts[p].end; ++e) {
+      scratch.clear();
+      for (const std::uint64_t row :
+           by_event.RowsOf(static_cast<std::uint32_t>(e))) {
+        scratch.push_back(src[row]);
+      }
+      std::sort(scratch.begin(), scratch.end());
+      scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                    scratch.end());
+      index.offsets[e + 1] = scratch.size();
+      local.insert(local.end(), scratch.begin(), scratch.end());
+    }
+  });
+  for (std::size_t e = 0; e < num_events; ++e) {
+    index.offsets[e + 1] += index.offsets[e];
+  }
+  index.values.resize(index.offsets[num_events]);
+  ParallelFor(parts.size(), [&](std::size_t p) {
+    if (parts[p].empty()) return;
+    std::copy(locals[p].begin(), locals[p].end(),
+              index.values.begin() +
+                  static_cast<std::ptrdiff_t>(index.offsets[parts[p].begin]));
+  });
+  return index;
+}
+
 }  // namespace
+
+const CsrSetIndex& Database::event_distinct_sources() const {
+  std::call_once(lazy_->distinct_sources_once, [this] {
+    lazy_->distinct_sources = BuildEventDistinctSources(
+        mentions_by_event_, mention_source_id_, num_events_);
+  });
+  return lazy_->distinct_sources;
+}
 
 Result<Database> Database::Load(const std::string& dir,
                                 const LoadOptions& options) {
@@ -162,6 +211,7 @@ std::size_t Database::MemoryBytes() const noexcept {
            mentions_by_event_.rows.capacity() * sizeof(std::uint64_t);
   total += mentions_by_source_.offsets.capacity() * sizeof(std::uint64_t) +
            mentions_by_source_.rows.capacity() * sizeof(std::uint64_t);
+  if (lazy_) total += lazy_->distinct_sources.MemoryBytes();
   return total;
 }
 

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -104,6 +106,14 @@ class Database {
     return mentions_by_source_;
   }
 
+  /// Memoized event -> distinct-source index: for every event row, the
+  /// sorted, deduplicated source ids that reported on it. Built lazily in
+  /// parallel on first use (thread-safe) and cached for the lifetime of
+  /// the database; the whole co-reporting query family shares it instead
+  /// of re-walking mentions_by_event() and re-sorting per event on every
+  /// invocation. Requires LoadOptions::build_indexes.
+  const CsrSetIndex& event_distinct_sources() const;
+
   const StringDictionary& sources() const noexcept { return sources_; }
 
   /// Domain name of a source id.
@@ -145,6 +155,14 @@ class Database {
   CsrIndex mentions_by_source_;
   std::int64_t first_interval_ = 0;
   std::int64_t last_interval_ = 0;
+
+  // Lazily built query-side indexes. Held behind a pointer so Database
+  // stays movable (std::once_flag is not).
+  struct LazyIndexes {
+    std::once_flag distinct_sources_once;
+    CsrSetIndex distinct_sources;
+  };
+  std::unique_ptr<LazyIndexes> lazy_ = std::make_unique<LazyIndexes>();
 };
 
 }  // namespace gdelt::engine

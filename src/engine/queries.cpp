@@ -19,15 +19,19 @@ std::vector<std::uint64_t> ArticlesPerSource(const Database& db,
                                return src[i];
                              });
   }
-  std::vector<std::uint64_t> counts(n_sources, 0);
+  // Per-thread accumulators merged in thread order: no atomics, and the
+  // counts are identical whichever schedule dealt out the iterations.
+  const auto nt = static_cast<std::size_t>(MaxThreads());
+  std::vector<std::vector<std::uint64_t>> locals(nt);
+  for (auto& local : locals) local.assign(n_sources, 0);
   ParallelFor(
       src.size(),
       [&](std::size_t i) {
-        std::uint64_t& slot = counts[src[i]];
-#pragma omp atomic
-        ++slot;
+        ++locals[static_cast<std::size_t>(omp_get_thread_num())][src[i]];
       },
       schedule);
+  std::vector<std::uint64_t> counts(n_sources, 0);
+  MergeTiledPartials(std::span<std::uint64_t>(counts), locals);
   return counts;
 }
 

@@ -122,7 +122,9 @@ Status BinaryReader::ReadBytes(void* out, std::size_t size) noexcept {
   if (size > remaining()) {
     return status::DataLoss("unexpected end of input");
   }
-  std::memcpy(out, data_ + offset_, size);
+  // Zero-length columns hand us a null destination; memcpy forbids that
+  // even for size 0.
+  if (size != 0) std::memcpy(out, data_ + offset_, size);
   offset_ += size;
   return Status::Ok();
 }

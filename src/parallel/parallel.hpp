@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace gdelt {
@@ -141,6 +142,32 @@ std::vector<std::uint64_t> ParallelHistogram(std::size_t n,
     for (std::size_t b = 0; b < num_bins; ++b) merged[b] += local[b];
   }
   return merged;
+}
+
+/// Deterministic tiled merge of per-thread partial arrays:
+///     out[i] += sum over t (in thread order) of partials[t][i]
+/// parallelized over contiguous tiles of the output. Because every tile is
+/// owned by exactly one task and thread partials are combined in a fixed
+/// order within it, the result is bitwise reproducible run-to-run for any
+/// element type (including floating point) and any schedule. Partials
+/// shorter than `out` (threads that never entered the region) are skipped.
+template <typename T>
+void MergeTiledPartials(std::span<T> out,
+                        const std::vector<std::vector<T>>& partials,
+                        std::size_t tile_elems = 16384) {
+  const std::size_t n = out.size();
+  if (n == 0) return;
+  tile_elems = std::max<std::size_t>(1, tile_elems);
+  const std::size_t num_tiles = (n + tile_elems - 1) / tile_elems;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t t = 0; t < static_cast<std::int64_t>(num_tiles); ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * tile_elems;
+    const std::size_t end = std::min(n, begin + tile_elems);
+    for (const auto& local : partials) {
+      if (local.size() < n) continue;
+      for (std::size_t i = begin; i < end; ++i) out[i] += local[i];
+    }
+  }
 }
 
 /// Exclusive prefix sum in place; returns the total.

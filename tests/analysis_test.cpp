@@ -88,10 +88,16 @@ TEST_F(CoReportScenario, SubsetSelectsRows) {
   EXPECT_EQ(m.PairCount(0, 1), 1u);  // c & a
 }
 
-TEST_F(CoReportScenario, SparseAssemblyMatchesDense) {
-  const CoReportMatrix dense = ComputeCoReporting(*db_);
+TEST_F(CoReportScenario, AllKernelsMatchTiledDefault) {
+  const CoReportMatrix tiled = ComputeCoReporting(*db_);
+  const CoReportMatrix atomic = ComputeCoReportingDenseAtomic(*db_);
   const CoReportMatrix sparse = ComputeCoReportingSparse(*db_);
-  EXPECT_EQ(dense.counts(), sparse.counts());
+  TiledCoReportOptions force_sparse;
+  force_sparse.dense_partials_budget_bytes = 0;
+  const CoReportMatrix tiled_sparse = ComputeCoReporting(*db_, {}, force_sparse);
+  EXPECT_EQ(tiled.counts(), atomic.counts());
+  EXPECT_EQ(tiled.counts(), sparse.counts());
+  EXPECT_EQ(tiled.counts(), tiled_sparse.counts());
 }
 
 TEST_F(CoReportScenario, TimeSlicedAssemblyMatchesDense) {

@@ -1,0 +1,130 @@
+// Golden equivalence suite for the co-reporting kernel family.
+//
+// The tiled kernel (default), the shared-matrix atomic baseline, the
+// per-thread hash kernel, and the paper's time-sliced sparse assembly must
+// all produce bitwise-identical count matrices — on generator data, for
+// subset and full-source selections, at 1 and N threads, and on both the
+// dense and forced-sparse flavors of the tiled kernel.
+#include "analysis/coreport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "convert/converter.hpp"
+#include "engine/queries.hpp"
+#include "gen/emit.hpp"
+#include "gen/generator.hpp"
+#include "graph/matrix.hpp"
+#include "parallel/parallel.hpp"
+#include "test_util.hpp"
+
+namespace gdelt::analysis {
+namespace {
+
+using ::gdelt::testing::TempDir;
+
+/// Converts a Tiny generated dataset once for the whole suite.
+class CoReportEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dirs_ = new TempDir("coreport_equiv");
+    auto cfg = gen::GeneratorConfig::Tiny();
+    const auto dataset = gen::GenerateDataset(cfg);
+    ASSERT_TRUE(gen::EmitDataset(dataset, cfg, dirs_->path() + "/raw").ok());
+    convert::ConvertOptions options;
+    options.input_dir = dirs_->path() + "/raw";
+    options.output_dir = dirs_->path() + "/db";
+    ASSERT_TRUE(convert::ConvertDataset(options).ok());
+    auto db = engine::Database::Load(dirs_->path() + "/db");
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = new engine::Database(std::move(*db));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete dirs_;
+  }
+
+  /// Asserts every kernel produces the same counts for one selection.
+  static void ExpectAllKernelsAgree(std::span<const std::uint32_t> subset) {
+    const auto tiled = ComputeCoReporting(*db_, subset);
+    const auto atomic = ComputeCoReportingDenseAtomic(*db_, subset);
+    const auto sparse = ComputeCoReportingSparse(*db_, subset);
+    TiledCoReportOptions force_sparse;
+    force_sparse.dense_partials_budget_bytes = 0;
+    const auto tiled_sparse = ComputeCoReporting(*db_, subset, force_sparse);
+    EXPECT_EQ(tiled.counts(), atomic.counts());
+    EXPECT_EQ(tiled.counts(), sparse.counts());
+    EXPECT_EQ(tiled.counts(), tiled_sparse.counts());
+  }
+
+  static inline TempDir* dirs_ = nullptr;
+  static inline engine::Database* db_ = nullptr;
+};
+
+TEST_F(CoReportEquivalenceTest, SubsetsOfSeveralSizes) {
+  for (const std::size_t k : {1u, 3u, 10u, 50u}) {
+    SCOPED_TRACE("top-" + std::to_string(k));
+    const auto top = engine::TopSourcesByArticles(*db_, k);
+    ExpectAllKernelsAgree(top);
+  }
+}
+
+TEST_F(CoReportEquivalenceTest, AllSources) {
+  ExpectAllKernelsAgree({});
+}
+
+TEST_F(CoReportEquivalenceTest, SingleVsManyThreads) {
+  const auto top = engine::TopSourcesByArticles(*db_, 20);
+  const int hw = MaxThreads();
+  SetThreads(1);
+  const auto serial_subset = ComputeCoReporting(*db_, top);
+  const auto serial_full = ComputeCoReporting(*db_);
+  SetThreads(hw);
+  const auto parallel_subset = ComputeCoReporting(*db_, top);
+  const auto parallel_full = ComputeCoReporting(*db_);
+  EXPECT_EQ(serial_subset.counts(), parallel_subset.counts());
+  EXPECT_EQ(serial_full.counts(), parallel_full.counts());
+  // The atomic baseline agrees at both ends too.
+  SetThreads(1);
+  const auto atomic_serial = ComputeCoReportingDenseAtomic(*db_, top);
+  SetThreads(hw);
+  EXPECT_EQ(serial_subset.counts(), atomic_serial.counts());
+}
+
+TEST_F(CoReportEquivalenceTest, TiledSparseFlavorAtManyTileWidths) {
+  const auto top = engine::TopSourcesByArticles(*db_, 30);
+  const auto reference = ComputeCoReportingDenseAtomic(*db_, top);
+  for (const std::size_t tile : {1u, 7u, 64u, 100000u}) {
+    SCOPED_TRACE("tile_elems=" + std::to_string(tile));
+    TiledCoReportOptions options;
+    options.dense_partials_budget_bytes = 0;  // force the sparse flavor
+    options.tile_elems = tile;
+    const auto tiled = ComputeCoReporting(*db_, top, options);
+    EXPECT_EQ(reference.counts(), tiled.counts());
+  }
+}
+
+TEST_F(CoReportEquivalenceTest, TimeSlicedMatchesTiled) {
+  const auto tiled = ComputeCoReporting(*db_);
+  const auto sliced = ComputeCoReportingTimeSliced(*db_);
+  const auto as_dense = graph::SparseToDense(sliced);
+  ASSERT_EQ(as_dense.rows(), tiled.size());
+  for (std::size_t i = 0; i < tiled.size(); ++i) {
+    for (std::size_t j = 0; j < tiled.size(); ++j) {
+      ASSERT_DOUBLE_EQ(as_dense.At(i, j),
+                       static_cast<double>(tiled.PairCount(i, j)))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST_F(CoReportEquivalenceTest, RepeatedInvocationsAreBitwiseStable) {
+  // The memoized index is built once; repeated queries must not drift.
+  const auto top = engine::TopSourcesByArticles(*db_, 10);
+  const auto first = ComputeCoReporting(*db_, top);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(first.counts(), ComputeCoReporting(*db_, top).counts());
+  }
+}
+
+}  // namespace
+}  // namespace gdelt::analysis

@@ -189,6 +189,76 @@ TEST_F(EngineTest, MissingDatabaseDirectoryFails) {
   EXPECT_FALSE(Database::Load("/no/such/dir").ok());
 }
 
+TEST_F(EngineTest, DistinctSourceIndexMatchesBruteForce) {
+  const auto& index = db_->event_distinct_sources();
+  ASSERT_EQ(index.num_keys(), db_->num_events());
+  const auto src = db_->mention_source_id();
+  for (std::size_t e = 0; e < db_->num_events(); ++e) {
+    std::set<std::uint32_t> expected;
+    for (const std::uint64_t row :
+         db_->mentions_by_event().RowsOf(static_cast<std::uint32_t>(e))) {
+      expected.insert(src[row]);
+    }
+    const auto got = index.ValuesOf(static_cast<std::uint32_t>(e));
+    ASSERT_EQ(got.size(), expected.size()) << "event " << e;
+    // Sorted, deduplicated, and exactly the reporting sources (std::set
+    // iterates ascending, so element-wise equality checks all three).
+    std::size_t i = 0;
+    for (const std::uint32_t s : expected) {
+      ASSERT_EQ(got[i++], s) << "event " << e;
+    }
+  }
+}
+
+TEST_F(EngineTest, DistinctSourceIndexIsMemoized) {
+  const auto& first = db_->event_distinct_sources();
+  const auto& second = db_->event_distinct_sources();
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first.values.data(), second.values.data());
+}
+
+TEST(DistinctSourceIndexTest, EmptyEventsAndDedup) {
+  TempDir dir("distinct_idx");
+  TestDbBuilder builder;
+  const auto e1 = builder.AddEvent(100);
+  const auto e2 = builder.AddEvent(200);  // never mentioned
+  const auto e3 = builder.AddEvent(300);
+  builder.AddMention(e1, 101, "b.com");
+  builder.AddMention(e1, 102, "a.com");
+  builder.AddMention(e1, 103, "b.com");  // duplicate source
+  builder.AddMention(e3, 301, "c.com");
+  (void)e2;
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  const auto& index = db->event_distinct_sources();
+  ASSERT_EQ(index.num_keys(), 3u);
+  const auto a = *db->sources().Find("a.com");
+  const auto b = *db->sources().Find("b.com");
+  const auto c = *db->sources().Find("c.com");
+  // Event 0: {a, b} sorted ascending despite b arriving first, dup dropped.
+  ASSERT_EQ(index.CountOf(0), 2u);
+  EXPECT_EQ(index.ValuesOf(0)[0], std::min(a, b));
+  EXPECT_EQ(index.ValuesOf(0)[1], std::max(a, b));
+  // Event 1: no mentions -> empty list.
+  EXPECT_EQ(index.CountOf(1), 0u);
+  EXPECT_TRUE(index.ValuesOf(1).empty());
+  // Event 2: singleton.
+  ASSERT_EQ(index.CountOf(2), 1u);
+  EXPECT_EQ(index.ValuesOf(2)[0], c);
+}
+
+TEST(DistinctSourceIndexTest, EmptyDatabase) {
+  TempDir dir("distinct_empty");
+  TestDbBuilder builder;
+  builder.AddEvent(100);  // one event, zero mentions
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  const auto& index = db->event_distinct_sources();
+  ASSERT_EQ(index.num_keys(), 1u);
+  EXPECT_EQ(index.CountOf(0), 0u);
+  EXPECT_TRUE(index.values.empty());
+}
+
 TEST(DatabaseIntegrityTest, RejectsOutOfRangeEventRow) {
   TempDir dir("integrity");
   TestDbBuilder builder;
