@@ -1,0 +1,112 @@
+// Serving throughput: requests/sec through the gdelt_serve request path,
+// cold (every request renders against the database) vs cached (the LRU
+// result cache answers without touching a kernel).
+//
+// The server runs in-process on an ephemeral loopback port with real
+// sockets and real worker admission, so the measured path is exactly what
+// a deployed daemon executes — protocol parse, cache lookup, scheduler
+// hop, render, response framing.
+#include <thread>
+#include <vector>
+
+#include "common/fixture.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/timer.hpp"
+
+namespace gdelt::bench {
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 50;
+const char* const kRequestLine = R"({"query":"top-sources","top":5})";
+
+serve::ServerOptions ServeOptions(std::size_t cache_entries) {
+  serve::ServerOptions options;
+  options.scheduler.workers = 2;
+  options.cache_entries = cache_entries;
+  return options;
+}
+
+/// Sends `count` copies of the canonical request, asserting transport ok.
+void Hammer(int port, int count) {
+  auto client = serve::LineClient::Connect("127.0.0.1", port);
+  if (!client.ok()) return;
+  for (int i = 0; i < count; ++i) {
+    const auto response = client->RoundTrip(kRequestLine);
+    if (!response.ok()) return;
+  }
+}
+
+/// Wall seconds for kClients concurrent clients to push their requests.
+double MeasureOnce(serve::Server& server) {
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back(
+        [&server] { Hammer(server.port(), kRequestsPerClient); });
+  }
+  for (auto& t : threads) t.join();
+  return timer.ElapsedSeconds();
+}
+
+void BM_ServeRoundTripCold(benchmark::State& state) {
+  serve::Server server(Db(), nullptr, ServeOptions(/*cache_entries=*/0));
+  if (!server.Start().ok()) return;
+  auto client = serve::LineClient::Connect("127.0.0.1", server.port());
+  if (!client.ok()) return;
+  for (auto _ : state) {
+    auto response = client->RoundTrip(kRequestLine);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(state.iterations());
+  server.Stop();
+}
+BENCHMARK(BM_ServeRoundTripCold);
+
+void BM_ServeRoundTripCached(benchmark::State& state) {
+  serve::Server server(Db(), nullptr, ServeOptions(/*cache_entries=*/64));
+  if (!server.Start().ok()) return;
+  auto client = serve::LineClient::Connect("127.0.0.1", server.port());
+  if (!client.ok()) return;
+  (void)client->RoundTrip(kRequestLine);  // prime the cache
+  for (auto _ : state) {
+    auto response = client->RoundTrip(kRequestLine);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetItemsProcessed(state.iterations());
+  server.Stop();
+}
+BENCHMARK(BM_ServeRoundTripCached);
+
+void Print() {
+  const int total = kClients * kRequestsPerClient;
+  BenchJsonWriter writer("serve_throughput");
+
+  serve::Server cold(Db(), nullptr, ServeOptions(/*cache_entries=*/0));
+  if (!cold.Start().ok()) return;
+  const double cold_s = MeasureOnce(cold);
+  cold.Stop();
+  writer.Record("cold_" + std::to_string(total) + "req", kClients, cold_s);
+
+  serve::Server cached(Db(), nullptr, ServeOptions(/*cache_entries=*/64));
+  if (!cached.Start().ok()) return;
+  Hammer(cached.port(), 1);  // prime
+  const double cached_s = MeasureOnce(cached);
+  cached.Stop();
+  writer.Record("cached_" + std::to_string(total) + "req", kClients,
+                cached_s);
+
+  std::printf("\n=== Serving throughput (%d clients x %d requests) ===\n",
+              kClients, kRequestsPerClient);
+  std::printf("  cold   : %8.1f req/s  (%.3fs total)\n", total / cold_s,
+              cold_s);
+  std::printf("  cached : %8.1f req/s  (%.3fs total)\n", total / cached_s,
+              cached_s);
+  std::printf("  speedup: %.1fx\n", cold_s / cached_s);
+}
+
+}  // namespace
+}  // namespace gdelt::bench
+
+GDELT_BENCH_MAIN(gdelt::bench::Print)

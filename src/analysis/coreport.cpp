@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "convert/binary_format.hpp"
 #include "engine/queries.hpp"
 #include "parallel/parallel.hpp"
 
@@ -152,6 +153,52 @@ CoReportMatrix ComputeCoReporting(const engine::Database& db,
     TiledSparse(db, index, slot, n, num_parts, options, matrix);
   }
   MirrorLowerTriangle(matrix.mutable_counts().data(), n);
+  return matrix;
+}
+
+CoReportMatrix ComputeCoReporting(const engine::Database& db,
+                                  std::span<const std::uint32_t> subset,
+                                  std::span<const std::uint64_t> rows) {
+  const auto slot = SlotMap(db, subset);
+  const std::size_t n = subset.empty() ? db.num_sources() : subset.size();
+  CoReportMatrix matrix(n);
+  if (n == 0 || rows.empty()) return matrix;
+
+  const auto event_row = db.mention_event_row();
+  const auto src = db.mention_source_id();
+
+  // Distinct (event, slot) pairs over the selected mentions; the memoized
+  // index cannot be used here because it covers all mentions.
+  std::vector<std::uint64_t> pairs;
+  pairs.reserve(rows.size());
+  for (const std::uint64_t i : rows) {
+    const std::uint32_t e = event_row[i];
+    if (e == convert::kOrphanEventRow) continue;
+    const std::int32_t k = slot[src[i]];
+    if (k < 0) continue;
+    pairs.push_back(static_cast<std::uint64_t>(e) << 32 |
+                    static_cast<std::uint32_t>(k));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  auto& counts = matrix.mutable_counts();
+  for (std::size_t a = 0; a < pairs.size();) {
+    const std::uint64_t ev = pairs[a] >> 32;
+    std::size_t b = a;
+    while (b < pairs.size() && (pairs[b] >> 32) == ev) ++b;
+    for (std::size_t x = a; x < b; ++x) {
+      const auto sx = static_cast<std::uint32_t>(pairs[x]);
+      ++counts[static_cast<std::size_t>(sx) * n + sx];
+      for (std::size_t y = x + 1; y < b; ++y) {
+        const std::uint64_t key =
+            UpperKey(sx, static_cast<std::uint32_t>(pairs[y]));
+        ++counts[(key >> 32) * n + (key & 0xFFFFFFFFu)];
+      }
+    }
+    a = b;
+  }
+  MirrorLowerTriangle(counts.data(), n);
   return matrix;
 }
 

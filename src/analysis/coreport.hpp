@@ -77,6 +77,17 @@ CoReportMatrix ComputeCoReporting(const engine::Database& db,
                                   std::span<const std::uint32_t> subset = {},
                                   const TiledCoReportOptions& options = {});
 
+/// Co-reporting restricted to a filtered mention row set (an
+/// engine::SelectMentions result): each event's distinct-source set is
+/// rebuilt from only the selected mentions, so time-window / confidence
+/// restrictions narrow the pair counts exactly like they narrow the other
+/// filtered kernels. Orphan mentions and sources outside `subset` are
+/// skipped. With a row set covering every mention this produces counts
+/// identical to the unfiltered kernel.
+CoReportMatrix ComputeCoReporting(const engine::Database& db,
+                                  std::span<const std::uint32_t> subset,
+                                  std::span<const std::uint64_t> rows);
+
 /// The pre-tiling baseline kept for the representation ablation: a shared
 /// dense matrix updated with per-pair atomics. Identical counts,
 /// contended at high thread counts.

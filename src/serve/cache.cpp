@@ -1,0 +1,72 @@
+#include "serve/cache.hpp"
+
+namespace gdelt::serve {
+
+std::optional<std::string> ResultCache::Get(const std::string& key,
+                                            std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (it->second->epoch != epoch) {
+    // Stale epoch: the delta store ingested since this was cached.
+    text_bytes_ -= it->second->text.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->text;
+}
+
+void ResultCache::Put(const std::string& key, std::uint64_t epoch,
+                      std::string text) {
+  if (max_entries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    text_bytes_ -= it->second->text.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  text_bytes_ += text.size();
+  lru_.push_front(Entry{key, epoch, std::move(text)});
+  index_[key] = lru_.begin();
+  while (lru_.size() > max_entries_) {
+    text_bytes_ -= lru_.back().text.size();
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  text_bytes_ = 0;
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::uint64_t ResultCache::text_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return text_bytes_;
+}
+
+}  // namespace gdelt::serve

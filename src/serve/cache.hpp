@@ -1,0 +1,56 @@
+// LRU result cache for the query service.
+//
+// Keys are the canonical request text (serve::CanonicalKey) plus the
+// database epoch — the DeltaStore's ingest generation — so a cache entry
+// is implicitly invalidated the moment new data lands: the epoch moves on
+// and the stale entry ages out through normal LRU eviction. Thread-safe;
+// a Get and a Put from different workers never block a query scan (the
+// critical sections only move list nodes and strings).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace gdelt::serve {
+
+class ResultCache {
+ public:
+  /// `max_entries` == 0 disables caching entirely.
+  explicit ResultCache(std::size_t max_entries) : max_entries_(max_entries) {}
+
+  /// The cached text for (key, epoch), marking it most-recently used.
+  /// An entry stored under an older epoch is dropped and counts as a miss.
+  std::optional<std::string> Get(const std::string& key, std::uint64_t epoch);
+
+  /// Inserts/overwrites the entry, evicting from the LRU tail as needed.
+  void Put(const std::string& key, std::uint64_t epoch, std::string text);
+
+  void Clear();
+
+  // --- observability (see ServerMetrics::ToJson) ---
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::size_t entries() const;
+  std::uint64_t text_bytes() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t epoch;
+    std::string text;
+  };
+
+  const std::size_t max_entries_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t text_bytes_ = 0;
+};
+
+}  // namespace gdelt::serve

@@ -1,0 +1,99 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace gdelt::serve {
+
+Result<LineClient> LineClient::Connect(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return status::InvalidArgument("bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return status::Internal("connect " + numeric + ":" +
+                            std::to_string(port) + ": " + err);
+  }
+  return LineClient(fd);
+}
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+LineClient::~LineClient() { Close(); }
+
+void LineClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status LineClient::Send(std::string_view request_line) {
+  if (fd_ < 0) return status::Internal("client is closed");
+  std::string framed(request_line);
+  if (framed.empty() || framed.back() != '\n') framed.push_back('\n');
+  std::string_view rest = framed;
+  while (!rest.empty()) {
+    const ssize_t n = ::write(fd_, rest.data(), rest.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return status::Internal(std::string("write: ") + std::strerror(errno));
+    }
+    rest.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return Status::Ok();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  if (fd_ < 0) return status::Internal("client is closed");
+  while (true) {
+    if (const auto nl = buffer_.find('\n'); nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return status::Internal("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<std::string> LineClient::RoundTrip(std::string_view request_line) {
+  GDELT_RETURN_IF_ERROR(Send(request_line));
+  return ReadLine();
+}
+
+}  // namespace gdelt::serve

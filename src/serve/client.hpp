@@ -1,0 +1,45 @@
+// Minimal blocking client for the gdelt_serve protocol.
+//
+// One TCP connection, one request line out, one response line back —
+// enough for the gdelt_client tool, the protocol tests and the
+// throughput bench. Not thread-safe; open one LineClient per thread.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace gdelt::serve {
+
+class LineClient {
+ public:
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  static Result<LineClient> Connect(const std::string& host, int port);
+
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  ~LineClient();
+
+  /// Sends one request line (newline appended if missing) and blocks for
+  /// the matching response line, returned without its trailing newline.
+  Result<std::string> RoundTrip(std::string_view request_line);
+
+  /// Sends without waiting (for pipelined batches; pair with ReadLine).
+  Status Send(std::string_view request_line);
+
+  /// Blocks for the next response line (without trailing newline).
+  Result<std::string> ReadLine();
+
+  void Close();
+
+ private:
+  explicit LineClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace gdelt::serve

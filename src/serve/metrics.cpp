@@ -1,0 +1,112 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "serve/json.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::serve {
+
+void LatencyHistogram::Record(double seconds) {
+  const double us = std::max(0.0, seconds * 1e6);
+  int bucket = 0;
+  while (bucket + 1 < kBuckets && us >= static_cast<double>(2ull << bucket)) {
+    ++bucket;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++data_.count;
+  data_.sum_ms += seconds * 1e3;
+  data_.max_ms = std::max(data_.max_ms, seconds * 1e3);
+  ++data_.buckets[bucket];
+}
+
+double LatencyHistogram::Snapshot::QuantileMs(double q) const noexcept {
+  if (count == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      return static_cast<double>(2ull << b) / 1e3;  // bucket upper bound
+    }
+  }
+  return max_ms;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+void ServerMetrics::RecordLatency(const std::string& kind, double seconds) {
+  std::lock_guard<std::mutex> lock(histograms_mu_);
+  histograms_[kind].Record(seconds);
+}
+
+std::string ServerMetrics::ToJson(const Gauges& gauges) const {
+  std::string out = "{";
+  const auto counter = [&out](const char* name, std::uint64_t value,
+                              bool comma = true) {
+    out += StrFormat("\"%s\":%llu%s", name,
+                     static_cast<unsigned long long>(value),
+                     comma ? "," : "");
+  };
+  counter("requests_total", requests_total.load());
+  counter("responses_ok", responses_ok.load());
+  counter("cache_hits", cache_hits.load());
+  counter("cache_misses", cache_misses.load());
+  counter("rejected_overloaded", rejected_overloaded.load());
+  counter("timeouts", timeouts.load());
+  counter("bad_requests", bad_requests.load());
+  counter("unknown_queries", unknown_queries.load());
+  counter("internal_errors", internal_errors.load());
+  counter("ingests", ingests.load());
+  counter("connections_opened", connections_opened.load());
+  counter("queue_depth", gauges.queue_depth);
+  counter("queue_capacity", gauges.queue_capacity);
+  counter("workers", static_cast<std::uint64_t>(gauges.workers));
+  counter("threads_per_query",
+          static_cast<std::uint64_t>(gauges.threads_per_query));
+  counter("epoch", gauges.epoch);
+  counter("cache_entries", gauges.cache_entries);
+  counter("cache_text_bytes", gauges.cache_text_bytes);
+  out += StrFormat("\"uptime_s\":%.1f,", gauges.uptime_s);
+  out += "\"latency_ms\":{";
+  {
+    std::lock_guard<std::mutex> lock(histograms_mu_);
+    bool first = true;
+    for (const auto& [kind, histogram] : histograms_) {
+      const auto snap = histogram.Snap();
+      if (!first) out += ",";
+      first = false;
+      AppendJsonString(out, kind);
+      out += StrFormat(
+          ":{\"count\":%llu,\"mean\":%.3f,\"p50\":%.3f,\"p90\":%.3f,"
+          "\"p99\":%.3f,\"max\":%.3f}",
+          static_cast<unsigned long long>(snap.count), snap.MeanMs(),
+          snap.QuantileMs(0.50), snap.QuantileMs(0.90),
+          snap.QuantileMs(0.99), snap.max_ms);
+    }
+  }
+  out += "}}";
+  return out;
+}
+
+std::string ServerMetrics::Summary(const Gauges& gauges) const {
+  return StrFormat(
+      "served=%llu ok=%llu hit=%llu miss=%llu overload=%llu timeout=%llu "
+      "bad=%llu queue=%zu/%zu cache=%zu epoch=%llu up=%.0fs",
+      static_cast<unsigned long long>(requests_total.load()),
+      static_cast<unsigned long long>(responses_ok.load()),
+      static_cast<unsigned long long>(cache_hits.load()),
+      static_cast<unsigned long long>(cache_misses.load()),
+      static_cast<unsigned long long>(rejected_overloaded.load()),
+      static_cast<unsigned long long>(timeouts.load()),
+      static_cast<unsigned long long>(bad_requests.load()),
+      gauges.queue_depth, gauges.queue_capacity, gauges.cache_entries,
+      static_cast<unsigned long long>(gauges.epoch), gauges.uptime_s);
+}
+
+}  // namespace gdelt::serve

@@ -1,0 +1,87 @@
+// Observability surface of the query service.
+//
+// Counters are lock-free atomics bumped on the request path; latency
+// histograms are per query kind with power-of-two microsecond buckets
+// (mutex-guarded — the guarded work is a handful of adds, invisible next
+// to a query scan). Snapshots render as the JSON payload of the `metrics`
+// request and as the periodic one-line log summary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gdelt::serve {
+
+/// Log2-bucketed latency histogram over microseconds.
+class LatencyHistogram {
+ public:
+  /// Bucket b counts samples in [2^b, 2^(b+1)) microseconds; the last
+  /// bucket is open-ended (>= ~8.4 s).
+  static constexpr int kBuckets = 24;
+
+  void Record(double seconds);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum_ms = 0;
+    double max_ms = 0;
+    std::uint64_t buckets[kBuckets] = {};
+
+    double MeanMs() const noexcept {
+      return count == 0 ? 0.0 : sum_ms / static_cast<double>(count);
+    }
+    /// Upper bound of the bucket holding quantile `q` in [0, 1].
+    double QuantileMs(double q) const noexcept;
+  };
+  Snapshot Snap() const;
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot data_;
+};
+
+/// All server-side counters plus the per-kind latency histograms.
+class ServerMetrics {
+ public:
+  std::atomic<std::uint64_t> requests_total{0};
+  std::atomic<std::uint64_t> responses_ok{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
+  std::atomic<std::uint64_t> rejected_overloaded{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::atomic<std::uint64_t> bad_requests{0};
+  std::atomic<std::uint64_t> unknown_queries{0};
+  std::atomic<std::uint64_t> internal_errors{0};
+  std::atomic<std::uint64_t> ingests{0};
+  std::atomic<std::uint64_t> connections_opened{0};
+
+  void RecordLatency(const std::string& kind, double seconds);
+
+  /// Gauges sampled by the caller at render time.
+  struct Gauges {
+    std::size_t queue_depth = 0;
+    std::size_t queue_capacity = 0;
+    int workers = 0;
+    int threads_per_query = 0;
+    std::uint64_t epoch = 0;
+    std::size_t cache_entries = 0;
+    std::uint64_t cache_text_bytes = 0;
+    double uptime_s = 0;
+  };
+
+  /// The `metrics` response payload: one JSON object (no trailing
+  /// newline), counters + gauges + per-kind histograms.
+  std::string ToJson(const Gauges& gauges) const;
+
+  /// One-line human summary for the periodic server log.
+  std::string Summary(const Gauges& gauges) const;
+
+ private:
+  mutable std::mutex histograms_mu_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace gdelt::serve

@@ -1,0 +1,183 @@
+#include "serve/protocol.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "gtime/timestamp.hpp"
+#include "serve/json.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::serve {
+namespace {
+
+constexpr std::array<std::string_view, 11> kQueryKinds = {
+    "stats",   "top-sources", "top-events",      "quarterly",
+    "coreport", "follow",     "country-coreport", "cross-report",
+    "delay",   "tone",        "first-reports",
+};
+
+/// Extracts a non-negative integer member with range validation.
+Status TakeInt(const JsonValue& v, std::string_view key, std::int64_t max,
+               std::int64_t& out) {
+  if (!v.is_number()) {
+    return status::InvalidArgument("'" + std::string(key) +
+                                   "' must be a number");
+  }
+  const double d = v.AsNumber();
+  if (d < 0 || d > static_cast<double>(max) || d != std::floor(d)) {
+    return status::InvalidArgument("'" + std::string(key) +
+                                   "' out of range");
+  }
+  out = static_cast<std::int64_t>(d);
+  return Status::Ok();
+}
+
+Status TakeString(const JsonValue& v, std::string_view key,
+                  std::string& out) {
+  if (!v.is_string()) {
+    return status::InvalidArgument("'" + std::string(key) +
+                                   "' must be a string");
+  }
+  out = v.AsString();
+  return Status::Ok();
+}
+
+/// Parses a YYYYMMDDHHMMSS bound into a capture interval.
+Status TakeBound(const std::string& raw, std::string_view key,
+                 std::int64_t& interval) {
+  const auto t = ParseGdeltTimestamp(raw);
+  if (!t.ok()) {
+    return status::InvalidArgument("bad '" + std::string(key) +
+                                   "' timestamp: " + t.status().message());
+  }
+  interval = IntervalOfCivil(t.value());
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view ErrorCodeName(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kUnknownQuery: return "unknown_query";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+bool IsKnownQueryKind(std::string_view kind) noexcept {
+  for (const std::string_view k : kQueryKinds) {
+    if (k == kind) return true;
+  }
+  return false;
+}
+
+bool Request::IsQuery() const noexcept { return IsKnownQueryKind(kind); }
+
+Result<Request> ParseRequest(std::string_view line) {
+  GDELT_ASSIGN_OR_RETURN(const JsonValue root, JsonValue::Parse(line));
+  if (!root.is_object()) {
+    return status::InvalidArgument("request must be a JSON object");
+  }
+  Request r;
+  std::int64_t n = 0;
+  for (const auto& [key, value] : root.members()) {
+    if (key == "id") {
+      GDELT_RETURN_IF_ERROR(TakeString(value, key, r.id));
+    } else if (key == "query") {
+      GDELT_RETURN_IF_ERROR(TakeString(value, key, r.kind));
+    } else if (key == "top") {
+      GDELT_RETURN_IF_ERROR(TakeInt(value, key, 1'000'000, n));
+      r.top_k = static_cast<std::size_t>(n);
+    } else if (key == "from") {
+      GDELT_RETURN_IF_ERROR(TakeString(value, key, r.from));
+    } else if (key == "to") {
+      GDELT_RETURN_IF_ERROR(TakeString(value, key, r.to));
+    } else if (key == "min_confidence") {
+      GDELT_RETURN_IF_ERROR(TakeInt(value, key, 255, n));
+      r.min_confidence = static_cast<int>(n);
+    } else if (key == "timeout_ms") {
+      GDELT_RETURN_IF_ERROR(TakeInt(value, key, 3'600'000, r.timeout_ms));
+    } else if (key == "debug_sleep_ms") {
+      GDELT_RETURN_IF_ERROR(TakeInt(value, key, 60'000, r.debug_sleep_ms));
+    } else if (key == "export") {
+      GDELT_RETURN_IF_ERROR(TakeString(value, key, r.export_path));
+    } else if (key == "mentions") {
+      GDELT_RETURN_IF_ERROR(TakeString(value, key, r.mentions_path));
+    } else {
+      return status::InvalidArgument("unknown request key '" + key + "'");
+    }
+  }
+  if (r.kind.empty()) {
+    return status::InvalidArgument("request needs a 'query' field");
+  }
+  if (!r.from.empty()) {
+    GDELT_RETURN_IF_ERROR(TakeBound(r.from, "from", r.filter.begin_interval));
+    r.restricted = true;
+  }
+  if (!r.to.empty()) {
+    GDELT_RETURN_IF_ERROR(TakeBound(r.to, "to", r.filter.end_interval));
+    r.restricted = true;
+  }
+  if (r.min_confidence > 0) {
+    r.filter.min_confidence = static_cast<std::uint8_t>(r.min_confidence);
+    r.restricted = true;
+  }
+  if (r.kind == "ingest" && r.export_path.empty() &&
+      r.mentions_path.empty()) {
+    return status::InvalidArgument(
+        "ingest needs 'export' and/or 'mentions' paths");
+  }
+  return r;
+}
+
+std::string CanonicalKey(const Request& r) {
+  // Normalized bounds (parsed intervals, not raw text) so equivalent
+  // spellings of a timestamp share an entry.
+  return StrFormat("%s|top=%zu|begin=%lld|end=%lld|conf=%d", r.kind.c_str(),
+                   r.top_k, static_cast<long long>(r.filter.begin_interval),
+                   static_cast<long long>(r.filter.end_interval),
+                   r.min_confidence);
+}
+
+std::string OkResponse(const Request& r, std::string_view text, bool cached,
+                       double wall_ms) {
+  std::string out = "{\"id\":";
+  AppendJsonString(out, r.id);
+  out += ",\"ok\":true,\"query\":";
+  AppendJsonString(out, r.kind);
+  out += cached ? ",\"cached\":true" : ",\"cached\":false";
+  out += StrFormat(",\"wall_ms\":%.3f,\"text\":", wall_ms);
+  AppendJsonString(out, text);
+  out += "}\n";
+  return out;
+}
+
+std::string OkJsonResponse(const Request& r, std::string_view field,
+                           std::string_view payload_json) {
+  std::string out = "{\"id\":";
+  AppendJsonString(out, r.id);
+  out += ",\"ok\":true,\"";
+  out += field;
+  out += "\":";
+  out += payload_json;
+  out += "}\n";
+  return out;
+}
+
+std::string ErrorResponse(std::string_view id, ErrorCode code,
+                          std::string_view message) {
+  std::string out = "{\"id\":";
+  AppendJsonString(out, id);
+  out += ",\"ok\":false,\"error\":{\"code\":";
+  AppendJsonString(out, ErrorCodeName(code));
+  out += ",\"message\":";
+  AppendJsonString(out, message);
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace gdelt::serve

@@ -1,0 +1,82 @@
+// Wire protocol of gdelt_serve (docs/PROTOCOL.md).
+//
+// Newline-delimited JSON over TCP: the client sends one flat JSON object
+// per line, the server answers with exactly one JSON object line per
+// request, in order. Requests are parsed strictly — unknown keys, bad
+// types and malformed timestamps are rejected with a structured
+// `bad_request` error instead of being guessed at — and every request is
+// reduced to a canonical text form that keys the server's result cache.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "engine/filter.hpp"
+#include "util/status.hpp"
+
+namespace gdelt::serve {
+
+/// Structured protocol error codes (the `error.code` response field).
+enum class ErrorCode {
+  kBadRequest,    ///< malformed JSON / unknown key / bad value
+  kUnknownQuery,  ///< well-formed request for a query kind we don't have
+  kOverloaded,    ///< admission control rejected: request queue full
+  kTimeout,       ///< per-request deadline expired
+  kShuttingDown,  ///< server is draining after SIGTERM
+  kInternal,      ///< dispatcher failure (bug)
+};
+
+std::string_view ErrorCodeName(ErrorCode code) noexcept;
+
+/// A parsed, validated client request.
+struct Request {
+  std::string id;    ///< client correlation id, echoed back (may be empty)
+  std::string kind;  ///< query name, or "metrics" | "ping" | "ingest"
+
+  // query options (mirror the gdelt_query CLI flags)
+  std::size_t top_k = 10;
+  std::string from;        ///< raw YYYYMMDDHHMMSS lower bound ("" = open)
+  std::string to;          ///< raw YYYYMMDDHHMMSS upper bound ("" = open)
+  int min_confidence = 0;
+
+  std::int64_t timeout_ms = 0;      ///< 0 = server default
+  std::int64_t debug_sleep_ms = 0;  ///< testing aid: stall the worker
+
+  // ingest options
+  std::string export_path;
+  std::string mentions_path;
+
+  // derived from from/to/min_confidence during parsing
+  engine::MentionFilter filter;
+  bool restricted = false;
+
+  /// True for kinds answered from the database (dispatchable, cacheable).
+  bool IsQuery() const noexcept;
+};
+
+/// True if `kind` names one of the dispatchable query kinds.
+bool IsKnownQueryKind(std::string_view kind) noexcept;
+
+/// Parses one request line (strict; see file comment).
+Result<Request> ParseRequest(std::string_view line);
+
+/// Canonical cache-key text: normalized fields in a fixed order, so two
+/// requests that differ only in JSON member order / whitespace / defaults
+/// spelled out share a cache entry.
+std::string CanonicalKey(const Request& r);
+
+/// Builds one successful query response line (terminating '\n' included).
+std::string OkResponse(const Request& r, std::string_view text, bool cached,
+                       double wall_ms);
+
+/// Builds an ok response whose payload is a pre-rendered JSON value
+/// spliced in unquoted under `field` (used for `metrics`).
+std::string OkJsonResponse(const Request& r, std::string_view field,
+                           std::string_view payload_json);
+
+/// Builds one error response line (terminating '\n' included).
+std::string ErrorResponse(std::string_view id, ErrorCode code,
+                          std::string_view message);
+
+}  // namespace gdelt::serve

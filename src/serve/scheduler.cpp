@@ -1,0 +1,70 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "parallel/parallel.hpp"
+
+namespace gdelt::serve {
+
+Scheduler::Scheduler(const Options& options) : opt_(options) {
+  opt_.workers = std::max(1, opt_.workers);
+  opt_.queue_capacity = std::max<std::size_t>(1, opt_.queue_capacity);
+  threads_per_query_ =
+      opt_.threads_per_query > 0
+          ? opt_.threads_per_query
+          : std::max(1, MaxThreads() / opt_.workers);
+  workers_.reserve(static_cast<std::size_t>(opt_.workers));
+  for (int w = 0; w < opt_.workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Scheduler::~Scheduler() { Drain(); }
+
+bool Scheduler::Submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || queue_.size() >= opt_.queue_capacity) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void Scheduler::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ && workers_.empty()) return;
+    draining_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::size_t Scheduler::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void Scheduler::WorkerLoop() {
+  // The OpenMP num-threads ICV is per native thread: setting it here caps
+  // every parallel region this worker opens, so concurrent queries share
+  // the machine instead of each grabbing all cores.
+  SetThreads(threads_per_query_);
+  while (true) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining and nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace gdelt::serve

@@ -1,0 +1,68 @@
+// Admission control for query execution.
+//
+// The paper's aggregated queries each want the whole machine (they scale
+// to 64 cores, Fig 12), but a service answering many users cannot let
+// every request spawn a full-width OpenMP team — the oversubscription
+// collapses throughput. This scheduler bounds concurrency three ways:
+// a bounded request queue (overflow is rejected up front as `overloaded`
+// instead of building unbounded latency), a fixed pool of worker threads,
+// and a per-query OpenMP thread budget (each worker pins its own
+// omp_set_num_threads, so workers * budget ≈ the hardware).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gdelt::serve {
+
+class Scheduler {
+ public:
+  struct Options {
+    int workers = 2;                 ///< fixed worker pool size (>= 1)
+    std::size_t queue_capacity = 64; ///< pending requests beyond the pool
+    int threads_per_query = 0;       ///< OpenMP budget; 0 = cores / workers
+  };
+
+  /// Starts the worker pool immediately.
+  explicit Scheduler(const Options& options);
+  /// Drains (runs everything already admitted) and joins.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  using Task = std::function<void()>;
+
+  /// Admission control: enqueues the task, or returns false when the
+  /// bounded queue is full or the scheduler is draining. Every admitted
+  /// task is guaranteed to run, even during drain.
+  bool Submit(Task task);
+
+  /// Stops admission, runs all queued tasks to completion, joins the
+  /// workers. Idempotent.
+  void Drain();
+
+  std::size_t QueueDepth() const;
+  std::size_t queue_capacity() const noexcept { return opt_.queue_capacity; }
+  int workers() const noexcept { return opt_.workers; }
+  int threads_per_query() const noexcept { return threads_per_query_; }
+
+ private:
+  void WorkerLoop();
+
+  Options opt_;
+  int threads_per_query_ = 1;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool draining_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gdelt::serve

@@ -1,0 +1,345 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <future>
+
+#include "serve/render.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Writes the whole buffer, retrying on short writes / EINTR.
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(const engine::Database& db, stream::DeltaStore* delta,
+               const ServerOptions& options)
+    : db_(db),
+      delta_(delta),
+      opt_(options),
+      scheduler_(options.scheduler),
+      cache_(options.cache_entries) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opt_.port));
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status::InvalidArgument("bad listen host '" + opt_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status::Internal("bind " + opt_.host + ":" +
+                            std::to_string(opt_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status::Internal("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  start_time_ = Clock::now();
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (opt_.metrics_log_interval_s > 0) {
+    log_thread_ = std::thread([this] { MetricsLogLoop(); });
+  }
+  GDELT_LOG(kInfo, StrFormat("serve: listening on %s:%d (workers=%d "
+                             "threads/query=%d queue=%zu cache=%zu)",
+                             opt_.host.c_str(), port_, scheduler_.workers(),
+                             scheduler_.threads_per_query(),
+                             scheduler_.queue_capacity(), opt_.cache_entries));
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (!started_) return;
+
+  // 1. Stop taking new connections.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Run every admitted request to completion (workers join after).
+  scheduler_.Drain();
+
+  // 3. Let connection threads flush their in-flight responses before the
+  //    sockets go away.
+  const auto grace_end = Clock::now() + std::chrono::seconds(2);
+  while (active_requests_.load() > 0 && Clock::now() < grace_end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // 4. Unblock readers and join connection threads.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(log_stop_mu_);
+  }
+  log_stop_cv_.notify_all();
+  if (log_thread_.joinable()) log_thread_.join();
+
+  GDELT_LOG(kInfo, "serve: drained — " + metrics_.Summary(GaugesNow()));
+}
+
+ServerMetrics::Gauges Server::GaugesNow() const {
+  ServerMetrics::Gauges g;
+  g.queue_depth = scheduler_.QueueDepth();
+  g.queue_capacity = scheduler_.queue_capacity();
+  g.workers = scheduler_.workers();
+  g.threads_per_query = scheduler_.threads_per_query();
+  g.epoch = Epoch();
+  g.cache_entries = cache_.entries();
+  g.cache_text_bytes = cache_.text_bytes();
+  g.uptime_s = started_ ? std::chrono::duration<double>(Clock::now() -
+                                                        start_time_)
+                              .count()
+                        : 0.0;
+  return g;
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  const auto received = Clock::now();
+  metrics_.requests_total.fetch_add(1);
+  if (stopping_.load()) {
+    return ErrorResponse("", ErrorCode::kShuttingDown,
+                         "server is shutting down");
+  }
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    metrics_.bad_requests.fetch_add(1);
+    return ErrorResponse("", ErrorCode::kBadRequest,
+                         parsed.status().message());
+  }
+  const Request& r = *parsed;
+
+  if (r.kind == "ping") {
+    return OkJsonResponse(r, "pong", "true");
+  }
+  if (r.kind == "metrics") {
+    return OkJsonResponse(r, "metrics", metrics_.ToJson(GaugesNow()));
+  }
+  if (r.kind == "ingest") {
+    return HandleIngest(r);
+  }
+  if (!IsKnownQueryKind(r.kind)) {
+    metrics_.unknown_queries.fetch_add(1);
+    return ErrorResponse(r.id, ErrorCode::kUnknownQuery,
+                         "unknown query '" + r.kind + "'");
+  }
+  return HandleQuery(r, received);
+}
+
+std::string Server::HandleQuery(const Request& request,
+                                Clock::time_point received) {
+  const std::uint64_t epoch = Epoch();
+  const std::string key = CanonicalKey(request);
+  if (auto text = cache_.Get(key, epoch)) {
+    metrics_.cache_hits.fetch_add(1);
+    metrics_.responses_ok.fetch_add(1);
+    metrics_.RecordLatency(request.kind,
+                           MsSince(received) / 1e3);
+    return OkResponse(request, *text, /*cached=*/true, MsSince(received));
+  }
+  metrics_.cache_misses.fetch_add(1);
+
+  const std::int64_t timeout_ms =
+      request.timeout_ms > 0 ? request.timeout_ms : opt_.default_timeout_ms;
+  const auto deadline = received + std::chrono::milliseconds(timeout_ms);
+
+  auto promise = std::make_shared<std::promise<std::string>>();
+  auto future = promise->get_future();
+  const bool admitted = scheduler_.Submit([this, request, key, epoch,
+                                           received, deadline, promise] {
+    // Deadline check at dequeue: a request that sat in the queue past its
+    // deadline is answered without burning a scan on it.
+    if (Clock::now() >= deadline) {
+      metrics_.timeouts.fetch_add(1);
+      promise->set_value(ErrorResponse(request.id, ErrorCode::kTimeout,
+                                       "deadline expired in queue"));
+      return;
+    }
+    if (request.debug_sleep_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(request.debug_sleep_ms));
+    }
+    auto rendered = RenderQuery(db_, request);
+    if (!rendered.ok()) {
+      metrics_.internal_errors.fetch_add(1);
+      promise->set_value(ErrorResponse(request.id, ErrorCode::kInternal,
+                                       rendered.status().message()));
+      return;
+    }
+    if (!rendered->note.empty()) GDELT_LOG(kDebug, rendered->note);
+    // Cache even on timeout — the scan is already paid for; a retry of
+    // the same request will hit.
+    cache_.Put(key, epoch, rendered->text);
+    if (Clock::now() >= deadline) {
+      metrics_.timeouts.fetch_add(1);
+      promise->set_value(ErrorResponse(request.id, ErrorCode::kTimeout,
+                                       "deadline expired during execution"));
+      return;
+    }
+    metrics_.responses_ok.fetch_add(1);
+    metrics_.RecordLatency(request.kind, MsSince(received) / 1e3);
+    promise->set_value(OkResponse(request, rendered->text, /*cached=*/false,
+                                  MsSince(received)));
+  });
+  if (!admitted) {
+    metrics_.rejected_overloaded.fetch_add(1);
+    return ErrorResponse(
+        request.id, ErrorCode::kOverloaded,
+        StrFormat("request queue full (%zu pending); retry later",
+                  scheduler_.queue_capacity()));
+  }
+  // Every admitted task runs (even during drain), so this wait is bounded
+  // by queue depth * per-query time; the worker enforces the deadline.
+  return future.get();
+}
+
+std::string Server::HandleIngest(const Request& request) {
+  if (delta_ == nullptr) {
+    return ErrorResponse(request.id, ErrorCode::kBadRequest,
+                         "server was started without a delta store "
+                         "(--follow); ingest is unavailable");
+  }
+  Status status = Status::Ok();
+  {
+    // DeltaStore ingestion is not thread-safe; serialize it. Queries keep
+    // running against the pre-ingest state meanwhile.
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    status = delta_->IngestArchivePair(request.export_path,
+                                       request.mentions_path);
+  }
+  if (!status.ok()) {
+    return ErrorResponse(request.id, ErrorCode::kBadRequest,
+                         status.message());
+  }
+  metrics_.ingests.fetch_add(1);
+  GDELT_LOG(kInfo, StrFormat("serve: ingest ok — epoch=%llu delta_events=%llu "
+                             "delta_mentions=%llu",
+                             static_cast<unsigned long long>(Epoch()),
+                             static_cast<unsigned long long>(
+                                 delta_->delta_events()),
+                             static_cast<unsigned long long>(
+                                 delta_->delta_mentions())));
+  return OkJsonResponse(request, "epoch", std::to_string(Epoch()));
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    metrics_.connections_opened.fetch_add(1);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && open;
+         start = nl + 1, nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      active_requests_.fetch_add(1);
+      const std::string response = HandleLine(line);
+      open = WriteAll(fd, response);
+      active_requests_.fetch_sub(1);
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > opt_.max_line_bytes) {
+      active_requests_.fetch_add(1);
+      metrics_.bad_requests.fetch_add(1);
+      WriteAll(fd, ErrorResponse("", ErrorCode::kBadRequest,
+                                 "request line too long"));
+      active_requests_.fetch_sub(1);
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+void Server::MetricsLogLoop() {
+  std::unique_lock<std::mutex> lock(log_stop_mu_);
+  while (!stopping_.load()) {
+    log_stop_cv_.wait_for(lock,
+                          std::chrono::seconds(opt_.metrics_log_interval_s));
+    if (stopping_.load()) break;
+    GDELT_LOG(kInfo, "serve: " + metrics_.Summary(GaugesNow()));
+  }
+}
+
+}  // namespace gdelt::serve

@@ -1,0 +1,112 @@
+// Long-lived query service over a loaded database.
+//
+// `Server` owns the request path of the gdelt_serve daemon: a TCP accept
+// loop speaking the newline-delimited JSON protocol (docs/PROTOCOL.md),
+// thread-per-connection framing, an admission-controlled worker pool that
+// runs the shared query renderer, an epoch-keyed LRU result cache, and
+// the metrics surface. The database is loaded once by the caller and
+// shared read-only across all workers — the whole point of serving: pay
+// the mmap + index cost once, answer every query after that at memory
+// speed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.hpp"
+#include "serve/cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "stream/delta_store.hpp"
+#include "util/status.hpp"
+
+namespace gdelt::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = pick an ephemeral port (read back via port())
+  Scheduler::Options scheduler;
+  std::size_t cache_entries = 1024;      ///< 0 disables the result cache
+  std::int64_t default_timeout_ms = 30'000;
+  int metrics_log_interval_s = 0;        ///< 0 disables the periodic log line
+  std::size_t max_line_bytes = 1 << 20;  ///< request line length cap
+};
+
+class Server {
+ public:
+  /// `db` must outlive the server. `delta` may be null (no ingest support);
+  /// when given it supplies the cache epoch and the `ingest` request.
+  Server(const engine::Database& db, stream::DeltaStore* delta,
+         const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept loop. Fails on bind errors.
+  Status Start();
+
+  /// Graceful drain: stop admitting, finish every in-flight and queued
+  /// request, flush responses, then tear down connections. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start; useful with ephemeral ports).
+  int port() const noexcept { return port_; }
+
+  /// Current cache epoch (the delta store's ingest generation, 0 if none).
+  std::uint64_t Epoch() const noexcept {
+    return delta_ ? delta_->Generation() : 0;
+  }
+
+  /// Handles one request line and returns the full response line
+  /// (terminating '\n' included). This is the whole protocol minus the
+  /// socket framing — exposed so tests can drive it without a network.
+  std::string HandleLine(const std::string& line);
+
+  const ServerMetrics& metrics() const noexcept { return metrics_; }
+  ServerMetrics::Gauges GaugesNow() const;
+
+ private:
+  std::string HandleQuery(const Request& request,
+                          std::chrono::steady_clock::time_point received);
+  std::string HandleIngest(const Request& request);
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void MetricsLogLoop();
+
+  const engine::Database& db_;
+  stream::DeltaStore* delta_;  ///< may be null
+  ServerOptions opt_;
+
+  Scheduler scheduler_;
+  ResultCache cache_;
+  ServerMetrics metrics_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_time_;
+  std::atomic<std::uint64_t> active_requests_{0};
+
+  std::thread accept_thread_;
+  std::thread log_thread_;
+  std::mutex log_stop_mu_;
+  std::condition_variable log_stop_cv_;
+
+  std::mutex conn_mu_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+
+  std::mutex ingest_mu_;
+};
+
+}  // namespace gdelt::serve

@@ -103,6 +103,7 @@ Status DeltaStore::IngestEventsCsv(std::string_view csv) {
     event_row_of_.emplace(*gid, row);
   }
   malformed_rows_ += rows.errors().size();
+  generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -133,6 +134,7 @@ Status DeltaStore::IngestMentionsCsv(std::string_view csv) {
     mention_event_gid_.push_back(*gid);
   }
   malformed_rows_ += rows.errors().size();
+  generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 

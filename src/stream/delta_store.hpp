@@ -10,6 +10,7 @@
 // folded into the base by re-running the converter.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -45,6 +46,13 @@ class DeltaStore {
     return mention_source_.size();
   }
   std::uint64_t malformed_rows() const noexcept { return malformed_rows_; }
+
+  /// Monotonic ingest epoch: bumped on every successful ingest call, so
+  /// result caches keyed by (query, generation) invalidate as soon as new
+  /// data lands. Safe to read concurrently with serving threads.
+  std::uint64_t Generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// Total sources across base + newly discovered ones.
   std::uint32_t num_sources() const noexcept {
@@ -87,6 +95,7 @@ class DeltaStore {
   std::unordered_map<std::string, std::uint32_t> new_source_ids_;
 
   std::uint64_t malformed_rows_ = 0;
+  std::atomic<std::uint64_t> generation_{0};
 
   static constexpr std::uint32_t kBaseFlag = 0x80000000u;
   static constexpr std::uint32_t kUnknownEvent = 0xFFFFFFFFu;

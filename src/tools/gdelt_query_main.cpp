@@ -1,304 +1,41 @@
 // gdelt_query: runs the paper's analyses against a converted binary
 // database and prints the corresponding table/figure data.
 //
+// The query dispatch and text rendering live in serve::RenderQuery, which
+// is shared with the gdelt_serve daemon so both produce byte-identical
+// output. Only `scaling` stays here: it mutates the process-wide thread
+// count, which a shared server must never do.
+//
 // Usage: gdelt_query --db <dir> --query <name> [--top N] [--threads N]
 //   queries: stats | top-sources | top-events | quarterly | coreport |
 //            follow | country-coreport | cross-report | delay | tone |
 //            first-reports | scaling
-#include <algorithm>
 #include <cstdio>
-#include <numeric>
 #include <string>
-#include <vector>
 
-#include "analysis/coreport.hpp"
-#include "analysis/country.hpp"
-#include "analysis/delay.hpp"
-#include "analysis/distributions.hpp"
-#include "analysis/followreport.hpp"
-#include "analysis/firstreport.hpp"
-#include "analysis/stats.hpp"
-#include "analysis/tone.hpp"
 #include "engine/database.hpp"
-#include "engine/filter.hpp"
-#include "gtime/timestamp.hpp"
 #include "engine/queries.hpp"
+#include "gtime/timestamp.hpp"
+#include "serve/render.hpp"
 #include "util/args.hpp"
-#include "util/strings.hpp"
 #include "util/timer.hpp"
 
 using namespace gdelt;
 
 namespace {
 
-void PrintQuarterSeries(const char* label,
-                        const engine::QuarterSeries& series) {
-  std::printf("%s\n", label);
-  for (std::size_t q = 0; q < series.values.size(); ++q) {
-    std::printf("  %s  %s\n",
-                QuarterLabel(series.first_quarter +
-                             static_cast<QuarterId>(q))
-                    .c_str(),
-                WithThousands(series.values[q]).c_str());
-  }
-}
-
-/// Window/confidence restriction shared by the filter-aware queries.
-struct QueryRestriction {
-  engine::MentionFilter filter;
-  bool active = false;
-};
-
-int RunQuery(const engine::Database& db, const std::string& query,
-             std::size_t top_k, const QueryRestriction& restrict_to) {
-  if (restrict_to.active &&
-      (query == "top-sources" || query == "cross-report")) {
-    const auto rows = engine::SelectMentions(db, restrict_to.filter);
-    std::fprintf(stderr, "[filter selects %zu of %zu mentions]\n",
-                 rows.size(), db.num_mentions());
-    if (query == "top-sources") {
-      const auto counts = engine::ArticlesPerSource(db, rows);
-      std::vector<std::uint32_t> ids(counts.size());
-      std::iota(ids.begin(), ids.end(), 0u);
-      const std::size_t take = std::min(top_k, ids.size());
-      std::partial_sort(ids.begin(),
-                        ids.begin() + static_cast<std::ptrdiff_t>(take),
-                        ids.end(), [&](std::uint32_t a, std::uint32_t b) {
-                          return counts[a] > counts[b];
-                        });
-      std::printf("Top %zu sources (restricted):\n", take);
-      for (std::size_t k = 0; k < take; ++k) {
-        std::printf("  %-28s %s\n",
-                    std::string(db.source_domain(ids[k])).c_str(),
-                    WithThousands(counts[ids[k]]).c_str());
-      }
-      return 0;
-    }
-    const auto report = engine::CountryCrossReporting(db, rows);
-    const auto reported = engine::CountriesByReportedEvents(db, top_k);
-    const auto publishing = engine::CountriesByPublishedArticles(db, top_k);
-    std::printf("Country cross-reporting (restricted window):\n");
-    for (const CountryId r : reported) {
-      std::printf("  %-14s", std::string(CountryName(r)).c_str());
-      for (const CountryId p : publishing) {
-        std::printf(" %-12s", WithThousands(report.At(r, p)).c_str());
-      }
-      std::printf("\n");
-    }
-    return 0;
-  }
-  if (query == "stats") {
-    std::printf("%s", analysis::ComputeDatasetStatistics(db).ToText().c_str());
-    std::printf("Event-size power-law alpha (MLE, xmin=2): %.2f\n",
-                analysis::EventSizePowerLawAlpha(db, 2));
-    return 0;
-  }
-  if (query == "top-sources") {
-    const auto counts = engine::ArticlesPerSource(db);
-    const auto top = engine::TopSourcesByArticles(db, top_k);
-    std::printf("Top %zu sources by article count:\n", top.size());
-    for (const std::uint32_t s : top) {
-      std::printf("  %-28s %s\n", std::string(db.source_domain(s)).c_str(),
-                  WithThousands(counts[s]).c_str());
-    }
-    return 0;
-  }
-  if (query == "top-events") {
-    const auto top = engine::TopReportedEvents(db, top_k);
-    std::printf("Top %zu most reported events (cf. Table III):\n",
-                top.size());
-    std::printf("  %-9s %s\n", "Mentions", "Event source URL");
-    for (const auto& ev : top) {
-      std::printf("  %-9u %s\n", ev.articles,
-                  std::string(db.event_source_url(ev.event_row)).c_str());
-    }
-    return 0;
-  }
-  if (query == "quarterly") {
-    PrintQuarterSeries("Active sources per quarter (Fig 3):",
-                       engine::ActiveSourcesPerQuarter(db));
-    PrintQuarterSeries("Events per quarter (Fig 4):",
-                       engine::EventsPerQuarter(db));
-    PrintQuarterSeries("Articles per quarter (Fig 5):",
-                       engine::ArticlesPerQuarter(db));
-    return 0;
-  }
-  if (query == "coreport") {
-    const auto top = engine::TopSourcesByArticles(db, top_k);
-    const auto matrix = analysis::ComputeCoReporting(db, top);
-    std::printf("Co-reporting (Jaccard) among top %zu sources:\n",
-                top.size());
-    for (std::size_t i = 0; i < top.size(); ++i) {
-      std::printf("  %-28s", std::string(db.source_domain(top[i])).c_str());
-      for (std::size_t j = 0; j < top.size(); ++j) {
-        std::printf(" %.3f", matrix.Jaccard(i, j));
-      }
-      std::printf("\n");
-    }
-    return 0;
-  }
-  if (query == "follow") {
-    const auto top = engine::TopSourcesByArticles(db, top_k);
-    const auto matrix = analysis::ComputeFollowReporting(db, top);
-    std::printf("Follow-reporting f_ij among top %zu sources "
-                "(cf. Table IV):\n", top.size());
-    for (std::size_t i = 0; i < top.size(); ++i) {
-      std::printf("  %-28s", std::string(db.source_domain(top[i])).c_str());
-      for (std::size_t j = 0; j < top.size(); ++j) {
-        std::printf(" %.3f", matrix.F(i, j));
-      }
-      std::printf("\n");
-    }
-    std::printf("  %-28s", "Sum");
-    for (std::size_t j = 0; j < top.size(); ++j) {
-      std::printf(" %.3f", matrix.ColumnSum(j));
-    }
-    std::printf("\n");
-    return 0;
-  }
-  if (query == "country-coreport") {
-    const auto report = analysis::ComputeCountryCoReporting(db);
-    const auto top = engine::CountriesByPublishedArticles(db, top_k);
-    std::printf("Country co-reporting (Jaccard, cf. Table V):\n  %-14s",
-                "");
-    for (const CountryId c : top) {
-      std::printf(" %-12s", std::string(CountryName(c)).c_str());
-    }
-    std::printf("\n");
-    for (const CountryId c : top) {
-      std::printf("  %-14s", std::string(CountryName(c)).c_str());
-      for (const CountryId d : top) {
-        if (c == d) {
-          std::printf(" %-12s", "-");
-        } else {
-          std::printf(" %-12.3f", report.Jaccard(c, d));
-        }
-      }
-      std::printf("\n");
-    }
-    return 0;
-  }
-  if (query == "cross-report") {
+int RunScaling(const engine::Database& db) {
+  const int max_threads = MaxThreads();
+  std::printf("Aggregated-query scaling (cf. Fig 12):\n");
+  for (int t = 1; t <= max_threads; t *= 2) {
+    SetThreads(t);
+    WallTimer timer;
     const auto report = engine::CountryCrossReporting(db);
-    const auto reported = engine::CountriesByReportedEvents(db, top_k);
-    const auto publishing = engine::CountriesByPublishedArticles(db, top_k);
-    std::printf("Country cross-reporting counts (cf. Table VI):\n  %-14s",
-                "");
-    for (const CountryId p : publishing) {
-      std::printf(" %-12s", std::string(CountryName(p)).c_str());
-    }
-    std::printf("\n");
-    for (const CountryId r : reported) {
-      std::printf("  %-14s", std::string(CountryName(r)).c_str());
-      for (const CountryId p : publishing) {
-        std::printf(" %-12s", WithThousands(report.At(r, p)).c_str());
-      }
-      std::printf("\n");
-    }
-    std::printf("\nAs percentage of publisher's articles (cf. Table VII):\n");
-    for (const CountryId r : reported) {
-      std::printf("  %-14s", std::string(CountryName(r)).c_str());
-      for (const CountryId p : publishing) {
-        std::printf(" %-12.2f", report.Percent(r, p));
-      }
-      std::printf("\n");
-    }
-    return 0;
+    (void)report;
+    std::printf("  %2d thread(s): %.3fs\n", t, timer.ElapsedSeconds());
   }
-  if (query == "delay") {
-    const auto stats = analysis::PerSourceDelayStats(db);
-    const auto top = engine::TopSourcesByArticles(db, top_k);
-    std::printf("Publication delay for top %zu sources "
-                "(cf. Table VIII; 15-min intervals):\n", top.size());
-    std::printf("  %-28s %8s %8s %8s %8s\n", "Publisher", "Min", "Max",
-                "Average", "Median");
-    for (const std::uint32_t s : top) {
-      const auto& st = stats[s];
-      std::printf("  %-28s %8lld %8lld %8.0f %8lld\n",
-                  std::string(db.source_domain(s)).c_str(),
-                  static_cast<long long>(st.min),
-                  static_cast<long long>(st.max), st.average,
-                  static_cast<long long>(st.median));
-    }
-    const auto quarterly = analysis::QuarterlyDelayStats(db);
-    std::printf("\nQuarterly delay (Fig 10):\n");
-    for (std::size_t q = 0; q < quarterly.average.size(); ++q) {
-      std::printf("  %s  avg %.1f  median %lld\n",
-                  QuarterLabel(quarterly.first_quarter +
-                               static_cast<QuarterId>(q))
-                      .c_str(),
-                  quarterly.average[q],
-                  static_cast<long long>(quarterly.median[q]));
-    }
-    return 0;
-  }
-  if (query == "tone") {
-    const auto by_quad = analysis::ToneByQuadClass(db);
-    static constexpr const char* kQuadNames[] = {
-        "", "verbal cooperation", "material cooperation", "verbal conflict",
-        "material conflict"};
-    std::printf("Average tone / Goldstein by CAMEO quad class:\n");
-    for (std::size_t q = 1; q <= 4; ++q) {
-      std::printf("  %-22s tone %+6.2f  goldstein %+6.2f  (%s events)\n",
-                  kQuadNames[q], by_quad.tone[q].Mean(),
-                  by_quad.goldstein[q].Mean(),
-                  WithThousands(by_quad.tone[q].count).c_str());
-    }
-    const auto by_country = analysis::AverageToneByCountry(db);
-    const auto reported = engine::CountriesByReportedEvents(db, top_k);
-    std::printf("\nAverage event tone by located country:\n");
-    for (const CountryId c : reported) {
-      std::printf("  %-14s %+6.2f  (%s events)\n",
-                  std::string(CountryName(c)).c_str(),
-                  by_country[c].Mean(),
-                  WithThousands(by_country[c].count).c_str());
-    }
-    return 0;
-  }
-  if (query == "first-reports") {
-    const auto stats = analysis::ComputeFirstReports(db);
-    const auto counts = engine::ArticlesPerSource(db);
-    std::vector<std::uint32_t> by_breaks(db.num_sources());
-    std::iota(by_breaks.begin(), by_breaks.end(), 0u);
-    std::partial_sort(by_breaks.begin(),
-                      by_breaks.begin() + static_cast<std::ptrdiff_t>(
-                          std::min<std::size_t>(top_k, by_breaks.size())),
-                      by_breaks.end(),
-                      [&](std::uint32_t a, std::uint32_t b) {
-                        return stats.first_reports[a] > stats.first_reports[b];
-                      });
-    std::printf("Sources breaking the most stories (wildfire pool "
-                "candidates):\n");
-    std::printf("  %-28s %10s %10s %12s\n", "Source", "breaks", "articles",
-                "repeat-rate");
-    for (std::size_t k = 0; k < top_k && k < by_breaks.size(); ++k) {
-      const auto s = by_breaks[k];
-      std::printf("  %-28s %10s %10s %11.1f%%\n",
-                  std::string(db.source_domain(s)).c_str(),
-                  WithThousands(stats.first_reports[s]).c_str(),
-                  WithThousands(counts[s]).c_str(),
-                  100.0 * stats.RepeatRate(s, counts[s]));
-    }
-    std::printf("\nevents first reported within 1 hour: %s of %s\n",
-                WithThousands(stats.events_broken_within_hour).c_str(),
-                WithThousands(db.num_events()).c_str());
-    return 0;
-  }
-  if (query == "scaling") {
-    const int max_threads = MaxThreads();
-    std::printf("Aggregated-query scaling (cf. Fig 12):\n");
-    for (int t = 1; t <= max_threads; t *= 2) {
-      SetThreads(t);
-      WallTimer timer;
-      const auto report = engine::CountryCrossReporting(db);
-      (void)report;
-      std::printf("  %2d thread(s): %.3fs\n", t, timer.ElapsedSeconds());
-    }
-    SetThreads(max_threads);
-    return 0;
-  }
-  std::fprintf(stderr, "unknown query '%s'\n", query.c_str());
-  return 2;
+  SetThreads(max_threads);
+  return 0;
 }
 
 }  // namespace
@@ -314,8 +51,8 @@ int main(int argc, char** argv) {
   args.AddInt("top", 10, "number of rows for top-k queries");
   args.AddInt("threads", 0, "OpenMP threads (0 = default)");
   args.AddString("from", "",
-                 "restrict top-sources/cross-report to captures at/after "
-                 "this YYYYMMDDHHMMSS timestamp");
+                 "restrict top-sources/coreport/cross-report to captures "
+                 "at/after this YYYYMMDDHHMMSS timestamp");
   args.AddString("to", "",
                  "restrict to captures before this YYYYMMDDHHMMSS timestamp");
   args.AddInt("min-confidence", 0,
@@ -342,15 +79,17 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "[load took %.2fs]\n", load_timer.ElapsedSeconds());
 
-  QueryRestriction restrict_to;
+  serve::Request request;
+  request.kind = args.GetString("query");
+  request.top_k = static_cast<std::size_t>(args.GetInt("top"));
   if (!args.GetString("from").empty()) {
     const auto t = ParseGdeltTimestamp(args.GetString("from"));
     if (!t.ok()) {
       std::fprintf(stderr, "bad --from: %s\n", t.status().ToString().c_str());
       return 2;
     }
-    restrict_to.filter.begin_interval = IntervalOfCivil(t.value());
-    restrict_to.active = true;
+    request.filter.begin_interval = IntervalOfCivil(t.value());
+    request.restricted = true;
   }
   if (!args.GetString("to").empty()) {
     const auto t = ParseGdeltTimestamp(args.GetString("to"));
@@ -358,19 +97,31 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad --to: %s\n", t.status().ToString().c_str());
       return 2;
     }
-    restrict_to.filter.end_interval = IntervalOfCivil(t.value());
-    restrict_to.active = true;
+    request.filter.end_interval = IntervalOfCivil(t.value());
+    request.restricted = true;
   }
   if (args.GetInt("min-confidence") > 0) {
-    restrict_to.filter.min_confidence =
+    request.filter.min_confidence =
         static_cast<std::uint8_t>(args.GetInt("min-confidence"));
-    restrict_to.active = true;
+    request.restricted = true;
   }
 
   WallTimer query_timer;
-  const int rc = RunQuery(*db, args.GetString("query"),
-                          static_cast<std::size_t>(args.GetInt("top")),
-                          restrict_to);
+  int rc = 0;
+  if (request.kind == "scaling") {
+    rc = RunScaling(*db);
+  } else {
+    const auto rendered = serve::RenderQuery(*db, request);
+    if (!rendered.ok()) {
+      std::fprintf(stderr, "%s\n", rendered.status().message().c_str());
+      rc = 2;
+    } else {
+      if (!rendered->note.empty()) {
+        std::fprintf(stderr, "%s\n", rendered->note.c_str());
+      }
+      std::fputs(rendered->text.c_str(), stdout);
+    }
+  }
   std::fprintf(stderr, "[query took %.3fs]\n", query_timer.ElapsedSeconds());
   return rc;
 }

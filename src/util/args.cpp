@@ -88,7 +88,10 @@ Status ArgParser::Parse(int argc, const char* const* argv) {
       it->second.value = "true";
       continue;
     }
-    if (i + 1 >= argc) {
+    // A value-taking flag must not swallow the next flag as its value
+    // (`--db --query stats` should fail on --db, not misparse). Values
+    // that legitimately start with "--" can be passed as --name=value.
+    if (i + 1 >= argc || StartsWith(argv[i + 1], "--")) {
       return status::InvalidArgument("option --" + name + " needs a value");
     }
     GDELT_RETURN_IF_ERROR(SetValue(name, argv[++i]));

@@ -31,6 +31,10 @@ grep -q "quad class" "$WORK/q_tone.log"
     --from 20150225000000 --to 20150305000000 --min-confidence 50 \
     > "$WORK/q_filtered.log" 2>&1
 grep -q "restricted" "$WORK/q_filtered.log"
+"$BIN_DIR/gdelt_query" --db "$WORK/db" --query coreport --top 5 \
+    --min-confidence 50 > "$WORK/q_coreport_filtered.log" 2>&1
+grep -q "sources (restricted):" "$WORK/q_coreport_filtered.log"
+grep -q "filter selects" "$WORK/q_coreport_filtered.log"
 if "$BIN_DIR/gdelt_query" --db "$WORK/db" --query top-sources \
     --from bad-stamp >/dev/null 2>&1; then
   echo "expected failure for bad --from" >&2

@@ -1,0 +1,388 @@
+// Tests for the query service: wire JSON, strict request parsing, the
+// epoch-keyed result cache, the admission-controlled server over real
+// loopback sockets, and graceful drain.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.hpp"
+#include "gen/generator.hpp"
+#include "gen/emit.hpp"
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/render.hpp"
+#include "serve/server.hpp"
+#include "stream/delta_store.hpp"
+#include "test_util.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::serve {
+namespace {
+
+using ::gdelt::testing::TempDir;
+using ::gdelt::testing::TestDbBuilder;
+
+// ---------------------------------------------------------------- JSON --
+
+TEST(JsonTest, ParsesFlatObject) {
+  const auto v = JsonValue::Parse(
+      R"({"query":"stats","top":5,"deep":false,"note":null,"xs":[1,2]})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->Find("query")->AsString(), "stats");
+  EXPECT_EQ(v->Find("top")->AsInt(), 5);
+  EXPECT_FALSE(v->Find("deep")->AsBool(true));
+  EXPECT_EQ(v->Find("note")->kind(), JsonValue::Kind::kNull);
+  EXPECT_EQ(v->Find("xs")->elements().size(), 2u);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParsesEscapes) {
+  const auto v = JsonValue::Parse(R"({"s":"a\"b\\c\nd"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("s")->AsString(), "a\"b\\c\nd");
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"({"a":1} trailing)").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"({"a":"unterminated)").ok());
+  EXPECT_FALSE(JsonValue::Parse("{'single':1}").ok());
+  // Depth bomb stops at the parser's limit instead of recursing away.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonTest, EscapesOnOutput) {
+  std::string out;
+  AppendJsonString(out, "a\"b\\c\nd\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+}
+
+// ------------------------------------------------------------ protocol --
+
+TEST(ProtocolTest, ParsesDefaults) {
+  const auto r = ParseRequest(R"({"query":"stats"})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, "stats");
+  EXPECT_EQ(r->top_k, 10u);
+  EXPECT_FALSE(r->restricted);
+  EXPECT_TRUE(r->IsQuery());
+}
+
+TEST(ProtocolTest, ParsesFilterOptions) {
+  const auto r = ParseRequest(
+      R"({"query":"top-sources","top":3,"from":"20150225000000",)"
+      R"("min_confidence":50})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->top_k, 3u);
+  EXPECT_TRUE(r->restricted);
+  EXPECT_EQ(r->filter.min_confidence, 50);
+  EXPECT_GT(r->filter.begin_interval, 0);
+}
+
+TEST(ProtocolTest, RejectsBadRequests) {
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest(R"([1,2,3])").ok());
+  EXPECT_FALSE(ParseRequest(R"({"top":5})").ok());          // no query
+  EXPECT_FALSE(ParseRequest(R"({"query":"stats","bogus":1})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"query":"stats","top":-1})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"query":"stats","top":"5"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"query":"stats","from":"noon"})").ok());
+  EXPECT_FALSE(ParseRequest(R"({"query":"ingest"})").ok());  // no paths
+}
+
+TEST(ProtocolTest, CanonicalKeyIgnoresSpelling) {
+  const auto a = ParseRequest(R"({"query":"stats","top":10})");
+  const auto b = ParseRequest(R"({ "top": 10, "query": "stats" })");
+  const auto c = ParseRequest(R"({"query":"stats","top":9})");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(CanonicalKey(*a), CanonicalKey(*b));
+  EXPECT_NE(CanonicalKey(*a), CanonicalKey(*c));
+}
+
+// --------------------------------------------------------------- cache --
+
+TEST(ResultCacheTest, LruEvictionAndEpochInvalidation) {
+  ResultCache cache(2);
+  EXPECT_FALSE(cache.Get("a", 1).has_value());
+  cache.Put("a", 1, "A");
+  cache.Put("b", 1, "B");
+  EXPECT_EQ(cache.Get("a", 1).value(), "A");  // a is now most recent
+  cache.Put("c", 1, "C");                     // evicts b
+  EXPECT_FALSE(cache.Get("b", 1).has_value());
+  EXPECT_EQ(cache.Get("a", 1).value(), "A");
+  // Same key, newer epoch: the stale entry is dropped.
+  EXPECT_FALSE(cache.Get("a", 2).has_value());
+  EXPECT_EQ(cache.entries(), 1u);  // only c remains
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+// -------------------------------------------------------------- server --
+
+/// Spins up a server over a small hand-built database on an ephemeral
+/// loopback port.
+class ServeTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options, stream::DeltaStore* delta = nullptr) {
+    dir_ = std::make_unique<TempDir>("serve");
+    TestDbBuilder builder;
+    const auto e1 = builder.AddEvent(100, CountryId{1});
+    const auto e2 = builder.AddEvent(200, CountryId{2});
+    const auto e3 = builder.AddEvent(300);
+    builder.AddMention(e1, 101, "a.com", 90);
+    builder.AddMention(e1, 102, "b.com", 40);
+    builder.AddMention(e2, 201, "a.com", 80);
+    builder.AddMention(e2, 202, "c.com", 70);
+    builder.AddMention(e3, 301, "b.com", 30);
+    builder.AddMention(e3, 302, "a.com", 95);
+    auto db = builder.Build(dir_->path());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::make_unique<engine::Database>(std::move(*db));
+    server_ = std::make_unique<Server>(*db_, delta, options);
+    const auto started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+  }
+
+  LineClient Connect() {
+    auto client = LineClient::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  static JsonValue Parsed(const std::string& line) {
+    auto v = JsonValue::Parse(line);
+    EXPECT_TRUE(v.ok()) << line;
+    return v.ok() ? std::move(*v) : JsonValue();
+  }
+
+  static std::string ErrorCodeOf(const JsonValue& response) {
+    const auto* error = response.Find("error");
+    if (error == nullptr || error->Find("code") == nullptr) return "";
+    return error->Find("code")->AsString();
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<engine::Database> db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeTest, AnswersAllQueryKindsIdenticallyToRenderer) {
+  StartServer(ServerOptions{});
+  auto client = Connect();
+  for (const char* kind :
+       {"stats", "top-sources", "top-events", "quarterly", "coreport",
+        "follow", "country-coreport", "cross-report", "delay", "tone",
+        "first-reports"}) {
+    const auto response = client.RoundTrip(
+        std::string(R"({"id":"t","query":")") + kind + R"(","top":3})");
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const auto v = Parsed(*response);
+    ASSERT_TRUE(v.Find("ok")->AsBool()) << *response;
+    EXPECT_EQ(v.Find("id")->AsString(), "t");
+    EXPECT_EQ(v.Find("query")->AsString(), kind);
+
+    // The acceptance bar: server text == what the CLI renders.
+    Request request;
+    request.kind = kind;
+    request.top_k = 3;
+    const auto rendered = RenderQuery(*db_, request);
+    ASSERT_TRUE(rendered.ok());
+    EXPECT_EQ(v.Find("text")->AsString(), rendered->text) << kind;
+  }
+}
+
+TEST_F(ServeTest, FilteredQueryMatchesRenderer) {
+  StartServer(ServerOptions{});
+  auto client = Connect();
+  const std::string line =
+      R"({"query":"top-sources","top":2,"min_confidence":60})";
+  const auto response = client.RoundTrip(line);
+  ASSERT_TRUE(response.ok());
+  const auto v = Parsed(*response);
+  ASSERT_TRUE(v.Find("ok")->AsBool()) << *response;
+  const auto request = ParseRequest(line);
+  ASSERT_TRUE(request.ok());
+  const auto rendered = RenderQuery(*db_, *request);
+  ASSERT_TRUE(rendered.ok());
+  EXPECT_EQ(v.Find("text")->AsString(), rendered->text);
+  EXPECT_NE(rendered->text.find("restricted"), std::string::npos);
+}
+
+TEST_F(ServeTest, SecondRequestIsServedFromCache) {
+  StartServer(ServerOptions{});
+  auto client = Connect();
+  const std::string line = R"({"query":"top-sources","top":2})";
+  const auto first = client.RoundTrip(line);
+  ASSERT_TRUE(first.ok());
+  const auto v1 = Parsed(*first);
+  ASSERT_TRUE(v1.Find("ok")->AsBool());
+  EXPECT_FALSE(v1.Find("cached")->AsBool(true));
+
+  // Different spelling, same canonical request -> same entry.
+  const auto second =
+      client.RoundTrip(R"({ "top": 2, "query": "top-sources" })");
+  ASSERT_TRUE(second.ok());
+  const auto v2 = Parsed(*second);
+  ASSERT_TRUE(v2.Find("ok")->AsBool());
+  EXPECT_TRUE(v2.Find("cached")->AsBool(false));
+  EXPECT_EQ(v1.Find("text")->AsString(), v2.Find("text")->AsString());
+
+  // The metrics request exposes the hit.
+  const auto metrics = client.RoundTrip(R"({"query":"metrics"})");
+  ASSERT_TRUE(metrics.ok());
+  const auto m = Parsed(*metrics);
+  ASSERT_NE(m.Find("metrics"), nullptr);
+  EXPECT_GE(m.Find("metrics")->Find("cache_hits")->AsInt(), 1);
+  EXPECT_GE(m.Find("metrics")->Find("cache_misses")->AsInt(), 1);
+}
+
+TEST_F(ServeTest, IngestBumpsEpochAndInvalidatesCache) {
+  stream::DeltaStore delta(nullptr);
+  StartServer(ServerOptions{}, &delta);
+  auto client = Connect();
+  const std::string line = R"({"query":"stats"})";
+  ASSERT_TRUE(client.RoundTrip(line).ok());
+  const auto cached = client.RoundTrip(line);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(Parsed(*cached).Find("cached")->AsBool(false));
+
+  // New data lands (directly into the delta store): epoch moves on and
+  // the same request recomputes.
+  const auto cfg = gen::GeneratorConfig::Tiny();
+  const auto dataset = gen::GenerateDataset(cfg);
+  std::string events_csv;
+  gen::AppendEventRow(events_csv, dataset.world, dataset.events[0]);
+  ASSERT_TRUE(delta.IngestEventsCsv(events_csv).ok());
+
+  const auto recomputed = client.RoundTrip(line);
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_FALSE(Parsed(*recomputed).Find("cached")->AsBool(true));
+}
+
+TEST_F(ServeTest, MalformedAndUnknownRequestsAreStructuredErrors) {
+  StartServer(ServerOptions{});
+  auto client = Connect();
+  const auto bad = client.RoundTrip("this is not json");
+  ASSERT_TRUE(bad.ok());
+  const auto vb = Parsed(*bad);
+  EXPECT_FALSE(vb.Find("ok")->AsBool(true));
+  EXPECT_EQ(ErrorCodeOf(vb), "bad_request");
+
+  const auto unknown = client.RoundTrip(R"({"id":"u","query":"bogus"})");
+  ASSERT_TRUE(unknown.ok());
+  const auto vu = Parsed(*unknown);
+  EXPECT_FALSE(vu.Find("ok")->AsBool(true));
+  EXPECT_EQ(ErrorCodeOf(vu), "unknown_query");
+  EXPECT_EQ(vu.Find("id")->AsString(), "u");
+
+  // The connection survives errors.
+  const auto ok = client.RoundTrip(R"({"query":"stats"})");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(Parsed(*ok).Find("ok")->AsBool());
+}
+
+TEST_F(ServeTest, RequestPastDeadlineReturnsTimeout) {
+  StartServer(ServerOptions{});
+  auto client = Connect();
+  const auto response = client.RoundTrip(
+      R"({"query":"stats","top":9,"timeout_ms":1,"debug_sleep_ms":100})");
+  ASSERT_TRUE(response.ok());
+  const auto v = Parsed(*response);
+  EXPECT_FALSE(v.Find("ok")->AsBool(true));
+  EXPECT_EQ(ErrorCodeOf(v), "timeout");
+}
+
+TEST_F(ServeTest, QueueOverflowReturnsOverloaded) {
+  ServerOptions options;
+  options.scheduler.workers = 1;
+  options.scheduler.threads_per_query = 1;
+  options.scheduler.queue_capacity = 1;
+  options.cache_entries = 0;  // every request must reach the queue
+  StartServer(options);
+
+  // One request occupies the single worker, one fills the queue; the
+  // third must be rejected up front.
+  auto busy = Connect();
+  auto queued = Connect();
+  auto rejected = Connect();
+  ASSERT_TRUE(
+      busy.Send(R"({"id":"busy","query":"stats","debug_sleep_ms":400})")
+          .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(
+      queued.Send(R"({"id":"queued","query":"stats","debug_sleep_ms":1})")
+          .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto response =
+      rejected.RoundTrip(R"({"id":"rejected","query":"stats"})");
+  ASSERT_TRUE(response.ok());
+  const auto v = Parsed(*response);
+  EXPECT_FALSE(v.Find("ok")->AsBool(true));
+  EXPECT_EQ(ErrorCodeOf(v), "overloaded");
+
+  const auto busy_response = busy.ReadLine();
+  ASSERT_TRUE(busy_response.ok());
+  EXPECT_TRUE(Parsed(*busy_response).Find("ok")->AsBool());
+  const auto queued_response = queued.ReadLine();
+  ASSERT_TRUE(queued_response.ok());
+  EXPECT_TRUE(Parsed(*queued_response).Find("ok")->AsBool());
+}
+
+TEST_F(ServeTest, StopDrainsInFlightRequests) {
+  StartServer(ServerOptions{});
+  auto client = Connect();
+  ASSERT_TRUE(
+      client.Send(R"({"query":"stats","top":8,"debug_sleep_ms":200})").ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread stopper([this] { server_->Stop(); });
+  const auto response = client.ReadLine();
+  stopper.join();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(Parsed(*response).Find("ok")->AsBool()) << *response;
+  // After the drain, new requests are refused.
+  EXPECT_NE(server_->HandleLine(R"({"query":"stats"})")
+                .find("shutting_down"),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, PingAndConcurrentClients) {
+  ServerOptions options;
+  options.scheduler.workers = 4;
+  options.scheduler.threads_per_query = 1;
+  StartServer(options);
+  const auto ping = Connect().RoundTrip(R"({"query":"ping"})");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_TRUE(Parsed(*ping).Find("pong")->AsBool());
+
+  // Hammer from several threads; every response must be well-formed and ok.
+  std::vector<std::thread> threads;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      auto client = Connect();
+      for (int i = 0; i < 20; ++i) {
+        const auto response = client.RoundTrip(
+            StrFormat(R"({"query":"top-sources","top":%d})", 1 + (i % 3)));
+        if (!response.ok()) {
+          ++failures[t];
+          continue;
+        }
+        const auto v = JsonValue::Parse(*response);
+        if (!v.ok() || !v->Find("ok")->AsBool()) ++failures[t];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(failures[t], 0) << "client " << t;
+}
+
+}  // namespace
+}  // namespace gdelt::serve

@@ -147,6 +147,62 @@ TEST_F(StreamTest, TopSourcesAreConsistentWithCounts) {
   }
 }
 
+TEST_F(StreamTest, CombinedArticlesPerSourceMatchesFullConversion) {
+  // Convert the entire raw dataset in one shot; the streamed base+delta
+  // combination must agree with it per domain (id spaces differ).
+  convert::ConvertOptions options;
+  options.input_dir = dirs_->path() + "/raw";
+  options.output_dir = dirs_->path() + "/fulldb";
+  ASSERT_TRUE(convert::ConvertDataset(options).ok());
+  auto full = engine::Database::Load(dirs_->path() + "/fulldb");
+  ASSERT_TRUE(full.ok());
+  const auto full_counts = engine::ArticlesPerSource(*full);
+  std::unordered_map<std::string, std::uint64_t> by_domain;
+  for (std::uint32_t s = 0; s < full->num_sources(); ++s) {
+    by_domain[std::string(full->source_domain(s))] = full_counts[s];
+  }
+  const auto combined = delta_->CombinedArticlesPerSource();
+  std::uint64_t combined_total = 0;
+  for (std::uint32_t s = 0; s < delta_->num_sources(); ++s) {
+    combined_total += combined[s];
+    const auto it = by_domain.find(std::string(delta_->source_domain(s)));
+    if (it != by_domain.end()) {
+      EXPECT_EQ(combined[s], it->second) << delta_->source_domain(s);
+    } else {
+      EXPECT_EQ(combined[s], 0u) << delta_->source_domain(s);
+    }
+  }
+  EXPECT_EQ(combined_total, full->num_mentions());
+}
+
+TEST_F(StreamTest, GenerationReflectsIngests) {
+  // The fixture streamed at least one chunk pair.
+  EXPECT_GT(delta_->Generation(), 0u);
+}
+
+TEST(DeltaStoreGenerationTest, BumpedOnEverySuccessfulIngest) {
+  DeltaStore delta(nullptr);
+  EXPECT_EQ(delta.Generation(), 0u);
+
+  const auto cfg = gen::GeneratorConfig::Tiny();
+  const auto dataset = gen::GenerateDataset(cfg);
+  std::string events_csv;
+  std::string mentions_csv;
+  gen::AppendEventRow(events_csv, dataset.world, dataset.events[0]);
+  gen::AppendMentionRow(mentions_csv, dataset.world, dataset.mentions[0]);
+
+  ASSERT_TRUE(delta.IngestEventsCsv(events_csv).ok());
+  const std::uint64_t after_events = delta.Generation();
+  EXPECT_GT(after_events, 0u);
+  ASSERT_TRUE(delta.IngestMentionsCsv(mentions_csv).ok());
+  const std::uint64_t after_mentions = delta.Generation();
+  EXPECT_GT(after_mentions, after_events);
+
+  // A failed ingest leaves the generation unchanged.
+  EXPECT_FALSE(delta.IngestArchivePair("/no/such.zip", "").ok());
+  EXPECT_EQ(delta.Generation(), after_mentions);
+}
+
 TEST(DeltaStoreColdStartTest, IngestWithoutBase) {
   DeltaStore delta(nullptr);
   // Hand-written rows in wire format.

@@ -73,6 +73,25 @@ TEST(ArgsTest, MissingValueFails) {
   EXPECT_FALSE(ParseArgs(p, {"--count"}).ok());
 }
 
+TEST(ArgsTest, FlagWithoutValueDoesNotSwallowNextFlag) {
+  // Regression: `gdelt_query --db --query stats` used to silently take
+  // "--query" as the value of --db and "stats" as a positional.
+  ArgParser p = MakeParser();
+  const Status s = ParseArgs(p, {"--name", "--count", "7"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("--name"), std::string::npos);
+
+  // An explicit `=` still allows values that start with dashes.
+  ArgParser q = MakeParser();
+  ASSERT_TRUE(ParseArgs(q, {"--name=--weird"}).ok());
+  EXPECT_EQ(q.GetString("name"), "--weird");
+
+  // Single-dash values (negative numbers) still work positionally.
+  ArgParser r = MakeParser();
+  ASSERT_TRUE(ParseArgs(r, {"--count", "-7"}).ok());
+  EXPECT_EQ(r.GetInt("count"), -7);
+}
+
 TEST(ArgsTest, HelpTextMentionsOptions) {
   ArgParser p = MakeParser();
   const std::string help = p.HelpText();
