@@ -30,6 +30,14 @@ Status StringDictionary::WriteToFile(const std::string& path) const {
   return table.WriteToFile(path);
 }
 
+Status StringDictionary::WriteToFileAtomic(const std::string& path) const {
+  Table table;
+  Column& col = table.AddColumn("value", ColumnType::kStr);
+  col.Reserve(strings_.size());
+  for (const auto& s : strings_) col.AppendString(s);
+  return table.WriteToFileAtomic(path);
+}
+
 Result<StringDictionary> StringDictionary::ReadFromFile(
     const std::string& path) {
   GDELT_ASSIGN_OR_RETURN(Table table, Table::ReadFromFile(path));

@@ -39,6 +39,10 @@ class StringDictionary {
   /// Serializes to the table file format (single "value" string column,
   /// row i = string with id i).
   Status WriteToFile(const std::string& path) const;
+
+  /// Crash-safe WriteToFile (temp file + fsync + atomic rename).
+  Status WriteToFileAtomic(const std::string& path) const;
+
   static Result<StringDictionary> ReadFromFile(const std::string& path);
 
  private:

@@ -12,7 +12,7 @@ namespace {
 
 constexpr char kMagicHead[8] = {'G', 'D', 'L', 'T', 'T', 'B', 'L', '1'};
 constexpr char kMagicTail[8] = {'G', 'D', 'L', 'T', 'E', 'N', 'D', '1'};
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;  // v2 added the body-length footer
 
 }  // namespace
 
@@ -128,17 +128,25 @@ Status Table::WriteToFile(const std::string& path) const {
     }
   }
 
+  GDELT_RETURN_IF_ERROR(file.WritePod(file.offset()));  // body length
   GDELT_RETURN_IF_ERROR(file.WritePod(out.crc()));
   GDELT_RETURN_IF_ERROR(file.WriteBytes(kMagicTail, sizeof(kMagicTail)));
   return file.Close();
 }
 
+Status Table::WriteToFileAtomic(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  GDELT_RETURN_IF_ERROR(WriteToFile(tmp));
+  return AtomicReplaceFile(tmp, path);
+}
+
 Result<Table> Table::ReadFromFile(const std::string& path) {
   GDELT_ASSIGN_OR_RETURN(MemoryMappedFile file, MemoryMappedFile::Open(path));
   const std::string_view buffer = file.view();
-  constexpr std::size_t kFrame = sizeof(kMagicHead) + sizeof(kMagicTail) +
-                                 sizeof(std::uint32_t) /* crc */;
-  if (buffer.size() < kFrame) {
+  constexpr std::size_t kFooter = sizeof(std::uint64_t) /* body length */ +
+                                  sizeof(std::uint32_t) /* crc */ +
+                                  sizeof(kMagicTail);
+  if (buffer.size() < sizeof(kMagicHead) + kFooter) {
     return status::DataLoss("table file '" + path + "' is truncated");
   }
   if (std::memcmp(buffer.data(), kMagicHead, sizeof(kMagicHead)) != 0) {
@@ -148,10 +156,18 @@ Result<Table> Table::ReadFromFile(const std::string& path) {
                   kMagicTail, sizeof(kMagicTail)) != 0) {
     return status::DataLoss("bad table trailer magic in '" + path + "'");
   }
-  const std::size_t body_size =
-      buffer.size() - sizeof(kMagicTail) - sizeof(std::uint32_t);
+  const std::size_t body_size = buffer.size() - kFooter;
+  std::uint64_t stored_body_size = 0;
+  std::memcpy(&stored_body_size, buffer.data() + body_size,
+              sizeof(stored_body_size));
+  if (stored_body_size != body_size) {
+    return status::DataLoss("integrity footer length mismatch in '" + path +
+                            "' (truncated or foreign file)");
+  }
   std::uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, buffer.data() + body_size, sizeof(stored_crc));
+  std::memcpy(&stored_crc,
+              buffer.data() + body_size + sizeof(stored_body_size),
+              sizeof(stored_crc));
   const std::uint32_t actual_crc =
       Crc32Update(0, buffer.data(), body_size);
   if (stored_crc != actual_crc) {

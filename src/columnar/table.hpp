@@ -10,11 +10,14 @@
 //   per column payload:
 //     fixed width: the raw element array
 //     kStr: (rows+1) u64 offsets, then the chars blob
-//   u32 CRC-32 of everything above
-//   magic "GDLTEND1"
+//   integrity footer:
+//     u64 body length (bytes above the footer)
+//     u32 CRC-32 of the body
+//     magic "GDLTEND1"
 //
-// Readers verify magics, version, per-column sizes and the trailing CRC, so
-// truncation and bit corruption surface as DataLoss instead of bad results.
+// Readers verify magics, version, the footer's body length, per-column
+// sizes and the CRC, so truncation and bit corruption surface as DataLoss
+// instead of bad results.
 #pragma once
 
 #include <map>
@@ -58,7 +61,11 @@ class Table {
   /// Serializes to a file (see format above).
   Status WriteToFile(const std::string& path) const;
 
-  /// Loads a table, verifying framing and checksum.
+  /// Crash-safe WriteToFile: writes `path + ".tmp"`, fsyncs, renames, so
+  /// `path` is never left torn even across kill -9 mid-write.
+  Status WriteToFileAtomic(const std::string& path) const;
+
+  /// Loads a table, verifying framing, footer length and checksum.
   static Result<Table> ReadFromFile(const std::string& path);
 
   const std::map<std::string, Column>& columns() const noexcept {

@@ -1,7 +1,12 @@
 #include "convert/converter.hpp"
 
+#include <charconv>
+#include <cstdio>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
+
+#include <unistd.h>
 
 #include "columnar/dictionary.hpp"
 #include "columnar/table.hpp"
@@ -11,7 +16,6 @@
 #include "gtime/timestamp.hpp"
 #include "io/crc32.hpp"
 #include "io/file.hpp"
-#include "io/zipstore.hpp"
 #include "schema/countries.hpp"
 #include "schema/gdelt_schema.hpp"
 #include "util/logging.hpp"
@@ -19,6 +23,9 @@
 
 namespace gdelt::convert {
 namespace {
+
+constexpr std::string_view kJournalFile = "convert.journal";
+constexpr std::string_view kSpillDir = ".convert_spill";
 
 /// Parses a 14-digit GDELT timestamp field into an interval id.
 /// Returns false (and leaves `out` unchanged) on malformed input.
@@ -52,6 +59,29 @@ struct EventColumns {
   Column* source_url;
 };
 
+EventColumns AddEventColumns(Table& table) {
+  EventColumns ec{};
+  ec.global_id = &table.AddColumn(std::string(events_col::kGlobalId),
+                                  ColumnType::kU64);
+  ec.event_interval = &table.AddColumn(
+      std::string(events_col::kEventInterval), ColumnType::kI64);
+  ec.added_interval = &table.AddColumn(
+      std::string(events_col::kAddedInterval), ColumnType::kI64);
+  ec.country =
+      &table.AddColumn(std::string(events_col::kCountry), ColumnType::kU16);
+  ec.num_articles_wire = &table.AddColumn(
+      std::string(events_col::kNumArticlesWire), ColumnType::kU32);
+  ec.goldstein = &table.AddColumn(std::string(events_col::kGoldstein),
+                                  ColumnType::kF64);
+  ec.avg_tone =
+      &table.AddColumn(std::string(events_col::kAvgTone), ColumnType::kF64);
+  ec.quad_class = &table.AddColumn(std::string(events_col::kQuadClass),
+                                   ColumnType::kU8);
+  ec.source_url = &table.AddColumn(std::string(events_col::kSourceUrl),
+                                   ColumnType::kStr);
+  return ec;
+}
+
 struct MentionColumns {
   Column* event_row;
   Column* global_event_id;
@@ -61,6 +91,290 @@ struct MentionColumns {
   Column* confidence;
   Column* url;  // may be null when keep_urls = false
 };
+
+MentionColumns AddMentionColumns(Table& table, bool keep_urls) {
+  MentionColumns mc{};
+  mc.event_row = &table.AddColumn(std::string(mentions_col::kEventRow),
+                                  ColumnType::kU32);
+  mc.global_event_id = &table.AddColumn(
+      std::string(mentions_col::kGlobalEventId), ColumnType::kU64);
+  mc.event_interval = &table.AddColumn(
+      std::string(mentions_col::kEventInterval), ColumnType::kI64);
+  mc.mention_interval = &table.AddColumn(
+      std::string(mentions_col::kMentionInterval), ColumnType::kI64);
+  mc.source_id = &table.AddColumn(std::string(mentions_col::kSourceId),
+                                  ColumnType::kU32);
+  mc.confidence = &table.AddColumn(std::string(mentions_col::kConfidence),
+                                   ColumnType::kU8);
+  mc.url = keep_urls ? &table.AddColumn(std::string(mentions_col::kUrl),
+                                        ColumnType::kStr)
+                     : nullptr;
+  return mc;
+}
+
+// Mention spill columns: parsed fields with the source still a string (the
+// dictionary is built deterministically at merge time, in master order).
+namespace spill_col {
+constexpr std::string_view kGid = "gid";
+constexpr std::string_view kEventInterval = "event_interval";
+constexpr std::string_view kMentionInterval = "mention_interval";
+constexpr std::string_view kSourceName = "source_name";
+constexpr std::string_view kConfidence = "confidence";
+constexpr std::string_view kUrl = "url";
+}  // namespace spill_col
+
+struct MentionSpillColumns {
+  Column* gid;
+  Column* event_interval;
+  Column* mention_interval;
+  Column* source_name;
+  Column* confidence;
+  Column* url;  // may be null when keep_urls = false
+};
+
+MentionSpillColumns AddMentionSpillColumns(Table& table, bool keep_urls) {
+  MentionSpillColumns sc{};
+  sc.gid = &table.AddColumn(std::string(spill_col::kGid), ColumnType::kU64);
+  sc.event_interval = &table.AddColumn(
+      std::string(spill_col::kEventInterval), ColumnType::kI64);
+  sc.mention_interval = &table.AddColumn(
+      std::string(spill_col::kMentionInterval), ColumnType::kI64);
+  sc.source_name = &table.AddColumn(std::string(spill_col::kSourceName),
+                                    ColumnType::kStr);
+  sc.confidence = &table.AddColumn(std::string(spill_col::kConfidence),
+                                   ColumnType::kU8);
+  sc.url = keep_urls ? &table.AddColumn(std::string(spill_col::kUrl),
+                                        ColumnType::kStr)
+                     : nullptr;
+  return sc;
+}
+
+/// Per-archive parse outcome; persisted in the journal so a resumed run
+/// restores the same report counters without re-parsing.
+struct ArchiveRecord {
+  char kind = '?';  ///< 'e' events, 'm' mentions
+  std::uint64_t rows = 0;
+  std::uint64_t malformed = 0;
+  std::uint32_t missing_url = 0;
+};
+
+// ---- Journal ----------------------------------------------------------
+//
+// Append-only text file in the output directory. Each line is
+// "<crc32-8hex> <body>\n" where the CRC covers the body, so a line torn
+// by kill -9 is detected and replay stops there. Bodies:
+//   begin <master-list crc32> <keep_urls 0|1>
+//   archive <e|m> <rows> <malformed> <missing_url> <file name>
+//   corrupt <file name>
+
+class Journal {
+ public:
+  ~Journal() { Close(); }
+
+  Status Open(const std::string& path) {
+    file_ = std::fopen(path.c_str(), "ab");
+    if (!file_) {
+      return status::IoError("cannot open journal '" + path + "'");
+    }
+    path_ = path;
+    return Status::Ok();
+  }
+
+  Status Append(const std::string& body) {
+    if (!file_) return status::FailedPrecondition("journal not open");
+    const std::string line = StrFormat("%08x ", Crc32(body)) + body + "\n";
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0) {
+      return status::IoError("journal append failed on '" + path_ + "'");
+    }
+    ::fsync(::fileno(file_));  // an unjournaled archive is merely redone
+    return Status::Ok();
+  }
+
+  void Close() {
+    if (file_) std::fclose(file_);
+    file_ = nullptr;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Journal replay result: which archives an earlier run already handled.
+struct JournalState {
+  bool header_ok = false;
+  std::unordered_map<std::string, ArchiveRecord> done;
+  std::unordered_set<std::string> corrupt;
+};
+
+std::optional<std::uint32_t> ParseHex32(std::string_view s) {
+  std::uint32_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), v, 16);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+/// Replays a journal left by an interrupted run. Tolerant by design:
+/// any torn or mismatched content just means "start that work over".
+JournalState ReplayJournal(const std::string& path,
+                           std::uint32_t master_crc, bool keep_urls) {
+  JournalState state;
+  if (!FileExists(path)) return state;
+  auto text = ReadWholeFile(path);
+  if (!text.ok()) return state;
+  bool first = true;
+  for (std::string_view rest = *text; !rest.empty();) {
+    const auto nl = rest.find('\n');
+    if (nl == std::string_view::npos) break;  // torn tail line
+    const std::string_view line = rest.substr(0, nl);
+    rest = rest.substr(nl + 1);
+    if (line.size() < 10 || line[8] != ' ') break;
+    const auto crc = ParseHex32(line.substr(0, 8));
+    const std::string_view body = line.substr(9);
+    if (!crc || *crc != Crc32(body)) break;  // torn or corrupted line
+    const auto fields = SplitView(body, ' ');
+    if (first) {
+      first = false;
+      // Header must match this run's input and options exactly; anything
+      // else is a journal from a different conversion.
+      if (fields.size() != 3 || fields[0] != "begin" ||
+          ParseUint64(fields[1]).value_or(~0ull) != master_crc ||
+          fields[2] != (keep_urls ? "1" : "0")) {
+        return state;
+      }
+      state.header_ok = true;
+      continue;
+    }
+    if (fields.size() == 6 && fields[0] == "archive" &&
+        fields[1].size() == 1 &&
+        (fields[1][0] == 'e' || fields[1][0] == 'm')) {
+      ArchiveRecord rec;
+      rec.kind = fields[1][0];
+      const auto rows = ParseUint64(fields[2]);
+      const auto malformed = ParseUint64(fields[3]);
+      const auto missing = ParseUint64(fields[4]);
+      if (!rows || !malformed || !missing) break;
+      rec.rows = *rows;
+      rec.malformed = *malformed;
+      rec.missing_url = static_cast<std::uint32_t>(*missing);
+      state.done.emplace(std::string(fields[5]), rec);
+    } else if (fields.size() == 2 && fields[0] == "corrupt") {
+      state.corrupt.insert(std::string(fields[1]));
+    } else {
+      break;  // unknown record: stop trusting the rest
+    }
+  }
+  return state;
+}
+
+// ---- Per-archive parsing into spill tables ----------------------------
+
+/// Parses one export archive's CSV into a spill table. Duplicate global
+/// ids are NOT resolved here — dedup needs global order and happens at
+/// merge time so resumed runs stay deterministic.
+ArchiveRecord ParseEventsCsv(std::string_view csv, Table& spill) {
+  ArchiveRecord rec;
+  rec.kind = 'e';
+  EventColumns ec = AddEventColumns(spill);
+  RowReader rows(csv, kEventFieldCount);
+  const std::vector<std::string_view>* fields = nullptr;
+  while (rows.Next(fields)) {
+    const auto& f = *fields;
+    const auto gid = ParseUint64(f[Index(EventField::kGlobalEventId)]);
+    IntervalId day_interval = 0;
+    IntervalId added_interval = 0;
+    if (!gid || !DayToInterval(f[Index(EventField::kDay)], day_interval) ||
+        !FieldToInterval(f[Index(EventField::kDateAdded)], added_interval)) {
+      ++rec.malformed;
+      continue;
+    }
+    const std::string_view url = f[Index(EventField::kSourceUrl)];
+    if (url.empty()) ++rec.missing_url;
+
+    CountryId country = kNoCountry;
+    const std::string_view fips = f[Index(EventField::kActionGeoCountryCode)];
+    if (!fips.empty()) {
+      if (const auto c = CountryByFips(fips)) country = *c;
+    }
+    ec.global_id->Append<std::uint64_t>(*gid);
+    ec.event_interval->Append<std::int64_t>(day_interval);
+    ec.added_interval->Append<std::int64_t>(added_interval);
+    ec.country->Append<std::uint16_t>(country);
+    ec.num_articles_wire->Append<std::uint32_t>(static_cast<std::uint32_t>(
+        ParseUint64(f[Index(EventField::kNumArticles)]).value_or(0)));
+    ec.goldstein->Append<double>(
+        ParseDouble(f[Index(EventField::kGoldsteinScale)]).value_or(0.0));
+    ec.avg_tone->Append<double>(
+        ParseDouble(f[Index(EventField::kAvgTone)]).value_or(0.0));
+    ec.quad_class->Append<std::uint8_t>(static_cast<std::uint8_t>(
+        ParseUint64(f[Index(EventField::kQuadClass)]).value_or(0)));
+    ec.source_url->AppendString(url);
+    ++rec.rows;
+  }
+  rec.malformed += rows.errors().size();
+  return rec;
+}
+
+/// Parses one mentions archive's CSV into a spill table. Event-row and
+/// source-id resolution (which need global state) happen at merge time.
+ArchiveRecord ParseMentionsCsv(std::string_view csv, bool keep_urls,
+                               Table& spill) {
+  ArchiveRecord rec;
+  rec.kind = 'm';
+  MentionSpillColumns sc = AddMentionSpillColumns(spill, keep_urls);
+  RowReader rows(csv, kMentionFieldCount);
+  const std::vector<std::string_view>* fields = nullptr;
+  while (rows.Next(fields)) {
+    const auto& f = *fields;
+    const auto gid = ParseUint64(f[Index(MentionField::kGlobalEventId)]);
+    IntervalId event_interval = 0;
+    IntervalId mention_interval = 0;
+    if (!gid ||
+        !FieldToInterval(f[Index(MentionField::kEventTimeDate)],
+                         event_interval) ||
+        !FieldToInterval(f[Index(MentionField::kMentionTimeDate)],
+                         mention_interval)) {
+      ++rec.malformed;
+      continue;
+    }
+    const std::string_view source_name =
+        f[Index(MentionField::kMentionSourceName)];
+    if (source_name.empty()) {
+      ++rec.malformed;
+      continue;
+    }
+    sc.gid->Append<std::uint64_t>(*gid);
+    sc.event_interval->Append<std::int64_t>(event_interval);
+    sc.mention_interval->Append<std::int64_t>(mention_interval);
+    sc.source_name->AppendString(source_name);
+    sc.confidence->Append<std::uint8_t>(static_cast<std::uint8_t>(
+        ParseUint64(f[Index(MentionField::kConfidence)]).value_or(0)));
+    if (sc.url) sc.url->AppendString(f[Index(MentionField::kMentionIdentifier)]);
+    ++rec.rows;
+  }
+  rec.malformed += rows.errors().size();
+  return rec;
+}
+
+std::string SpillPath(const std::string& spill_dir,
+                      const std::string& file_name) {
+  return spill_dir + "/" + file_name + ".spill";
+}
+
+/// Fetches a required spill column or fails with DataLoss (a foreign or
+/// damaged spill must abort the merge, not crash it).
+Result<const Column*> SpillColumn(const Table& spill, std::string_view name,
+                                  ColumnType type,
+                                  const std::string& spill_path) {
+  const Column* col = spill.FindColumn(name);
+  if (!col || col->type() != type) {
+    return status::DataLoss("spill file '" + spill_path +
+                            "' lacks column '" + std::string(name) + "'");
+  }
+  return col;
+}
 
 }  // namespace
 
@@ -88,6 +402,12 @@ std::string ConvertReport::ToText() const {
                    static_cast<unsigned long long>(malformed_rows));
   out += StrFormat("orphan mentions:                 %llu\n",
                    static_cast<unsigned long long>(orphan_mentions));
+  out += "\nOperational robustness\n";
+  out += StrFormat("fetch retries:                   %llu\n",
+                   static_cast<unsigned long long>(fetch_retries));
+  out += StrFormat("quarantined archives:            %u\n",
+                   quarantined_archives);
+  out += StrFormat("resumed (journaled) archives:    %u\n", resumed_archives);
   for (const auto& note : notes) {
     out += "note: " + note + "\n";
   }
@@ -100,21 +420,55 @@ Result<ConvertReport> ConvertDataset(const ConvertOptions& options) {
   GDELT_ASSIGN_OR_RETURN(
       const std::string master_text,
       ReadWholeFile(options.input_dir + "/masterfilelist.txt"));
+  const std::uint32_t master_crc = Crc32(master_text);
   MasterList master = ParseMasterList(master_text);
   report.malformed_master_entries = master.malformed_entries;
   for (const auto& sample : master.malformed_samples) {
     report.notes.push_back("malformed master entry: '" + sample + "'");
   }
 
+  GDELT_RETURN_IF_ERROR(MakeDirectories(options.output_dir));
+  const std::string journal_path =
+      options.output_dir + "/" + std::string(kJournalFile);
+  const std::string spill_dir =
+      options.output_dir + "/" + std::string(kSpillDir);
+
+  JournalState resumed;
+  if (options.resume) {
+    resumed = ReplayJournal(journal_path, master_crc, options.keep_urls);
+    if (!resumed.header_ok && FileExists(journal_path)) {
+      report.notes.push_back(
+          "resume requested but journal does not match this input; "
+          "starting fresh");
+    }
+  }
+  if (!resumed.header_ok) {
+    // Fresh conversion: stale journal or spills belong to another run.
+    GDELT_RETURN_IF_ERROR(RemoveAll(journal_path));
+    GDELT_RETURN_IF_ERROR(RemoveAll(spill_dir));
+  }
+  GDELT_RETURN_IF_ERROR(MakeDirectories(spill_dir));
+
+  Journal journal;
+  GDELT_RETURN_IF_ERROR(journal.Open(journal_path));
+  if (!resumed.header_ok) {
+    GDELT_RETURN_IF_ERROR(journal.Append(StrFormat(
+        "begin %llu %s", static_cast<unsigned long long>(master_crc),
+        options.keep_urls ? "1" : "0")));
+  }
+
   // Check archive availability once; classify into processing lists.
   // Missing archives are counted per dataset chunk (distinct timestamp
   // prefix), matching the paper's "missing archives for dataset chunks".
+  // Archives the journal already settled are never re-statted: their
+  // outcome is fixed even if the mirror changed under us.
   std::vector<const MasterEntry*> export_archives;
   std::vector<const MasterEntry*> mention_archives;
   std::set<std::string_view> missing_chunk_stamps;
   for (const auto& entry : master.entries) {
-    const std::string path = options.input_dir + "/" + entry.file_name;
-    if (!FileExists(path)) {
+    const bool settled = resumed.done.count(entry.file_name) != 0 ||
+                         resumed.corrupt.count(entry.file_name) != 0;
+    if (!settled && !FileExists(options.input_dir + "/" + entry.file_name)) {
       const std::string_view name = entry.file_name;
       missing_chunk_stamps.insert(name.substr(0, name.find('.')));
       continue;
@@ -131,158 +485,143 @@ Result<ConvertReport> ConvertDataset(const ConvertOptions& options) {
   report.missing_archives =
       static_cast<std::uint32_t>(missing_chunk_stamps.size());
 
-  // Loads and CRC-checks one archive, returning the contained CSV text.
-  auto load_archive = [&](const MasterEntry& entry) -> Result<std::string> {
-    const std::string path = options.input_dir + "/" + entry.file_name;
-    GDELT_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
-    if (options.verify_archive_checksums && Crc32(bytes) != entry.crc32) {
-      return status::DataLoss("archive checksum mismatch: " +
-                              entry.file_name);
+  ChunkFetcher fetcher(options.fetch);
+
+  // Acquires, parses and spills one archive (or restores its journaled
+  // outcome). Only bookkeeping differs between the two archive kinds.
+  auto process = [&](const MasterEntry& entry, char kind) -> Status {
+    if (const auto it = resumed.done.find(entry.file_name);
+        it != resumed.done.end()) {
+      const ArchiveRecord& rec = it->second;
+      ++report.archives_processed;
+      ++report.resumed_archives;
+      report.malformed_rows += rec.malformed;
+      report.missing_event_source_url += rec.missing_url;
+      return Status::Ok();
     }
-    GDELT_ASSIGN_OR_RETURN(ZipReader zip, ZipReader::Open(bytes));
-    if (zip.entries().empty()) {
-      return status::DataLoss("archive has no entries: " + entry.file_name);
+    if (resumed.corrupt.count(entry.file_name) != 0) {
+      ++report.corrupt_archives;
+      report.notes.push_back("corrupt archive (journaled): " +
+                             entry.file_name);
+      return Status::Ok();
     }
-    return zip.ReadEntry(std::size_t{0});
-  };
-
-  // ---- Pass A: events --------------------------------------------------
-  Table events;
-  EventColumns ec{};
-  ec.global_id = &events.AddColumn(std::string(events_col::kGlobalId),
-                                   ColumnType::kU64);
-  ec.event_interval = &events.AddColumn(
-      std::string(events_col::kEventInterval), ColumnType::kI64);
-  ec.added_interval = &events.AddColumn(
-      std::string(events_col::kAddedInterval), ColumnType::kI64);
-  ec.country =
-      &events.AddColumn(std::string(events_col::kCountry), ColumnType::kU16);
-  ec.num_articles_wire = &events.AddColumn(
-      std::string(events_col::kNumArticlesWire), ColumnType::kU32);
-  ec.goldstein = &events.AddColumn(std::string(events_col::kGoldstein),
-                                   ColumnType::kF64);
-  ec.avg_tone =
-      &events.AddColumn(std::string(events_col::kAvgTone), ColumnType::kF64);
-  ec.quad_class = &events.AddColumn(std::string(events_col::kQuadClass),
-                                    ColumnType::kU8);
-  ec.source_url = &events.AddColumn(std::string(events_col::kSourceUrl),
-                                    ColumnType::kStr);
-
-  std::unordered_map<std::uint64_t, std::uint32_t> event_row_of;
-
-  for (const MasterEntry* entry : export_archives) {
-    auto csv = load_archive(*entry);
+    auto csv = fetcher.FetchCsv(
+        options.input_dir, entry.file_name,
+        options.verify_archive_checksums
+            ? std::optional<std::uint32_t>(entry.crc32)
+            : std::nullopt);
     if (!csv.ok()) {
       ++report.corrupt_archives;
       report.notes.push_back(csv.status().ToString());
-      continue;
+      return journal.Append("corrupt " + entry.file_name);
     }
+    Table spill;
+    const ArchiveRecord rec =
+        kind == 'e' ? ParseEventsCsv(*csv, spill)
+                    : ParseMentionsCsv(*csv, options.keep_urls, spill);
+    // Spill first, then journal: an archive is "done" only once its spill
+    // is durably on disk, so a crash between the two merely redoes it.
+    GDELT_RETURN_IF_ERROR(spill.WriteToFileAtomic(
+        SpillPath(spill_dir, entry.file_name)));
+    GDELT_RETURN_IF_ERROR(journal.Append(StrFormat(
+        "archive %c %llu %llu %u %s", kind,
+        static_cast<unsigned long long>(rec.rows),
+        static_cast<unsigned long long>(rec.malformed), rec.missing_url,
+        entry.file_name.c_str())));
     ++report.archives_processed;
-    RowReader rows(*csv, kEventFieldCount);
-    const std::vector<std::string_view>* fields = nullptr;
-    while (rows.Next(fields)) {
-      const auto& f = *fields;
-      const auto gid = ParseUint64(f[Index(EventField::kGlobalEventId)]);
-      IntervalId day_interval = 0;
-      IntervalId added_interval = 0;
-      if (!gid ||
-          !DayToInterval(f[Index(EventField::kDay)], day_interval) ||
-          !FieldToInterval(f[Index(EventField::kDateAdded)],
-                           added_interval)) {
-        ++report.malformed_rows;
-        continue;
-      }
-      const std::string_view url = f[Index(EventField::kSourceUrl)];
-      if (url.empty()) ++report.missing_event_source_url;
+    report.malformed_rows += rec.malformed;
+    report.missing_event_source_url += rec.missing_url;
+    return Status::Ok();
+  };
 
-      CountryId country = kNoCountry;
-      const std::string_view fips =
-          f[Index(EventField::kActionGeoCountryCode)];
-      if (!fips.empty()) {
-        if (const auto c = CountryByFips(fips)) country = *c;
-      }
+  for (const MasterEntry* entry : export_archives) {
+    GDELT_RETURN_IF_ERROR(process(*entry, 'e'));
+  }
+  for (const MasterEntry* entry : mention_archives) {
+    GDELT_RETURN_IF_ERROR(process(*entry, 'm'));
+  }
+
+  // ---- Merge pass: spills (in master order) -> final tables ------------
+  // Everything that needs global state lives here: duplicate-event
+  // resolution, the source dictionary, event-row binding, orphan and
+  // future-dated counting. The merge is a pure function of the spill set,
+  // so interrupted and uninterrupted runs produce byte-identical tables.
+
+  Table events;
+  EventColumns ec = AddEventColumns(events);
+  std::unordered_map<std::uint64_t, std::uint32_t> event_row_of;
+  for (const MasterEntry* entry : export_archives) {
+    if (resumed.corrupt.count(entry->file_name) != 0) continue;
+    const std::string path = SpillPath(spill_dir, entry->file_name);
+    if (!FileExists(path)) continue;  // archive went corrupt this run
+    GDELT_ASSIGN_OR_RETURN(Table spill, Table::ReadFromFile(path));
+    GDELT_ASSIGN_OR_RETURN(
+        const Column* gid_col,
+        SpillColumn(spill, events_col::kGlobalId, ColumnType::kU64, path));
+    const auto gids = gid_col->Values<std::uint64_t>();
+    for (std::size_t i = 0; i < gids.size(); ++i) {
       const auto row = static_cast<std::uint32_t>(events.num_rows());
-      if (!event_row_of.emplace(*gid, row).second) {
+      if (!event_row_of.emplace(gids[i], row).second) {
         ++report.malformed_rows;  // duplicate event id
         continue;
       }
-      ec.global_id->Append<std::uint64_t>(*gid);
-      ec.event_interval->Append<std::int64_t>(day_interval);
-      ec.added_interval->Append<std::int64_t>(added_interval);
-      ec.country->Append<std::uint16_t>(country);
-      ec.num_articles_wire->Append<std::uint32_t>(static_cast<std::uint32_t>(
-          ParseUint64(f[Index(EventField::kNumArticles)]).value_or(0)));
+      ec.global_id->Append<std::uint64_t>(gids[i]);
+      ec.event_interval->Append<std::int64_t>(
+          spill.GetColumn(events_col::kEventInterval)
+              .Values<std::int64_t>()[i]);
+      ec.added_interval->Append<std::int64_t>(
+          spill.GetColumn(events_col::kAddedInterval)
+              .Values<std::int64_t>()[i]);
+      ec.country->Append<std::uint16_t>(
+          spill.GetColumn(events_col::kCountry).Values<std::uint16_t>()[i]);
+      ec.num_articles_wire->Append<std::uint32_t>(
+          spill.GetColumn(events_col::kNumArticlesWire)
+              .Values<std::uint32_t>()[i]);
       ec.goldstein->Append<double>(
-          ParseDouble(f[Index(EventField::kGoldsteinScale)]).value_or(0.0));
+          spill.GetColumn(events_col::kGoldstein).Values<double>()[i]);
       ec.avg_tone->Append<double>(
-          ParseDouble(f[Index(EventField::kAvgTone)]).value_or(0.0));
-      ec.quad_class->Append<std::uint8_t>(static_cast<std::uint8_t>(
-          ParseUint64(f[Index(EventField::kQuadClass)]).value_or(0)));
-      ec.source_url->AppendString(url);
+          spill.GetColumn(events_col::kAvgTone).Values<double>()[i]);
+      ec.quad_class->Append<std::uint8_t>(
+          spill.GetColumn(events_col::kQuadClass).Values<std::uint8_t>()[i]);
+      ec.source_url->AppendString(
+          spill.GetColumn(events_col::kSourceUrl).StringAt(i));
     }
-    report.malformed_rows += rows.errors().size();
   }
   report.event_rows = events.num_rows();
 
-  // ---- Pass B: mentions ------------------------------------------------
   Table mentions;
-  MentionColumns mc{};
-  mc.event_row = &mentions.AddColumn(std::string(mentions_col::kEventRow),
-                                     ColumnType::kU32);
-  mc.global_event_id = &mentions.AddColumn(
-      std::string(mentions_col::kGlobalEventId), ColumnType::kU64);
-  mc.event_interval = &mentions.AddColumn(
-      std::string(mentions_col::kEventInterval), ColumnType::kI64);
-  mc.mention_interval = &mentions.AddColumn(
-      std::string(mentions_col::kMentionInterval), ColumnType::kI64);
-  mc.source_id = &mentions.AddColumn(std::string(mentions_col::kSourceId),
-                                     ColumnType::kU32);
-  mc.confidence = &mentions.AddColumn(std::string(mentions_col::kConfidence),
-                                      ColumnType::kU8);
-  mc.url = options.keep_urls
-               ? &mentions.AddColumn(std::string(mentions_col::kUrl),
-                                     ColumnType::kStr)
-               : nullptr;
-
+  MentionColumns mc = AddMentionColumns(mentions, options.keep_urls);
   StringDictionary sources;
   // Events whose recorded time postdates one of their article captures
   // (Table II row 4). Flag per dense event row, counted once per event.
   std::vector<bool> future_dated(events.num_rows(), false);
-
   for (const MasterEntry* entry : mention_archives) {
-    auto csv = load_archive(*entry);
-    if (!csv.ok()) {
-      ++report.corrupt_archives;
-      report.notes.push_back(csv.status().ToString());
-      continue;
+    if (resumed.corrupt.count(entry->file_name) != 0) continue;
+    const std::string path = SpillPath(spill_dir, entry->file_name);
+    if (!FileExists(path)) continue;
+    GDELT_ASSIGN_OR_RETURN(Table spill, Table::ReadFromFile(path));
+    GDELT_ASSIGN_OR_RETURN(
+        const Column* gid_col,
+        SpillColumn(spill, spill_col::kGid, ColumnType::kU64, path));
+    const auto gids = gid_col->Values<std::uint64_t>();
+    const auto event_ivs =
+        spill.GetColumn(spill_col::kEventInterval).Values<std::int64_t>();
+    const auto mention_ivs =
+        spill.GetColumn(spill_col::kMentionInterval).Values<std::int64_t>();
+    const auto confidences =
+        spill.GetColumn(spill_col::kConfidence).Values<std::uint8_t>();
+    const Column& names = spill.GetColumn(spill_col::kSourceName);
+    const Column* urls =
+        options.keep_urls ? spill.FindColumn(spill_col::kUrl) : nullptr;
+    if (options.keep_urls && !urls) {
+      return status::DataLoss("spill file '" + path + "' lacks URLs");
     }
-    ++report.archives_processed;
-    RowReader rows(*csv, kMentionFieldCount);
-    const std::vector<std::string_view>* fields = nullptr;
-    while (rows.Next(fields)) {
-      const auto& f = *fields;
-      const auto gid = ParseUint64(f[Index(MentionField::kGlobalEventId)]);
-      IntervalId event_interval = 0;
-      IntervalId mention_interval = 0;
-      if (!gid ||
-          !FieldToInterval(f[Index(MentionField::kEventTimeDate)],
-                           event_interval) ||
-          !FieldToInterval(f[Index(MentionField::kMentionTimeDate)],
-                           mention_interval)) {
-        ++report.malformed_rows;
-        continue;
-      }
-      const std::string_view source_name =
-          f[Index(MentionField::kMentionSourceName)];
-      if (source_name.empty()) {
-        ++report.malformed_rows;
-        continue;
-      }
+    for (std::size_t i = 0; i < gids.size(); ++i) {
       std::uint32_t event_row = kOrphanEventRow;
-      const auto it = event_row_of.find(*gid);
+      const auto it = event_row_of.find(gids[i]);
       if (it != event_row_of.end()) {
         event_row = it->second;
-        if (mention_interval < event_interval && !future_dated[event_row]) {
+        if (mention_ivs[i] < event_ivs[i] && !future_dated[event_row]) {
           future_dated[event_row] = true;
           ++report.future_event_dates;
         }
@@ -290,31 +629,37 @@ Result<ConvertReport> ConvertDataset(const ConvertOptions& options) {
         ++report.orphan_mentions;
       }
       mc.event_row->Append<std::uint32_t>(event_row);
-      mc.global_event_id->Append<std::uint64_t>(*gid);
-      mc.event_interval->Append<std::int64_t>(event_interval);
-      mc.mention_interval->Append<std::int64_t>(mention_interval);
-      mc.source_id->Append<std::uint32_t>(sources.GetOrAdd(source_name));
-      mc.confidence->Append<std::uint8_t>(static_cast<std::uint8_t>(
-          ParseUint64(f[Index(MentionField::kConfidence)]).value_or(0)));
-      if (mc.url) {
-        mc.url->AppendString(f[Index(MentionField::kMentionIdentifier)]);
-      }
+      mc.global_event_id->Append<std::uint64_t>(gids[i]);
+      mc.event_interval->Append<std::int64_t>(event_ivs[i]);
+      mc.mention_interval->Append<std::int64_t>(mention_ivs[i]);
+      mc.source_id->Append<std::uint32_t>(sources.GetOrAdd(names.StringAt(i)));
+      mc.confidence->Append<std::uint8_t>(confidences[i]);
+      if (mc.url) mc.url->AppendString(urls->StringAt(i));
     }
-    report.malformed_rows += rows.errors().size();
   }
   report.mention_rows = mentions.num_rows();
   report.num_sources = sources.size();
 
-  // ---- Write the binary database ----------------------------------------
-  GDELT_RETURN_IF_ERROR(MakeDirectories(options.output_dir));
-  GDELT_RETURN_IF_ERROR(events.WriteToFile(
+  const FetchStats fetch_stats = fetcher.stats();
+  report.fetch_retries = fetch_stats.retries;
+  report.quarantined_archives =
+      static_cast<std::uint32_t>(fetch_stats.quarantined);
+
+  // ---- Write the binary database ---------------------------------------
+  // Atomic renames: a reader (or a crash) never sees a torn table. The
+  // journal and spills are only removed after all three tables landed, so
+  // a failure anywhere below resumes straight into the merge.
+  GDELT_RETURN_IF_ERROR(events.WriteToFileAtomic(
       options.output_dir + "/" + std::string(kEventsTableFile)));
-  GDELT_RETURN_IF_ERROR(mentions.WriteToFile(
+  GDELT_RETURN_IF_ERROR(mentions.WriteToFileAtomic(
       options.output_dir + "/" + std::string(kMentionsTableFile)));
-  GDELT_RETURN_IF_ERROR(sources.WriteToFile(
+  GDELT_RETURN_IF_ERROR(sources.WriteToFileAtomic(
       options.output_dir + "/" + std::string(kSourcesDictFile)));
-  GDELT_RETURN_IF_ERROR(WriteWholeFile(
+  GDELT_RETURN_IF_ERROR(WriteWholeFileAtomic(
       options.output_dir + "/" + std::string(kReportFile), report.ToText()));
+  journal.Close();
+  GDELT_RETURN_IF_ERROR(RemoveAll(journal_path));
+  GDELT_RETURN_IF_ERROR(RemoveAll(spill_dir));
   GDELT_LOG(kInfo,
             StrFormat("converted %llu events, %llu mentions, %u sources",
                       static_cast<unsigned long long>(report.event_rows),

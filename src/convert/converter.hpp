@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "convert/fetcher.hpp"
 #include "util/status.hpp"
 
 namespace gdelt::convert {
@@ -23,6 +24,11 @@ struct ConvertOptions {
   bool keep_urls = true;
   /// Verify each archive's CRC against the master list before parsing.
   bool verify_archive_checksums = true;
+  /// Skip archives journaled by an interrupted earlier run against the
+  /// same input. The resumed run produces byte-identical tables.
+  bool resume = false;
+  /// Retry/backoff/quarantine policy for archive acquisition.
+  FetchPolicy fetch;
 };
 
 /// Everything the conversion learned — Table II plus bookkeeping.
@@ -40,9 +46,14 @@ struct ConvertReport {
   std::uint32_t future_event_dates = 0;
 
   // additional cleaning results
-  std::uint32_t corrupt_archives = 0;     ///< CRC/zip failures
+  std::uint32_t corrupt_archives = 0;     ///< CRC/zip failures after retries
   std::uint64_t malformed_rows = 0;       ///< wrong column count / bad fields
   std::uint64_t orphan_mentions = 0;      ///< mention of an unknown event
+
+  // operational robustness
+  std::uint64_t fetch_retries = 0;        ///< extra fetch attempts
+  std::uint32_t quarantined_archives = 0; ///< copied to quarantine dir
+  std::uint32_t resumed_archives = 0;     ///< skipped via --resume journal
 
   std::vector<std::string> notes;
 

@@ -1,0 +1,124 @@
+#include "convert/fetcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "io/crc32.hpp"
+#include "io/file.hpp"
+#include "io/zipstore.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace gdelt::convert {
+namespace {
+
+/// One verification-included acquisition attempt.
+Result<std::string> FetchOnce(const std::string& path,
+                              const std::string& file_name,
+                              std::optional<std::uint32_t> expected_crc) {
+  GDELT_ASSIGN_OR_RETURN(std::string bytes, ReadWholeFile(path));
+  if (expected_crc && Crc32(bytes) != *expected_crc) {
+    return status::DataLoss("archive checksum mismatch: " + file_name);
+  }
+  GDELT_ASSIGN_OR_RETURN(ZipReader zip, ZipReader::Open(bytes));
+  if (zip.entries().empty()) {
+    return status::DataLoss("archive has no entries: " + file_name);
+  }
+  return zip.ReadEntry(std::size_t{0});
+}
+
+std::uint64_t NowMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ChunkFetcher::ChunkFetcher(FetchPolicy policy) : policy_(std::move(policy)) {
+  sleep_fn_ = [](std::uint64_t ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+}
+
+std::uint64_t ChunkFetcher::BackoffMs(const std::string& file_name,
+                                      std::uint32_t attempt) const {
+  double base = static_cast<double>(policy_.backoff_initial_ms);
+  for (std::uint32_t i = 2; i < attempt; ++i) {
+    base *= policy_.backoff_multiplier;
+  }
+  const auto capped = static_cast<std::uint64_t>(
+      std::min(base, static_cast<double>(policy_.backoff_max_ms)));
+  if (capped == 0) return 0;
+  // Deterministic jitter in [capped/2, capped]: seeded per archive and
+  // attempt, so a replay with the same seed sleeps identically while
+  // distinct archives still decorrelate.
+  Xoshiro256 rng(policy_.jitter_seed ^ Fnv1a64(file_name) ^
+                 (static_cast<std::uint64_t>(attempt) << 32));
+  const std::uint64_t half = capped / 2;
+  return half + UniformBelow(rng, capped - half + 1);
+}
+
+void ChunkFetcher::Quarantine(const std::string& dir,
+                              const std::string& file_name,
+                              const Status& why) {
+  if (policy_.quarantine_dir.empty()) return;
+  // Best-effort and non-destructive: the original stays on the mirror so
+  // an operator (or a later mirror repair) can retry; the copy plus the
+  // reason file give them everything needed to diagnose offline.
+  if (!MakeDirectories(policy_.quarantine_dir).ok()) return;
+  const std::string src = dir + "/" + file_name;
+  const std::string dst = policy_.quarantine_dir + "/" + file_name;
+  if (auto bytes = ReadWholeFile(src); bytes.ok()) {
+    if (!WriteWholeFile(dst, *bytes).ok()) return;
+  }
+  (void)WriteWholeFile(dst + ".reason", why.ToString() + "\n");
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  GDELT_LOG(kWarning, "quarantined archive '" + file_name + "': " +
+                          why.ToString());
+}
+
+Result<std::string> ChunkFetcher::FetchCsv(
+    const std::string& dir, const std::string& file_name,
+    std::optional<std::uint32_t> expected_crc) {
+  const std::string path = dir + "/" + file_name;
+  const std::uint64_t start_ms = NowMs();
+  Status last_error = status::Internal("fetch never attempted");
+  for (std::uint32_t attempt = 1; attempt <= policy_.max_attempts;
+       ++attempt) {
+    if (attempt > 1) {
+      const std::uint64_t delay = BackoffMs(file_name, attempt);
+      // The deadline bounds the whole archive, sleeps included; better to
+      // give up and move on than stall the run on one bad chunk.
+      if (NowMs() - start_ms + delay > policy_.archive_deadline_ms) {
+        last_error = status::IoError(
+            "archive '" + file_name + "' exceeded fetch deadline: " +
+            last_error.ToString());
+        break;
+      }
+      if (delay > 0) sleep_fn_(delay);
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    auto csv = FetchOnce(path, file_name, expected_crc);
+    if (csv.ok()) return csv;
+    last_error = csv.status();
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  Quarantine(dir, file_name, last_error);
+  return last_error;
+}
+
+FetchStats ChunkFetcher::stats() const noexcept {
+  FetchStats s;
+  s.attempts = attempts_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.failures = failures_.load(std::memory_order_relaxed);
+  s.quarantined = quarantined_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace gdelt::convert

@@ -1,0 +1,85 @@
+// Robust archive acquisition for the ingest tier.
+//
+// The mirror directory stands in for GDELT's HTTP mirror, whose transient
+// failures are the common case at scale. ChunkFetcher wraps the raw
+// read-verify-unzip sequence with bounded retries, exponential backoff
+// with deterministic jitter, a per-archive wall-clock deadline, CRC
+// re-verification on every attempt, and a quarantine directory for
+// archives that stay corrupt after all retries. Both the batch converter
+// and the streaming DeltaStore acquire archives through this class, so
+// they share one failure policy and one set of health counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace gdelt::convert {
+
+/// Retry/backoff/quarantine knobs. The defaults suit tests and local
+/// mirrors; production deployments raise the deadline and backoff.
+struct FetchPolicy {
+  std::uint32_t max_attempts = 3;        ///< total tries per archive
+  std::uint64_t backoff_initial_ms = 25; ///< delay after the first failure
+  double backoff_multiplier = 2.0;
+  std::uint64_t backoff_max_ms = 2000;
+  std::uint64_t archive_deadline_ms = 30000;  ///< wall budget per archive
+  std::uint64_t jitter_seed = 0;  ///< jitter PRNG seed (replayable)
+  std::string quarantine_dir;     ///< empty = do not quarantine
+};
+
+/// Counters describing the fetcher's life so far. Plain values — a
+/// consistent snapshot copied out of atomics, safe to read from the
+/// serving thread while ingest is running.
+struct FetchStats {
+  std::uint64_t attempts = 0;     ///< individual fetch attempts
+  std::uint64_t retries = 0;      ///< attempts beyond the first
+  std::uint64_t failures = 0;     ///< archives given up on
+  std::uint64_t quarantined = 0;  ///< archives copied to quarantine
+};
+
+/// Fetches one archive's CSV payload with retries. Thread-compatible for
+/// fetching (external synchronization); stats() is thread-safe.
+class ChunkFetcher {
+ public:
+  explicit ChunkFetcher(FetchPolicy policy);
+
+  /// Reads `dir/file_name`, verifies its CRC-32 against `expected_crc`
+  /// when provided, opens the zip and returns entry 0's bytes. Retries
+  /// per policy; on final failure copies the archive (and a `.reason`
+  /// file) into the quarantine directory and returns the last error.
+  Result<std::string> FetchCsv(const std::string& dir,
+                               const std::string& file_name,
+                               std::optional<std::uint32_t> expected_crc);
+
+  /// Snapshot of the health counters.
+  FetchStats stats() const noexcept;
+
+  const FetchPolicy& policy() const noexcept { return policy_; }
+
+  /// Test hook: replaces the real sleep between attempts.
+  using SleepFn = std::function<void(std::uint64_t /*ms*/)>;
+  void set_sleep_fn(SleepFn fn) { sleep_fn_ = std::move(fn); }
+
+ private:
+  /// Backoff delay before attempt `attempt` (2-based) of `file_name`,
+  /// with deterministic per-archive jitter.
+  std::uint64_t BackoffMs(const std::string& file_name,
+                          std::uint32_t attempt) const;
+
+  void Quarantine(const std::string& dir, const std::string& file_name,
+                  const Status& why);
+
+  FetchPolicy policy_;
+  SleepFn sleep_fn_;
+  std::atomic<std::uint64_t> attempts_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+};
+
+}  // namespace gdelt::convert

@@ -1,0 +1,218 @@
+#include "io/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace gdelt::fault {
+namespace {
+
+/// Index into Injector::op_counts_ for the counter a given op shares.
+/// kTruncate shares the read counter; kKill shares the open counter, so
+/// "kill@N" and "open@N" refer to the same Nth operation.
+int CounterOf(Op op) noexcept {
+  switch (op) {
+    case Op::kOpen:
+    case Op::kKill:
+      return 0;
+    case Op::kRead:
+    case Op::kTruncate:
+      return 1;
+    case Op::kWrite:
+      return 2;
+  }
+  return 0;
+}
+
+Result<Op> ParseOp(std::string_view token) {
+  if (token == "open") return Op::kOpen;
+  if (token == "read") return Op::kRead;
+  if (token == "trunc") return Op::kTruncate;
+  if (token == "write") return Op::kWrite;
+  if (token == "kill") return Op::kKill;
+  return status::InvalidArgument("unknown fault op '" + std::string(token) +
+                                 "' (want open|read|trunc|write|kill)");
+}
+
+Result<std::uint64_t> ParseNumber(std::string_view token,
+                                  const char* what) {
+  const auto n = ParseUint64(token);
+  if (!n) {
+    return status::InvalidArgument(std::string("bad fault ") + what + " '" +
+                                   std::string(token) + "'");
+  }
+  return *n;
+}
+
+}  // namespace
+
+std::string_view OpName(Op op) noexcept {
+  switch (op) {
+    case Op::kOpen: return "open";
+    case Op::kRead: return "read";
+    case Op::kTruncate: return "trunc";
+    case Op::kWrite: return "write";
+    case Op::kKill: return "kill";
+  }
+  return "?";
+}
+
+Result<Config> ParseSpec(std::string_view spec) {
+  Config config;
+  // Optional trailing ":seed".
+  if (const auto colon = spec.rfind(':'); colon != std::string_view::npos) {
+    GDELT_ASSIGN_OR_RETURN(config.seed,
+                           ParseNumber(spec.substr(colon + 1), "seed"));
+    spec = spec.substr(0, colon);
+  }
+  while (!spec.empty()) {
+    const auto comma = spec.find(',');
+    const std::string_view clause_text = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    const auto at = clause_text.find('@');
+    const auto tilde = clause_text.find('~');
+    Clause clause;
+    if (at != std::string_view::npos) {
+      GDELT_ASSIGN_OR_RETURN(clause.op, ParseOp(clause_text.substr(0, at)));
+      GDELT_ASSIGN_OR_RETURN(
+          clause.nth, ParseNumber(clause_text.substr(at + 1), "count"));
+      if (clause.nth == 0) {
+        return status::InvalidArgument("fault count must be >= 1");
+      }
+    } else if (tilde != std::string_view::npos) {
+      GDELT_ASSIGN_OR_RETURN(clause.op,
+                             ParseOp(clause_text.substr(0, tilde)));
+      GDELT_ASSIGN_OR_RETURN(
+          const std::uint64_t permille,
+          ParseNumber(clause_text.substr(tilde + 1), "permille"));
+      if (permille == 0 || permille > 1000) {
+        return status::InvalidArgument("fault permille must be in [1, 1000]");
+      }
+      clause.permille = static_cast<std::uint32_t>(permille);
+    } else {
+      return status::InvalidArgument("fault clause '" +
+                                     std::string(clause_text) +
+                                     "' lacks '@N' or '~M'");
+    }
+    config.clauses.push_back(clause);
+  }
+  if (config.clauses.empty()) {
+    return status::InvalidArgument("empty fault spec");
+  }
+  return config;
+}
+
+void Injector::Arm(const Config& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  rng_ = Xoshiro256(config.seed);
+  op_counts_[0] = op_counts_[1] = op_counts_[2] = 0;
+  injected_.store(0, std::memory_order_relaxed);
+  armed_.store(!config.clauses.empty(), std::memory_order_relaxed);
+}
+
+void Injector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_.clauses.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+Status Injector::OnOpen(const std::string& path) {
+  if (!armed()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t count = ++op_counts_[CounterOf(Op::kOpen)];
+  bool open_fault = false;
+  bool kill_fault = false;
+  for (const Clause& clause : config_.clauses) {
+    if (clause.op != Op::kOpen && clause.op != Op::kKill) continue;
+    const bool fires = clause.nth != 0
+                           ? count == clause.nth
+                           : UniformBelow(rng_, 1000) < clause.permille;
+    if (!fires) continue;
+    (clause.op == Op::kKill ? kill_fault : open_fault) = true;
+  }
+  if (kill_fault) {
+    // A deterministic kill -9: no unwinding, no atexit, no stdio flush.
+    std::fprintf(stderr, "fault-injected kill at open #%llu ('%s')\n",
+                 static_cast<unsigned long long>(count), path.c_str());
+    std::_Exit(137);
+  }
+  if (open_fault) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return status::IoError("fault-injected open failure on '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Result<std::size_t> Injector::OnRead(const std::string& path,
+                                     std::size_t size) {
+  if (!armed()) return size;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t count = ++op_counts_[CounterOf(Op::kRead)];
+  for (const Clause& clause : config_.clauses) {
+    if (clause.op != Op::kRead && clause.op != Op::kTruncate) continue;
+    const bool fires = clause.nth != 0
+                           ? count == clause.nth
+                           : UniformBelow(rng_, 1000) < clause.permille;
+    if (!fires) continue;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    if (clause.op == Op::kRead) {
+      return status::IoError("fault-injected read failure on '" + path +
+                             "'");
+    }
+    // Torn read: keep a strict prefix.
+    return size == 0 ? 0 : static_cast<std::size_t>(UniformBelow(rng_, size));
+  }
+  return size;
+}
+
+Result<std::size_t> Injector::OnWrite(const std::string& path,
+                                      std::size_t size) {
+  if (!armed()) return size;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t count = ++op_counts_[CounterOf(Op::kWrite)];
+  for (const Clause& clause : config_.clauses) {
+    if (clause.op != Op::kWrite) continue;
+    const bool fires = clause.nth != 0
+                           ? count == clause.nth
+                           : UniformBelow(rng_, 1000) < clause.permille;
+    if (!fires) continue;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    // Torn write: the caller persists a strict prefix, then fails.
+    (void)path;
+    return size == 0 ? 0 : static_cast<std::size_t>(UniformBelow(rng_, size));
+  }
+  return size;
+}
+
+Injector& Global() {
+  static Injector* injector = [] {
+    auto* inj = new Injector;
+    if (const char* spec = std::getenv("GDELT_FAULT")) {
+      auto config = ParseSpec(spec);
+      if (config.ok()) {
+        inj->Arm(*config);
+      } else {
+        std::fprintf(stderr, "ignoring bad GDELT_FAULT spec: %s\n",
+                     config.status().ToString().c_str());
+      }
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(std::string_view spec) {
+  auto config = ParseSpec(spec);
+  if (!config.ok()) {
+    std::fprintf(stderr, "bad fault spec '%s': %s\n",
+                 std::string(spec).c_str(),
+                 config.status().ToString().c_str());
+    std::abort();
+  }
+  Global().Arm(*config);
+}
+
+}  // namespace gdelt::fault

@@ -1,0 +1,114 @@
+// Deterministic, process-wide I/O fault injection.
+//
+// The ingest tier must survive flaky mirrors, torn writes and kill -9
+// without human babysitting; this module makes those failures cheap to
+// reproduce. A single global Injector is threaded through the low-level
+// I/O primitives (ReadWholeFile, BinaryWriter, MemoryMappedFile,
+// ZipReader::ReadEntry). When armed it can fail the Nth open/read, hand
+// back truncated read buffers, tear writes short, or hard-kill the
+// process mid-run — all driven by one seed so the exact failure sequence
+// replays bit-for-bit.
+//
+// Configuration is programmatic (tests) or via the GDELT_FAULT
+// environment variable (tools, CI). Spec grammar:
+//
+//   spec    := clause (',' clause)* [':' seed]
+//   clause  := op '@' N        -- fire exactly on the Nth op (1-based)
+//            | op '~' M        -- fire each op with probability M/1000
+//   op      := open | read | trunc | write | kill
+//
+// Examples: "open@3", "read~50:7", "write@2,trunc~10:42", "kill@25".
+// `open`/`read` fail cleanly with IoError; `trunc` returns a short read
+// buffer (torn read); `write` writes a prefix then errors (torn write);
+// `kill` calls _Exit(137) at the Nth open — a deterministic kill -9.
+//
+// When disarmed (the default) every hook is a single relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace gdelt::fault {
+
+/// Which I/O primitive a clause targets.
+enum class Op : std::uint8_t { kOpen, kRead, kTruncate, kWrite, kKill };
+
+std::string_view OpName(Op op) noexcept;
+
+/// One failure rule.
+struct Clause {
+  Op op = Op::kOpen;
+  std::uint64_t nth = 0;       ///< fire exactly on the Nth op; 0 = unused
+  std::uint32_t permille = 0;  ///< else fire with probability permille/1000
+};
+
+/// A parsed fault specification.
+struct Config {
+  std::vector<Clause> clauses;
+  std::uint64_t seed = 0;
+};
+
+/// Parses the GDELT_FAULT grammar documented above.
+Result<Config> ParseSpec(std::string_view spec);
+
+/// The process-wide injector. All hooks are safe to call concurrently.
+class Injector {
+ public:
+  void Arm(const Config& config);
+  void Disarm();
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Hook before opening `path` (read or write side). May _Exit for a
+  /// `kill` clause; returns IoError for an `open` clause.
+  Status OnOpen(const std::string& path);
+
+  /// Hook after reading `size` bytes. Returns the number of bytes the
+  /// caller should keep: `size` normally, less for a torn read (`trunc`
+  /// clause), or IoError for a `read` clause.
+  Result<std::size_t> OnRead(const std::string& path, std::size_t size);
+
+  /// Hook before writing `size` bytes. Returns `size` normally; for a
+  /// `write` clause returns the prefix length the caller must write
+  /// before failing with IoError (a torn write).
+  Result<std::size_t> OnWrite(const std::string& path, std::size_t size);
+
+  /// Total faults fired since the last Arm().
+  std::uint64_t injected() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> injected_{0};
+  std::mutex mu_;
+  Config config_;
+  Xoshiro256 rng_{0};
+  std::uint64_t op_counts_[3] = {};  // open, read, write
+};
+
+/// The process-wide injector, armed from GDELT_FAULT on first use.
+Injector& Global();
+
+/// RAII guard for tests: arms the global injector, disarms on scope exit.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const Config& config) {
+    Global().Arm(config);
+  }
+  /// Spec must parse; aborts otherwise (test-only convenience).
+  explicit ScopedFaultInjection(std::string_view spec);
+  ~ScopedFaultInjection() { Global().Disarm(); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace gdelt::fault

@@ -1,15 +1,21 @@
 #include "io/file.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+
+#include "io/fault.hpp"
 
 namespace gdelt {
 
 namespace fs = std::filesystem;
 
 Result<std::string> ReadWholeFile(const std::string& path) {
+  GDELT_RETURN_IF_ERROR(fault::Global().OnOpen(path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) {
     return status::IoError("cannot open '" + path +
@@ -26,6 +32,10 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   if (failed) {
     return status::IoError("read error on '" + path + "'");
   }
+  // Fault injection: a clean read error or a torn (short) buffer.
+  GDELT_ASSIGN_OR_RETURN(const std::size_t keep,
+                         fault::Global().OnRead(path, data.size()));
+  if (keep < data.size()) data.resize(keep);
   return data;
 }
 
@@ -34,6 +44,52 @@ Status WriteWholeFile(const std::string& path, std::string_view data) {
   GDELT_RETURN_IF_ERROR(writer.Open(path));
   GDELT_RETURN_IF_ERROR(writer.WriteBytes(data.data(), data.size()));
   return writer.Close();
+}
+
+Status AtomicReplaceFile(const std::string& tmp_path,
+                         const std::string& path) {
+  // Flush the temp file's data to stable storage before the rename makes
+  // it visible; otherwise a power cut could expose an empty renamed file.
+  const int fd = ::open(tmp_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return status::IoError("cannot open '" + tmp_path +
+                           "' for sync: " + std::strerror(errno));
+  }
+  const bool sync_failed = ::fsync(fd) != 0;
+  ::close(fd);
+  if (sync_failed) {
+    return status::IoError("fsync failed on '" + tmp_path + "'");
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return status::IoError("cannot rename '" + tmp_path + "' to '" + path +
+                           "': " + std::strerror(errno));
+  }
+  // Persist the directory entry too (best effort; the rename itself is
+  // already atomic against process death).
+  const std::string dir = fs::path(path).parent_path().string();
+  if (!dir.empty()) {
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteWholeFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  GDELT_RETURN_IF_ERROR(WriteWholeFile(tmp, data));
+  return AtomicReplaceFile(tmp, path);
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) {
+    return status::IoError("cannot remove '" + path + "': " + ec.message());
+  }
+  return Status::Ok();
 }
 
 bool FileExists(const std::string& path) noexcept {
@@ -81,6 +137,7 @@ BinaryWriter::~BinaryWriter() {
 
 Status BinaryWriter::Open(const std::string& path) {
   if (file_) return status::FailedPrecondition("writer already open");
+  GDELT_RETURN_IF_ERROR(fault::Global().OnOpen(path));
   file_ = std::fopen(path.c_str(), "wb");
   if (!file_) {
     return status::IoError("cannot create '" + path +
@@ -94,6 +151,14 @@ Status BinaryWriter::Open(const std::string& path) {
 Status BinaryWriter::WriteBytes(const void* data, std::size_t size) {
   if (!file_) return status::FailedPrecondition("writer not open");
   if (size == 0) return Status::Ok();
+  // Fault injection: a torn write persists a strict prefix, then errors —
+  // exactly what a full disk or a crashed NFS server leaves behind.
+  GDELT_ASSIGN_OR_RETURN(const std::size_t keep,
+                         fault::Global().OnWrite(path_, size));
+  if (keep < size) {
+    offset_ += std::fwrite(data, 1, keep, file_);
+    return status::IoError("fault-injected torn write on '" + path_ + "'");
+  }
   if (std::fwrite(data, 1, size, file_) != size) {
     return status::IoError("write failed on '" + path_ + "'");
   }

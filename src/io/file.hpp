@@ -17,6 +17,18 @@ Result<std::string> ReadWholeFile(const std::string& path);
 /// Writes (truncates) a file with the given bytes.
 Status WriteWholeFile(const std::string& path, std::string_view data);
 
+/// Fsyncs `tmp_path` and atomically renames it over `path` (same
+/// filesystem). After this returns OK, `path` is either the old file or
+/// the complete new one — never a torn mix, even across kill -9.
+Status AtomicReplaceFile(const std::string& tmp_path,
+                         const std::string& path);
+
+/// Crash-safe WriteWholeFile: writes `path + ".tmp"`, fsyncs, renames.
+Status WriteWholeFileAtomic(const std::string& path, std::string_view data);
+
+/// Recursively removes a file or directory tree (no error if absent).
+Status RemoveAll(const std::string& path);
+
 /// True if the path exists and is a regular file.
 bool FileExists(const std::string& path) noexcept;
 

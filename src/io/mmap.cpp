@@ -9,6 +9,8 @@
 #include <cstring>
 #include <utility>
 
+#include "io/fault.hpp"
+
 namespace gdelt {
 
 MemoryMappedFile::~MemoryMappedFile() { Release(); }
@@ -39,6 +41,7 @@ void MemoryMappedFile::Release() noexcept {
 }
 
 Result<MemoryMappedFile> MemoryMappedFile::Open(const std::string& path) {
+  GDELT_RETURN_IF_ERROR(fault::Global().OnOpen(path));
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return status::IoError("cannot open '" + path +

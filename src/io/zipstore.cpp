@@ -5,6 +5,7 @@
 #include <set>
 
 #include "io/crc32.hpp"
+#include "io/fault.hpp"
 
 namespace gdelt {
 namespace {
@@ -225,8 +226,14 @@ Result<std::string> ZipReader::ReadEntry(std::size_t index) const {
   GDELT_RETURN_IF_ERROR(local.ReadPod(extra_len));
   GDELT_RETURN_IF_ERROR(local.Skip(name_len));
   GDELT_RETURN_IF_ERROR(local.Skip(extra_len));
-  GDELT_ASSIGN_OR_RETURN(const std::string_view data,
-                         local.ReadView(entry.size));
+  GDELT_ASSIGN_OR_RETURN(std::string_view data, local.ReadView(entry.size));
+  // Fault injection: a truncated entry read models a torn archive on disk.
+  GDELT_ASSIGN_OR_RETURN(const std::size_t keep,
+                         fault::Global().OnRead(entry.name, data.size()));
+  if (keep < data.size()) {
+    return status::DataLoss("fault-injected truncated zip entry read in '" +
+                            entry.name + "'");
+  }
   if (Crc32(data) != entry.crc) {
     return status::DataLoss("crc mismatch in zip entry '" + entry.name + "'");
   }

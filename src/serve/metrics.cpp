@@ -63,7 +63,12 @@ std::string ServerMetrics::ToJson(const Gauges& gauges) const {
   counter("unknown_queries", unknown_queries.load());
   counter("internal_errors", internal_errors.load());
   counter("ingests", ingests.load());
+  counter("ingest_failures", ingest_failures.load());
   counter("connections_opened", connections_opened.load());
+  counter("ingest_retries", gauges.ingest_retries);
+  counter("ingest_quarantined", gauges.ingest_quarantined);
+  counter("last_ingest_generation", gauges.last_ingest_generation);
+  out += StrFormat("\"last_ingest_age_s\":%.1f,", gauges.last_ingest_age_s);
   counter("queue_depth", gauges.queue_depth);
   counter("queue_capacity", gauges.queue_capacity);
   counter("workers", static_cast<std::uint64_t>(gauges.workers));
@@ -97,7 +102,9 @@ std::string ServerMetrics::ToJson(const Gauges& gauges) const {
 std::string ServerMetrics::Summary(const Gauges& gauges) const {
   return StrFormat(
       "served=%llu ok=%llu hit=%llu miss=%llu overload=%llu timeout=%llu "
-      "bad=%llu queue=%zu/%zu cache=%zu epoch=%llu up=%.0fs",
+      "bad=%llu queue=%zu/%zu cache=%zu epoch=%llu "
+      "ingest_fail=%llu retries=%llu quarantined=%llu ingest_age=%.0fs "
+      "up=%.0fs",
       static_cast<unsigned long long>(requests_total.load()),
       static_cast<unsigned long long>(responses_ok.load()),
       static_cast<unsigned long long>(cache_hits.load()),
@@ -106,7 +113,11 @@ std::string ServerMetrics::Summary(const Gauges& gauges) const {
       static_cast<unsigned long long>(timeouts.load()),
       static_cast<unsigned long long>(bad_requests.load()),
       gauges.queue_depth, gauges.queue_capacity, gauges.cache_entries,
-      static_cast<unsigned long long>(gauges.epoch), gauges.uptime_s);
+      static_cast<unsigned long long>(gauges.epoch),
+      static_cast<unsigned long long>(ingest_failures.load()),
+      static_cast<unsigned long long>(gauges.ingest_retries),
+      static_cast<unsigned long long>(gauges.ingest_quarantined),
+      gauges.last_ingest_age_s, gauges.uptime_s);
 }
 
 }  // namespace gdelt::serve

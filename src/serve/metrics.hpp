@@ -56,6 +56,7 @@ class ServerMetrics {
   std::atomic<std::uint64_t> unknown_queries{0};
   std::atomic<std::uint64_t> internal_errors{0};
   std::atomic<std::uint64_t> ingests{0};
+  std::atomic<std::uint64_t> ingest_failures{0};
   std::atomic<std::uint64_t> connections_opened{0};
 
   void RecordLatency(const std::string& kind, double seconds);
@@ -70,6 +71,11 @@ class ServerMetrics {
     std::size_t cache_entries = 0;
     std::uint64_t cache_text_bytes = 0;
     double uptime_s = 0;
+    // ingest/fetch health (from the delta store's ChunkFetcher)
+    std::uint64_t ingest_retries = 0;
+    std::uint64_t ingest_quarantined = 0;
+    std::uint64_t last_ingest_generation = 0;
+    double last_ingest_age_s = -1;  ///< seconds since last success; -1 = never
   };
 
   /// The `metrics` response payload: one JSON object (no trailing

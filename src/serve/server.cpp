@@ -153,6 +153,17 @@ ServerMetrics::Gauges Server::GaugesNow() const {
                                                         start_time_)
                               .count()
                         : 0.0;
+  if (delta_) {
+    const auto fetch = delta_->fetch_stats();
+    g.ingest_retries = fetch.retries;
+    g.ingest_quarantined = fetch.quarantined;
+  }
+  g.last_ingest_generation = last_ingest_generation_.load();
+  const std::int64_t last_ms = last_ingest_ms_.load();
+  g.last_ingest_age_s = last_ms < 0 ? -1.0
+                                    : g.uptime_s - static_cast<double>(
+                                                       last_ms) /
+                                                       1e3;
   return g;
 }
 
@@ -270,10 +281,16 @@ std::string Server::HandleIngest(const Request& request) {
                                        request.mentions_path);
   }
   if (!status.ok()) {
+    metrics_.ingest_failures.fetch_add(1);
     return ErrorResponse(request.id, ErrorCode::kBadRequest,
                          status.message());
   }
   metrics_.ingests.fetch_add(1);
+  last_ingest_generation_.store(delta_->Generation());
+  last_ingest_ms_.store(static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start_time_)
+          .count()));
   GDELT_LOG(kInfo, StrFormat("serve: ingest ok — epoch=%llu delta_events=%llu "
                              "delta_mentions=%llu",
                              static_cast<unsigned long long>(Epoch()),

@@ -107,6 +107,10 @@ class Server {
   std::vector<std::thread> conn_threads_;
 
   std::mutex ingest_mu_;
+  // Ingest health for the metrics surface: generation after the last
+  // successful ingest and when it happened (ms since start_; -1 = never).
+  std::atomic<std::uint64_t> last_ingest_generation_{0};
+  std::atomic<std::int64_t> last_ingest_ms_{-1};
 };
 
 }  // namespace gdelt::serve

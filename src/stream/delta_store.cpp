@@ -1,13 +1,12 @@
 #include "stream/delta_store.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <numeric>
 
 #include "convert/binary_format.hpp"
 #include "csv/tsv.hpp"
 #include "gtime/timestamp.hpp"
-#include "io/file.hpp"
-#include "io/zipstore.hpp"
 #include "schema/gdelt_schema.hpp"
 #include "util/strings.hpp"
 
@@ -23,7 +22,10 @@ bool FieldToInterval(std::string_view field, std::int64_t& out) {
 
 }  // namespace
 
-DeltaStore::DeltaStore(const engine::Database* base) : base_(base) {
+DeltaStore::DeltaStore(const engine::Database* base)
+    : base_(base),
+      fetcher_(std::make_unique<convert::ChunkFetcher>(
+          convert::FetchPolicy{})) {
   if (base_) {
     base_sources_ = base_->num_sources();
     // Global event id -> base row, for resolving delta mentions of events
@@ -53,29 +55,48 @@ std::string_view DeltaStore::source_domain(std::uint32_t id) const noexcept {
   return new_sources_[id - base_sources_];
 }
 
+void DeltaStore::set_fetch_policy(const convert::FetchPolicy& policy) {
+  fetcher_ = std::make_unique<convert::ChunkFetcher>(policy);
+}
+
 Status DeltaStore::IngestArchivePair(const std::string& export_zip_path,
                                      const std::string& mentions_zip_path) {
-  for (const auto& [path, is_export] :
-       {std::pair<const std::string&, bool>(export_zip_path, true),
-        std::pair<const std::string&, bool>(mentions_zip_path, false)}) {
-    if (path.empty()) continue;
-    GDELT_ASSIGN_OR_RETURN(const std::string bytes, ReadWholeFile(path));
-    GDELT_ASSIGN_OR_RETURN(const ZipReader zip, ZipReader::Open(bytes));
-    if (zip.entries().empty()) {
-      return status::DataLoss("empty archive: " + path);
-    }
-    GDELT_ASSIGN_OR_RETURN(const std::string csv,
-                           zip.ReadEntry(std::size_t{0}));
-    if (is_export) {
-      GDELT_RETURN_IF_ERROR(IngestEventsCsv(csv));
-    } else {
-      GDELT_RETURN_IF_ERROR(IngestMentionsCsv(csv));
-    }
+  // Acquire and verify BOTH archives before touching store state: the zip
+  // entry CRC check inside the fetcher rejects torn payloads, and the row
+  // parsers below never fail (malformed rows are counted). So a failure on
+  // either side leaves the store — and Generation() — exactly as it was.
+  auto fetch = [&](const std::string& path) -> Result<std::string> {
+    const std::filesystem::path p(path);
+    return fetcher_->FetchCsv(p.parent_path().string(),
+                              p.filename().string(), std::nullopt);
+  };
+  std::string events_csv;
+  std::string mentions_csv;
+  if (!export_zip_path.empty()) {
+    GDELT_ASSIGN_OR_RETURN(events_csv, fetch(export_zip_path));
   }
+  if (!mentions_zip_path.empty()) {
+    GDELT_ASSIGN_OR_RETURN(mentions_csv, fetch(mentions_zip_path));
+  }
+  if (!export_zip_path.empty()) ApplyEventsCsv(events_csv);
+  if (!mentions_zip_path.empty()) ApplyMentionsCsv(mentions_csv);
+  generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
 Status DeltaStore::IngestEventsCsv(std::string_view csv) {
+  ApplyEventsCsv(csv);
+  generation_.fetch_add(1, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status DeltaStore::IngestMentionsCsv(std::string_view csv) {
+  ApplyMentionsCsv(csv);
+  generation_.fetch_add(1, std::memory_order_release);
+  return Status::Ok();
+}
+
+void DeltaStore::ApplyEventsCsv(std::string_view csv) {
   RowReader rows(csv, kEventFieldCount);
   const std::vector<std::string_view>* fields = nullptr;
   while (rows.Next(fields)) {
@@ -103,11 +124,9 @@ Status DeltaStore::IngestEventsCsv(std::string_view csv) {
     event_row_of_.emplace(*gid, row);
   }
   malformed_rows_ += rows.errors().size();
-  generation_.fetch_add(1, std::memory_order_release);
-  return Status::Ok();
 }
 
-Status DeltaStore::IngestMentionsCsv(std::string_view csv) {
+void DeltaStore::ApplyMentionsCsv(std::string_view csv) {
   RowReader rows(csv, kMentionFieldCount);
   const std::vector<std::string_view>* fields = nullptr;
   while (rows.Next(fields)) {
@@ -134,8 +153,6 @@ Status DeltaStore::IngestMentionsCsv(std::string_view csv) {
     mention_event_gid_.push_back(*gid);
   }
   malformed_rows_ += rows.errors().size();
-  generation_.fetch_add(1, std::memory_order_release);
-  return Status::Ok();
 }
 
 std::vector<std::uint64_t> DeltaStore::CombinedArticlesPerSource() const {

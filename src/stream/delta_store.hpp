@@ -12,10 +12,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "convert/fetcher.hpp"
 #include "engine/database.hpp"
 #include "engine/queries.hpp"
 #include "util/status.hpp"
@@ -33,12 +35,23 @@ class DeltaStore {
 
   /// Parses one pair of chunk archives (store-mode .zip as produced by
   /// GDELT / the generator). Either path may be empty to skip that side.
+  /// All-or-nothing: both archives are fetched and verified (with retries
+  /// per the fetch policy) before any row is applied, so a truncated or
+  /// corrupt archive leaves the store — and Generation() — untouched.
   Status IngestArchivePair(const std::string& export_zip_path,
                            const std::string& mentions_zip_path);
 
   /// Parses raw CSV text (already unzipped).
   Status IngestEventsCsv(std::string_view csv);
   Status IngestMentionsCsv(std::string_view csv);
+
+  /// Replaces the archive-fetch retry/backoff policy (resets fetch stats).
+  void set_fetch_policy(const convert::FetchPolicy& policy);
+
+  /// Fetch health counters; safe to read while another thread ingests.
+  convert::FetchStats fetch_stats() const noexcept {
+    return fetcher_->stats();
+  }
 
   // --- delta-side sizes ---
   std::uint64_t delta_events() const noexcept { return event_interval_.size(); }
@@ -75,7 +88,13 @@ class DeltaStore {
  private:
   std::uint32_t SourceIdFor(std::string_view domain);
 
+  /// Row-apply halves of the CSV ingests; never fail, do not bump the
+  /// generation (the public entry points do).
+  void ApplyEventsCsv(std::string_view csv);
+  void ApplyMentionsCsv(std::string_view csv);
+
   const engine::Database* base_;  ///< may be null
+  std::unique_ptr<convert::ChunkFetcher> fetcher_;
   std::uint32_t base_sources_ = 0;
 
   // delta events (dense, in arrival order)

@@ -2,6 +2,7 @@
 // into the indexed binary database the query engine loads.
 //
 // Usage: gdelt_convert --in <raw dir> --out <binary dir> [--no-urls]
+//                      [--resume] [--quarantine-dir <dir>] [--retries <n>]
 #include <cstdio>
 
 #include "convert/converter.hpp"
@@ -19,6 +20,11 @@ int main(int argc, char** argv) {
   args.AddString("out", "gdelt_db", "output directory for binary tables");
   args.AddBool("no-urls", false, "drop article URLs from the binary tables");
   args.AddBool("no-verify", false, "skip archive checksum verification");
+  args.AddBool("resume", false,
+               "skip archives journaled by an interrupted earlier run");
+  args.AddString("quarantine-dir", "",
+                 "copy persistently corrupt archives here for diagnosis");
+  args.AddInt("retries", 3, "fetch attempts per archive (>= 1)");
   args.AddBool("help", false, "print usage");
   if (const Status s = args.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
@@ -35,6 +41,14 @@ int main(int argc, char** argv) {
   options.output_dir = args.GetString("out");
   options.keep_urls = !args.GetBool("no-urls");
   options.verify_archive_checksums = !args.GetBool("no-verify");
+  options.resume = args.GetBool("resume");
+  options.fetch.quarantine_dir = args.GetString("quarantine-dir");
+  const std::int64_t retries = args.GetInt("retries");
+  if (retries < 1) {
+    std::fprintf(stderr, "--retries must be >= 1\n");
+    return 2;
+  }
+  options.fetch.max_attempts = static_cast<std::uint32_t>(retries);
 
   WallTimer timer;
   const auto report = convert::ConvertDataset(options);

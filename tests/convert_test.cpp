@@ -6,6 +6,7 @@
 #include "gen/emit.hpp"
 #include "gen/generator.hpp"
 #include "io/crc32.hpp"
+#include "io/fault.hpp"
 #include "io/file.hpp"
 #include "io/zipstore.hpp"
 #include "test_util.hpp"
@@ -183,6 +184,102 @@ TEST(ConvertErrorsTest, MalformedRowsCounted) {
   const auto report = ConvertDataset(options);
   ASSERT_TRUE(report.ok());
   EXPECT_GE(report->malformed_rows, 1u);
+}
+
+/// Fixture for the crash/resume equivalence tests: one emitted raw
+/// dataset, one uninterrupted reference conversion to compare against,
+/// and a conversion aborted mid-run by a fault-injected torn write.
+class ConvertResumeTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kTables[] = {"events.tbl", "mentions.tbl",
+                                            "sources.dict"};
+
+  static void SetUpTestSuite() {
+    dirs_ = new TempDir("resume");
+    const auto cfg = gen::GeneratorConfig::Tiny();
+    const auto dataset = gen::GenerateDataset(cfg);
+    ASSERT_TRUE(gen::EmitDataset(dataset, cfg, dirs_->path() + "/raw").ok());
+    ConvertOptions reference;
+    reference.input_dir = dirs_->path() + "/raw";
+    reference.output_dir = dirs_->path() + "/ref";
+    ASSERT_TRUE(ConvertDataset(reference).ok());
+  }
+  static void TearDownTestSuite() {
+    delete dirs_;
+    dirs_ = nullptr;
+  }
+
+  static ConvertOptions Options(const std::string& out) {
+    ConvertOptions options;
+    options.input_dir = dirs_->path() + "/raw";
+    options.output_dir = dirs_->path() + "/out_" + out;
+    return options;
+  }
+
+  /// Runs a conversion that dies on a torn write mid-way through the
+  /// archive loop, leaving a journal and some settled spills behind.
+  static void RunInterrupted(const ConvertOptions& options) {
+    fault::ScopedFaultInjection guard("write@200");
+    const auto report = ConvertDataset(options);
+    ASSERT_FALSE(report.ok());
+    ASSERT_TRUE(FileExists(options.output_dir + "/convert.journal"));
+  }
+
+  static void ExpectTablesMatchReference(const std::string& out_dir) {
+    for (const char* table : kTables) {
+      const auto expected = ReadWholeFile(dirs_->path() + "/ref/" + table);
+      const auto actual = ReadWholeFile(out_dir + "/" + table);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_TRUE(actual.ok()) << table;
+      EXPECT_TRUE(*expected == *actual)
+          << table << " differs from the uninterrupted conversion";
+    }
+  }
+
+  static inline TempDir* dirs_ = nullptr;
+};
+
+TEST_F(ConvertResumeTest, ResumeAfterAbortIsByteIdentical) {
+  ConvertOptions options = Options("resume");
+  RunInterrupted(options);
+
+  options.resume = true;
+  const auto resumed = ConvertDataset(options);
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_GT(resumed->resumed_archives, 0u);
+  ExpectTablesMatchReference(options.output_dir);
+  // Success retires the journal; nothing is left to confuse a later run.
+  EXPECT_FALSE(FileExists(options.output_dir + "/convert.journal"));
+}
+
+TEST_F(ConvertResumeTest, FreshRunIgnoresStaleJournal) {
+  ConvertOptions options = Options("fresh");
+  RunInterrupted(options);
+
+  // Without --resume the journal is discarded and every archive reruns.
+  const auto report = ConvertDataset(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->resumed_archives, 0u);
+  ExpectTablesMatchReference(options.output_dir);
+}
+
+TEST_F(ConvertResumeTest, ResumeAgainstDifferentInputStartsFresh) {
+  ConvertOptions options = Options("mismatch");
+  RunInterrupted(options);
+
+  // Regenerate the input with another seed: the journal's master-list
+  // checksum no longer matches, so resuming must not trust it.
+  auto cfg = gen::GeneratorConfig::Tiny();
+  cfg.seed = 777;
+  const auto dataset = gen::GenerateDataset(cfg);
+  const std::string other_raw = dirs_->path() + "/raw_other";
+  ASSERT_TRUE(gen::EmitDataset(dataset, cfg, other_raw).ok());
+
+  options.input_dir = other_raw;
+  options.resume = true;
+  const auto report = ConvertDataset(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->resumed_archives, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,156 @@
+// Seeded fault-injection sweep over the whole ingest tier: hundreds of
+// randomized open/read/truncate/write fault schedules against the batch
+// converter and the streaming delta store. The property under test is
+// blanket robustness — every outcome is either success or a structured
+// Status; never a crash, a hang, or a half-applied delta. CI varies the
+// schedules via GDELT_FAULT_SWEEP_SEED_BASE.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "convert/converter.hpp"
+#include "convert/master_list.hpp"
+#include "gen/emit.hpp"
+#include "gen/generator.hpp"
+#include "io/fault.hpp"
+#include "io/file.hpp"
+#include "stream/delta_store.hpp"
+#include "test_util.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt {
+namespace {
+
+using ::gdelt::testing::TempDir;
+
+std::uint64_t SweepSeedBase() {
+  if (const char* env = std::getenv("GDELT_FAULT_SWEEP_SEED_BASE")) {
+    if (const auto parsed = ParseUint64(env)) return *parsed;
+  }
+  return 1000;
+}
+
+/// Fault schedules exercised per trial (kill excluded: it would _Exit the
+/// test runner; the crash path is covered by convert_crash_smoke.sh).
+const char* const kSpecs[] = {
+    "open~60", "read~40", "trunc~60", "write~25",
+    "open~20,read~20,trunc~20,write~20",
+};
+constexpr int kNumSpecs = static_cast<int>(std::size(kSpecs));
+
+class FaultSweepTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dirs_ = new TempDir("faultsweep");
+    auto cfg = gen::GeneratorConfig::Tiny();
+    cfg.defect_missing_archives = 0;
+    cfg.defect_malformed_master_entries = 0;
+    const auto dataset = gen::GenerateDataset(cfg);
+    ASSERT_TRUE(gen::EmitDataset(dataset, cfg, dirs_->path() + "/raw").ok());
+
+    auto master = ReadWholeFile(dirs_->path() + "/raw/masterfilelist.txt");
+    ASSERT_TRUE(master.ok());
+    for (const auto& e : convert::ParseMasterList(*master).entries) {
+      if (e.kind == convert::ArchiveKind::kExport) {
+        exports_.push_back(dirs_->path() + "/raw/" + e.file_name);
+      } else if (e.kind == convert::ArchiveKind::kMentions) {
+        mentions_.push_back(dirs_->path() + "/raw/" + e.file_name);
+      }
+    }
+    ASSERT_EQ(exports_.size(), mentions_.size());
+    ASSERT_GE(exports_.size(), 6u);
+  }
+  static void TearDownTestSuite() {
+    delete dirs_;
+    dirs_ = nullptr;
+    exports_.clear();
+    mentions_.clear();
+  }
+
+  static inline TempDir* dirs_ = nullptr;
+  static inline std::vector<std::string> exports_;
+  static inline std::vector<std::string> mentions_;
+};
+
+TEST_F(FaultSweepTest, ConverterSurvivesRandomFaultSchedules) {
+  const std::uint64_t seed_base = SweepSeedBase();
+  const std::string out = dirs_->path() + "/out";
+  convert::ConvertOptions options;
+  options.input_dir = dirs_->path() + "/raw";
+  options.output_dir = out;
+  options.fetch.max_attempts = 2;
+  options.fetch.backoff_initial_ms = 0;  // retry immediately: no sleeps
+
+  constexpr int kTrials = 100;
+  std::uint64_t faults_fired = 0;
+  int succeeded = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ASSERT_TRUE(RemoveAll(out).ok());
+    const std::string spec = std::string(kSpecs[trial % kNumSpecs]) + ":" +
+                             std::to_string(seed_base + trial);
+    Result<convert::ConvertReport> report = status::Internal("unset");
+    {
+      fault::ScopedFaultInjection guard(spec);
+      report = convert::ConvertDataset(options);
+      faults_fired += fault::Global().injected();
+    }
+    if (!report.ok()) continue;  // a structured Status is a pass
+    ++succeeded;
+    // Whatever the faults corrupted was either retried into shape or
+    // counted out; a run that reports success must leave a loadable,
+    // integrity-clean database behind.
+    EXPECT_TRUE(engine::Database::Load(out).ok())
+        << "spec " << spec << " produced an unloadable database";
+  }
+  // The schedules are aggressive enough to matter and mild enough that
+  // both outcomes appear; a sweep where nothing fired tests nothing.
+  EXPECT_GT(faults_fired, 0u);
+  EXPECT_GT(succeeded, 0);
+  EXPECT_LT(succeeded, kTrials);
+}
+
+TEST_F(FaultSweepTest, DeltaIngestIsAllOrNothingUnderFaults) {
+  const std::uint64_t seed_base = SweepSeedBase() + 500;
+  convert::FetchPolicy policy;
+  // Single attempt: retries would heal most transient schedules (that
+  // path is fetcher_test's job); here every fault must hit the
+  // all-or-nothing boundary.
+  policy.max_attempts = 1;
+  policy.backoff_initial_ms = 0;
+
+  constexpr int kTrials = 120;
+  constexpr std::size_t kPairsPerTrial = 6;
+  std::uint64_t faults_fired = 0;
+  std::uint64_t failed_ingests = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    stream::DeltaStore delta(nullptr);
+    delta.set_fetch_policy(policy);
+    const std::string spec = std::string(kSpecs[trial % kNumSpecs]) + ":" +
+                             std::to_string(seed_base + trial);
+    fault::ScopedFaultInjection guard(spec);
+    for (std::size_t i = 0; i < kPairsPerTrial; ++i) {
+      const std::uint64_t gen_before = delta.Generation();
+      const std::uint64_t events_before = delta.delta_events();
+      const std::uint64_t mentions_before = delta.delta_mentions();
+      const Status status = delta.IngestArchivePair(exports_[i], mentions_[i]);
+      if (status.ok()) {
+        EXPECT_EQ(delta.Generation(), gen_before + 1);
+      } else {
+        ++failed_ingests;
+        // All-or-nothing: a failed pair leaves no trace in the store.
+        EXPECT_EQ(delta.Generation(), gen_before) << spec;
+        EXPECT_EQ(delta.delta_events(), events_before) << spec;
+        EXPECT_EQ(delta.delta_mentions(), mentions_before) << spec;
+      }
+    }
+    faults_fired += fault::Global().injected();
+  }
+  EXPECT_GT(faults_fired, 0u);
+  EXPECT_GT(failed_ingests, 0u);
+}
+
+}  // namespace
+}  // namespace gdelt

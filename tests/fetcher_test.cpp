@@ -1,0 +1,160 @@
+// ChunkFetcher: retry/backoff behavior, deterministic jitter, deadlines,
+// and the quarantine path for persistently corrupt archives.
+#include "convert/fetcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "io/crc32.hpp"
+#include "io/fault.hpp"
+#include "io/file.hpp"
+#include "io/zipstore.hpp"
+#include "test_util.hpp"
+
+namespace gdelt::convert {
+namespace {
+
+using ::gdelt::testing::TempDir;
+
+/// Writes a one-entry store-mode zip and returns its bytes.
+std::string WriteArchive(const std::string& dir, const std::string& name,
+                         const std::string& csv) {
+  ZipWriter writer;
+  EXPECT_TRUE(writer.Open(dir + "/" + name).ok());
+  EXPECT_TRUE(writer.AddEntry("payload.csv", csv).ok());
+  EXPECT_TRUE(writer.Finish().ok());
+  auto bytes = ReadWholeFile(dir + "/" + name);
+  EXPECT_TRUE(bytes.ok());
+  return *bytes;
+}
+
+FetchPolicy FastPolicy() {
+  FetchPolicy policy;
+  policy.backoff_initial_ms = 5;
+  return policy;
+}
+
+TEST(FetcherTest, FetchesAndVerifiesValidArchive) {
+  TempDir dir("fetchok");
+  const std::string bytes = WriteArchive(dir.path(), "a.zip", "row1\nrow2\n");
+
+  ChunkFetcher fetcher(FastPolicy());
+  const auto csv = fetcher.FetchCsv(dir.path(), "a.zip", Crc32(bytes));
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(*csv, "row1\nrow2\n");
+  const FetchStats stats = fetcher.stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.failures, 0u);
+}
+
+TEST(FetcherTest, RetriesTransientFaultThenSucceeds) {
+  TempDir dir("fetchretry");
+  WriteArchive(dir.path(), "a.zip", "csv\n");
+
+  ChunkFetcher fetcher(FastPolicy());
+  std::vector<std::uint64_t> sleeps;
+  fetcher.set_sleep_fn([&sleeps](std::uint64_t ms) { sleeps.push_back(ms); });
+
+  // The first open fails; the second attempt sees a healthy mirror.
+  fault::ScopedFaultInjection guard("open@1");
+  const auto csv = fetcher.FetchCsv(dir.path(), "a.zip", std::nullopt);
+  ASSERT_TRUE(csv.ok());
+  EXPECT_EQ(*csv, "csv\n");
+  const FetchStats stats = fetcher.stats();
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.failures, 0u);
+  ASSERT_EQ(sleeps.size(), 1u);
+  EXPECT_GT(sleeps[0], 0u);
+}
+
+TEST(FetcherTest, QuarantinesPersistentlyCorruptArchive) {
+  TempDir dir("fetchquar");
+  const std::string bytes = WriteArchive(dir.path(), "bad.zip", "csv\n");
+
+  FetchPolicy policy = FastPolicy();
+  policy.max_attempts = 2;
+  policy.quarantine_dir = dir.path() + "/quarantine";
+  ChunkFetcher fetcher(policy);
+  fetcher.set_sleep_fn([](std::uint64_t) {});
+
+  // Every attempt re-verifies the CRC, so a wrong expectation never heals.
+  const auto csv = fetcher.FetchCsv(dir.path(), "bad.zip", ~Crc32(bytes));
+  ASSERT_FALSE(csv.ok());
+  EXPECT_EQ(csv.status().code(), StatusCode::kDataLoss);
+  const FetchStats stats = fetcher.stats();
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_TRUE(FileExists(policy.quarantine_dir + "/bad.zip"));
+  const auto reason =
+      ReadWholeFile(policy.quarantine_dir + "/bad.zip.reason");
+  ASSERT_TRUE(reason.ok());
+  EXPECT_NE(reason->find("checksum"), std::string::npos);
+}
+
+TEST(FetcherTest, MissingArchiveFailsWithoutQuarantineDir) {
+  TempDir dir("fetchmissing");
+  ChunkFetcher fetcher(FastPolicy());
+  fetcher.set_sleep_fn([](std::uint64_t) {});
+  EXPECT_FALSE(fetcher.FetchCsv(dir.path(), "absent.zip", std::nullopt).ok());
+  const FetchStats stats = fetcher.stats();
+  EXPECT_EQ(stats.attempts, fetcher.policy().max_attempts);
+  EXPECT_EQ(stats.failures, 1u);
+  EXPECT_EQ(stats.quarantined, 0u);
+}
+
+TEST(FetcherTest, DeadlineBoundsTheRetryLoop) {
+  TempDir dir("fetchdeadline");
+  FetchPolicy policy;
+  policy.max_attempts = 10;
+  policy.backoff_initial_ms = 50;
+  policy.archive_deadline_ms = 0;  // any backoff sleep would overshoot
+  ChunkFetcher fetcher(policy);
+  std::vector<std::uint64_t> sleeps;
+  fetcher.set_sleep_fn([&sleeps](std::uint64_t ms) { sleeps.push_back(ms); });
+
+  const auto csv = fetcher.FetchCsv(dir.path(), "absent.zip", std::nullopt);
+  ASSERT_FALSE(csv.ok());
+  EXPECT_NE(csv.status().ToString().find("deadline"), std::string::npos);
+  EXPECT_TRUE(sleeps.empty());
+  EXPECT_EQ(fetcher.stats().attempts, 1u);
+}
+
+TEST(FetcherTest, BackoffJitterIsDeterministicPerSeed) {
+  TempDir dir("fetchjitter");
+  FetchPolicy policy;
+  policy.max_attempts = 4;
+  policy.backoff_initial_ms = 40;
+  policy.jitter_seed = 7;
+
+  const auto capture = [&](const FetchPolicy& p) {
+    ChunkFetcher fetcher(p);
+    std::vector<std::uint64_t> sleeps;
+    fetcher.set_sleep_fn(
+        [&sleeps](std::uint64_t ms) { sleeps.push_back(ms); });
+    EXPECT_FALSE(
+        fetcher.FetchCsv(dir.path(), "absent.zip", std::nullopt).ok());
+    return sleeps;
+  };
+
+  const auto first = capture(policy);
+  const auto second = capture(policy);
+  ASSERT_EQ(first.size(), 3u);  // one sleep before each retry
+  EXPECT_EQ(first, second);
+  for (const std::uint64_t ms : first) {
+    EXPECT_LE(ms, policy.backoff_max_ms);
+  }
+  // Jittered exponential backoff: each delay sits in [cap/2, cap] of its
+  // attempt's exponential base, so the floor doubles attempt over attempt.
+  EXPECT_GE(first[0], policy.backoff_initial_ms / 2);
+  EXPECT_GE(first[1], policy.backoff_initial_ms);
+  EXPECT_GE(first[2], policy.backoff_initial_ms * 2);
+}
+
+}  // namespace
+}  // namespace gdelt::convert

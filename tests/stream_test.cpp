@@ -11,6 +11,7 @@
 #include "gen/generator.hpp"
 #include "io/crc32.hpp"
 #include "io/file.hpp"
+#include "io/zipstore.hpp"
 #include "test_util.hpp"
 #include "util/strings.hpp"
 
@@ -237,6 +238,50 @@ TEST(DeltaStoreErrorsTest, MalformedRowsAreCounted) {
 TEST(DeltaStoreErrorsTest, MissingArchiveFails) {
   DeltaStore delta(nullptr);
   EXPECT_FALSE(delta.IngestArchivePair("/no/such.zip", "").ok());
+}
+
+TEST(DeltaStoreErrorsTest, TruncatedMentionsArchiveLeavesStoreUntouched) {
+  TempDir dir("truncpair");
+  const auto cfg = gen::GeneratorConfig::Tiny();
+  const auto dataset = gen::GenerateDataset(cfg);
+  std::string events_csv;
+  std::string mentions_csv;
+  for (std::size_t i = 0; i < 5; ++i) {
+    gen::AppendEventRow(events_csv, dataset.world, dataset.events[i]);
+    gen::AppendMentionRow(mentions_csv, dataset.world, dataset.mentions[i]);
+  }
+  const auto write_zip = [&dir](const std::string& name,
+                                const std::string& csv) {
+    ZipWriter zip;
+    ASSERT_TRUE(zip.Open(dir.path() + "/" + name).ok());
+    ASSERT_TRUE(zip.AddEntry(name + ".CSV", csv).ok());
+    ASSERT_TRUE(zip.Finish().ok());
+  };
+  write_zip("chunk.export.CSV.zip", events_csv);
+  write_zip("chunk.mentions.CSV.zip", mentions_csv);
+  // Tear the mentions archive in half — a crashed mirror sync.
+  const std::string mentions_path = dir.path() + "/chunk.mentions.CSV.zip";
+  auto bytes = ReadWholeFile(mentions_path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(
+      WriteWholeFile(mentions_path, bytes->substr(0, bytes->size() / 2))
+          .ok());
+
+  DeltaStore delta(nullptr);
+  convert::FetchPolicy policy;
+  policy.max_attempts = 2;
+  policy.backoff_initial_ms = 0;
+  delta.set_fetch_policy(policy);
+  // All-or-nothing: even though the export side is intact, the bad
+  // mentions side must keep the whole pair out of the store.
+  EXPECT_FALSE(delta
+                   .IngestArchivePair(dir.path() + "/chunk.export.CSV.zip",
+                                      mentions_path)
+                   .ok());
+  EXPECT_EQ(delta.delta_events(), 0u);
+  EXPECT_EQ(delta.delta_mentions(), 0u);
+  EXPECT_EQ(delta.Generation(), 0u);
+  EXPECT_GE(delta.fetch_stats().failures, 1u);
 }
 
 }  // namespace
