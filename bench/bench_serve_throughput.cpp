@@ -12,6 +12,7 @@
 #include "common/fixture.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
+#include "trace/trace.hpp"
 #include "util/timer.hpp"
 
 namespace gdelt::bench {
@@ -97,13 +98,37 @@ void Print() {
   writer.Record("cached_" + std::to_string(total) + "req", kClients,
                 cached_s);
 
+  // Tracing overhead: the same cold workload with span tracing armed
+  // (every TRACE_SPAN records into the global ring). The disabled run
+  // above is the baseline; the acceptance bar is that *compiled-in but
+  // disabled* tracing costs nothing, and even armed tracing stays cheap.
+  trace::Reset();
+  trace::SetEnabled(true);
+  serve::Server traced(Db(), nullptr, ServeOptions(/*cache_entries=*/0));
+  if (!traced.Start().ok()) {
+    trace::SetEnabled(false);
+    return;
+  }
+  const double traced_s = MeasureOnce(traced);
+  traced.Stop();
+  trace::SetEnabled(false);
+  const std::uint64_t spans_recorded = trace::RecordedCount();
+  trace::Reset();
+  writer.Record("cold_traced_" + std::to_string(total) + "req", kClients,
+                traced_s);
+
   std::printf("\n=== Serving throughput (%d clients x %d requests) ===\n",
               kClients, kRequestsPerClient);
-  std::printf("  cold   : %8.1f req/s  (%.3fs total)\n", total / cold_s,
-              cold_s);
-  std::printf("  cached : %8.1f req/s  (%.3fs total)\n", total / cached_s,
-              cached_s);
-  std::printf("  speedup: %.1fx\n", cold_s / cached_s);
+  std::printf("  cold          : %8.1f req/s  (%.3fs total)\n",
+              total / cold_s, cold_s);
+  std::printf("  cached        : %8.1f req/s  (%.3fs total)\n",
+              total / cached_s, cached_s);
+  std::printf("  speedup       : %.1fx\n", cold_s / cached_s);
+  std::printf("  cold + tracing: %8.1f req/s  (%.3fs total, %llu spans, "
+              "%+.1f%% vs cold)\n",
+              total / traced_s, traced_s,
+              static_cast<unsigned long long>(spans_recorded),
+              (traced_s / cold_s - 1.0) * 100.0);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "convert/binary_format.hpp"
 #include "engine/queries.hpp"
 #include "parallel/parallel.hpp"
+#include "trace/trace.hpp"
 
 namespace gdelt::analysis {
 namespace {
@@ -65,21 +66,25 @@ void TiledDense(const engine::Database& db, const CsrSetIndex& index,
                 CoReportMatrix& matrix) {
   const auto parts = SplitRange(db.num_events(), num_parts);
   std::vector<std::vector<std::uint32_t>> locals(parts.size());
-  ParallelFor(parts.size(), [&](std::size_t p) {
-    auto& local = locals[p];
-    local.assign(n * n, 0);
-    std::vector<std::uint32_t> slots;
-    for (std::size_t e = parts[p].begin; e < parts[p].end; ++e) {
-      SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
-      for (std::size_t a = 0; a < slots.size(); ++a) {
-        ++local[static_cast<std::size_t>(slots[a]) * n + slots[a]];
-        for (std::size_t b = a + 1; b < slots.size(); ++b) {
-          const std::uint64_t key = UpperKey(slots[a], slots[b]);
-          ++local[(key >> 32) * n + (key & 0xFFFFFFFFu)];
+  {
+    TRACE_SPAN("coreport.tiles");
+    ParallelFor(parts.size(), [&](std::size_t p) {
+      auto& local = locals[p];
+      local.assign(n * n, 0);
+      std::vector<std::uint32_t> slots;
+      for (std::size_t e = parts[p].begin; e < parts[p].end; ++e) {
+        SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
+        for (std::size_t a = 0; a < slots.size(); ++a) {
+          ++local[static_cast<std::size_t>(slots[a]) * n + slots[a]];
+          for (std::size_t b = a + 1; b < slots.size(); ++b) {
+            const std::uint64_t key = UpperKey(slots[a], slots[b]);
+            ++local[(key >> 32) * n + (key & 0xFFFFFFFFu)];
+          }
         }
       }
-    }
-  });
+    });
+  }
+  TRACE_SPAN("coreport.merge");
   MergeTiledPartials(std::span<std::uint32_t>(matrix.mutable_counts()),
                      locals, options.tile_elems);
 }
@@ -139,11 +144,15 @@ CoReportMatrix::CoReportMatrix(std::size_t n) : n_(n), counts_(n * n, 0) {}
 CoReportMatrix ComputeCoReporting(const engine::Database& db,
                                   std::span<const std::uint32_t> subset,
                                   const TiledCoReportOptions& options) {
+  TRACE_SPAN("coreport.compute");
   const auto slot = SlotMap(db, subset);
   const std::size_t n = subset.empty() ? db.num_sources() : subset.size();
   CoReportMatrix matrix(n);
   if (n == 0 || db.num_events() == 0) return matrix;
-  const auto& index = db.event_distinct_sources();
+  const auto& index = [&]() -> decltype(db.event_distinct_sources()) {
+    TRACE_SPAN("coreport.index");
+    return db.event_distinct_sources();
+  }();
 
   const auto num_parts = static_cast<std::size_t>(MaxThreads());
   const std::size_t dense_bytes = num_parts * n * n * sizeof(std::uint32_t);
@@ -159,6 +168,7 @@ CoReportMatrix ComputeCoReporting(const engine::Database& db,
 CoReportMatrix ComputeCoReporting(const engine::Database& db,
                                   std::span<const std::uint32_t> subset,
                                   std::span<const std::uint64_t> rows) {
+  TRACE_SPAN("coreport.compute.filtered");
   const auto slot = SlotMap(db, subset);
   const std::size_t n = subset.empty() ? db.num_sources() : subset.size();
   CoReportMatrix matrix(n);

@@ -3,10 +3,12 @@
 #include <bit>
 
 #include "parallel/parallel.hpp"
+#include "trace/trace.hpp"
 
 namespace gdelt::analysis {
 
 CountryCoReport ComputeCountryCoReporting(const engine::Database& db) {
+  TRACE_SPAN("country.coreport");
   const std::size_t nc = Countries().size();
   static_assert(sizeof(std::uint64_t) * 8 >= 64);
   // The 64-bit mask kernel requires the registry to fit one word.

@@ -4,10 +4,28 @@
 #include <cmath>
 
 #include "parallel/parallel.hpp"
+#include "trace/trace.hpp"
 
 namespace gdelt::analysis {
+namespace {
+
+/// True median of a non-empty range (partially reorders it). Odd counts
+/// return the middle element; even counts return the mean of the two middle
+/// elements, floored to stay integral. A bare nth_element at n/2 would give
+/// the *upper* median for even counts, which overstates the typical delay.
+std::int64_t MedianInPlace(std::int64_t* begin, std::int64_t* end) {
+  const auto n = static_cast<std::size_t>(end - begin);
+  std::nth_element(begin, begin + n / 2, end);
+  const std::int64_t upper = begin[n / 2];
+  if (n % 2 != 0) return upper;
+  const std::int64_t lower = *std::max_element(begin, begin + n / 2);
+  return lower + (upper - lower) / 2;
+}
+
+}  // namespace
 
 std::vector<DelayStats> PerSourceDelayStats(const engine::Database& db) {
+  TRACE_SPAN("delay.per_source");
   const auto when = db.mention_interval();
   const auto event_when = db.mention_event_interval();
   const std::size_t ns = db.num_sources();
@@ -30,7 +48,7 @@ std::vector<DelayStats> PerSourceDelayStats(const engine::Database& db) {
       std::sort(delays.begin(), delays.end());
       st.min = delays.front();
       st.max = delays.back();
-      st.median = delays[delays.size() / 2];
+      st.median = MedianInPlace(delays.data(), delays.data() + delays.size());
       double sum = 0.0;
       for (const std::int64_t d : delays) sum += static_cast<double>(d);
       st.average = sum / static_cast<double>(delays.size());
@@ -62,6 +80,7 @@ std::vector<std::uint64_t> DelayMetricHistogram(
 }
 
 QuarterlyDelay QuarterlyDelayStats(const engine::Database& db) {
+  TRACE_SPAN("delay.quarterly");
   const auto w = engine::QuartersOf(db);
   const auto quarters = engine::MentionQuarters(db);
   const auto when = db.mention_interval();
@@ -99,14 +118,14 @@ QuarterlyDelay QuarterlyDelayStats(const engine::Database& db) {
     double sum = 0.0;
     for (auto* p = begin; p != end; ++p) sum += static_cast<double>(*p);
     result.average[q] = sum / static_cast<double>(n);
-    std::nth_element(begin, begin + n / 2, end);
-    result.median[q] = begin[n / 2];
+    result.median[q] = MedianInPlace(begin, end);
   });
   return result;
 }
 
 engine::QuarterSeries SlowArticlesPerQuarter(const engine::Database& db,
                                              std::int64_t threshold) {
+  TRACE_SPAN("delay.slow_articles");
   const auto w = engine::QuartersOf(db);
   const auto quarters = engine::MentionQuarters(db);
   const auto when = db.mention_interval();

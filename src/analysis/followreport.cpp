@@ -4,11 +4,13 @@
 
 #include "engine/queries.hpp"
 #include "parallel/parallel.hpp"
+#include "trace/trace.hpp"
 
 namespace gdelt::analysis {
 
 FollowReportMatrix ComputeFollowReporting(
     const engine::Database& db, std::span<const std::uint32_t> subset) {
+  TRACE_SPAN("followreport.compute");
   FollowReportMatrix result;
   result.n = subset.size();
   result.follow_counts.assign(result.n * result.n, 0);

@@ -18,6 +18,7 @@
 #include "io/file.hpp"
 #include "schema/countries.hpp"
 #include "schema/gdelt_schema.hpp"
+#include "trace/trace.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -415,13 +416,16 @@ std::string ConvertReport::ToText() const {
 }
 
 Result<ConvertReport> ConvertDataset(const ConvertOptions& options) {
+  TRACE_SPAN("convert.dataset");
   ConvertReport report;
 
+  trace::Span master_span("convert.master_list");
   GDELT_ASSIGN_OR_RETURN(
       const std::string master_text,
       ReadWholeFile(options.input_dir + "/masterfilelist.txt"));
   const std::uint32_t master_crc = Crc32(master_text);
   MasterList master = ParseMasterList(master_text);
+  master_span.Finish();
   report.malformed_master_entries = master.malformed_entries;
   for (const auto& sample : master.malformed_samples) {
     report.notes.push_back("malformed master entry: '" + sample + "'");
@@ -534,11 +538,14 @@ Result<ConvertReport> ConvertDataset(const ConvertOptions& options) {
     return Status::Ok();
   };
 
-  for (const MasterEntry* entry : export_archives) {
-    GDELT_RETURN_IF_ERROR(process(*entry, 'e'));
-  }
-  for (const MasterEntry* entry : mention_archives) {
-    GDELT_RETURN_IF_ERROR(process(*entry, 'm'));
+  {
+    TRACE_SPAN("convert.spill");
+    for (const MasterEntry* entry : export_archives) {
+      GDELT_RETURN_IF_ERROR(process(*entry, 'e'));
+    }
+    for (const MasterEntry* entry : mention_archives) {
+      GDELT_RETURN_IF_ERROR(process(*entry, 'm'));
+    }
   }
 
   // ---- Merge pass: spills (in master order) -> final tables ------------
@@ -547,6 +554,7 @@ Result<ConvertReport> ConvertDataset(const ConvertOptions& options) {
   // future-dated counting. The merge is a pure function of the spill set,
   // so interrupted and uninterrupted runs produce byte-identical tables.
 
+  trace::Span merge_events_span("convert.merge_events");
   Table events;
   EventColumns ec = AddEventColumns(events);
   std::unordered_map<std::uint64_t, std::uint32_t> event_row_of;
@@ -588,7 +596,9 @@ Result<ConvertReport> ConvertDataset(const ConvertOptions& options) {
     }
   }
   report.event_rows = events.num_rows();
+  merge_events_span.Finish();
 
+  trace::Span merge_mentions_span("convert.merge_mentions");
   Table mentions;
   MentionColumns mc = AddMentionColumns(mentions, options.keep_urls);
   StringDictionary sources;
@@ -639,6 +649,7 @@ Result<ConvertReport> ConvertDataset(const ConvertOptions& options) {
   }
   report.mention_rows = mentions.num_rows();
   report.num_sources = sources.size();
+  merge_mentions_span.Finish();
 
   const FetchStats fetch_stats = fetcher.stats();
   report.fetch_retries = fetch_stats.retries;
@@ -649,6 +660,7 @@ Result<ConvertReport> ConvertDataset(const ConvertOptions& options) {
   // Atomic renames: a reader (or a crash) never sees a torn table. The
   // journal and spills are only removed after all three tables landed, so
   // a failure anywhere below resumes straight into the merge.
+  TRACE_SPAN("convert.write_tables");
   GDELT_RETURN_IF_ERROR(events.WriteToFileAtomic(
       options.output_dir + "/" + std::string(kEventsTableFile)));
   GDELT_RETURN_IF_ERROR(mentions.WriteToFileAtomic(

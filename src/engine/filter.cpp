@@ -4,6 +4,7 @@
 
 #include "convert/binary_format.hpp"
 #include "parallel/parallel.hpp"
+#include "trace/trace.hpp"
 
 namespace gdelt::engine {
 namespace {
@@ -31,6 +32,7 @@ bool Matches(const Database& db, const MentionFilter& f, std::uint64_t i) {
 
 std::vector<std::uint64_t> SelectMentions(const Database& db,
                                           const MentionFilter& filter) {
+  TRACE_SPAN("engine.select_mentions");
   const std::size_t n = db.num_mentions();
   // Pass 1: per-chunk match counts; pass 2: scatter rows in order.
   const auto nt = static_cast<std::size_t>(MaxThreads());
@@ -63,6 +65,7 @@ std::vector<std::uint64_t> SelectMentions(const Database& db,
 
 std::vector<std::uint64_t> ArticlesPerSource(
     const Database& db, std::span<const std::uint64_t> rows) {
+  TRACE_SPAN("engine.articles_per_source.filtered");
   const auto src = db.mention_source_id();
   return ParallelHistogram(rows.size(), db.num_sources(),
                            [&](std::size_t k) -> std::size_t {
@@ -72,6 +75,7 @@ std::vector<std::uint64_t> ArticlesPerSource(
 
 CountryCrossReport CountryCrossReporting(
     const Database& db, std::span<const std::uint64_t> rows) {
+  TRACE_SPAN("engine.cross_report.filtered");
   const std::size_t nc = Countries().size();
   const auto event_row = db.mention_event_row();
   const auto src = db.mention_source_id();

@@ -4,11 +4,13 @@
 #include <numeric>
 
 #include "convert/binary_format.hpp"
+#include "trace/trace.hpp"
 
 namespace gdelt::engine {
 
 std::vector<std::uint64_t> ArticlesPerSource(const Database& db,
                                              Schedule schedule) {
+  TRACE_SPAN("engine.articles_per_source");
   const auto src = db.mention_source_id();
   const std::size_t n_sources = db.num_sources();
   // ParallelHistogram is static-scheduled internally; for the ablation we
@@ -89,6 +91,7 @@ std::vector<std::int32_t> MentionQuarters(const Database& db) {
 }
 
 QuarterSeries ArticlesPerQuarter(const Database& db) {
+  TRACE_SPAN("engine.articles_per_quarter");
   const QuarterWindow w = QuartersOf(db);
   const auto quarters = MentionQuarters(db);
   QuarterSeries series;
@@ -102,6 +105,7 @@ QuarterSeries ArticlesPerQuarter(const Database& db) {
 }
 
 QuarterSeries EventsPerQuarter(const Database& db) {
+  TRACE_SPAN("engine.events_per_quarter");
   const QuarterWindow w = QuartersOf(db);
   const auto added = db.event_added_interval();
   QuarterSeries series;
@@ -117,6 +121,7 @@ QuarterSeries EventsPerQuarter(const Database& db) {
 }
 
 QuarterSeries ActiveSourcesPerQuarter(const Database& db) {
+  TRACE_SPAN("engine.active_sources_per_quarter");
   const QuarterWindow w = QuartersOf(db);
   const auto quarters = MentionQuarters(db);
   const auto src = db.mention_source_id();
@@ -183,6 +188,7 @@ std::vector<QuarterSeries> SourceArticlesPerQuarter(
 
 CountryCrossReport CountryCrossReporting(const Database& db,
                                          Schedule schedule) {
+  TRACE_SPAN("engine.cross_report");
   const std::size_t nc = Countries().size();
   const auto event_row = db.mention_event_row();
   const auto src = db.mention_source_id();

@@ -2,6 +2,7 @@
 
 #include "convert/binary_format.hpp"
 #include "parallel/parallel.hpp"
+#include "trace/trace.hpp"
 
 namespace gdelt::engine {
 
@@ -45,6 +46,7 @@ CrossReportPartial CrossReportingOnShard(const Database& db,
 
 CountryCrossReport ReduceCrossReport(
     const std::vector<CrossReportPartial>& partials) {
+  TRACE_SPAN("engine.sharded.reduce");
   const std::size_t nc = Countries().size();
   CountryCrossReport report;
   report.num_countries = nc;
@@ -70,6 +72,7 @@ CountryCrossReport ReduceCrossReport(
 
 CountryCrossReport ShardedCountryCrossReporting(const Database& db,
                                                 std::size_t num_shards) {
+  TRACE_SPAN("engine.sharded.cross_report");
   const auto shards = MakeTimeShards(db, num_shards);
   std::vector<CrossReportPartial> partials(shards.size());
   // Each shard runs on its own thread — the local stand-in for one rank.

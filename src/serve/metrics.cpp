@@ -23,13 +23,19 @@ void LatencyHistogram::Record(double seconds) {
 
 double LatencyHistogram::Snapshot::QuantileMs(double q) const noexcept {
   if (count == 0) return 0.0;
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count)));
+  // rank >= 1: with q == 0 an unclamped rank of 0 matched the very first
+  // (possibly empty) bucket and reported 2 us out of thin air.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(std::clamp(q, 0.0, 1.0) * static_cast<double>(count))));
   std::uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     seen += buckets[b];
     if (seen >= rank) {
-      return static_cast<double>(2ull << b) / 1e3;  // bucket upper bound
+      // Bucket upper edge, clamped to the observed max: the top bucket is
+      // open-ended (its edge would claim 16.7 s for anything >= 8.4 s) and
+      // even interior edges can overshoot the largest sample seen.
+      return std::min(static_cast<double>(BucketUpperUs(b)) / 1e3, max_ms);
     }
   }
   return max_ms;
@@ -43,6 +49,16 @@ LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
 void ServerMetrics::RecordLatency(const std::string& kind, double seconds) {
   std::lock_guard<std::mutex> lock(histograms_mu_);
   histograms_[kind].Record(seconds);
+}
+
+std::map<std::string, LatencyHistogram::Snapshot>
+ServerMetrics::HistogramSnapshots() const {
+  std::lock_guard<std::mutex> lock(histograms_mu_);
+  std::map<std::string, LatencyHistogram::Snapshot> out;
+  for (const auto& [kind, histogram] : histograms_) {
+    out.emplace(kind, histogram.Snap());
+  }
+  return out;
 }
 
 std::string ServerMetrics::ToJson(const Gauges& gauges) const {

@@ -18,9 +18,17 @@ namespace gdelt::serve {
 /// Log2-bucketed latency histogram over microseconds.
 class LatencyHistogram {
  public:
-  /// Bucket b counts samples in [2^b, 2^(b+1)) microseconds; the last
-  /// bucket is open-ended (>= ~8.4 s).
+  /// Bucket 0 counts samples in [0, 2) microseconds (sub-microsecond and
+  /// zero-length samples land here, not in a phantom [1, 2) bucket);
+  /// bucket b >= 1 counts [2^b, 2^(b+1)); the last bucket (b = 23) is
+  /// open-ended, >= 2^23 us (~8.4 s).
   static constexpr int kBuckets = 24;
+
+  /// Exclusive upper edge of bucket `b` in microseconds (2^(b+1)). The
+  /// last bucket has no finite edge; renderers report it as +Inf.
+  static constexpr std::uint64_t BucketUpperUs(int b) noexcept {
+    return 2ull << b;
+  }
 
   void Record(double seconds);
 
@@ -33,7 +41,9 @@ class LatencyHistogram {
     double MeanMs() const noexcept {
       return count == 0 ? 0.0 : sum_ms / static_cast<double>(count);
     }
-    /// Upper bound of the bucket holding quantile `q` in [0, 1].
+    /// Upper bound of the bucket holding quantile `q` in [0, 1], clamped
+    /// to the observed maximum (the top bucket is open-ended, and any
+    /// bucket's edge can overshoot the largest sample actually seen).
     double QuantileMs(double q) const noexcept;
   };
   Snapshot Snap() const;
@@ -84,6 +94,9 @@ class ServerMetrics {
 
   /// One-line human summary for the periodic server log.
   std::string Summary(const Gauges& gauges) const;
+
+  /// Per-kind histogram snapshots (for the Prometheus exposition).
+  std::map<std::string, LatencyHistogram::Snapshot> HistogramSnapshots() const;
 
  private:
   mutable std::mutex histograms_mu_;

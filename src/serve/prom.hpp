@@ -1,0 +1,27 @@
+// Prometheus text exposition of the server's metrics surface.
+//
+// The `metrics_prom` request renders the same state as `metrics` (counters,
+// gauges, per-kind latency histograms) plus the tracer's per-span
+// aggregates in the Prometheus text format (version 0.0.4): `# TYPE` lines,
+// `_total` counters, histograms with cumulative `le` buckets ending in
+// `+Inf`, and backslash-escaped label values. A scraper sidecar can expose
+// it over HTTP verbatim; the format is also stable enough to golden-test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace gdelt::serve {
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string PromEscapeLabel(std::string_view value);
+
+/// Renders the full exposition (ends with a trailing newline).
+std::string PrometheusText(const ServerMetrics& metrics,
+                           const ServerMetrics::Gauges& gauges,
+                           const std::vector<trace::SpanAggregate>& spans);
+
+}  // namespace gdelt::serve

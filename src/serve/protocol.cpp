@@ -103,6 +103,11 @@ Result<Request> ParseRequest(std::string_view line) {
       GDELT_RETURN_IF_ERROR(TakeInt(value, key, 3'600'000, r.timeout_ms));
     } else if (key == "debug_sleep_ms") {
       GDELT_RETURN_IF_ERROR(TakeInt(value, key, 60'000, r.debug_sleep_ms));
+    } else if (key == "trace") {
+      if (!value.is_bool()) {
+        return status::InvalidArgument("'trace' must be a boolean");
+      }
+      r.trace = value.AsBool();
     } else if (key == "export") {
       GDELT_RETURN_IF_ERROR(TakeString(value, key, r.export_path));
     } else if (key == "mentions") {
@@ -145,12 +150,45 @@ std::string CanonicalKey(const Request& r) {
 
 std::string OkResponse(const Request& r, std::string_view text, bool cached,
                        double wall_ms) {
+  return OkResponse(r, text, cached, wall_ms, {}, {});
+}
+
+std::string OkResponse(const Request& r, std::string_view text, bool cached,
+                       double wall_ms,
+                       const std::vector<StageTiming>& stages,
+                       const std::vector<SpanTiming>& spans) {
   std::string out = "{\"id\":";
   AppendJsonString(out, r.id);
   out += ",\"ok\":true,\"query\":";
   AppendJsonString(out, r.kind);
   out += cached ? ",\"cached\":true" : ",\"cached\":false";
-  out += StrFormat(",\"wall_ms\":%.3f,\"text\":", wall_ms);
+  out += StrFormat(",\"wall_ms\":%.3f", wall_ms);
+  if (!stages.empty()) {
+    out += ",\"trace\":{\"stages\":[";
+    bool first = true;
+    for (const StageTiming& stage : stages) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":";
+      AppendJsonString(out, stage.name);
+      out += StrFormat(",\"ms\":%.3f}", stage.ms);
+    }
+    out += "]";
+    if (!spans.empty()) {
+      out += ",\"spans\":[";
+      first = true;
+      for (const SpanTiming& span : spans) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"name\":";
+        AppendJsonString(out, span.name);
+        out += StrFormat(",\"ms\":%.3f,\"depth\":%d}", span.ms, span.depth);
+      }
+      out += "]";
+    }
+    out += "}";
+  }
+  out += ",\"text\":";
   AppendJsonString(out, text);
   out += "}\n";
   return out;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "engine/filter.hpp"
 #include "util/status.hpp"
@@ -42,6 +43,7 @@ struct Request {
 
   std::int64_t timeout_ms = 0;      ///< 0 = server default
   std::int64_t debug_sleep_ms = 0;  ///< testing aid: stall the worker
+  bool trace = false;               ///< return per-stage timings inline
 
   // ingest options
   std::string export_path;
@@ -66,9 +68,30 @@ Result<Request> ParseRequest(std::string_view line);
 /// spelled out share a cache entry.
 std::string CanonicalKey(const Request& r);
 
+/// One measured stage of a traced request (`"trace": true`). Stages are
+/// disjoint, so their sum approximates the reported wall time.
+struct StageTiming {
+  std::string name;
+  double ms = 0;
+};
+
+/// One captured span of a traced request: the kernel-level breakdown
+/// nested inside the stages (spans overlap; they do not sum to the wall).
+struct SpanTiming {
+  std::string name;
+  double ms = 0;
+  int depth = 0;
+};
+
 /// Builds one successful query response line (terminating '\n' included).
 std::string OkResponse(const Request& r, std::string_view text, bool cached,
                        double wall_ms);
+
+/// Same, with a `"trace":{"stages":[...],"spans":[...]}` breakdown
+/// spliced in (omitted entirely when `stages` is empty).
+std::string OkResponse(const Request& r, std::string_view text, bool cached,
+                       double wall_ms, const std::vector<StageTiming>& stages,
+                       const std::vector<SpanTiming>& spans);
 
 /// Builds an ok response whose payload is a pre-rendered JSON value
 /// spliced in unquoted under `field` (used for `metrics`).

@@ -32,9 +32,13 @@ bool Scheduler::Submit(Task task) {
 }
 
 void Scheduler::Drain() {
+  // drain_mu_ makes concurrent drains safe: the second caller blocks here
+  // until the first has joined and cleared the pool, then sees an empty
+  // workers_ and returns. Checking a flag under mu_ instead (the previous
+  // scheme) let both callers reach the join loop and double-join.
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (draining_ && workers_.empty()) return;
     draining_ = true;
   }
   cv_.notify_all();

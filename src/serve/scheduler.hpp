@@ -58,6 +58,10 @@ class Scheduler {
   Options opt_;
   int threads_per_query_ = 1;
 
+  /// Serializes Drain callers: without it two concurrent drains both see
+  /// the workers still present and double-join the same std::threads.
+  std::mutex drain_mu_;
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Task> queue_;

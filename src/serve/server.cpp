@@ -8,8 +8,11 @@
 
 #include <cstring>
 #include <future>
+#include <optional>
 
+#include "serve/prom.hpp"
 #include "serve/render.hpp"
+#include "trace/trace.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 
@@ -137,6 +140,16 @@ void Server::Stop() {
   log_stop_cv_.notify_all();
   if (log_thread_.joinable()) log_thread_.join();
 
+  if (!opt_.trace_dir.empty()) {
+    const std::string path = opt_.trace_dir + "/serve_trace.json";
+    const Status written = trace::WriteChromeTrace(path);
+    if (written.ok()) {
+      GDELT_LOG(kInfo, "serve: wrote trace to " + path);
+    } else {
+      GDELT_LOG(kWarning, "serve: trace dump failed: " + written.message());
+    }
+  }
+
   GDELT_LOG(kInfo, "serve: drained — " + metrics_.Summary(GaugesNow()));
 }
 
@@ -169,12 +182,14 @@ ServerMetrics::Gauges Server::GaugesNow() const {
 
 std::string Server::HandleLine(const std::string& line) {
   const auto received = Clock::now();
+  TRACE_SPAN("serve.request");
   metrics_.requests_total.fetch_add(1);
   if (stopping_.load()) {
     return ErrorResponse("", ErrorCode::kShuttingDown,
                          "server is shutting down");
   }
   auto parsed = ParseRequest(line);
+  const double parse_ms = MsSince(received);
   if (!parsed.ok()) {
     metrics_.bad_requests.fetch_add(1);
     return ErrorResponse("", ErrorCode::kBadRequest,
@@ -188,6 +203,14 @@ std::string Server::HandleLine(const std::string& line) {
   if (r.kind == "metrics") {
     return OkJsonResponse(r, "metrics", metrics_.ToJson(GaugesNow()));
   }
+  if (r.kind == "metrics_prom") {
+    // Prometheus exposition text travels in the standard text envelope;
+    // a scraper sidecar unwraps the one JSON field.
+    return OkResponse(r,
+                      PrometheusText(metrics_, GaugesNow(),
+                                     trace::Aggregates()),
+                      /*cached=*/false, MsSince(received));
+  }
   if (r.kind == "ingest") {
     return HandleIngest(r);
   }
@@ -196,19 +219,27 @@ std::string Server::HandleLine(const std::string& line) {
     return ErrorResponse(r.id, ErrorCode::kUnknownQuery,
                          "unknown query '" + r.kind + "'");
   }
-  return HandleQuery(r, received);
+  return HandleQuery(r, received, parse_ms);
 }
 
 std::string Server::HandleQuery(const Request& request,
-                                Clock::time_point received) {
+                                Clock::time_point received, double parse_ms) {
   const std::uint64_t epoch = Epoch();
   const std::string key = CanonicalKey(request);
-  if (auto text = cache_.Get(key, epoch)) {
+  const auto lookup_start = Clock::now();
+  auto cached_text = cache_.Get(key, epoch);
+  const double lookup_ms = MsSince(lookup_start);
+  if (cached_text) {
     metrics_.cache_hits.fetch_add(1);
     metrics_.responses_ok.fetch_add(1);
     metrics_.RecordLatency(request.kind,
                            MsSince(received) / 1e3);
-    return OkResponse(request, *text, /*cached=*/true, MsSince(received));
+    std::vector<StageTiming> stages;
+    if (request.trace) {
+      stages = {{"parse", parse_ms}, {"cache_lookup", lookup_ms}};
+    }
+    return OkResponse(request, *cached_text, /*cached=*/true,
+                      MsSince(received), stages, {});
   }
   metrics_.cache_misses.fetch_add(1);
 
@@ -218,8 +249,17 @@ std::string Server::HandleQuery(const Request& request,
 
   auto promise = std::make_shared<std::promise<std::string>>();
   auto future = promise->get_future();
+  const auto submitted = Clock::now();
   const bool admitted = scheduler_.Submit([this, request, key, epoch,
-                                           received, deadline, promise] {
+                                           received, deadline, submitted,
+                                           parse_ms, lookup_ms, promise] {
+    // The queue wait straddles two threads: enqueued on the connection
+    // thread, measured here at dequeue on the worker.
+    const auto dequeued = Clock::now();
+    const double queue_wait_ms =
+        std::chrono::duration<double, std::milli>(dequeued - submitted)
+            .count();
+    trace::RecordManual("serve.queue_wait", submitted, dequeued);
     // Deadline check at dequeue: a request that sat in the queue past its
     // deadline is answered without burning a scan on it.
     if (Clock::now() >= deadline) {
@@ -228,11 +268,22 @@ std::string Server::HandleQuery(const Request& request,
                                        "deadline expired in queue"));
       return;
     }
-    if (request.debug_sleep_ms > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(request.debug_sleep_ms));
+    // A traced request gets a thread-local collector: every span the
+    // kernels finish on this thread lands in the response, even with
+    // global tracing off.
+    std::optional<trace::Collector> collector;
+    if (request.trace) collector.emplace();
+    const auto exec_start = Clock::now();
+    Result<RenderedQuery> rendered = status::Internal("not rendered");
+    {
+      TRACE_SPAN("serve.execute");
+      if (request.debug_sleep_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(request.debug_sleep_ms));
+      }
+      rendered = RenderQuery(db_, request);
     }
-    auto rendered = RenderQuery(db_, request);
+    const double execute_ms = MsSince(exec_start);
     if (!rendered.ok()) {
       metrics_.internal_errors.fetch_add(1);
       promise->set_value(ErrorResponse(request.id, ErrorCode::kInternal,
@@ -242,7 +293,9 @@ std::string Server::HandleQuery(const Request& request,
     if (!rendered->note.empty()) GDELT_LOG(kDebug, rendered->note);
     // Cache even on timeout — the scan is already paid for; a retry of
     // the same request will hit.
+    const auto put_start = Clock::now();
     cache_.Put(key, epoch, rendered->text);
+    const double cache_put_ms = MsSince(put_start);
     if (Clock::now() >= deadline) {
       metrics_.timeouts.fetch_add(1);
       promise->set_value(ErrorResponse(request.id, ErrorCode::kTimeout,
@@ -250,9 +303,32 @@ std::string Server::HandleQuery(const Request& request,
       return;
     }
     metrics_.responses_ok.fetch_add(1);
-    metrics_.RecordLatency(request.kind, MsSince(received) / 1e3);
+    const double wall_ms = MsSince(received);
+    metrics_.RecordLatency(request.kind, wall_ms / 1e3);
+    if (opt_.slow_query_ms > 0 && wall_ms >= static_cast<double>(
+                                                 opt_.slow_query_ms)) {
+      GDELT_LOG(kWarning,
+                StrFormat("serve: slow query kind=%s wall_ms=%.1f "
+                          "parse=%.2f cache_lookup=%.2f queue_wait=%.2f "
+                          "execute=%.2f cache_put=%.2f",
+                          request.kind.c_str(), wall_ms, parse_ms, lookup_ms,
+                          queue_wait_ms, execute_ms, cache_put_ms));
+    }
+    std::vector<StageTiming> stages;
+    std::vector<SpanTiming> spans;
+    if (request.trace) {
+      stages = {{"parse", parse_ms},
+                {"cache_lookup", lookup_ms},
+                {"queue_wait", queue_wait_ms},
+                {"execute", execute_ms},
+                {"cache_put", cache_put_ms}};
+      for (const trace::SpanRecord& s : collector->spans()) {
+        spans.push_back({s.name, static_cast<double>(s.dur_us) / 1e3,
+                         static_cast<int>(s.depth)});
+      }
+    }
     promise->set_value(OkResponse(request, rendered->text, /*cached=*/false,
-                                  MsSince(received)));
+                                  wall_ms, stages, spans));
   });
   if (!admitted) {
     metrics_.rejected_overloaded.fetch_add(1);

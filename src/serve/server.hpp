@@ -38,6 +38,8 @@ struct ServerOptions {
   std::int64_t default_timeout_ms = 30'000;
   int metrics_log_interval_s = 0;        ///< 0 disables the periodic log line
   std::size_t max_line_bytes = 1 << 20;  ///< request line length cap
+  std::int64_t slow_query_ms = 0;  ///< log queries slower than this; 0 = off
+  std::string trace_dir;  ///< Chrome trace dump directory on Stop; "" = off
 };
 
 class Server {
@@ -76,7 +78,8 @@ class Server {
 
  private:
   std::string HandleQuery(const Request& request,
-                          std::chrono::steady_clock::time_point received);
+                          std::chrono::steady_clock::time_point received,
+                          double parse_ms);
   std::string HandleIngest(const Request& request);
   void AcceptLoop();
   void HandleConnection(int fd);

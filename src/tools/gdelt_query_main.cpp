@@ -17,6 +17,7 @@
 #include "engine/queries.hpp"
 #include "gtime/timestamp.hpp"
 #include "serve/render.hpp"
+#include "trace/trace.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
 
@@ -57,6 +58,9 @@ int main(int argc, char** argv) {
                  "restrict to captures before this YYYYMMDDHHMMSS timestamp");
   args.AddInt("min-confidence", 0,
               "restrict to mentions with at least this GDELT confidence");
+  args.AddString("trace-out", "",
+                 "enable span tracing and write a Chrome trace_event JSON "
+                 "file here after the query");
   args.AddBool("help", false, "print usage");
   if (const Status s = args.Parse(argc, argv); !s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
@@ -70,6 +74,8 @@ int main(int argc, char** argv) {
   if (args.GetInt("threads") > 0) {
     SetThreads(static_cast<int>(args.GetInt("threads")));
   }
+  const std::string trace_out = args.GetString("trace-out");
+  if (!trace_out.empty()) trace::SetEnabled(true);
 
   WallTimer load_timer;
   auto db = engine::Database::Load(args.GetString("db"));
@@ -123,5 +129,12 @@ int main(int argc, char** argv) {
     }
   }
   std::fprintf(stderr, "[query took %.3fs]\n", query_timer.ElapsedSeconds());
+  if (!trace_out.empty()) {
+    if (const Status s = trace::WriteChromeTrace(trace_out); !s.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", s.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "[trace written to %s]\n", trace_out.c_str());
+    }
+  }
   return rc;
 }

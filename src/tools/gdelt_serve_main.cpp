@@ -14,8 +14,10 @@
 #include <thread>
 
 #include "engine/database.hpp"
+#include "io/file.hpp"
 #include "serve/server.hpp"
 #include "stream/delta_store.hpp"
+#include "trace/trace.hpp"
 #include "util/args.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
@@ -44,6 +46,12 @@ int main(int argc, char** argv) {
   args.AddInt("timeout-ms", 30000, "default per-request deadline");
   args.AddInt("metrics-interval", 60,
               "seconds between metrics log lines (0 disables)");
+  args.AddInt("slow-ms", 0,
+              "log queries slower than this many ms with a per-stage "
+              "breakdown (0 disables)");
+  args.AddString("trace-dir", "",
+                 "enable span tracing and dump a Chrome trace_event JSON "
+                 "file here on shutdown");
   args.AddBool("follow", false,
                "attach a streaming delta store (enables `ingest` requests)");
   args.AddBool("help", false, "print usage");
@@ -88,6 +96,15 @@ int main(int argc, char** argv) {
   options.default_timeout_ms = args.GetInt("timeout-ms");
   options.metrics_log_interval_s =
       static_cast<int>(args.GetInt("metrics-interval"));
+  options.slow_query_ms = args.GetInt("slow-ms");
+  options.trace_dir = args.GetString("trace-dir");
+  if (!options.trace_dir.empty()) {
+    if (const Status s = MakeDirectories(options.trace_dir); !s.ok()) {
+      std::fprintf(stderr, "bad --trace-dir: %s\n", s.ToString().c_str());
+      return 2;
+    }
+    trace::SetEnabled(true);
+  }
 
   serve::Server server(*db, delta.get(), options);
   if (const Status s = server.Start(); !s.ok()) {

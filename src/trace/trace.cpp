@@ -1,0 +1,222 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "io/file.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::trace {
+namespace {
+
+struct Agg {
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t max_us = 0;
+};
+
+/// All mutable tracer state. One mutex guards the ring and the
+/// aggregates: recording is a handful of integer stores next to spans
+/// that are themselves microseconds long, so contention is irrelevant at
+/// span granularity (the disabled path never takes the lock).
+class Tracer {
+ public:
+  static Tracer& Get() {
+    static Tracer tracer;
+    return tracer;
+  }
+
+  Clock::time_point epoch() const noexcept { return epoch_; }
+
+  void Record(std::string_view name, std::uint64_t start_us,
+              std::uint64_t dur_us, std::uint32_t tid, std::uint16_t depth) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Agg& agg = aggregates_[std::string(name)];
+    ++agg.count;
+    agg.total_us += dur_us;
+    agg.max_us = std::max(agg.max_us, dur_us);
+    if (ring_.size() < capacity_) {
+      ring_.push_back({std::string(name), start_us, dur_us, tid, depth});
+    } else {
+      ring_[next_ % capacity_] =
+          {std::string(name), start_us, dur_us, tid, depth};
+    }
+    ++next_;
+    ++recorded_;
+  }
+
+  void SetCapacity(std::size_t spans) {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = std::max<std::size_t>(1, spans);
+    ring_.clear();
+    ring_.shrink_to_fit();
+    next_ = 0;
+  }
+
+  std::vector<SpanRecord> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SpanRecord> out;
+    out.reserve(ring_.size());
+    // Oldest first: the slot at next_ % capacity_ is the oldest once the
+    // ring has wrapped.
+    const std::size_t n = ring_.size();
+    const std::size_t first = next_ >= capacity_ ? next_ % capacity_ : 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      out.push_back(ring_[(first + k) % n]);
+    }
+    return out;
+  }
+
+  std::vector<SpanAggregate> AggregateSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SpanAggregate> out;
+    out.reserve(aggregates_.size());
+    for (const auto& [name, agg] : aggregates_) {
+      out.push_back({name, agg.count, agg.total_us, agg.max_us});
+    }
+    return out;
+  }
+
+  std::uint64_t recorded() const noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    return recorded_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+    next_ = 0;
+    recorded_ = 0;
+    aggregates_.clear();
+  }
+
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint32_t> next_tid{0};
+
+ private:
+  Tracer() : epoch_(Clock::now()) {}
+
+  const Clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 1 << 16;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;       // total pushes; next_ % capacity_ = slot
+  std::uint64_t recorded_ = 0;
+  std::map<std::string, Agg> aggregates_;
+};
+
+std::uint32_t ThisThreadId() {
+  thread_local const std::uint32_t tid =
+      Tracer::Get().next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::uint64_t MicrosSinceEpoch(Clock::time_point t) {
+  const auto d = t - Tracer::Get().epoch();
+  return d.count() <= 0
+             ? 0
+             : static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::microseconds>(d)
+                       .count());
+}
+
+thread_local Collector* tl_collector = nullptr;
+thread_local int tl_depth = 0;
+
+}  // namespace
+
+bool Enabled() noexcept {
+  return Tracer::Get().enabled.load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool on) noexcept {
+  Tracer::Get().enabled.store(on, std::memory_order_relaxed);
+}
+
+void SetRingCapacity(std::size_t spans) { Tracer::Get().SetCapacity(spans); }
+
+void RecordManual(std::string_view name, Clock::time_point start,
+                  Clock::time_point end) {
+  if (end < start) end = start;
+  const std::uint64_t start_us = MicrosSinceEpoch(start);
+  const auto dur_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count());
+  const std::uint32_t tid = ThisThreadId();
+  const auto depth = static_cast<std::uint16_t>(tl_depth);
+  if (Enabled()) {
+    Tracer::Get().Record(name, start_us, dur_us, tid, depth);
+  }
+  if (tl_collector != nullptr) {
+    tl_collector->mutable_spans().push_back(
+        {std::string(name), start_us, dur_us, tid, depth});
+  }
+}
+
+std::uint64_t RecordedCount() noexcept { return Tracer::Get().recorded(); }
+
+std::vector<SpanRecord> RingSnapshot() { return Tracer::Get().Snapshot(); }
+
+std::vector<SpanAggregate> Aggregates() {
+  return Tracer::Get().AggregateSnapshot();
+}
+
+void Reset() { Tracer::Get().Reset(); }
+
+Status WriteChromeTrace(const std::string& path) {
+  const auto spans = RingSnapshot();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    // Complete events ("ph":"X") with microsecond timestamps — the
+    // format chrome://tracing and Perfetto ingest directly.
+    out += "{\"name\":\"";
+    for (const char c : span.name) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += StrFormat("\",\"ph\":\"X\",\"ts\":%llu,\"dur\":%llu,"
+                     "\"pid\":0,\"tid\":%u,\"args\":{\"depth\":%u}}",
+                     static_cast<unsigned long long>(span.start_us),
+                     static_cast<unsigned long long>(span.dur_us), span.tid,
+                     static_cast<unsigned>(span.depth));
+  }
+  out += "]}\n";
+  return WriteWholeFileAtomic(path, out);
+}
+
+Collector::Collector() {
+  previous_ = tl_collector;
+  tl_collector = this;
+}
+
+Collector::~Collector() { tl_collector = previous_; }
+
+Collector* Collector::Current() noexcept { return tl_collector; }
+
+namespace detail {
+
+void FinishSpan(const char* name, Clock::time_point start,
+                std::uint16_t depth) {
+  const Clock::time_point end = Clock::now();
+  const std::uint64_t start_us = MicrosSinceEpoch(start);
+  const auto dur_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count());
+  const std::uint32_t tid = ThisThreadId();
+  if (Enabled()) {
+    Tracer::Get().Record(name, start_us, dur_us, tid, depth);
+  }
+  if (tl_collector != nullptr) {
+    tl_collector->mutable_spans().push_back(
+        {name, start_us, dur_us, tid, depth});
+  }
+}
+
+int& ThreadDepth() noexcept { return tl_depth; }
+
+}  // namespace detail
+}  // namespace gdelt::trace

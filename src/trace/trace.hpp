@@ -1,0 +1,159 @@
+// Lightweight span-based tracing for query-stage attribution.
+//
+// The paper's headline numbers are all measurements (Fig 12 scaling,
+// Table VIII percentiles, per-query wall times); serving those workloads
+// to real users needs the inverse capability — given one slow request,
+// say which stage ate the time (filter, index build, kernel, render).
+// This module provides that in the same shape as the io/fault hooks: a
+// process-wide singleton whose hooks cost one relaxed atomic load when
+// disarmed, so the instrumentation can stay compiled into production
+// binaries.
+//
+// Three consumers sit on top:
+//   * `TRACE_SPAN("coreport.merge")` RAII scopes in the engine/analysis/
+//     convert/serve paths record {name, start, duration, thread, depth}
+//     into a bounded, mutex-guarded ring buffer plus per-name aggregates.
+//   * `WriteChromeTrace(path)` dumps the ring as Chrome `trace_event`
+//     JSON (chrome://tracing, Perfetto) for flame-graph viewing
+//     (`gdelt_serve --trace-dir`, `gdelt_query --trace-out`).
+//   * `Aggregates()` feeds the Prometheus exposition of `metrics_prom`.
+//
+// Per-request stage breakdowns use `Collector`: a thread-local sink that
+// captures every span finished on its thread while in scope, regardless
+// of the global enable flag. The serve worker installs one around a
+// request when the client asked for `"trace": true`, so one request can
+// be attributed without turning tracing on for the whole process.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace gdelt::trace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One finished span. Timestamps are microseconds since the tracer's
+/// process-wide epoch (first use), so records from all threads share one
+/// timeline.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;    ///< small sequential thread id
+  std::uint16_t depth = 0;  ///< nesting depth on its thread at start
+};
+
+/// Per-name aggregate over every span recorded while enabled.
+struct SpanAggregate {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;
+  std::uint64_t max_us = 0;
+};
+
+/// Whether global tracing is armed. A single relaxed load — the only cost
+/// a TRACE_SPAN pays on the hot path when tracing is off and no
+/// per-request Collector is active.
+bool Enabled() noexcept;
+void SetEnabled(bool on) noexcept;
+
+/// Ring capacity in spans (default 1 << 16). Resets the ring.
+void SetRingCapacity(std::size_t spans);
+
+/// Records a completed span given explicit endpoints. Used for stages
+/// whose start lives on another thread (admission-queue wait: enqueued on
+/// the connection thread, dequeued on a worker).
+void RecordManual(std::string_view name, Clock::time_point start,
+                  Clock::time_point end);
+
+/// Spans recorded / dropped (ring overwrites) since the last reset.
+std::uint64_t RecordedCount() noexcept;
+
+/// Snapshot of the span ring, oldest first.
+std::vector<SpanRecord> RingSnapshot();
+
+/// Snapshot of the per-name aggregates, name-sorted.
+std::vector<SpanAggregate> Aggregates();
+
+/// Clears the ring and the aggregates (tests, between benchmark phases).
+void Reset();
+
+/// Writes the ring as a Chrome trace_event JSON file (crash-safe write).
+Status WriteChromeTrace(const std::string& path);
+
+/// Thread-local per-request span sink; see file comment. Nesting
+/// collectors on one thread restores the outer one on scope exit.
+class Collector {
+ public:
+  Collector();
+  ~Collector();
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Spans finished on this thread while this collector was innermost.
+  const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+  std::vector<SpanRecord>& mutable_spans() noexcept { return spans_; }
+
+  /// The innermost collector on the calling thread, or nullptr.
+  static Collector* Current() noexcept;
+
+ private:
+  Collector* previous_ = nullptr;
+  std::vector<SpanRecord> spans_;
+};
+
+namespace detail {
+/// Slow path: records the finished span into the ring/aggregates (if
+/// enabled) and the calling thread's collector (if any).
+void FinishSpan(const char* name, Clock::time_point start,
+                std::uint16_t depth);
+int& ThreadDepth() noexcept;
+}  // namespace detail
+
+/// RAII span. Construction is a relaxed load + thread-local read when
+/// tracing is off; everything else happens only while armed.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (Enabled() || Collector::Current() != nullptr) {
+      name_ = name;
+      start_ = Clock::now();
+      depth_ = static_cast<std::uint16_t>(detail::ThreadDepth()++);
+    }
+  }
+  ~Span() { Finish(); }
+
+  /// Ends the span before scope exit (phase spans in long functions).
+  /// Idempotent; the destructor becomes a no-op afterwards.
+  void Finish() noexcept {
+    if (name_ != nullptr) {
+      --detail::ThreadDepth();
+      detail::FinishSpan(name_, start_, depth_);
+      name_ = nullptr;
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< nullptr = disarmed at construction
+  Clock::time_point start_{};
+  std::uint16_t depth_ = 0;
+};
+
+#define GDELT_TRACE_CONCAT2(a, b) a##b
+#define GDELT_TRACE_CONCAT(a, b) GDELT_TRACE_CONCAT2(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. `name` must be
+/// a string literal (it is stored as a pointer until the span finishes).
+#define TRACE_SPAN(name) \
+  ::gdelt::trace::Span GDELT_TRACE_CONCAT(gdelt_trace_span_, __LINE__)(name)
+
+}  // namespace gdelt::trace

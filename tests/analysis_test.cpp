@@ -263,6 +263,62 @@ TEST(DelayTest, QuarterlyAverageAndMedian) {
   EXPECT_EQ(q.median[0], 4);
 }
 
+TEST(DelayTest, MedianEvenCountIsMeanOfMiddlePair) {
+  TempDir dir("delayeven");
+  TestDbBuilder builder;
+  // Delays 1, 2, 10, 20: the true median is floor((2 + 10) / 2) = 6 —
+  // a bare nth_element at n/2 would report the upper middle element (10).
+  for (const std::int64_t d : {1, 2, 10, 20}) {
+    const auto e = builder.AddEvent(1000);
+    builder.AddMention(e, 1000 + d, "s.com");
+  }
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  const auto stats = PerSourceDelayStats(*db);
+  const auto s = *db->sources().Find("s.com");
+  EXPECT_EQ(stats[s].median, 6);
+  // The quarterly path must agree with the per-source path.
+  const QuarterlyDelay q = QuarterlyDelayStats(*db);
+  ASSERT_EQ(q.median.size(), 1u);
+  EXPECT_EQ(q.median[0], 6);
+}
+
+TEST(DelayTest, MedianEvenCountFloorsHalfSteps) {
+  TempDir dir("delayfloor");
+  TestDbBuilder builder;
+  // Delays 1, 2: the mean of the middle pair is 1.5; the integral median
+  // floors to 1.
+  for (const std::int64_t d : {1, 2}) {
+    const auto e = builder.AddEvent(1000);
+    builder.AddMention(e, 1000 + d, "s.com");
+  }
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  const auto stats = PerSourceDelayStats(*db);
+  const auto s = *db->sources().Find("s.com");
+  EXPECT_EQ(stats[s].median, 1);
+  const QuarterlyDelay q = QuarterlyDelayStats(*db);
+  ASSERT_EQ(q.median.size(), 1u);
+  EXPECT_EQ(q.median[0], 1);
+}
+
+TEST(DelayTest, MedianOddCountIsMiddleElement) {
+  TempDir dir("delayodd");
+  TestDbBuilder builder;
+  for (const std::int64_t d : {3, 9, 27}) {
+    const auto e = builder.AddEvent(1000);
+    builder.AddMention(e, 1000 + d, "s.com");
+  }
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  const auto stats = PerSourceDelayStats(*db);
+  const auto s = *db->sources().Find("s.com");
+  EXPECT_EQ(stats[s].median, 9);
+  const QuarterlyDelay q = QuarterlyDelayStats(*db);
+  ASSERT_EQ(q.median.size(), 1u);
+  EXPECT_EQ(q.median[0], 9);
+}
+
 TEST(DelayTest, SlowArticleCounting) {
   TempDir dir("delays");
   TestDbBuilder builder;

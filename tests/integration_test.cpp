@@ -186,7 +186,14 @@ TEST_F(PipelineTest, PerSourceDelayMatchesBruteForce) {
     EXPECT_EQ(stats[dict_id].article_count, delays.size());
     EXPECT_EQ(stats[dict_id].min, delays.front());
     EXPECT_EQ(stats[dict_id].max, delays.back());
-    EXPECT_EQ(stats[dict_id].median, delays[delays.size() / 2]);
+    // True median: even counts take the floored mean of the two middle
+    // elements, matching PerSourceDelayStats.
+    const std::size_t n = delays.size();
+    const std::int64_t expected_median =
+        n % 2 != 0 ? delays[n / 2]
+                   : delays[n / 2 - 1] +
+                         (delays[n / 2] - delays[n / 2 - 1]) / 2;
+    EXPECT_EQ(stats[dict_id].median, expected_median);
   }
 }
 

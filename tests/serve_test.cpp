@@ -3,6 +3,10 @@
 // loopback sockets, and graceful drain.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,11 +17,14 @@
 #include "serve/cache.hpp"
 #include "serve/client.hpp"
 #include "serve/json.hpp"
+#include "serve/metrics.hpp"
+#include "serve/prom.hpp"
 #include "serve/protocol.hpp"
 #include "serve/render.hpp"
 #include "serve/server.hpp"
 #include "stream/delta_store.hpp"
 #include "test_util.hpp"
+#include "trace/trace.hpp"
 #include "util/strings.hpp"
 
 namespace gdelt::serve {
@@ -105,6 +112,75 @@ TEST(ProtocolTest, CanonicalKeyIgnoresSpelling) {
   ASSERT_TRUE(a.ok() && b.ok() && c.ok());
   EXPECT_EQ(CanonicalKey(*a), CanonicalKey(*b));
   EXPECT_NE(CanonicalKey(*a), CanonicalKey(*c));
+}
+
+TEST(ProtocolTest, ParsesTraceFlag) {
+  const auto r = ParseRequest(R"({"query":"stats","trace":true})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->trace);
+  const auto off = ParseRequest(R"({"query":"stats"})");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->trace);
+  EXPECT_FALSE(ParseRequest(R"({"query":"stats","trace":1})").ok());
+}
+
+// ----------------------------------------------------- latency histogram --
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  LatencyHistogram h;
+  h.Record(0.0);      // 0 us: bucket 0, not a phantom [1,2) bucket
+  h.Record(5e-7);     // 0.5 us -> bucket 0
+  h.Record(1e-6);     // 1 us -> bucket 0 ([0,2))
+  h.Record(2e-6);     // 2 us: exactly on the edge -> bucket 1 ([2,4))
+  h.Record(3e-6);     // -> bucket 1
+  h.Record(4e-6);     // 4 us edge -> bucket 2
+  h.Record(9.0);      // 9 s >= 2^23 us -> open-ended bucket 23
+  h.Record(1000.0);   // far past the top edge still lands in bucket 23
+  const auto snap = h.Snap();
+  EXPECT_EQ(snap.count, 8u);
+  EXPECT_EQ(snap.buckets[0], 3u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[LatencyHistogram::kBuckets - 1], 2u);
+  std::uint64_t total = 0;
+  for (const auto b : snap.buckets) total += b;
+  EXPECT_EQ(total, snap.count);
+}
+
+TEST(LatencyHistogramTest, QuantileClampsToObservedMax) {
+  LatencyHistogram h;
+  h.Record(0.010);  // 10 ms -> bucket [8.192, 16.384) ms
+  const auto snap = h.Snap();
+  // The bucket's upper edge (16.384 ms) overshoots the only sample; every
+  // quantile must clamp to the observed max instead.
+  EXPECT_DOUBLE_EQ(snap.QuantileMs(0.5), snap.max_ms);
+  EXPECT_DOUBLE_EQ(snap.QuantileMs(1.0), snap.max_ms);
+  // Open-ended top bucket: without the clamp this would claim 16.7 s.
+  LatencyHistogram big;
+  big.Record(10.0);
+  const auto big_snap = big.Snap();
+  EXPECT_DOUBLE_EQ(big_snap.QuantileMs(0.99), big_snap.max_ms);
+}
+
+TEST(LatencyHistogramTest, QuantileZeroDoesNotInventLatency) {
+  LatencyHistogram h;
+  h.Record(1.0);  // one 1 s sample; bucket 0 is empty
+  const auto snap = h.Snap();
+  // q=0 used to rank 0 samples and report empty bucket 0's edge (2 us).
+  EXPECT_GT(snap.QuantileMs(0.0), 100.0);
+  LatencyHistogram empty;
+  EXPECT_DOUBLE_EQ(empty.Snap().QuantileMs(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotonicInQ) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.Record(1e-5);  // 10 us
+  for (int i = 0; i < 10; ++i) h.Record(1e-2);  // 10 ms
+  const auto snap = h.Snap();
+  EXPECT_LE(snap.QuantileMs(0.5), snap.QuantileMs(0.9));
+  EXPECT_LE(snap.QuantileMs(0.9), snap.QuantileMs(0.99));
+  EXPECT_LT(snap.QuantileMs(0.5), 1.0);   // p50 is in the 10 us bucket
+  EXPECT_GT(snap.QuantileMs(0.99), 1.0);  // p99 reaches the 10 ms bucket
 }
 
 // --------------------------------------------------------------- cache --
@@ -382,6 +458,265 @@ TEST_F(ServeTest, PingAndConcurrentClients) {
   }
   for (auto& thread : threads) thread.join();
   for (int t = 0; t < 4; ++t) EXPECT_EQ(failures[t], 0) << "client " << t;
+}
+
+// ---------------------------------------------------------- prometheus --
+
+TEST(PromTest, EscapesLabelValues) {
+  EXPECT_EQ(PromEscapeLabel("plain"), "plain");
+  EXPECT_EQ(PromEscapeLabel("a\"b"), "a\\\"b");
+  EXPECT_EQ(PromEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscapeLabel("a\nb"), "a\\nb");
+  EXPECT_EQ(PromEscapeLabel("q\"\\\n"), "q\\\"\\\\\\n");
+}
+
+/// Value of the first exposition line whose name (with labels) is exactly
+/// `key`; -1 if no such line exists.
+double PromValue(const std::string& text, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    if (eol - pos > key.size() + 1 &&
+        text.compare(pos, key.size(), key) == 0 &&
+        text[pos + key.size()] == ' ') {
+      return std::strtod(text.c_str() + pos + key.size() + 1, nullptr);
+    }
+    pos = eol + 1;
+  }
+  return -1.0;
+}
+
+/// Unwraps the exposition text from a `metrics_prom` response line.
+std::string ScrapeProm(Server& server) {
+  const auto v = JsonValue::Parse(server.HandleLine(R"({"query":"metrics_prom"})"));
+  EXPECT_TRUE(v.ok());
+  EXPECT_TRUE(v->Find("ok")->AsBool());
+  return v->Find("text")->AsString();
+}
+
+TEST_F(ServeTest, PrometheusExpositionGolden) {
+  StartServer(ServerOptions{});
+  // Drive traffic: two identical queries (miss then hit) and one error.
+  EXPECT_NE(server_->HandleLine(R"({"query":"stats"})").find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(server_->HandleLine(R"({"query":"stats"})").find("\"ok\":true"),
+            std::string::npos);
+  (void)server_->HandleLine(R"({"query":"bogus"})");
+
+  const std::string scrape1 = ScrapeProm(*server_);
+
+  // Every non-comment line is `name[{labels}] value` with a float value;
+  // every metric is preceded by a `# TYPE` declaration for its family.
+  std::set<std::string> declared;
+  std::size_t pos = 0;
+  int metric_lines = 0;
+  while (pos < scrape1.size()) {
+    std::size_t eol = scrape1.find('\n', pos);
+    if (eol == std::string::npos) eol = scrape1.size();
+    const std::string line = scrape1.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      declared.insert(line.substr(7, line.find(' ', 7) - 7));
+      continue;
+    }
+    ++metric_lines;
+    const std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    std::string family = line.substr(0, name_end);
+    for (const std::string_view suffix :
+         {"_bucket", "_sum", "_count"}) {
+      if (family.size() > suffix.size() &&
+          family.compare(family.size() - suffix.size(), suffix.size(),
+                         suffix) == 0 &&
+          declared.count(family.substr(0, family.size() - suffix.size()))) {
+        family = family.substr(0, family.size() - suffix.size());
+        break;
+      }
+    }
+    EXPECT_TRUE(declared.count(family)) << "undeclared family: " << line;
+    const std::size_t space = line.rfind(' ');
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_EQ(*end, '\0') << line;
+    EXPECT_FALSE(std::isnan(value)) << line;
+  }
+  EXPECT_GT(metric_lines, 20);
+
+  // Spot-check counters against the traffic we generated.
+  EXPECT_GE(PromValue(scrape1, "gdelt_requests_total"), 3.0);
+  EXPECT_GE(PromValue(scrape1, "gdelt_cache_hits_total"), 1.0);
+  EXPECT_GE(PromValue(scrape1, "gdelt_cache_misses_total"), 1.0);
+  EXPECT_GE(PromValue(scrape1, "gdelt_unknown_queries_total"), 1.0);
+  EXPECT_GE(PromValue(scrape1, "gdelt_workers"), 1.0);
+
+  // Histogram: cumulative `le` buckets, +Inf bucket == _count, and the
+  // bucket counts never decrease as `le` grows.
+  const std::string bucket_prefix =
+      "gdelt_request_latency_seconds_bucket{kind=\"stats\",le=\"";
+  double last_le = -1.0;
+  double last_count = -1.0;
+  double inf_count = -1.0;
+  pos = 0;
+  while ((pos = scrape1.find(bucket_prefix, pos)) != std::string::npos) {
+    const std::size_t le_begin = pos + bucket_prefix.size();
+    const std::size_t le_end = scrape1.find('"', le_begin);
+    const std::string le = scrape1.substr(le_begin, le_end - le_begin);
+    const double count =
+        std::strtod(scrape1.c_str() + scrape1.find(' ', le_end) + 1, nullptr);
+    if (le == "+Inf") {
+      inf_count = count;
+    } else {
+      const double le_value = std::strtod(le.c_str(), nullptr);
+      EXPECT_GT(le_value, last_le) << "le not increasing";
+      last_le = le_value;
+    }
+    EXPECT_GE(count, last_count) << "bucket counts not cumulative at le=" << le;
+    last_count = count;
+    pos = le_end;
+  }
+  ASSERT_GE(inf_count, 0.0) << "missing +Inf bucket";
+  EXPECT_EQ(inf_count, PromValue(scrape1, "gdelt_request_latency_seconds_count"
+                                          "{kind=\"stats\"}"));
+  EXPECT_EQ(inf_count, 2.0);  // the two stats queries
+
+  // Counters are monotonic across scrapes.
+  EXPECT_NE(server_->HandleLine(R"({"query":"top-sources","top":3})")
+                .find("\"ok\":true"),
+            std::string::npos);
+  const std::string scrape2 = ScrapeProm(*server_);
+  for (const char* counter :
+       {"gdelt_requests_total", "gdelt_responses_ok_total",
+        "gdelt_cache_misses_total", "gdelt_unknown_queries_total"}) {
+    EXPECT_GE(PromValue(scrape2, counter), PromValue(scrape1, counter))
+        << counter;
+  }
+  EXPECT_GT(PromValue(scrape2, "gdelt_requests_total"),
+            PromValue(scrape1, "gdelt_requests_total"));
+}
+
+// --------------------------------------------------------------- trace --
+
+TEST_F(ServeTest, TracedRequestReturnsStageBreakdownSummingToWall) {
+  StartServer(ServerOptions{});
+  auto client = Connect();
+  const auto response = client.RoundTrip(
+      R"({"query":"stats","debug_sleep_ms":150,"trace":true})");
+  ASSERT_TRUE(response.ok());
+  const auto v = Parsed(*response);
+  ASSERT_TRUE(v.Find("ok")->AsBool()) << *response;
+  const JsonValue* trace_obj = v.Find("trace");
+  ASSERT_NE(trace_obj, nullptr) << *response;
+  const JsonValue* stages = trace_obj->Find("stages");
+  ASSERT_NE(stages, nullptr);
+
+  std::vector<std::string> names;
+  double stage_sum_ms = 0;
+  for (const auto& stage : stages->elements()) {
+    names.push_back(stage.Find("name")->AsString());
+    const double ms = stage.Find("ms")->AsNumber(-1);
+    EXPECT_GE(ms, 0.0) << names.back();
+    stage_sum_ms += ms;
+  }
+  const std::vector<std::string> expected = {"parse", "cache_lookup",
+                                             "queue_wait", "execute",
+                                             "cache_put"};
+  EXPECT_EQ(names, expected);
+
+  // Acceptance criterion: the stages decompose the reported wall time —
+  // their sum lands within 10% of wall_ms (debug_sleep makes it long
+  // enough that scheduling noise cannot dominate).
+  const double wall_ms = v.Find("wall_ms")->AsNumber();
+  EXPECT_GT(wall_ms, 100.0);
+  EXPECT_NEAR(stage_sum_ms, wall_ms, wall_ms * 0.10);
+
+  // The span list carries the in-query tree: serve.execute at depth 0.
+  const JsonValue* spans = trace_obj->Find("spans");
+  ASSERT_NE(spans, nullptr) << *response;
+  bool saw_execute = false;
+  for (const auto& span : spans->elements()) {
+    if (span.Find("name")->AsString() == "serve.execute") {
+      saw_execute = true;
+      EXPECT_EQ(span.Find("depth")->AsInt(-1), 0);
+    }
+  }
+  EXPECT_TRUE(saw_execute) << *response;
+
+  // An untraced request carries no trace object.
+  const auto plain = client.RoundTrip(R"({"query":"top-events","top":2})");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(Parsed(*plain).Find("trace"), nullptr);
+}
+
+TEST_F(ServeTest, TracedCacheHitReportsLookupStagesOnly) {
+  StartServer(ServerOptions{});
+  auto client = Connect();
+  ASSERT_TRUE(client.RoundTrip(R"({"query":"quarterly"})").ok());
+  const auto response =
+      client.RoundTrip(R"({"query":"quarterly","trace":true})");
+  ASSERT_TRUE(response.ok());
+  const auto v = Parsed(*response);
+  ASSERT_TRUE(v.Find("ok")->AsBool()) << *response;
+  EXPECT_TRUE(v.Find("cached")->AsBool());
+  const JsonValue* trace_obj = v.Find("trace");
+  ASSERT_NE(trace_obj, nullptr) << *response;
+  std::vector<std::string> names;
+  for (const auto& stage : trace_obj->Find("stages")->elements()) {
+    names.push_back(stage.Find("name")->AsString());
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"parse", "cache_lookup"}));
+}
+
+TEST_F(ServeTest, GlobalTracingCapturesNestedOrderedSpans) {
+  trace::Reset();
+  trace::SetEnabled(true);
+  StartServer(ServerOptions{});
+  auto client = Connect();
+  ASSERT_TRUE(client.RoundTrip(R"({"query":"cross-report"})").ok());
+  trace::SetEnabled(false);
+
+  const auto spans = trace::RingSnapshot();
+  std::ptrdiff_t execute_idx = -1;
+  std::ptrdiff_t kernel_idx = -1;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].name == "serve.execute") {
+      execute_idx = static_cast<std::ptrdiff_t>(i);
+    }
+    if (spans[i].name == "engine.cross_report") {
+      kernel_idx = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  ASSERT_GE(execute_idx, 0) << "serve.execute span missing";
+  ASSERT_GE(kernel_idx, 0) << "engine.cross_report span missing";
+  const auto& execute = spans[static_cast<std::size_t>(execute_idx)];
+  const auto& kernel = spans[static_cast<std::size_t>(kernel_idx)];
+  // Children finish (and are recorded) before their parent...
+  EXPECT_LT(kernel_idx, execute_idx);
+  // ...run on the same worker thread, nested one level down...
+  EXPECT_EQ(kernel.tid, execute.tid);
+  EXPECT_EQ(execute.depth, 0);
+  EXPECT_GE(kernel.depth, 1);
+  // ...and sit inside the parent's time window.
+  EXPECT_GE(kernel.start_us, execute.start_us);
+  EXPECT_LE(kernel.start_us + kernel.dur_us,
+            execute.start_us + execute.dur_us + 1);
+  // The cross-thread queue-wait stage is mirrored into the ring too.
+  bool saw_queue_wait = false;
+  for (const auto& span : spans) {
+    if (span.name == "serve.queue_wait") saw_queue_wait = true;
+  }
+  EXPECT_TRUE(saw_queue_wait);
+
+  // Span aggregates surface in the Prometheus exposition.
+  const std::string scrape = ScrapeProm(*server_);
+  EXPECT_GE(PromValue(scrape,
+                      "gdelt_trace_span_total{name=\"serve.execute\"}"),
+            1.0);
+  EXPECT_GE(PromValue(scrape,
+                      "gdelt_trace_span_total{name=\"engine.cross_report\"}"),
+            1.0);
+  trace::Reset();
 }
 
 }  // namespace

@@ -1,0 +1,203 @@
+// Unit tests for the span tracer: enable gating, nesting depth and
+// finish-order recording, per-request collectors, ring bounds, aggregates
+// and the Chrome trace_event dump.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/file.hpp"
+#include "test_util.hpp"
+#include "trace/trace.hpp"
+
+namespace gdelt::trace {
+namespace {
+
+using ::gdelt::testing::TempDir;
+
+/// Every test starts and ends with a clean, disabled tracer so tests
+/// cannot leak spans into each other.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetEnabled(false);
+    Reset();
+  }
+  void TearDown() override {
+    SetEnabled(false);
+    SetRingCapacity(1 << 16);  // restore the default (also resets)
+  }
+};
+
+TEST_F(TraceTest, DisarmedSpansRecordNothing) {
+  {
+    TRACE_SPAN("unit.should_not_record");
+  }
+  EXPECT_EQ(RecordedCount(), 0u);
+  EXPECT_TRUE(RingSnapshot().empty());
+  EXPECT_TRUE(Aggregates().empty());
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndFinishOrder) {
+  SetEnabled(true);
+  {
+    TRACE_SPAN("unit.outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      TRACE_SPAN("unit.inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  SetEnabled(false);
+
+  const auto spans = RingSnapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Children finish first, so the inner span is recorded first.
+  const SpanRecord& inner = spans[0];
+  const SpanRecord& outer = spans[1];
+  EXPECT_EQ(inner.name, "unit.inner");
+  EXPECT_EQ(outer.name, "unit.outer");
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(inner.depth, 1);
+  EXPECT_EQ(inner.tid, outer.tid);
+  // The child's window nests inside the parent's.
+  EXPECT_GE(inner.start_us, outer.start_us);
+  EXPECT_LE(inner.start_us + inner.dur_us, outer.start_us + outer.dur_us);
+  EXPECT_GE(outer.dur_us, inner.dur_us);
+
+  const auto aggregates = Aggregates();
+  ASSERT_EQ(aggregates.size(), 2u);  // name-sorted: inner, outer
+  EXPECT_EQ(aggregates[0].name, "unit.inner");
+  EXPECT_EQ(aggregates[0].count, 1u);
+  EXPECT_EQ(aggregates[1].name, "unit.outer");
+  EXPECT_GE(aggregates[1].total_us, aggregates[0].total_us);
+}
+
+TEST_F(TraceTest, AggregatesAccumulateAcrossSpans) {
+  SetEnabled(true);
+  for (int i = 0; i < 5; ++i) {
+    TRACE_SPAN("unit.repeat");
+  }
+  SetEnabled(false);
+  const auto aggregates = Aggregates();
+  ASSERT_EQ(aggregates.size(), 1u);
+  EXPECT_EQ(aggregates[0].count, 5u);
+  EXPECT_GE(aggregates[0].total_us, aggregates[0].max_us);
+}
+
+TEST_F(TraceTest, CollectorCapturesWithGlobalTracingOff) {
+  {
+    Collector collector;
+    EXPECT_EQ(Collector::Current(), &collector);
+    {
+      TRACE_SPAN("unit.collected");
+    }
+    ASSERT_EQ(collector.spans().size(), 1u);
+    EXPECT_EQ(collector.spans()[0].name, "unit.collected");
+  }
+  EXPECT_EQ(Collector::Current(), nullptr);
+  // The global ring saw nothing: tracing stayed disabled throughout.
+  EXPECT_EQ(RecordedCount(), 0u);
+}
+
+TEST_F(TraceTest, NestedCollectorsRestoreTheOuterOne) {
+  Collector outer;
+  {
+    Collector inner;
+    EXPECT_EQ(Collector::Current(), &inner);
+    TRACE_SPAN("unit.inner_only");
+  }
+  EXPECT_EQ(Collector::Current(), &outer);
+  {
+    TRACE_SPAN("unit.outer_only");
+  }
+  ASSERT_EQ(outer.spans().size(), 1u);
+  EXPECT_EQ(outer.spans()[0].name, "unit.outer_only");
+}
+
+TEST_F(TraceTest, FinishIsIdempotentAndRestoresDepth) {
+  SetEnabled(true);
+  Span span("unit.finished_early");
+  span.Finish();
+  span.Finish();  // second call must be a no-op
+  {
+    // Depth bookkeeping survived the early finish: a new span is depth 0.
+    TRACE_SPAN("unit.after_finish");
+  }
+  SetEnabled(false);
+  const auto spans = RingSnapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "unit.finished_early");
+  EXPECT_EQ(spans[1].name, "unit.after_finish");
+  EXPECT_EQ(spans[1].depth, 0);
+}
+
+TEST_F(TraceTest, RingIsBoundedAndKeepsTheNewestSpans) {
+  SetRingCapacity(4);
+  SetEnabled(true);
+  for (int i = 0; i < 10; ++i) {
+    Span span(i % 2 == 0 ? "unit.even" : "unit.odd");
+  }
+  SetEnabled(false);
+  EXPECT_EQ(RecordedCount(), 10u);
+  const auto spans = RingSnapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Oldest-first snapshot of the last four spans: 6,7,8,9.
+  EXPECT_EQ(spans[0].name, "unit.even");
+  EXPECT_EQ(spans[1].name, "unit.odd");
+  EXPECT_EQ(spans[2].name, "unit.even");
+  EXPECT_EQ(spans[3].name, "unit.odd");
+  // The aggregates are not ring-bounded: all ten spans counted.
+  std::uint64_t total = 0;
+  for (const auto& agg : Aggregates()) total += agg.count;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST_F(TraceTest, ThreadsGetDistinctIdsOnOneTimeline) {
+  SetEnabled(true);
+  {
+    TRACE_SPAN("unit.main_thread");
+  }
+  std::thread worker([] { TRACE_SPAN("unit.worker_thread"); });
+  worker.join();
+  SetEnabled(false);
+  const auto spans = RingSnapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].tid, spans[1].tid);
+  // Shared epoch: the worker's span starts after the main thread's.
+  EXPECT_GE(spans[1].start_us, spans[0].start_us);
+}
+
+TEST_F(TraceTest, RecordManualUsesTheGivenEndpoints) {
+  SetEnabled(true);
+  const auto start = Clock::now();
+  const auto end = start + std::chrono::milliseconds(25);
+  RecordManual("unit.manual", start, end);
+  SetEnabled(false);
+  const auto spans = RingSnapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "unit.manual");
+  EXPECT_GE(spans[0].dur_us, 24'000u);
+  EXPECT_LE(spans[0].dur_us, 26'000u);
+}
+
+TEST_F(TraceTest, ChromeTraceDumpIsWellFormed) {
+  SetEnabled(true);
+  {
+    TRACE_SPAN("unit.dumped\"quote");  // name needing JSON escaping
+  }
+  SetEnabled(false);
+  TempDir dir("trace_dump");
+  const std::string path = dir.path() + "/trace.json";
+  ASSERT_TRUE(WriteChromeTrace(path).ok());
+  const auto text = ReadWholeFile(path);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text->find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text->find("unit.dumped\\\"quote"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdelt::trace
