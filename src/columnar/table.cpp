@@ -1,6 +1,7 @@
 #include "columnar/table.hpp"
 
 #include <cstring>
+#include <limits>
 
 #include "io/crc32.hpp"
 #include "io/file.hpp"
@@ -187,6 +188,26 @@ Result<Table> Table::ReadFromFile(const std::string& path) {
   GDELT_RETURN_IF_ERROR(in.ReadPod(num_columns));
   GDELT_RETURN_IF_ERROR(in.ReadPod(num_rows));
 
+  // Every allocation below is sized by these two counts, which come from
+  // the file — checksummed, but a foreign or corrupt-yet-CRC-consistent
+  // file is still untrusted input. Bound them against the bytes actually
+  // present BEFORE allocating, so a kilobyte of garbage cannot demand
+  // gigabytes of memory (or overflow the size arithmetic) while parsing.
+  constexpr std::uint64_t kMinDescBytes =
+      sizeof(std::uint32_t) /* name length */ +
+      sizeof(std::uint8_t) /* type */ + 2 * sizeof(std::uint64_t);
+  if (num_columns > in.remaining() / kMinDescBytes) {
+    return status::DataLoss(StrFormat(
+        "table file '%s' claims %u columns but only %zu bytes remain",
+        path.c_str(), num_columns, in.remaining()));
+  }
+  if (num_rows >=
+      std::numeric_limits<std::uint64_t>::max() / sizeof(std::uint64_t)) {
+    return status::DataLoss(StrFormat(
+        "table file '%s' claims an impossible row count %llu", path.c_str(),
+        static_cast<unsigned long long>(num_rows)));
+  }
+
   struct ColumnDesc {
     std::string name;
     ColumnType type;
@@ -216,10 +237,18 @@ Result<Table> Table::ReadFromFile(const std::string& path) {
         return status::DataLoss("string column '" + d.name +
                                 "' has inconsistent offsets size");
       }
+      if (expected > in.remaining()) {
+        return status::DataLoss("string column '" + d.name +
+                                "' offsets exceed the file");
+      }
       auto& offsets = col.mutable_raw_offsets();
       offsets.resize(num_rows + 1);
       GDELT_RETURN_IF_ERROR(
           in.ReadBytes(offsets.data(), static_cast<std::size_t>(expected)));
+      if (d.chars_bytes > in.remaining()) {
+        return status::DataLoss("string column '" + d.name +
+                                "' character data exceeds the file");
+      }
       auto& chars = col.mutable_raw_chars();
       chars.resize(static_cast<std::size_t>(d.chars_bytes));
       GDELT_RETURN_IF_ERROR(in.ReadBytes(
@@ -239,6 +268,10 @@ Result<Table> Table::ReadFromFile(const std::string& path) {
       if (d.payload_bytes != expected) {
         return status::DataLoss("column '" + d.name +
                                 "' has inconsistent payload size");
+      }
+      if (expected > in.remaining()) {
+        return status::DataLoss("column '" + d.name +
+                                "' payload exceeds the file");
       }
       auto& bytes = col.mutable_raw_bytes();
       bytes.resize(static_cast<std::size_t>(expected));

@@ -76,7 +76,10 @@ void ChunkFetcher::Quarantine(const std::string& dir,
     if (!WriteWholeFile(dst, *bytes).ok()) return;
   }
   (void)WriteWholeFile(dst + ".reason", why.ToString() + "\n");
-  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  {
+    sync::MutexLock lock(stats_mu_);
+    ++stats_.quarantined;
+  }
   GDELT_LOG(kWarning, "quarantined archive '" + file_name + "': " +
                           why.ToString());
 }
@@ -100,25 +103,28 @@ Result<std::string> ChunkFetcher::FetchCsv(
         break;
       }
       if (delay > 0) sleep_fn_(delay);
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      sync::MutexLock lock(stats_mu_);
+      ++stats_.retries;
     }
-    attempts_.fetch_add(1, std::memory_order_relaxed);
+    {
+      sync::MutexLock lock(stats_mu_);
+      ++stats_.attempts;
+    }
     auto csv = FetchOnce(path, file_name, expected_crc);
     if (csv.ok()) return csv;
     last_error = csv.status();
   }
-  failures_.fetch_add(1, std::memory_order_relaxed);
+  {
+    sync::MutexLock lock(stats_mu_);
+    ++stats_.failures;
+  }
   Quarantine(dir, file_name, last_error);
   return last_error;
 }
 
 FetchStats ChunkFetcher::stats() const noexcept {
-  FetchStats s;
-  s.attempts = attempts_.load(std::memory_order_relaxed);
-  s.retries = retries_.load(std::memory_order_relaxed);
-  s.failures = failures_.load(std::memory_order_relaxed);
-  s.quarantined = quarantined_.load(std::memory_order_relaxed);
-  return s;
+  sync::MutexLock lock(stats_mu_);
+  return stats_;
 }
 
 }  // namespace gdelt::convert

@@ -10,13 +10,13 @@
 // they share one failure policy and one set of health counters.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
 
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace gdelt::convert {
 
@@ -33,8 +33,9 @@ struct FetchPolicy {
 };
 
 /// Counters describing the fetcher's life so far. Plain values — a
-/// consistent snapshot copied out of atomics, safe to read from the
-/// serving thread while ingest is running.
+/// consistent snapshot copied under the fetcher's mutex (all four counters
+/// from the same instant), safe to read from the serving thread while
+/// ingest is running.
 struct FetchStats {
   std::uint64_t attempts = 0;     ///< individual fetch attempts
   std::uint64_t retries = 0;      ///< attempts beyond the first
@@ -76,10 +77,11 @@ class ChunkFetcher {
 
   FetchPolicy policy_;
   SleepFn sleep_fn_;
-  std::atomic<std::uint64_t> attempts_{0};
-  std::atomic<std::uint64_t> retries_{0};
-  std::atomic<std::uint64_t> failures_{0};
-  std::atomic<std::uint64_t> quarantined_{0};
+  /// Counter bumps sit on the retry/failure slow path (milliseconds of
+  /// backoff dwarf a lock), so a mutex buys a consistent snapshot for
+  /// free.
+  mutable sync::Mutex stats_mu_;
+  FetchStats stats_ GDELT_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace gdelt::convert

@@ -104,8 +104,13 @@ Result<Config> ParseSpec(std::string_view spec) {
   return config;
 }
 
+bool Injector::ClauseFires(const Clause& clause, std::uint64_t count) {
+  return clause.nth != 0 ? count == clause.nth
+                         : UniformBelow(rng_, 1000) < clause.permille;
+}
+
 void Injector::Arm(const Config& config) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   config_ = config;
   rng_ = Xoshiro256(config.seed);
   op_counts_[0] = op_counts_[1] = op_counts_[2] = 0;
@@ -114,23 +119,20 @@ void Injector::Arm(const Config& config) {
 }
 
 void Injector::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   config_.clauses.clear();
   armed_.store(false, std::memory_order_relaxed);
 }
 
 Status Injector::OnOpen(const std::string& path) {
   if (!armed()) return Status::Ok();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const std::uint64_t count = ++op_counts_[CounterOf(Op::kOpen)];
   bool open_fault = false;
   bool kill_fault = false;
   for (const Clause& clause : config_.clauses) {
     if (clause.op != Op::kOpen && clause.op != Op::kKill) continue;
-    const bool fires = clause.nth != 0
-                           ? count == clause.nth
-                           : UniformBelow(rng_, 1000) < clause.permille;
-    if (!fires) continue;
+    if (!ClauseFires(clause, count)) continue;
     (clause.op == Op::kKill ? kill_fault : open_fault) = true;
   }
   if (kill_fault) {
@@ -149,14 +151,11 @@ Status Injector::OnOpen(const std::string& path) {
 Result<std::size_t> Injector::OnRead(const std::string& path,
                                      std::size_t size) {
   if (!armed()) return size;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const std::uint64_t count = ++op_counts_[CounterOf(Op::kRead)];
   for (const Clause& clause : config_.clauses) {
     if (clause.op != Op::kRead && clause.op != Op::kTruncate) continue;
-    const bool fires = clause.nth != 0
-                           ? count == clause.nth
-                           : UniformBelow(rng_, 1000) < clause.permille;
-    if (!fires) continue;
+    if (!ClauseFires(clause, count)) continue;
     injected_.fetch_add(1, std::memory_order_relaxed);
     if (clause.op == Op::kRead) {
       return status::IoError("fault-injected read failure on '" + path +
@@ -171,14 +170,11 @@ Result<std::size_t> Injector::OnRead(const std::string& path,
 Result<std::size_t> Injector::OnWrite(const std::string& path,
                                       std::size_t size) {
   if (!armed()) return size;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const std::uint64_t count = ++op_counts_[CounterOf(Op::kWrite)];
   for (const Clause& clause : config_.clauses) {
     if (clause.op != Op::kWrite) continue;
-    const bool fires = clause.nth != 0
-                           ? count == clause.nth
-                           : UniformBelow(rng_, 1000) < clause.permille;
-    if (!fires) continue;
+    if (!ClauseFires(clause, count)) continue;
     injected_.fetch_add(1, std::memory_order_relaxed);
     // Torn write: the caller persists a strict prefix, then fails.
     (void)path;

@@ -27,13 +27,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/rng.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace gdelt::fault {
 
@@ -87,12 +87,16 @@ class Injector {
   }
 
  private:
+  /// True when `clause` fires on this op occurrence; advances rng_.
+  bool ClauseFires(const Clause& clause, std::uint64_t count)
+      GDELT_REQUIRES(mu_);
+
   std::atomic<bool> armed_{false};
   std::atomic<std::uint64_t> injected_{0};
-  std::mutex mu_;
-  Config config_;
-  Xoshiro256 rng_{0};
-  std::uint64_t op_counts_[3] = {};  // open, read, write
+  sync::Mutex mu_;
+  Config config_ GDELT_GUARDED_BY(mu_);
+  Xoshiro256 rng_ GDELT_GUARDED_BY(mu_){0};
+  std::uint64_t op_counts_[3] GDELT_GUARDED_BY(mu_) = {};  // open, read, write
 };
 
 /// The process-wide injector, armed from GDELT_FAULT on first use.

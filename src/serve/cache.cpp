@@ -4,7 +4,7 @@ namespace gdelt::serve {
 
 std::optional<std::string> ResultCache::Get(const std::string& key,
                                             std::uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -26,7 +26,7 @@ std::optional<std::string> ResultCache::Get(const std::string& key,
 void ResultCache::Put(const std::string& key, std::uint64_t epoch,
                       std::string text) {
   if (max_entries_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (const auto it = index_.find(key); it != index_.end()) {
     text_bytes_ -= it->second->text.size();
     lru_.erase(it->second);
@@ -43,29 +43,29 @@ void ResultCache::Put(const std::string& key, std::uint64_t epoch,
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   text_bytes_ = 0;
 }
 
 std::uint64_t ResultCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return hits_;
 }
 
 std::uint64_t ResultCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return misses_;
 }
 
 std::size_t ResultCache::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return lru_.size();
 }
 
 std::uint64_t ResultCache::text_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return text_bytes_;
 }
 

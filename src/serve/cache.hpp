@@ -10,10 +10,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "util/sync.hpp"
 
 namespace gdelt::serve {
 
@@ -45,12 +46,14 @@ class ResultCache {
   };
 
   const std::size_t max_entries_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t text_bytes_ = 0;
+  mutable sync::Mutex mu_;
+  /// front = most recently used
+  std::list<Entry> lru_ GDELT_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GDELT_GUARDED_BY(mu_);
+  std::uint64_t hits_ GDELT_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ GDELT_GUARDED_BY(mu_) = 0;
+  std::uint64_t text_bytes_ GDELT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gdelt::serve

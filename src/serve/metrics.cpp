@@ -14,7 +14,7 @@ void LatencyHistogram::Record(double seconds) {
   while (bucket + 1 < kBuckets && us >= static_cast<double>(2ull << bucket)) {
     ++bucket;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   ++data_.count;
   data_.sum_ms += seconds * 1e3;
   data_.max_ms = std::max(data_.max_ms, seconds * 1e3);
@@ -42,18 +42,18 @@ double LatencyHistogram::Snapshot::QuantileMs(double q) const noexcept {
 }
 
 LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return data_;
 }
 
 void ServerMetrics::RecordLatency(const std::string& kind, double seconds) {
-  std::lock_guard<std::mutex> lock(histograms_mu_);
+  sync::MutexLock lock(histograms_mu_);
   histograms_[kind].Record(seconds);
 }
 
 std::map<std::string, LatencyHistogram::Snapshot>
 ServerMetrics::HistogramSnapshots() const {
-  std::lock_guard<std::mutex> lock(histograms_mu_);
+  sync::MutexLock lock(histograms_mu_);
   std::map<std::string, LatencyHistogram::Snapshot> out;
   for (const auto& [kind, histogram] : histograms_) {
     out.emplace(kind, histogram.Snap());
@@ -96,7 +96,7 @@ std::string ServerMetrics::ToJson(const Gauges& gauges) const {
   out += StrFormat("\"uptime_s\":%.1f,", gauges.uptime_s);
   out += "\"latency_ms\":{";
   {
-    std::lock_guard<std::mutex> lock(histograms_mu_);
+    sync::MutexLock lock(histograms_mu_);
     bool first = true;
     for (const auto& [kind, histogram] : histograms_) {
       const auto snap = histogram.Snap();

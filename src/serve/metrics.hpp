@@ -10,8 +10,9 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "util/sync.hpp"
 
 namespace gdelt::serve {
 
@@ -49,8 +50,8 @@ class LatencyHistogram {
   Snapshot Snap() const;
 
  private:
-  mutable std::mutex mu_;
-  Snapshot data_;
+  mutable sync::Mutex mu_;
+  Snapshot data_ GDELT_GUARDED_BY(mu_);
 };
 
 /// All server-side counters plus the per-kind latency histograms.
@@ -99,8 +100,9 @@ class ServerMetrics {
   std::map<std::string, LatencyHistogram::Snapshot> HistogramSnapshots() const;
 
  private:
-  mutable std::mutex histograms_mu_;
-  std::map<std::string, LatencyHistogram> histograms_;
+  mutable sync::Mutex histograms_mu_;
+  std::map<std::string, LatencyHistogram> histograms_
+      GDELT_GUARDED_BY(histograms_mu_);
 };
 
 }  // namespace gdelt::serve

@@ -13,6 +13,7 @@ Scheduler::Scheduler(const Options& options) : opt_(options) {
       opt_.threads_per_query > 0
           ? opt_.threads_per_query
           : std::max(1, MaxThreads() / opt_.workers);
+  sync::MutexLock lock(drain_mu_);
   workers_.reserve(static_cast<std::size_t>(opt_.workers));
   for (int w = 0; w < opt_.workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -23,11 +24,11 @@ Scheduler::~Scheduler() { Drain(); }
 
 bool Scheduler::Submit(Task task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (draining_ || queue_.size() >= opt_.queue_capacity) return false;
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
@@ -36,12 +37,12 @@ void Scheduler::Drain() {
   // until the first has joined and cleared the pool, then sees an empty
   // workers_ and returns. Checking a flag under mu_ instead (the previous
   // scheme) let both callers reach the join loop and double-join.
-  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  sync::MutexLock drain_lock(drain_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     draining_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -49,7 +50,7 @@ void Scheduler::Drain() {
 }
 
 std::size_t Scheduler::QueueDepth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -61,8 +62,10 @@ void Scheduler::WorkerLoop() {
   while (true) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      sync::MutexLock lock(mu_);
+      // An explicit loop, not a predicate lambda: lambdas are analyzed as
+      // separate functions and could not see that mu_ is held.
+      while (!draining_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // draining and nothing left
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -10,13 +10,13 @@
 // omp_set_num_threads, so workers * budget ≈ the hardware).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace gdelt::serve {
 
@@ -60,13 +60,13 @@ class Scheduler {
 
   /// Serializes Drain callers: without it two concurrent drains both see
   /// the workers still present and double-join the same std::threads.
-  std::mutex drain_mu_;
+  sync::Mutex drain_mu_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Task> queue_;
-  bool draining_ = false;
-  std::vector<std::thread> workers_;
+  mutable sync::Mutex mu_;
+  sync::CondVar cv_;
+  std::deque<Task> queue_ GDELT_GUARDED_BY(mu_);
+  bool draining_ GDELT_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ GDELT_GUARDED_BY(drain_mu_);
 };
 
 }  // namespace gdelt::serve

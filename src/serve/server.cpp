@@ -122,12 +122,12 @@ void Server::Stop() {
 
   // 4. Unblock readers and join connection threads.
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    sync::MutexLock lock(conn_mu_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    sync::MutexLock lock(conn_mu_);
     threads.swap(conn_threads_);
   }
   for (auto& t : threads) {
@@ -135,9 +135,9 @@ void Server::Stop() {
   }
 
   {
-    std::lock_guard<std::mutex> lock(log_stop_mu_);
+    sync::MutexLock lock(log_stop_mu_);
   }
-  log_stop_cv_.notify_all();
+  log_stop_cv_.NotifyAll();
   if (log_thread_.joinable()) log_thread_.join();
 
   if (!opt_.trace_dir.empty()) {
@@ -350,9 +350,10 @@ std::string Server::HandleIngest(const Request& request) {
   }
   Status status = Status::Ok();
   {
-    // DeltaStore ingestion is not thread-safe; serialize it. Queries keep
-    // running against the pre-ingest state meanwhile.
-    std::lock_guard<std::mutex> lock(ingest_mu_);
+    // One ingest at a time; the DeltaStore's own mutex protects its state
+    // against concurrent queries, which keep running against the
+    // pre-ingest snapshot meanwhile.
+    sync::MutexLock lock(ingest_mu_);
     status = delta_->IngestArchivePair(request.export_path,
                                        request.mentions_path);
   }
@@ -385,7 +386,7 @@ void Server::AcceptLoop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     metrics_.connections_opened.fetch_add(1);
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    sync::MutexLock lock(conn_mu_);
     conn_fds_.push_back(fd);
     conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
   }
@@ -426,10 +427,10 @@ void Server::HandleConnection(int fd) {
 }
 
 void Server::MetricsLogLoop() {
-  std::unique_lock<std::mutex> lock(log_stop_mu_);
+  sync::MutexLock lock(log_stop_mu_);
   while (!stopping_.load()) {
-    log_stop_cv_.wait_for(lock,
-                          std::chrono::seconds(opt_.metrics_log_interval_s));
+    log_stop_cv_.WaitFor(log_stop_mu_,
+                         std::chrono::seconds(opt_.metrics_log_interval_s));
     if (stopping_.load()) break;
     GDELT_LOG(kInfo, "serve: " + metrics_.Summary(GaugesNow()));
   }

@@ -12,10 +12,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +25,7 @@
 #include "serve/scheduler.hpp"
 #include "stream/delta_store.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace gdelt::serve {
 
@@ -45,7 +44,9 @@ struct ServerOptions {
 class Server {
  public:
   /// `db` must outlive the server. `delta` may be null (no ingest support);
-  /// when given it supplies the cache epoch and the `ingest` request.
+  /// when given it supplies the cache epoch and the `ingest` request, and
+  /// must also outlive the server — Stop() still reads it for the final
+  /// drain summary.
   Server(const engine::Database& db, stream::DeltaStore* delta,
          const ServerOptions& options);
   ~Server();
@@ -96,20 +97,24 @@ class Server {
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
-  bool started_ = false;
+  // Atomic because GaugesNow() reads it from connection threads while the
+  // main thread may still be inside Start()/Stop().
+  std::atomic<bool> started_{false};
   std::chrono::steady_clock::time_point start_time_;
   std::atomic<std::uint64_t> active_requests_{0};
 
   std::thread accept_thread_;
   std::thread log_thread_;
-  std::mutex log_stop_mu_;
-  std::condition_variable log_stop_cv_;
+  sync::Mutex log_stop_mu_;
+  sync::CondVar log_stop_cv_;
 
-  std::mutex conn_mu_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  sync::Mutex conn_mu_;
+  std::vector<int> conn_fds_ GDELT_GUARDED_BY(conn_mu_);
+  std::vector<std::thread> conn_threads_ GDELT_GUARDED_BY(conn_mu_);
 
-  std::mutex ingest_mu_;
+  /// Serializes ingest requests (the DeltaStore additionally guards its
+  /// own state; this keeps fetch+apply of one request an atomic unit).
+  sync::Mutex ingest_mu_;
   // Ingest health for the metrics surface: generation after the last
   // successful ingest and when it happened (ms since start_; -1 = never).
   std::atomic<std::uint64_t> last_ingest_generation_{0};

@@ -24,12 +24,15 @@ bool FieldToInterval(std::string_view field, std::int64_t& out) {
 
 DeltaStore::DeltaStore(const engine::Database* base)
     : base_(base),
-      fetcher_(std::make_unique<convert::ChunkFetcher>(
+      fetcher_(std::make_shared<convert::ChunkFetcher>(
           convert::FetchPolicy{})) {
   if (base_) {
     base_sources_ = base_->num_sources();
     // Global event id -> base row, for resolving delta mentions of events
-    // that entered the database before streaming began.
+    // that entered the database before streaming began. No other thread
+    // can hold the store yet, but the lock keeps the guarded-field
+    // invariant uniform.
+    sync::MutexLock lock(mu_);
     base_event_row_of_.reserve(base_->num_events());
     const auto gids = base_->event_global_id();
     for (std::size_t r = 0; r < gids.size(); ++r) {
@@ -38,7 +41,7 @@ DeltaStore::DeltaStore(const engine::Database* base)
   }
 }
 
-std::uint32_t DeltaStore::SourceIdFor(std::string_view domain) {
+std::uint32_t DeltaStore::SourceIdForLocked(std::string_view domain) {
   if (base_) {
     if (const auto id = base_->sources().Find(domain)) return *id;
   }
@@ -50,13 +53,46 @@ std::uint32_t DeltaStore::SourceIdFor(std::string_view domain) {
   return base_sources_ + idx;
 }
 
+std::uint32_t DeltaStore::NumSourcesLocked() const {
+  return base_sources_ + static_cast<std::uint32_t>(new_sources_.size());
+}
+
+std::uint32_t DeltaStore::num_sources() const noexcept {
+  sync::MutexLock lock(mu_);
+  return NumSourcesLocked();
+}
+
+std::uint64_t DeltaStore::delta_events() const noexcept {
+  sync::MutexLock lock(mu_);
+  return event_interval_.size();
+}
+
+std::uint64_t DeltaStore::delta_mentions() const noexcept {
+  sync::MutexLock lock(mu_);
+  return mention_source_.size();
+}
+
+std::uint64_t DeltaStore::malformed_rows() const noexcept {
+  sync::MutexLock lock(mu_);
+  return malformed_rows_;
+}
+
 std::string_view DeltaStore::source_domain(std::uint32_t id) const noexcept {
   if (id < base_sources_) return base_->source_domain(id);
+  sync::MutexLock lock(mu_);
+  // new_sources_ only ever grows and std::string's heap buffer does not
+  // move when the vector reallocates, so the view outlives the lock.
   return new_sources_[id - base_sources_];
 }
 
 void DeltaStore::set_fetch_policy(const convert::FetchPolicy& policy) {
-  fetcher_ = std::make_unique<convert::ChunkFetcher>(policy);
+  sync::MutexLock lock(mu_);
+  fetcher_ = std::make_shared<convert::ChunkFetcher>(policy);
+}
+
+convert::FetchStats DeltaStore::fetch_stats() const noexcept {
+  sync::MutexLock lock(mu_);
+  return fetcher_->stats();
 }
 
 Status DeltaStore::IngestArchivePair(const std::string& export_zip_path,
@@ -65,10 +101,20 @@ Status DeltaStore::IngestArchivePair(const std::string& export_zip_path,
   // entry CRC check inside the fetcher rejects torn payloads, and the row
   // parsers below never fail (malformed rows are counted). So a failure on
   // either side leaves the store — and Generation() — exactly as it was.
+  //
+  // The fetch itself (retries, backoff sleeps) runs without the store
+  // lock so combined queries keep answering while a flaky archive is
+  // retried for seconds. set_fetch_policy during an in-flight fetch swaps
+  // the pointer for later calls; the snapshot keeps this one alive.
+  std::shared_ptr<convert::ChunkFetcher> fetcher;
+  {
+    sync::MutexLock lock(mu_);
+    fetcher = fetcher_;
+  }
   auto fetch = [&](const std::string& path) -> Result<std::string> {
     const std::filesystem::path p(path);
-    return fetcher_->FetchCsv(p.parent_path().string(),
-                              p.filename().string(), std::nullopt);
+    return fetcher->FetchCsv(p.parent_path().string(),
+                             p.filename().string(), std::nullopt);
   };
   std::string events_csv;
   std::string mentions_csv;
@@ -78,25 +124,34 @@ Status DeltaStore::IngestArchivePair(const std::string& export_zip_path,
   if (!mentions_zip_path.empty()) {
     GDELT_ASSIGN_OR_RETURN(mentions_csv, fetch(mentions_zip_path));
   }
-  if (!export_zip_path.empty()) ApplyEventsCsv(events_csv);
-  if (!mentions_zip_path.empty()) ApplyMentionsCsv(mentions_csv);
+  {
+    sync::MutexLock lock(mu_);
+    if (!export_zip_path.empty()) ApplyEventsCsvLocked(events_csv);
+    if (!mentions_zip_path.empty()) ApplyMentionsCsvLocked(mentions_csv);
+  }
   generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
 Status DeltaStore::IngestEventsCsv(std::string_view csv) {
-  ApplyEventsCsv(csv);
+  {
+    sync::MutexLock lock(mu_);
+    ApplyEventsCsvLocked(csv);
+  }
   generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
 Status DeltaStore::IngestMentionsCsv(std::string_view csv) {
-  ApplyMentionsCsv(csv);
+  {
+    sync::MutexLock lock(mu_);
+    ApplyMentionsCsvLocked(csv);
+  }
   generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
-void DeltaStore::ApplyEventsCsv(std::string_view csv) {
+void DeltaStore::ApplyEventsCsvLocked(std::string_view csv) {
   RowReader rows(csv, kEventFieldCount);
   const std::vector<std::string_view>* fields = nullptr;
   while (rows.Next(fields)) {
@@ -126,7 +181,7 @@ void DeltaStore::ApplyEventsCsv(std::string_view csv) {
   malformed_rows_ += rows.errors().size();
 }
 
-void DeltaStore::ApplyMentionsCsv(std::string_view csv) {
+void DeltaStore::ApplyMentionsCsvLocked(std::string_view csv) {
   RowReader rows(csv, kMentionFieldCount);
   const std::vector<std::string_view>* fields = nullptr;
   while (rows.Next(fields)) {
@@ -147,7 +202,7 @@ void DeltaStore::ApplyMentionsCsv(std::string_view csv) {
                bit != base_event_row_of_.end()) {
       event_ref = bit->second | kBaseFlag;
     }
-    mention_source_.push_back(SourceIdFor(source));
+    mention_source_.push_back(SourceIdForLocked(source));
     mention_interval_.push_back(when);
     mention_event_.push_back(event_ref);
     mention_event_gid_.push_back(*gid);
@@ -156,11 +211,13 @@ void DeltaStore::ApplyMentionsCsv(std::string_view csv) {
 }
 
 std::vector<std::uint64_t> DeltaStore::CombinedArticlesPerSource() const {
-  std::vector<std::uint64_t> counts(num_sources(), 0);
-  if (base_) {
-    const auto base_counts = engine::ArticlesPerSource(*base_);
-    std::copy(base_counts.begin(), base_counts.end(), counts.begin());
-  }
+  // The base is immutable, so its (potentially large) scan runs before
+  // taking the lock; only the delta walk holds it.
+  std::vector<std::uint64_t> base_counts;
+  if (base_) base_counts = engine::ArticlesPerSource(*base_);
+  sync::MutexLock lock(mu_);
+  std::vector<std::uint64_t> counts(NumSourcesLocked(), 0);
+  std::copy(base_counts.begin(), base_counts.end(), counts.begin());
   for (const std::uint32_t s : mention_source_) ++counts[s];
   return counts;
 }
@@ -197,6 +254,7 @@ std::uint64_t DeltaStore::CombinedArticlesAboutCountry(
       }
     }
   }
+  sync::MutexLock lock(mu_);
   for (const std::uint32_t ref : mention_event_) {
     if (ref == kUnknownEvent) continue;
     if (ref & kBaseFlag) {

@@ -8,6 +8,12 @@
 // extending it for never-seen sources) and answers combined base+delta
 // queries without reconverting anything. Periodically the delta would be
 // folded into the base by re-running the converter.
+//
+// Thread safety: all delta state is guarded by an internal mutex (Clang
+// TSA-annotated), so combined queries may run concurrently with an ingest
+// call — each sees either the pre- or post-ingest snapshot, never a torn
+// one. Archive fetching (the slow, retrying part) happens outside the
+// lock; only row application holds it.
 #pragma once
 
 #include <atomic>
@@ -21,12 +27,11 @@
 #include "engine/database.hpp"
 #include "engine/queries.hpp"
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace gdelt::stream {
 
 /// Accumulates newly arrived chunks over an optional base database.
-/// Not thread-safe for concurrent ingestion; queries are safe after any
-/// ingest call returns.
 class DeltaStore {
  public:
   /// `base` may be null (cold start, pure streaming). If given, it must
@@ -49,16 +54,12 @@ class DeltaStore {
   void set_fetch_policy(const convert::FetchPolicy& policy);
 
   /// Fetch health counters; safe to read while another thread ingests.
-  convert::FetchStats fetch_stats() const noexcept {
-    return fetcher_->stats();
-  }
+  convert::FetchStats fetch_stats() const noexcept;
 
   // --- delta-side sizes ---
-  std::uint64_t delta_events() const noexcept { return event_interval_.size(); }
-  std::uint64_t delta_mentions() const noexcept {
-    return mention_source_.size();
-  }
-  std::uint64_t malformed_rows() const noexcept { return malformed_rows_; }
+  std::uint64_t delta_events() const noexcept;
+  std::uint64_t delta_mentions() const noexcept;
+  std::uint64_t malformed_rows() const noexcept;
 
   /// Monotonic ingest epoch: bumped on every successful ingest call, so
   /// result caches keyed by (query, generation) invalidate as soon as new
@@ -68,10 +69,10 @@ class DeltaStore {
   }
 
   /// Total sources across base + newly discovered ones.
-  std::uint32_t num_sources() const noexcept {
-    return base_sources_ + static_cast<std::uint32_t>(new_sources_.size());
-  }
-  /// Domain for a combined source id (base ids first, then new ones).
+  std::uint32_t num_sources() const noexcept;
+
+  /// Domain for a combined source id (base ids first, then new ones). The
+  /// view stays valid until the next ingest call; copy it before blocking.
   std::string_view source_domain(std::uint32_t id) const noexcept;
 
   // --- combined queries (base + delta) ---
@@ -86,34 +87,49 @@ class DeltaStore {
   std::uint64_t CombinedArticlesAboutCountry(CountryId country) const;
 
  private:
-  std::uint32_t SourceIdFor(std::string_view domain);
+  std::uint32_t SourceIdForLocked(std::string_view domain)
+      GDELT_REQUIRES(mu_);
+  std::uint32_t NumSourcesLocked() const GDELT_REQUIRES(mu_);
 
   /// Row-apply halves of the CSV ingests; never fail, do not bump the
   /// generation (the public entry points do).
-  void ApplyEventsCsv(std::string_view csv);
-  void ApplyMentionsCsv(std::string_view csv);
+  void ApplyEventsCsvLocked(std::string_view csv) GDELT_REQUIRES(mu_);
+  void ApplyMentionsCsvLocked(std::string_view csv) GDELT_REQUIRES(mu_);
 
   const engine::Database* base_;  ///< may be null
-  std::unique_ptr<convert::ChunkFetcher> fetcher_;
-  std::uint32_t base_sources_ = 0;
+  std::uint32_t base_sources_ = 0;  ///< set once in the constructor
+
+  mutable sync::Mutex mu_;
+
+  /// Guarded so set_fetch_policy cannot race a stats read. Shared, not
+  /// unique: IngestArchivePair snapshots the pointer and fetches outside
+  /// the lock, and the snapshot must keep the fetcher alive if the policy
+  /// is swapped mid-fetch. The pointee is internally thread-safe.
+  std::shared_ptr<convert::ChunkFetcher> fetcher_ GDELT_GUARDED_BY(mu_);
 
   // delta events (dense, in arrival order)
-  std::vector<std::int64_t> event_interval_;
-  std::vector<std::uint16_t> event_country_;
-  std::unordered_map<std::uint64_t, std::uint32_t> event_row_of_;  ///< delta rows
-  std::unordered_map<std::uint64_t, std::uint32_t> base_event_row_of_;
+  std::vector<std::int64_t> event_interval_ GDELT_GUARDED_BY(mu_);
+  std::vector<std::uint16_t> event_country_ GDELT_GUARDED_BY(mu_);
+  /// delta rows
+  std::unordered_map<std::uint64_t, std::uint32_t> event_row_of_
+      GDELT_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::uint32_t> base_event_row_of_
+      GDELT_GUARDED_BY(mu_);
 
   // delta mentions
-  std::vector<std::uint32_t> mention_source_;   ///< combined source ids
-  std::vector<std::int64_t> mention_interval_;
-  std::vector<std::uint32_t> mention_event_;    ///< delta row | kBase|row | kUnknown
-  std::vector<std::uint64_t> mention_event_gid_;
+  /// combined source ids
+  std::vector<std::uint32_t> mention_source_ GDELT_GUARDED_BY(mu_);
+  std::vector<std::int64_t> mention_interval_ GDELT_GUARDED_BY(mu_);
+  /// delta row | kBase|row | kUnknown
+  std::vector<std::uint32_t> mention_event_ GDELT_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> mention_event_gid_ GDELT_GUARDED_BY(mu_);
 
   // new sources (combined id = base_sources_ + index)
-  std::vector<std::string> new_sources_;
-  std::unordered_map<std::string, std::uint32_t> new_source_ids_;
+  std::vector<std::string> new_sources_ GDELT_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint32_t> new_source_ids_
+      GDELT_GUARDED_BY(mu_);
 
-  std::uint64_t malformed_rows_ = 0;
+  std::uint64_t malformed_rows_ GDELT_GUARDED_BY(mu_) = 0;
   std::atomic<std::uint64_t> generation_{0};
 
   static constexpr std::uint32_t kBaseFlag = 0x80000000u;

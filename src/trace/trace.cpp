@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 
 #include "io/file.hpp"
 #include "util/strings.hpp"
+#include "util/sync.hpp"
 
 namespace gdelt::trace {
 namespace {
@@ -31,7 +31,7 @@ class Tracer {
 
   void Record(std::string_view name, std::uint64_t start_us,
               std::uint64_t dur_us, std::uint32_t tid, std::uint16_t depth) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     Agg& agg = aggregates_[std::string(name)];
     ++agg.count;
     agg.total_us += dur_us;
@@ -47,7 +47,7 @@ class Tracer {
   }
 
   void SetCapacity(std::size_t spans) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     capacity_ = std::max<std::size_t>(1, spans);
     ring_.clear();
     ring_.shrink_to_fit();
@@ -55,7 +55,7 @@ class Tracer {
   }
 
   std::vector<SpanRecord> Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     std::vector<SpanRecord> out;
     out.reserve(ring_.size());
     // Oldest first: the slot at next_ % capacity_ is the oldest once the
@@ -69,7 +69,7 @@ class Tracer {
   }
 
   std::vector<SpanAggregate> AggregateSnapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     std::vector<SpanAggregate> out;
     out.reserve(aggregates_.size());
     for (const auto& [name, agg] : aggregates_) {
@@ -79,12 +79,12 @@ class Tracer {
   }
 
   std::uint64_t recorded() const noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return recorded_;
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     ring_.clear();
     next_ = 0;
     recorded_ = 0;
@@ -98,12 +98,13 @@ class Tracer {
   Tracer() : epoch_(Clock::now()) {}
 
   const Clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::size_t capacity_ = 1 << 16;
-  std::vector<SpanRecord> ring_;
-  std::size_t next_ = 0;       // total pushes; next_ % capacity_ = slot
-  std::uint64_t recorded_ = 0;
-  std::map<std::string, Agg> aggregates_;
+  mutable sync::Mutex mu_;
+  std::size_t capacity_ GDELT_GUARDED_BY(mu_) = 1 << 16;
+  std::vector<SpanRecord> ring_ GDELT_GUARDED_BY(mu_);
+  /// total pushes; next_ % capacity_ = slot
+  std::size_t next_ GDELT_GUARDED_BY(mu_) = 0;
+  std::uint64_t recorded_ GDELT_GUARDED_BY(mu_) = 0;
+  std::map<std::string, Agg> aggregates_ GDELT_GUARDED_BY(mu_);
 };
 
 std::uint32_t ThisThreadId() {

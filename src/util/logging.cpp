@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/sync.hpp"
 
 namespace gdelt {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+/// Serializes stderr lines so concurrent workers cannot interleave them.
+sync::Mutex g_log_mutex;
 
 const char* LevelName(LogLevel level) noexcept {
   switch (level) {
@@ -36,7 +38,7 @@ bool log_detail::Enabled(LogLevel level) noexcept {
 }
 
 void LogMessage(LogLevel level, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  sync::MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 

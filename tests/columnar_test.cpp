@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+
 #include "columnar/csr.hpp"
 #include "columnar/dictionary.hpp"
 #include "columnar/table.hpp"
+#include "io/crc32.hpp"
 #include "io/file.hpp"
 #include "test_util.hpp"
 #include "util/rng.hpp"
@@ -157,6 +161,92 @@ TEST(TableIoTest, GarbageFileRejected) {
   const std::string path = dir.path() + "/g.tbl";
   ASSERT_TRUE(WriteWholeFile(path, std::string(500, 'q')).ok());
   EXPECT_FALSE(Table::ReadFromFile(path).ok());
+}
+
+// Overwrites `len` bytes at `offset` of a written table file and then
+// refreshes the CRC footer, so the forgery passes the checksum gate and
+// reaches the parser. This is how a corrupt-yet-CRC-consistent (or
+// malicious) file looks to ReadFromFile; the parser must reject it from
+// its own bounds checks, not by luck of the checksum.
+std::string ForgeTableFile(std::string bytes, std::size_t offset,
+                           const void* field, std::size_t len) {
+  EXPECT_LE(offset + len, bytes.size());
+  std::memcpy(bytes.data() + offset, field, len);
+  const std::size_t footer =
+      sizeof(std::uint64_t) + sizeof(std::uint32_t) + 8 /* tail magic */;
+  const std::size_t body = bytes.size() - footer;
+  const std::uint32_t crc = Crc32Update(0, bytes.data(), body);
+  std::memcpy(bytes.data() + body + sizeof(std::uint64_t), &crc,
+              sizeof(crc));
+  return bytes;
+}
+
+// Body layout: magic[8], version u32 @8, num_columns u32 @12,
+// num_rows u64 @16, then per-column descriptors.
+constexpr std::size_t kNumColumnsOffset = 12;
+constexpr std::size_t kNumRowsOffset = 16;
+
+// A file claiming 4 billion columns is 300+ GiB of descriptor
+// allocations if the parser trusts the count. Must fail cleanly (no
+// allocation, no crash) because only a few hundred bytes follow.
+TEST(TableIoTest, HugeColumnCountRejectedBeforeAllocating) {
+  TempDir dir("tablehc");
+  const std::string path = dir.path() + "/t.tbl";
+  ASSERT_TRUE(MakeSampleTable(100).WriteToFile(path).ok());
+  auto bytes = ReadWholeFile(path);
+  ASSERT_TRUE(bytes.ok());
+  const std::uint32_t huge = 0xFFFFFFFFu;
+  const std::string forged =
+      ForgeTableFile(*bytes, kNumColumnsOffset, &huge, sizeof(huge));
+  ASSERT_TRUE(WriteWholeFile(path, forged).ok());
+  EXPECT_EQ(Table::ReadFromFile(path).status().code(),
+            StatusCode::kDataLoss);
+}
+
+// Row counts near 2^64 make (num_rows + 1) * 8 wrap around, so the
+// "expected payload" arithmetic would pass while resize() asks for the
+// unwrapped amount. Both the overflow-adjacent and the merely-huge case
+// must be DataLoss, not a multi-exabyte allocation.
+TEST(TableIoTest, HugeRowCountRejected) {
+  TempDir dir("tablehr");
+  for (const std::uint64_t rows :
+       {std::numeric_limits<std::uint64_t>::max() - 1,
+        std::uint64_t{1} << 60}) {
+    const std::string path = dir.path() + "/t.tbl";
+    ASSERT_TRUE(MakeSampleTable(100).WriteToFile(path).ok());
+    auto bytes = ReadWholeFile(path);
+    ASSERT_TRUE(bytes.ok());
+    const std::string forged =
+        ForgeTableFile(*bytes, kNumRowsOffset, &rows, sizeof(rows));
+    ASSERT_TRUE(WriteWholeFile(path, forged).ok());
+    EXPECT_EQ(Table::ReadFromFile(path).status().code(),
+              StatusCode::kDataLoss)
+        << "rows=" << rows;
+  }
+}
+
+// A string column whose descriptor claims more character bytes than the
+// file holds must be rejected before the chars vector is sized.
+TEST(TableIoTest, OversizedCharsFieldRejected) {
+  TempDir dir("tablesc");
+  const std::string path = dir.path() + "/t.tbl";
+  ASSERT_TRUE(MakeSampleTable(100).WriteToFile(path).ok());
+  auto bytes = ReadWholeFile(path);
+  ASSERT_TRUE(bytes.ok());
+  // Locate the "name" column descriptor (u32 length 4 + the characters)
+  // in the header region; chars_bytes sits after the name, the u8 type
+  // and the u64 payload size.
+  const std::string needle{"\x04\x00\x00\x00name", 8};
+  const std::size_t pos = bytes->find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t chars_bytes_offset =
+      pos + needle.size() + sizeof(std::uint8_t) + sizeof(std::uint64_t);
+  const std::uint64_t huge = 1ull << 62;
+  const std::string forged =
+      ForgeTableFile(*bytes, chars_bytes_offset, &huge, sizeof(huge));
+  ASSERT_TRUE(WriteWholeFile(path, forged).ok());
+  EXPECT_EQ(Table::ReadFromFile(path).status().code(),
+            StatusCode::kDataLoss);
 }
 
 TEST(DictionaryTest, DenseFirstSeenIds) {

@@ -247,6 +247,14 @@ class ServeTest : public ::testing::Test {
 
   std::unique_ptr<TempDir> dir_;
   std::unique_ptr<engine::Database> db_;
+  // Declared before server_: the server holds a raw pointer to the delta
+  // store and still dereferences it while draining (the shutdown metrics
+  // summary reads fetch_stats()), so the store must be destroyed after
+  // the server. A test-local DeltaStore used to die before the fixture's
+  // server and the drain summary read freed memory — harmlessly while
+  // the stats were plain atomics, aborting once they moved behind a
+  // mutex.
+  std::unique_ptr<stream::DeltaStore> delta_;
   std::unique_ptr<Server> server_;
 };
 
@@ -321,8 +329,8 @@ TEST_F(ServeTest, SecondRequestIsServedFromCache) {
 }
 
 TEST_F(ServeTest, IngestBumpsEpochAndInvalidatesCache) {
-  stream::DeltaStore delta(nullptr);
-  StartServer(ServerOptions{}, &delta);
+  delta_ = std::make_unique<stream::DeltaStore>(nullptr);
+  StartServer(ServerOptions{}, delta_.get());
   auto client = Connect();
   const std::string line = R"({"query":"stats"})";
   ASSERT_TRUE(client.RoundTrip(line).ok());
@@ -336,7 +344,7 @@ TEST_F(ServeTest, IngestBumpsEpochAndInvalidatesCache) {
   const auto dataset = gen::GenerateDataset(cfg);
   std::string events_csv;
   gen::AppendEventRow(events_csv, dataset.world, dataset.events[0]);
-  ASSERT_TRUE(delta.IngestEventsCsv(events_csv).ok());
+  ASSERT_TRUE(delta_->IngestEventsCsv(events_csv).ok());
 
   const auto recomputed = client.RoundTrip(line);
   ASSERT_TRUE(recomputed.ok());

@@ -1,0 +1,50 @@
+# Negative-compile check for the Clang Thread-Safety Analysis wall.
+#
+# Run by ctest as `tsa_negative_compile` (see tests/CMakeLists.txt):
+#   cmake -DCXX=<compiler> -DCOMPILER_ID=<id> -DSRC_DIR=<repo> -P check.cmake
+#
+# Asserts BOTH directions:
+#   1. guarded_access.cpp (correctly locked) compiles cleanly, and
+#   2. unguarded_access.cpp (deliberate violation) FAILS to compile,
+# under -Wthread-safety -Werror=thread-safety. Direction 1 keeps
+# direction 2 meaningful: if the flags or annotations silently stopped
+# working, the violation would "pass" too — so we require a clean
+# positive control first.
+#
+# GCC compiles the annotations to nothing, so there the check prints
+# SKIPPED (matched by SKIP_REGULAR_EXPRESSION) instead of passing
+# vacuously.
+
+if(NOT COMPILER_ID MATCHES "Clang")
+  message(STATUS "SKIPPED: requires Clang (have ${COMPILER_ID})")
+  return()
+endif()
+
+set(FLAGS -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+    -I ${SRC_DIR}/src)
+
+execute_process(
+  COMMAND ${CXX} ${FLAGS} ${SRC_DIR}/tests/tsa_negative/guarded_access.cpp
+  RESULT_VARIABLE GOOD_RESULT
+  ERROR_VARIABLE GOOD_STDERR)
+if(NOT GOOD_RESULT EQUAL 0)
+  message(FATAL_ERROR
+          "positive control guarded_access.cpp failed to compile — the "
+          "thread-safety annotations themselves are broken:\n${GOOD_STDERR}")
+endif()
+
+execute_process(
+  COMMAND ${CXX} ${FLAGS} ${SRC_DIR}/tests/tsa_negative/unguarded_access.cpp
+  RESULT_VARIABLE BAD_RESULT
+  ERROR_VARIABLE BAD_STDERR)
+if(BAD_RESULT EQUAL 0)
+  message(FATAL_ERROR
+          "unguarded_access.cpp compiled cleanly — the thread-safety wall "
+          "is not enforcing GDELT_GUARDED_BY")
+endif()
+if(NOT BAD_STDERR MATCHES "thread-safety|guarded_by|guarded by")
+  message(FATAL_ERROR
+          "unguarded_access.cpp failed for the wrong reason:\n${BAD_STDERR}")
+endif()
+
+message(STATUS "thread-safety wall verified: control clean, violation rejected")

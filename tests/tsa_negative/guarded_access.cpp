@@ -1,0 +1,45 @@
+// Positive control for the negative-compile probe: the same shape as
+// unguarded_access.cpp but correctly locked everywhere, including a
+// Locked-suffix helper with GDELT_REQUIRES and a condition-variable
+// wait. Must compile cleanly under -Werror=thread-safety — if it does
+// not, the failure of unguarded_access.cpp would prove nothing.
+#include <cstdint>
+
+#include "util/sync.hpp"
+
+namespace gdelt {
+
+class Counter {
+ public:
+  void Bump() {
+    sync::MutexLock lock(mu_);
+    ++value_;
+    cv_.NotifyAll();
+  }
+
+  std::uint64_t Peek() const {
+    sync::MutexLock lock(mu_);
+    return PeekLocked();
+  }
+
+  void AwaitNonZero() const {
+    sync::MutexLock lock(mu_);
+    while (PeekLocked() == 0) cv_.Wait(mu_);
+  }
+
+ private:
+  std::uint64_t PeekLocked() const GDELT_REQUIRES(mu_) { return value_; }
+
+  mutable sync::Mutex mu_;
+  mutable sync::CondVar cv_;
+  std::uint64_t value_ GDELT_GUARDED_BY(mu_) = 0;
+};
+
+std::uint64_t Probe() {
+  Counter c;
+  c.Bump();
+  c.AwaitNonZero();
+  return c.Peek();
+}
+
+}  // namespace gdelt

@@ -1,0 +1,33 @@
+// Negative-compile probe: reading a GDELT_GUARDED_BY field without its
+// mutex. Under Clang with -Werror=thread-safety this file MUST fail to
+// compile — tests/tsa_negative/check.cmake asserts exactly that. If it
+// ever starts compiling, the thread-safety wall has a hole (macros
+// compiled away, flags dropped, or annotations broken).
+#include <cstdint>
+
+#include "util/sync.hpp"
+
+namespace gdelt {
+
+class Counter {
+ public:
+  void Bump() {
+    sync::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): reads value_ without holding mu_.
+  std::uint64_t Peek() const { return value_; }
+
+ private:
+  mutable sync::Mutex mu_;
+  std::uint64_t value_ GDELT_GUARDED_BY(mu_) = 0;
+};
+
+std::uint64_t Probe() {
+  Counter c;
+  c.Bump();
+  return c.Peek();
+}
+
+}  // namespace gdelt

@@ -1,0 +1,13 @@
+// Fixture: unseeded randomness outside src/gen must be flagged.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int Roll() {
+  std::random_device entropy;  // finding: raw entropy source
+  (void)entropy;
+  return rand() % 6;  // finding: rand()
+}
+
+}  // namespace fixture

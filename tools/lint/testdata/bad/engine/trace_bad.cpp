@@ -1,0 +1,12 @@
+// Fixture: span names that break the area.verb convention must be
+// flagged.
+#define TRACE_SPAN(name)
+
+namespace fixture {
+
+void Run() {
+  TRACE_SPAN("Engine.TopSources");  // finding: uppercase
+  TRACE_SPAN("standalone");         // finding: no dot
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: copies and resizes sized by parsed input with no visible
+// bounds check must be flagged under io/.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Reader {
+  std::uint32_t ReadU32();
+  const char* cursor;
+};
+
+std::vector<char> Load(Reader& in) {
+  std::vector<char> out;
+  const std::uint32_t len = in.ReadU32();
+  out.resize(len);                        // finding: unchecked resize
+  std::memcpy(out.data(), in.cursor, len);  // finding: unchecked memcpy
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: an unexplained TSA escape hatch must be flagged.
+#define GDELT_NO_THREAD_SAFETY_ANALYSIS
+
+namespace fixture {
+
+struct Widget {
+  int value = 0;
+
+  int Read() GDELT_NO_THREAD_SAFETY_ANALYSIS { return value; }
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: every raw standard-library synchronization primitive here
+// must be flagged by the raw-mutex rule.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;                 // finding: raw std::mutex
+std::condition_variable g_cv;    // finding: raw std::condition_variable
+
+int Locked() {
+  std::lock_guard<std::mutex> lock(g_mu);  // finding: raw std::lock_guard
+  return 1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: src/gen is the one place allowed to touch raw entropy (it
+// seeds the deterministic generators). No findings.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+std::uint64_t FreshSeed() {
+  std::random_device entropy;
+  return (static_cast<std::uint64_t>(entropy()) << 32) ^ rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: the blessed path — sync primitives, clean span names, and
+// violations that live only inside comments. Must produce no findings.
+#define TRACE_SPAN(name)
+
+namespace sync {
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex&) {}
+};
+}  // namespace sync
+
+namespace fixture {
+
+sync::Mutex g_mu;
+
+// A std::mutex mentioned in prose (like this one) is not a violation.
+/* Nor is commented-out code:
+   std::lock_guard<std::mutex> lock(g_mu);
+   std::random_device entropy; rand();
+*/
+
+int Locked() {
+  sync::MutexLock lock(g_mu);
+  TRACE_SPAN("serve.handle_request");
+  TRACE_SPAN("engine.top_sources");
+  return 1;  // std::condition_variable in a trailing comment is fine too
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: stands in for src/util/sync.hpp — the one file allowed to
+// hold raw standard-library primitives and the escape-hatch macro.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#define GDELT_NO_THREAD_SAFETY_ANALYSIS
+
+namespace sync {
+
+class Mutex {
+ private:
+  std::mutex mu_;
+  std::condition_variable_any cv_;
+};
+
+}  // namespace sync
