@@ -57,31 +57,32 @@ std::uint32_t DeltaStore::NumSourcesLocked() const {
   return base_sources_ + static_cast<std::uint32_t>(new_sources_.size());
 }
 
-std::uint32_t DeltaStore::num_sources() const noexcept {
+std::uint32_t DeltaStore::num_sources() const {
   sync::MutexLock lock(mu_);
   return NumSourcesLocked();
 }
 
-std::uint64_t DeltaStore::delta_events() const noexcept {
+std::uint64_t DeltaStore::delta_events() const {
   sync::MutexLock lock(mu_);
   return event_interval_.size();
 }
 
-std::uint64_t DeltaStore::delta_mentions() const noexcept {
+std::uint64_t DeltaStore::delta_mentions() const {
   sync::MutexLock lock(mu_);
   return mention_source_.size();
 }
 
-std::uint64_t DeltaStore::malformed_rows() const noexcept {
+std::uint64_t DeltaStore::malformed_rows() const {
   sync::MutexLock lock(mu_);
   return malformed_rows_;
 }
 
-std::string_view DeltaStore::source_domain(std::uint32_t id) const noexcept {
-  if (id < base_sources_) return base_->source_domain(id);
+std::string DeltaStore::source_domain(std::uint32_t id) const {
+  if (id < base_sources_) return std::string(base_->source_domain(id));
+  // Copied under the lock: SSO strings live inside the vector's buffer,
+  // so a view into an element would dangle when a concurrent ingest grows
+  // new_sources_ past capacity.
   sync::MutexLock lock(mu_);
-  // new_sources_ only ever grows and std::string's heap buffer does not
-  // move when the vector reallocates, so the view outlives the lock.
   return new_sources_[id - base_sources_];
 }
 
@@ -90,7 +91,7 @@ void DeltaStore::set_fetch_policy(const convert::FetchPolicy& policy) {
   fetcher_ = std::make_shared<convert::ChunkFetcher>(policy);
 }
 
-convert::FetchStats DeltaStore::fetch_stats() const noexcept {
+convert::FetchStats DeltaStore::fetch_stats() const {
   sync::MutexLock lock(mu_);
   return fetcher_->stats();
 }
@@ -128,25 +129,23 @@ Status DeltaStore::IngestArchivePair(const std::string& export_zip_path,
     sync::MutexLock lock(mu_);
     if (!export_zip_path.empty()) ApplyEventsCsvLocked(events_csv);
     if (!mentions_zip_path.empty()) ApplyMentionsCsvLocked(mentions_csv);
+    // Bumped inside the critical section so a query that sees post-ingest
+    // rows never pairs them with the pre-ingest generation.
+    generation_.fetch_add(1, std::memory_order_release);
   }
-  generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
 Status DeltaStore::IngestEventsCsv(std::string_view csv) {
-  {
-    sync::MutexLock lock(mu_);
-    ApplyEventsCsvLocked(csv);
-  }
+  sync::MutexLock lock(mu_);
+  ApplyEventsCsvLocked(csv);
   generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
 
 Status DeltaStore::IngestMentionsCsv(std::string_view csv) {
-  {
-    sync::MutexLock lock(mu_);
-    ApplyMentionsCsvLocked(csv);
-  }
+  sync::MutexLock lock(mu_);
+  ApplyMentionsCsvLocked(csv);
   generation_.fetch_add(1, std::memory_order_release);
   return Status::Ok();
 }
@@ -222,7 +221,7 @@ std::vector<std::uint64_t> DeltaStore::CombinedArticlesPerSource() const {
   return counts;
 }
 
-std::uint64_t DeltaStore::CombinedMentionCount() const noexcept {
+std::uint64_t DeltaStore::CombinedMentionCount() const {
   return (base_ ? base_->num_mentions() : 0) + delta_mentions();
 }
 

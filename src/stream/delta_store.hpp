@@ -54,32 +54,35 @@ class DeltaStore {
   void set_fetch_policy(const convert::FetchPolicy& policy);
 
   /// Fetch health counters; safe to read while another thread ingests.
-  convert::FetchStats fetch_stats() const noexcept;
+  convert::FetchStats fetch_stats() const;
 
   // --- delta-side sizes ---
-  std::uint64_t delta_events() const noexcept;
-  std::uint64_t delta_mentions() const noexcept;
-  std::uint64_t malformed_rows() const noexcept;
+  std::uint64_t delta_events() const;
+  std::uint64_t delta_mentions() const;
+  std::uint64_t malformed_rows() const;
 
-  /// Monotonic ingest epoch: bumped on every successful ingest call, so
-  /// result caches keyed by (query, generation) invalidate as soon as new
-  /// data lands. Safe to read concurrently with serving threads.
+  /// Monotonic ingest epoch: bumped inside the ingest critical section on
+  /// every successful ingest call, so result caches keyed by
+  /// (query, generation) invalidate as soon as new data lands and a query
+  /// never observes post-ingest rows paired with the pre-ingest epoch.
+  /// Safe to read concurrently with serving threads.
   std::uint64_t Generation() const noexcept {
     return generation_.load(std::memory_order_acquire);
   }
 
   /// Total sources across base + newly discovered ones.
-  std::uint32_t num_sources() const noexcept;
+  std::uint32_t num_sources() const;
 
-  /// Domain for a combined source id (base ids first, then new ones). The
-  /// view stays valid until the next ingest call; copy it before blocking.
-  std::string_view source_domain(std::uint32_t id) const noexcept;
+  /// Domain for a combined source id (base ids first, then new ones).
+  /// Returned by value: new-source strings are stored in a growable
+  /// vector, so a view into one could dangle across a concurrent ingest.
+  std::string source_domain(std::uint32_t id) const;
 
   // --- combined queries (base + delta) ---
   /// Articles per combined source id.
   std::vector<std::uint64_t> CombinedArticlesPerSource() const;
   /// Total articles.
-  std::uint64_t CombinedMentionCount() const noexcept;
+  std::uint64_t CombinedMentionCount() const;
   /// Top combined sources by articles, descending.
   std::vector<std::uint32_t> CombinedTopSources(std::size_t k) const;
   /// Articles about events located in `country` (base + delta; delta

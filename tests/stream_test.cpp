@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <unordered_map>
 
 #include "convert/converter.hpp"
@@ -223,6 +225,59 @@ TEST(DeltaStoreColdStartTest, IngestWithoutBase) {
   EXPECT_EQ(delta.delta_mentions(), 50u);
   EXPECT_GT(delta.num_sources(), 0u);
   EXPECT_EQ(delta.CombinedMentionCount(), 50u);
+}
+
+TEST(DeltaStoreConcurrencyTest, SourceDomainStaysValidDuringIngest) {
+  // Regression: source_domain used to return a string_view into
+  // new_sources_. Domains short enough for SSO live inside the vector's
+  // element storage, so every reallocation during a concurrent ingest
+  // moved them and the view dangled (use-after-free under ASan). The
+  // by-value API must keep answering correctly while the ingester grows
+  // new_sources_ far past its initial capacity.
+  DeltaStore delta(nullptr);
+  const auto mention_row = [](std::uint64_t gid, const std::string& domain) {
+    std::string row = std::to_string(gid);
+    row += "\t\t20240101000000\t1\t";
+    row += domain;
+    row.append(11, '\t');
+    row += '\n';
+    return row;
+  };
+  std::string seed;
+  for (int i = 0; i < 4; ++i) {
+    seed += mention_row(1000 + i, "s" + std::to_string(i) + ".com");
+  }
+  ASSERT_TRUE(delta.IngestMentionsCsv(seed).ok());
+  ASSERT_EQ(delta.num_sources(), 4u);
+
+  constexpr int kBatches = 64;
+  constexpr int kPerBatch = 32;
+  std::atomic<bool> stop{false};
+  std::thread ingester([&] {
+    for (int batch = 0; batch < kBatches; ++batch) {
+      std::string csv;
+      for (int i = 0; i < kPerBatch; ++i) {
+        const int n = batch * kPerBatch + i;
+        csv += mention_row(2000 + n, "g" + std::to_string(n) + ".net");
+      }
+      EXPECT_TRUE(delta.IngestMentionsCsv(csv).ok());
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::uint64_t reads = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    for (std::uint32_t id = 0; id < 4; ++id) {
+      EXPECT_EQ(delta.source_domain(id),
+                "s" + std::to_string(id) + ".com");
+      ++reads;
+    }
+  }
+  ingester.join();
+  EXPECT_GT(reads, 0u);
+  EXPECT_EQ(delta.num_sources(), 4u + kBatches * kPerBatch);
+  // One bump per successful ingest call, applied inside the critical
+  // section (seed + every batch).
+  EXPECT_EQ(delta.Generation(), 1u + kBatches);
 }
 
 TEST(DeltaStoreErrorsTest, MalformedRowsAreCounted) {

@@ -14,9 +14,13 @@ Clang enforces, leaving GCC-only boxes unprotected):
                   above it; a silent escape hatch defeats the analysis.
   unchecked-copy  In src/io and src/columnar, memcpy/resize whose size
                   comes from parsed (untrusted) data must be preceded by
-                  a visible bounds check. A `sizeof(` in the size
-                  expression, a nearby check, or an explicit
-                  `// gdelt-lint: allow(unchecked-copy)` satisfies it.
+                  a visible bounds check *on that size*: a nearby
+                  remaining()/std::min/CheckedMul line, or an if/assert
+                  mentioning an identifier from the call's arguments.
+                  A `sizeof(` in the argument list (length derived from
+                  a type) or an explicit
+                  `// gdelt-lint: allow(unchecked-copy)` also satisfies
+                  it; an unrelated `if` nearby does not.
   trace-name      TRACE_SPAN string literals follow the `area.verb`
                   convention (lowercase dotted path), keeping the trace
                   aggregation table and the Prometheus stage metrics
@@ -58,19 +62,20 @@ RESIZE_RE = re.compile(r"\.\s*(resize|reserve)\s*\(")
 TRACE_SPAN_RE = re.compile(r"\bTRACE_SPAN\s*\(\s*\"([^\"]*)\"")
 TRACE_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 RAW_RANDOM_RE = re.compile(r"(?<![\w:])rand\s*\(\s*\)|\bstd::random_device\b")
-# Tokens that count as "a bounds check happened nearby". Deliberately
-# generous: the rule exists to force *a* visible check (or an audited
-# allow), not to re-implement the checker.
-BOUNDS_TOKENS = (
-    "if ",
-    "if(",
-    "GDELT_RETURN_IF_ERROR",
-    "GDELT_ASSIGN_OR_RETURN",
-    "std::min(",
-    "remaining()",
-    "CheckedMul",
-    "assert(",
-)
+# A nearby line is a bounds check if it contains one of these tokens
+# (which only appear in limit arithmetic in this codebase), or if it is
+# an if/assert that mentions an identifier from the copy's own argument
+# list. A guard over unrelated state does not count: `if (flag) ...`
+# above `out.resize(len)` says nothing about len.
+STRONG_BOUNDS_TOKENS = ("remaining()", "std::min(", "CheckedMul")
+GUARD_RE = re.compile(r"(?:^|[^\w])(?:if|assert)\s*\(")
+IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+# Identifiers too generic to tie a guard to a specific copy.
+GENERIC_IDENTS = frozenset({
+    "std", "memcpy", "data", "size", "sizeof", "static_cast",
+    "reinterpret_cast", "size_t", "uint8_t", "uint16_t", "uint32_t",
+    "uint64_t", "int64_t", "begin", "end", "c_str", "get",
+})
 
 
 class Finding(NamedTuple):
@@ -85,6 +90,37 @@ def strip_comment(line: str) -> str:
     which the codebase's style never produces on rule-relevant lines)."""
     idx = line.find("//")
     return line if idx < 0 else line[:idx]
+
+
+def call_args(first: str, lines: List[str], index: int) -> str:
+    """Argument-list text of a call whose opening paren was just consumed;
+    `first` is the rest of the match line, and the scan continues over the
+    next few lines until the parens balance (multi-line calls)."""
+    chunks = [first] + [strip_comment(lines[j])
+                        for j in range(index + 1, min(index + 4, len(lines)))]
+    depth = 1
+    buf: List[str] = []
+    for text in chunks:
+        for ch in text:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    return "".join(buf)
+            buf.append(ch)
+        buf.append(" ")
+    return "".join(buf)
+
+
+def is_bounds_check(line: str, idents: frozenset) -> bool:
+    """True if `line` plausibly bounds one of the copy's identifiers."""
+    if any(tok in line for tok in STRONG_BOUNDS_TOKENS):
+        return True
+    if not GUARD_RE.search(line):
+        return False
+    return any(re.search(r"\b" + re.escape(t) + r"\b", line)
+               for t in idents)
 
 
 def has_allow(lines: List[str], index: int, rule: str) -> bool:
@@ -171,19 +207,23 @@ def check_file(path: str, rel: str) -> Iterator[Finding]:
                 m = pattern.search(code)
                 if not m:
                     continue
-                args = code[m.end():]
+                args = call_args(code[m.end():], lines, i)
                 if "sizeof(" in args:
                     continue  # length derived from a type, not from input
+                idents = frozenset(IDENT_RE.findall(args)) - GENERIC_IDENTS
+                if not idents:
+                    continue  # constant size, nothing to bound
                 window = lines[max(0, i - CHECK_WINDOW):i + 1]
-                if any(tok in w for w in window for tok in BOUNDS_TOKENS):
+                if any(is_bounds_check(w, idents) for w in window):
                     continue
                 if has_allow(lines, i, "unchecked-copy"):
                     continue
                 yield Finding(
                     rel, lineno, "unchecked-copy",
                     "memcpy/resize in untrusted-input code without a "
-                    f"bounds check in the preceding {CHECK_WINDOW} lines; "
-                    "check against remaining()/a parsed limit or annotate "
+                    f"bounds check on its size in the preceding "
+                    f"{CHECK_WINDOW} lines; check the size against "
+                    "remaining()/a parsed limit or annotate "
                     "`// gdelt-lint: allow(unchecked-copy)` with a reason")
 
         # --- trace-name --------------------------------------------------

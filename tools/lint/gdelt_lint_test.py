@@ -42,7 +42,7 @@ class GdeltLintTest(unittest.TestCase):
         counts = findings_by_rule(out)
         self.assertEqual(counts.get("raw-mutex"), 3, out)
         self.assertEqual(counts.get("tsa-escape"), 1, out)
-        self.assertEqual(counts.get("unchecked-copy"), 2, out)
+        self.assertEqual(counts.get("unchecked-copy"), 3, out)
         self.assertEqual(counts.get("trace-name"), 2, out)
         self.assertEqual(counts.get("raw-random"), 2, out)
 

@@ -20,4 +20,12 @@ std::vector<char> Load(Reader& in) {
   return out;
 }
 
+std::string LoadName(Reader& in) {
+  std::string name;
+  const std::uint32_t count = in.ReadU32();
+  if (in.cursor == nullptr) return name;  // guards something else entirely
+  name.resize(count);                     // finding: count is never checked
+  return name;
+}
+
 }  // namespace fixture

@@ -25,6 +25,13 @@ void FixedHeader(Reader& in, std::uint64_t& header) {
   std::memcpy(&header, in.cursor, sizeof(header));
 }
 
+bool Capped(Reader& in, std::vector<char>& out) {
+  const std::uint32_t len = in.ReadU32();
+  if (len > 4096) return false;  // the check names the size it bounds
+  out.resize(len);
+  return true;
+}
+
 void TrustedScratch(std::vector<std::uint64_t>& scratch,
                     std::size_t num_keys) {
   // gdelt-lint: allow(unchecked-copy) — num_keys is an in-memory
