@@ -5,8 +5,12 @@
 // restriction patterns are a time window (one quarter of a crisis) and a
 // country slice. This bench shows that a materialized row set amortizes:
 // select once, run several aggregates over the subset.
+#include <algorithm>
+
 #include "common/fixture.hpp"
 #include "engine/filter.hpp"
+#include "parallel/morsel.hpp"
+#include "util/timer.hpp"
 
 namespace gdelt::bench {
 namespace {
@@ -68,15 +72,105 @@ void BM_SelectPublisherCountry(benchmark::State& state) {
 }
 BENCHMARK(BM_SelectPublisherCountry);
 
+/// SIMD-vs-scalar on the bitmap path (same pool, same morsel size; the
+/// only variable is the compare kernels).
+void BM_SelectBitmapSimdToggle(benchmark::State& state) {
+  const auto& db = Db();
+  const auto f = QuarterWindowFilter();
+  const bool saved = engine::SimdEnabled();
+  engine::SetSimdEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    auto sel = engine::SelectMentionsBitmap(db, f);
+    benchmark::DoNotOptimize(sel);
+  }
+  engine::SetSimdEnabled(saved);
+  state.SetItemsProcessed(static_cast<std::int64_t>(db.num_mentions()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SelectBitmapSimdToggle)->Arg(0)->Arg(1);
+
+/// Wall seconds of `body`, best of `reps` runs (steady-state estimate).
+template <typename Body>
+double BestOf(int reps, Body&& body) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    body();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
 void Print() {
   const auto& db = Db();
-  const auto rows = engine::SelectMentions(db, QuarterWindowFilter());
+  const auto f = QuarterWindowFilter();
+  const auto rows = engine::SelectMentions(db, f);
   std::printf("\n=== Ablation: user-defined (filtered) queries ===\n");
   std::printf("quarter-window selection: %zu of %zu mentions (%.1f%%); "
               "aggregates over the row set touch only that fraction.\n",
               rows.size(), db.num_mentions(),
               100.0 * static_cast<double>(rows.size()) /
                   static_cast<double>(db.num_mentions()));
+
+  // One JSON record per configuration: scalar-vs-SIMD toggle on the
+  // vectorized selection, the legacy two-pass row baseline, and the
+  // morsel-size sweep over the filter→aggregate chain.
+  BenchJsonWriter writer("ablation_filter");
+  constexpr int kReps = 5;
+  const int threads = MaxThreads();
+  const bool saved_simd = engine::SimdEnabled();
+
+  engine::SetSimdEnabled(false);
+  const double scalar_s = BestOf(kReps, [&] {
+    auto sel = engine::SelectMentionsBitmap(db, f);
+    benchmark::DoNotOptimize(sel);
+  });
+  writer.Record("select_bitmap_scalar", threads, scalar_s);
+
+  engine::SetSimdEnabled(true);
+  const bool simd_available = engine::SimdEnabled();
+  const double simd_s = BestOf(kReps, [&] {
+    auto sel = engine::SelectMentionsBitmap(db, f);
+    benchmark::DoNotOptimize(sel);
+  });
+  writer.Record(simd_available ? "select_bitmap_simd"
+                               : "select_bitmap_simd_unavailable",
+                threads, simd_s);
+  engine::SetSimdEnabled(saved_simd);
+
+  const double baseline_s = BestOf(kReps, [&] {
+    auto out = engine::SelectMentionsBaseline(db, f);
+    benchmark::DoNotOptimize(out);
+  });
+  writer.Record("select_rows_baseline_two_pass", threads, baseline_s);
+
+  std::printf("\nvectorized selection (interval+confidence passes):\n"
+              "  scalar bitmap   : %8.3f ms\n"
+              "  simd bitmap     : %8.3f ms%s\n"
+              "  two-pass rows   : %8.3f ms\n"
+              "  simd vs scalar  : %.2fx\n",
+              scalar_s * 1e3, simd_s * 1e3,
+              simd_available ? "" : "  (AVX2 unavailable: scalar fallback)",
+              baseline_s * 1e3, scalar_s / simd_s);
+
+  // Morsel-size sweep: selection + one bitmap aggregate per size, so the
+  // sweep sees both the word-parallel passes and the aggregate reuse.
+  std::printf("\nmorsel-size sweep (filter + cross-report aggregate):\n");
+  for (const std::size_t morsel_rows :
+       {std::size_t{1024}, std::size_t{4096}, std::size_t{16384},
+        std::size_t{65536}, std::size_t{262144}}) {
+    parallel::SetMorselRows(morsel_rows);
+    const double sweep_s = BestOf(kReps, [&] {
+      const auto sel = engine::SelectMentionsBitmap(db, f);
+      auto report = engine::CountryCrossReporting(db, sel);
+      benchmark::DoNotOptimize(report);
+    });
+    writer.Record("filter_aggregate_morsel_" + std::to_string(morsel_rows),
+                  threads, sweep_s);
+    std::printf("  %7zu rows/morsel: %8.3f ms\n", morsel_rows,
+                sweep_s * 1e3);
+  }
+  parallel::SetMorselRows(0);
 }
 
 }  // namespace

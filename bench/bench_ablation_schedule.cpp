@@ -1,11 +1,20 @@
-// Ablation: OpenMP scheduling policy (DESIGN.md section 5).
+// Ablation: OpenMP scheduling policy (DESIGN.md section 5) and the
+// morsel-pool migration (section 5c).
 //
 // Two kernels: a uniform per-mention scan (per-source counting) and a
 // skewed per-event kernel whose work follows the article-count power law.
 // Static scheduling wins on the uniform scan; dynamic/guided pay off on
-// the skewed kernel at high thread counts.
+// the skewed kernel at high thread counts. The Print() section compares
+// OpenMP teams against the shared work-stealing pool and sweeps the
+// morsel size (GDELT_MORSEL_ROWS in-process), one JSON record per
+// configuration.
+#include <algorithm>
+
+#include "analysis/firstreport.hpp"
 #include "common/fixture.hpp"
+#include "parallel/morsel.hpp"
 #include "parallel/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace gdelt::bench {
 namespace {
@@ -53,11 +62,66 @@ BENCHMARK(BM_SkewedEventKernelSchedule)
     ->Arg(static_cast<int>(Schedule::kDynamic))
     ->Arg(static_cast<int>(Schedule::kGuided));
 
+/// Wall seconds of `body`, best of `reps` runs.
+template <typename Body>
+double BestOf(int reps, Body&& body) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    body();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
 void Print() {
   std::printf("\n=== Ablation: OpenMP schedule ===\n");
   std::printf("arg 0 = static, 1 = dynamic(64), 2 = guided.\n"
               "Uniform scans favour static; the power-law-skewed per-event "
               "kernel favours dynamic/guided once thread counts grow.\n");
+
+  // Backend ablation on a real skewed kernel (first-reports: per-event
+  // work follows the article-count power law), then the morsel-size
+  // sweep on the pool backend. One JSON record per configuration.
+  const auto& db = Db();
+  BenchJsonWriter writer("ablation_schedule");
+  constexpr int kReps = 3;
+  const int threads = MaxThreads();
+
+  const double omp_s = BestOf(kReps, [&] {
+    auto stats = analysis::ComputeFirstReports(
+        db, /*histogram_bins=*/18, parallel::Backend::kOpenMp);
+    benchmark::DoNotOptimize(stats);
+  });
+  writer.Record("first_reports_openmp_team", threads, omp_s);
+
+  const double pool_s = BestOf(kReps, [&] {
+    auto stats = analysis::ComputeFirstReports(
+        db, /*histogram_bins=*/18, parallel::Backend::kMorselPool);
+    benchmark::DoNotOptimize(stats);
+  });
+  writer.Record("first_reports_morsel_pool", threads, pool_s);
+
+  std::printf("\nfirst-reports backend: openmp %7.3f ms, morsel pool "
+              "%7.3f ms (%.2fx)\n",
+              omp_s * 1e3, pool_s * 1e3, omp_s / pool_s);
+
+  std::printf("morsel-size sweep (first-reports on the pool):\n");
+  for (const std::size_t morsel_rows :
+       {std::size_t{256}, std::size_t{1024}, std::size_t{4096},
+        std::size_t{16384}, std::size_t{65536}}) {
+    parallel::SetMorselRows(morsel_rows);
+    const double sweep_s = BestOf(kReps, [&] {
+      auto stats = analysis::ComputeFirstReports(
+          db, /*histogram_bins=*/18, parallel::Backend::kMorselPool);
+      benchmark::DoNotOptimize(stats);
+    });
+    writer.Record("first_reports_morsel_" + std::to_string(morsel_rows),
+                  threads, sweep_s);
+    std::printf("  %7zu rows/morsel: %8.3f ms\n", morsel_rows,
+                sweep_s * 1e3);
+  }
+  parallel::SetMorselRows(0);
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 // sockets and real worker admission, so the measured path is exactly what
 // a deployed daemon executes — protocol parse, cache lookup, scheduler
 // hop, render, response framing.
+#include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "trace/trace.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace gdelt::bench {
@@ -21,6 +24,9 @@ namespace {
 constexpr int kClients = 4;
 constexpr int kRequestsPerClient = 50;
 const char* const kRequestLine = R"({"query":"top-sources","top":5})";
+/// A saturating batch query: full-table co-reporting over the top
+/// sources (classified kBatch by the scheduler).
+const char* const kBatchRequestLine = R"({"query":"coreport","top":16})";
 
 serve::ServerOptions ServeOptions(std::size_t cache_entries) {
   serve::ServerOptions options;
@@ -29,26 +35,84 @@ serve::ServerOptions ServeOptions(std::size_t cache_entries) {
   return options;
 }
 
-/// Sends `count` copies of the canonical request, asserting transport ok.
-void Hammer(int port, int count) {
+/// Sends `count` copies of the canonical request, asserting transport
+/// ok; appends each round-trip's latency to `latencies_ms` when given.
+void Hammer(int port, int count, std::vector<double>* latencies_ms = nullptr) {
   auto client = serve::LineClient::Connect("127.0.0.1", port);
   if (!client.ok()) return;
   for (int i = 0; i < count; ++i) {
+    WallTimer timer;
     const auto response = client->RoundTrip(kRequestLine);
     if (!response.ok()) return;
+    if (latencies_ms != nullptr) {
+      latencies_ms->push_back(timer.ElapsedSeconds() * 1e3);
+    }
   }
 }
 
-/// Wall seconds for kClients concurrent clients to push their requests.
-double MeasureOnce(serve::Server& server) {
+/// Wall seconds for kClients concurrent clients to push their requests;
+/// fills `latencies_ms` with every request's round-trip latency.
+double MeasureOnce(serve::Server& server, std::vector<double>& latencies_ms) {
   WallTimer timer;
+  std::vector<std::vector<double>> per_client(kClients);
   std::vector<std::thread> threads;
   for (int c = 0; c < kClients; ++c) {
-    threads.emplace_back(
-        [&server] { Hammer(server.port(), kRequestsPerClient); });
+    threads.emplace_back([&server, &per_client, c] {
+      Hammer(server.port(), kRequestsPerClient, &per_client[c]);
+    });
   }
   for (auto& t : threads) t.join();
-  return timer.ElapsedSeconds();
+  const double wall = timer.ElapsedSeconds();
+  for (auto& v : per_client) {
+    latencies_ms.insert(latencies_ms.end(), v.begin(), v.end());
+  }
+  return wall;
+}
+
+/// Interactive latency under batch load: `background` connections loop
+/// full-table co-reporting requests while one foreground client sends
+/// `count` cheap top-sources requests; returns the foreground latencies.
+/// The result cache is off, so every request renders.
+std::vector<double> MeasureInteractiveUnderLoad(bool use_morsel_pool,
+                                                int count) {
+  serve::ServerOptions options = ServeOptions(/*cache_entries=*/0);
+  // One execution worker: the contrast under test is pure scheduling —
+  // FIFO behind the batch scan vs the priority lane passing it.
+  options.scheduler.workers = 1;
+  options.scheduler.use_morsel_pool = use_morsel_pool;
+  serve::Server server(Db(), nullptr, options);
+  if (!server.Start().ok()) return {};
+
+  std::atomic<bool> stop{false};
+  constexpr int kBackground = 2;
+  std::vector<std::thread> background;
+  for (int b = 0; b < kBackground; ++b) {
+    background.emplace_back([&server, &stop] {
+      auto client = serve::LineClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) return;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto response = client->RoundTrip(kBatchRequestLine);
+        if (!response.ok()) return;
+      }
+    });
+  }
+
+  std::vector<double> latencies_ms;
+  {
+    auto client = serve::LineClient::Connect("127.0.0.1", server.port());
+    if (client.ok()) {
+      for (int i = 0; i < count; ++i) {
+        WallTimer timer;
+        const auto response = client->RoundTrip(kRequestLine);
+        if (!response.ok()) break;
+        latencies_ms.push_back(timer.ElapsedSeconds() * 1e3);
+      }
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : background) t.join();
+  server.Stop();
+  return latencies_ms;
 }
 
 void BM_ServeRoundTripCold(benchmark::State& state) {
@@ -80,23 +144,33 @@ void BM_ServeRoundTripCached(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeRoundTripCached);
 
+double Percentile(std::vector<double> ms, double p) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  auto at = static_cast<std::size_t>(p * static_cast<double>(ms.size()));
+  return ms[std::min(at, ms.size() - 1)];
+}
+
 void Print() {
   const int total = kClients * kRequestsPerClient;
   BenchJsonWriter writer("serve_throughput");
 
+  std::vector<double> cold_lat;
   serve::Server cold(Db(), nullptr, ServeOptions(/*cache_entries=*/0));
   if (!cold.Start().ok()) return;
-  const double cold_s = MeasureOnce(cold);
+  const double cold_s = MeasureOnce(cold, cold_lat);
   cold.Stop();
-  writer.Record("cold_" + std::to_string(total) + "req", kClients, cold_s);
+  writer.RecordLatencies("cold_" + std::to_string(total) + "req", kClients,
+                         cold_s, cold_lat);
 
+  std::vector<double> cached_lat;
   serve::Server cached(Db(), nullptr, ServeOptions(/*cache_entries=*/64));
   if (!cached.Start().ok()) return;
   Hammer(cached.port(), 1);  // prime
-  const double cached_s = MeasureOnce(cached);
+  const double cached_s = MeasureOnce(cached, cached_lat);
   cached.Stop();
-  writer.Record("cached_" + std::to_string(total) + "req", kClients,
-                cached_s);
+  writer.RecordLatencies("cached_" + std::to_string(total) + "req", kClients,
+                         cached_s, cached_lat);
 
   // Tracing overhead: the same cold workload with span tracing armed
   // (every TRACE_SPAN records into the global ring). The disabled run
@@ -109,26 +183,61 @@ void Print() {
     trace::SetEnabled(false);
     return;
   }
-  const double traced_s = MeasureOnce(traced);
+  std::vector<double> traced_lat;
+  const double traced_s = MeasureOnce(traced, traced_lat);
   traced.Stop();
   trace::SetEnabled(false);
   const std::uint64_t spans_recorded = trace::RecordedCount();
   trace::Reset();
-  writer.Record("cold_traced_" + std::to_string(total) + "req", kClients,
-                traced_s);
+  writer.RecordLatencies("cold_traced_" + std::to_string(total) + "req",
+                         kClients, traced_s, traced_lat);
+
+  // Interactive latency under a saturating batch query: the morsel-pool
+  // scheduler (priority lane + shared pool) vs the thread-per-query
+  // baseline (FIFO queue, private OpenMP teams). Same load, same
+  // requests; the p99 gap is the scheduling win the ISSUE asks for.
+  constexpr int kInteractiveCount = 200;
+  const auto pool_lat =
+      MeasureInteractiveUnderLoad(/*use_morsel_pool=*/true,
+                                  kInteractiveCount);
+  const auto baseline_lat =
+      MeasureInteractiveUnderLoad(/*use_morsel_pool=*/false,
+                                  kInteractiveCount);
+  writer.RecordLatencies("interactive_under_batch_morsel_pool", 1,
+                         /*wall_seconds=*/0.0, pool_lat);
+  writer.RecordLatencies("interactive_under_batch_thread_per_query", 1,
+                         /*wall_seconds=*/0.0, baseline_lat);
 
   std::printf("\n=== Serving throughput (%d clients x %d requests) ===\n",
               kClients, kRequestsPerClient);
-  std::printf("  cold          : %8.1f req/s  (%.3fs total)\n",
-              total / cold_s, cold_s);
-  std::printf("  cached        : %8.1f req/s  (%.3fs total)\n",
-              total / cached_s, cached_s);
+  std::printf("  cold          : %8.1f req/s  (%.3fs total, p50 %.1fms "
+              "p99 %.1fms)\n",
+              total / cold_s, cold_s, Percentile(cold_lat, 0.50),
+              Percentile(cold_lat, 0.99));
+  std::printf("  cached        : %8.1f req/s  (%.3fs total, p50 %.1fms "
+              "p99 %.1fms)\n",
+              total / cached_s, cached_s, Percentile(cached_lat, 0.50),
+              Percentile(cached_lat, 0.99));
   std::printf("  speedup       : %.1fx\n", cold_s / cached_s);
   std::printf("  cold + tracing: %8.1f req/s  (%.3fs total, %llu spans, "
               "%+.1f%% vs cold)\n",
               total / traced_s, traced_s,
               static_cast<unsigned long long>(spans_recorded),
               (traced_s / cold_s - 1.0) * 100.0);
+  std::printf("\n--- interactive p99 under full-table co-reporting load "
+              "(%d requests, 1 worker) ---\n",
+              kInteractiveCount);
+  std::printf("  morsel pool      : p50 %7.1fms  p95 %7.1fms  p99 %7.1fms\n",
+              Percentile(pool_lat, 0.50), Percentile(pool_lat, 0.95),
+              Percentile(pool_lat, 0.99));
+  std::printf("  thread-per-query : p50 %7.1fms  p95 %7.1fms  p99 %7.1fms\n",
+              Percentile(baseline_lat, 0.50), Percentile(baseline_lat, 0.95),
+              Percentile(baseline_lat, 0.99));
+  const double p99_pool = Percentile(pool_lat, 0.99);
+  const double p99_base = Percentile(baseline_lat, 0.99);
+  if (p99_pool > 0.0 && p99_base > 0.0) {
+    std::printf("  p99 improvement  : %.2fx\n", p99_base / p99_pool);
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include "convert/binary_format.hpp"
 #include "engine/queries.hpp"
+#include "parallel/morsel.hpp"
 #include "parallel/parallel.hpp"
 #include "trace/trace.hpp"
 
@@ -58,31 +59,53 @@ void MirrorLowerTriangle(std::uint32_t* counts, std::size_t n) {
   });
 }
 
-/// Tiled kernel, dense flavor: each part accumulates into a private n*n
-/// matrix (upper triangle only), merged deterministically in tile order.
+/// Dense pair-count accumulation for events [r.begin, r.end).
+void DenseEventsRange(const CsrSetIndex& index,
+                      const std::vector<std::int32_t>& slot, std::size_t n,
+                      IndexRange r, std::vector<std::uint32_t>& slots,
+                      std::vector<std::uint32_t>& local) {
+  for (std::size_t e = r.begin; e < r.end; ++e) {
+    SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
+    for (std::size_t a = 0; a < slots.size(); ++a) {
+      ++local[static_cast<std::size_t>(slots[a]) * n + slots[a]];
+      for (std::size_t b = a + 1; b < slots.size(); ++b) {
+        const std::uint64_t key = UpperKey(slots[a], slots[b]);
+        ++local[(key >> 32) * n + (key & 0xFFFFFFFFu)];
+      }
+    }
+  }
+}
+
+/// Tiled kernel, dense flavor: each worker accumulates into a private
+/// n*n matrix (upper triangle only), merged deterministically in
+/// part/slot order (integer sums commute, so work stealing cannot
+/// change the result).
 void TiledDense(const engine::Database& db, const CsrSetIndex& index,
                 const std::vector<std::int32_t>& slot, std::size_t n,
                 std::size_t num_parts, const TiledCoReportOptions& options,
                 CoReportMatrix& matrix) {
-  const auto parts = SplitRange(db.num_events(), num_parts);
-  std::vector<std::vector<std::uint32_t>> locals(parts.size());
+  std::vector<std::vector<std::uint32_t>> locals;
   {
     TRACE_SPAN("coreport.tiles");
-    ParallelFor(parts.size(), [&](std::size_t p) {
-      auto& local = locals[p];
-      local.assign(n * n, 0);
-      std::vector<std::uint32_t> slots;
-      for (std::size_t e = parts[p].begin; e < parts[p].end; ++e) {
-        SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
-        for (std::size_t a = 0; a < slots.size(); ++a) {
-          ++local[static_cast<std::size_t>(slots[a]) * n + slots[a]];
-          for (std::size_t b = a + 1; b < slots.size(); ++b) {
-            const std::uint64_t key = UpperKey(slots[a], slots[b]);
-            ++local[(key >> 32) * n + (key & 0xFFFFFFFFu)];
-          }
-        }
-      }
-    });
+    if (options.use_morsel_pool) {
+      locals.resize(parallel::PoolSlots());
+      std::vector<std::vector<std::uint32_t>> scratch(parallel::PoolSlots());
+      parallel::PoolParallelFor(
+          db.num_events(), [&](IndexRange r, std::size_t s) {
+            auto& local = locals[s];
+            if (local.size() != n * n) local.assign(n * n, 0);
+            DenseEventsRange(index, slot, n, r, scratch[s], local);
+          });
+    } else {
+      const auto parts = SplitRange(db.num_events(), num_parts);
+      locals.resize(parts.size());
+      ParallelFor(parts.size(), [&](std::size_t p) {
+        auto& local = locals[p];
+        local.assign(n * n, 0);
+        std::vector<std::uint32_t> slots;
+        DenseEventsRange(index, slot, n, parts[p], slots, local);
+      });
+    }
   }
   TRACE_SPAN("coreport.merge");
   MergeTiledPartials(std::span<std::uint32_t>(matrix.mutable_counts()),
@@ -97,30 +120,64 @@ void TiledSparse(const engine::Database& db, const CsrSetIndex& index,
                  const std::vector<std::int32_t>& slot, std::size_t n,
                  std::size_t num_parts, const TiledCoReportOptions& options,
                  CoReportMatrix& matrix) {
-  const auto parts = SplitRange(db.num_events(), num_parts);
   using Run = std::vector<std::pair<std::uint64_t, std::uint32_t>>;
-  std::vector<Run> runs(parts.size());
-  ParallelFor(parts.size(), [&](std::size_t p) {
-    std::unordered_map<std::uint64_t, std::uint32_t> acc;
-    std::vector<std::uint32_t> slots;
-    for (std::size_t e = parts[p].begin; e < parts[p].end; ++e) {
-      SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
-      for (std::size_t a = 0; a < slots.size(); ++a) {
-        ++acc[UpperKey(slots[a], slots[a])];
-        for (std::size_t b = a + 1; b < slots.size(); ++b) {
-          ++acc[UpperKey(slots[a], slots[b])];
+  std::vector<Run> runs;
+  if (options.use_morsel_pool) {
+    // Per-slot hash accumulation across morsels, compressed to sorted
+    // runs afterwards. The tile merge below visits runs in slot order,
+    // and per-tile sums commute, so the counts match the OpenMP flavor.
+    std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> accs(
+        parallel::PoolSlots());
+    std::vector<std::vector<std::uint32_t>> scratch(parallel::PoolSlots());
+    parallel::PoolParallelFor(
+        db.num_events(), [&](IndexRange r, std::size_t s) {
+          auto& acc = accs[s];
+          auto& slots = scratch[s];
+          for (std::size_t e = r.begin; e < r.end; ++e) {
+            SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
+            for (std::size_t a = 0; a < slots.size(); ++a) {
+              ++acc[UpperKey(slots[a], slots[a])];
+              for (std::size_t b = a + 1; b < slots.size(); ++b) {
+                ++acc[UpperKey(slots[a], slots[b])];
+              }
+            }
+          }
+        });
+    runs.resize(accs.size());
+    parallel::PoolParallelFor(
+        accs.size(),
+        [&](IndexRange r, std::size_t) {
+          for (std::size_t p = r.begin; p < r.end; ++p) {
+            runs[p].assign(accs[p].begin(), accs[p].end());
+            std::sort(runs[p].begin(), runs[p].end());
+          }
+        },
+        /*morsel_rows=*/1);
+  } else {
+    const auto parts = SplitRange(db.num_events(), num_parts);
+    runs.resize(parts.size());
+    ParallelFor(parts.size(), [&](std::size_t p) {
+      std::unordered_map<std::uint64_t, std::uint32_t> acc;
+      std::vector<std::uint32_t> slots;
+      for (std::size_t e = parts[p].begin; e < parts[p].end; ++e) {
+        SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
+        for (std::size_t a = 0; a < slots.size(); ++a) {
+          ++acc[UpperKey(slots[a], slots[a])];
+          for (std::size_t b = a + 1; b < slots.size(); ++b) {
+            ++acc[UpperKey(slots[a], slots[b])];
+          }
         }
       }
-    }
-    runs[p].assign(acc.begin(), acc.end());
-    std::sort(runs[p].begin(), runs[p].end());
-  });
+      runs[p].assign(acc.begin(), acc.end());
+      std::sort(runs[p].begin(), runs[p].end());
+    });
+  }
 
   auto* counts = matrix.mutable_counts().data();
   const std::size_t tile_rows =
       std::max<std::size_t>(1, options.tile_elems / std::max<std::size_t>(n, 1));
   const std::size_t num_tiles = (n + tile_rows - 1) / tile_rows;
-  ParallelFor(num_tiles, [&](std::size_t t) {
+  const auto merge_tile = [&](std::size_t t) {
     const std::uint64_t row_begin = t * tile_rows;
     const std::uint64_t row_end =
         std::min<std::uint64_t>(n, row_begin + tile_rows);
@@ -134,7 +191,17 @@ void TiledSparse(const engine::Database& db, const CsrSetIndex& index,
         counts[(it->first >> 32) * n + (it->first & 0xFFFFFFFFu)] += it->second;
       }
     }
-  });
+  };
+  if (options.use_morsel_pool) {
+    parallel::PoolParallelFor(
+        num_tiles,
+        [&](IndexRange r, std::size_t) {
+          for (std::size_t t = r.begin; t < r.end; ++t) merge_tile(t);
+        },
+        /*morsel_rows=*/1);
+  } else {
+    ParallelFor(num_tiles, merge_tile);
+  }
 }
 
 }  // namespace
@@ -155,7 +222,11 @@ CoReportMatrix ComputeCoReporting(const engine::Database& db,
   }();
 
   const auto num_parts = static_cast<std::size_t>(MaxThreads());
-  const std::size_t dense_bytes = num_parts * n * n * sizeof(std::uint32_t);
+  // The pool path keeps one partial per pool slot (workers + callers),
+  // so its footprint, not the OpenMP team's, drives the dense/sparse cut.
+  const std::size_t num_partials =
+      options.use_morsel_pool ? parallel::PoolSlots() : num_parts;
+  const std::size_t dense_bytes = num_partials * n * n * sizeof(std::uint32_t);
   if (dense_bytes <= options.dense_partials_budget_bytes) {
     TiledDense(db, index, slot, n, num_parts, options, matrix);
   } else {
@@ -221,6 +292,8 @@ CoReportMatrix ComputeCoReportingDenseAtomic(
   const auto& index = db.event_distinct_sources();
   auto* counts = matrix.mutable_counts().data();
 
+  // gdelt-lint: allow(raw-omp) — deliberate holdout: the contended-atomics
+  // baseline of the representation ablation (bench_ablation_coreport_repr).
 #pragma omp parallel
   {
     std::vector<std::uint32_t> slots;
@@ -261,6 +334,8 @@ CoReportMatrix ComputeCoReportingSparse(const engine::Database& db,
   // end. Same result as the dense path; trades atomics for hashing.
   const auto nt = static_cast<std::size_t>(MaxThreads());
   std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> locals(nt);
+  // gdelt-lint: allow(raw-omp) — deliberate holdout: the hash-based
+  // baseline of the representation ablation (bench_ablation_coreport_repr).
 #pragma omp parallel
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
@@ -312,6 +387,8 @@ graph::SparseMatrix ComputeCoReportingTimeSliced(const engine::Database& db) {
   // its distinct sources already sorted, so keys come out ordered per
   // event without any per-event sort.
   std::vector<graph::SparseMatrix> slices(nq);
+  // gdelt-lint: allow(raw-omp) — deliberate holdout: the paper's literal
+  // time-sliced scale-out plan, kept on its own OpenMP team as published.
 #pragma omp parallel
   {
 #pragma omp for schedule(dynamic)
@@ -353,6 +430,8 @@ graph::SparseMatrix ComputeCoReportingTimeSliced(const engine::Database& db) {
   global.row_offsets.assign(n + 1, 0);
   std::vector<std::vector<std::uint32_t>> row_cols(n);
   std::vector<std::vector<double>> row_vals(n);
+  // gdelt-lint: allow(raw-omp) — deliberate holdout: assembly stage of the
+  // time-sliced baseline above.
 #pragma omp parallel
   {
     std::vector<double> acc(n, 0.0);

@@ -65,6 +65,10 @@ struct TiledCoReportOptions {
   /// Merge granularity: elements per output tile (dense merge) and the
   /// basis for the row-tile width (sparse merge).
   std::size_t tile_elems = std::size_t{1} << 14;
+  /// Run event morsels on the shared work-stealing pool (default) or on
+  /// a private OpenMP team (scheduling-ablation baseline). Both produce
+  /// bitwise-identical matrices.
+  bool use_morsel_pool = true;
 };
 
 /// Computes co-reporting over a subset of sources (empty subset = all).

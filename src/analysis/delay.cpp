@@ -24,34 +24,70 @@ std::int64_t MedianInPlace(std::int64_t* begin, std::int64_t* end) {
 
 }  // namespace
 
-std::vector<DelayStats> PerSourceDelayStats(const engine::Database& db) {
+namespace {
+
+/// Stats for one source; `delays` is reusable scratch.
+void OneSourceDelayStats(const engine::Database& db,
+                         std::span<const std::int64_t> when,
+                         std::span<const std::int64_t> event_when,
+                         std::uint32_t s, std::vector<std::int64_t>& delays,
+                         DelayStats& st) {
+  delays.clear();
+  for (const std::uint64_t row : db.mentions_by_source().RowsOf(s)) {
+    const std::int64_t d = when[row] - event_when[row];
+    if (d >= 0) delays.push_back(d);
+  }
+  st.article_count = delays.size();
+  if (delays.empty()) return;
+  std::sort(delays.begin(), delays.end());
+  st.min = delays.front();
+  st.max = delays.back();
+  st.median = MedianInPlace(delays.data(), delays.data() + delays.size());
+  double sum = 0.0;
+  for (const std::int64_t d : delays) sum += static_cast<double>(d);
+  st.average = sum / static_cast<double>(delays.size());
+}
+
+}  // namespace
+
+std::vector<DelayStats> PerSourceDelayStats(const engine::Database& db,
+                                            parallel::Backend backend) {
   TRACE_SPAN("delay.per_source");
   const auto when = db.mention_interval();
   const auto event_when = db.mention_event_interval();
   const std::size_t ns = db.num_sources();
   std::vector<DelayStats> stats(ns);
+  db.mentions_by_source();  // force the memoized index outside the region
 
+  if (backend == parallel::Backend::kMorselPool) {
+    // Per-source work is skewed (article counts follow a power law), so
+    // sources get small morsels: the pool's stealing does the balancing
+    // the old schedule(dynamic, 16) did.
+    std::vector<std::vector<std::int64_t>> scratch(parallel::PoolSlots());
+    parallel::PoolParallelFor(
+        ns,
+        [&](IndexRange r, std::size_t slot) {
+          auto& delays = scratch[slot];
+          for (std::size_t s = r.begin; s < r.end; ++s) {
+            OneSourceDelayStats(db, when, event_when,
+                                static_cast<std::uint32_t>(s), delays,
+                                stats[s]);
+          }
+        },
+        /*morsel_rows=*/64);
+    return stats;
+  }
+
+  // Ablation baseline: private OpenMP team.
+  // gdelt-lint: allow(raw-omp) — deliberate holdout, the kOpenMp backend
+  // of the morsel-pool migration (DESIGN.md section 5c).
 #pragma omp parallel
   {
     std::vector<std::int64_t> delays;
 #pragma omp for schedule(dynamic, 16)
     for (std::int64_t s = 0; s < static_cast<std::int64_t>(ns); ++s) {
-      delays.clear();
-      for (const std::uint64_t row :
-           db.mentions_by_source().RowsOf(static_cast<std::uint32_t>(s))) {
-        const std::int64_t d = when[row] - event_when[row];
-        if (d >= 0) delays.push_back(d);
-      }
-      DelayStats& st = stats[static_cast<std::size_t>(s)];
-      st.article_count = delays.size();
-      if (delays.empty()) continue;
-      std::sort(delays.begin(), delays.end());
-      st.min = delays.front();
-      st.max = delays.back();
-      st.median = MedianInPlace(delays.data(), delays.data() + delays.size());
-      double sum = 0.0;
-      for (const std::int64_t d : delays) sum += static_cast<double>(d);
-      st.average = sum / static_cast<double>(delays.size());
+      OneSourceDelayStats(db, when, event_when, static_cast<std::uint32_t>(s),
+                          delays, stats[static_cast<std::size_t>(s)]);
     }
   }
   return stats;

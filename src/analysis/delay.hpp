@@ -11,6 +11,7 @@
 
 #include "engine/database.hpp"
 #include "engine/queries.hpp"
+#include "parallel/morsel.hpp"
 
 namespace gdelt::analysis {
 
@@ -24,8 +25,12 @@ struct DelayStats {
 };
 
 /// Delay statistics for every source id. Sources with no valid articles
-/// have article_count == 0. Parallel over sources via the source index.
-std::vector<DelayStats> PerSourceDelayStats(const engine::Database& db);
+/// have article_count == 0. Parallel over sources via the source index;
+/// each source is computed wholly within one morsel, so the float
+/// average is bitwise identical on both backends.
+std::vector<DelayStats> PerSourceDelayStats(
+    const engine::Database& db,
+    parallel::Backend backend = parallel::Backend::kMorselPool);
 
 /// Histogram over sources of one delay metric, in power-of-two bins
 /// [1,2), [2,4), ... plus bin 0 for exact zero. Used to print Fig 9.

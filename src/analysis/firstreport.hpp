@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "engine/database.hpp"
+#include "parallel/morsel.hpp"
 
 namespace gdelt::analysis {
 
@@ -50,7 +51,10 @@ struct FirstReportStats {
 /// Computes all first-reporter statistics in one pass over the event
 /// index. Events whose first delay is negative (the Table II defect) are
 /// excluded from the delay histogram but still count for first-reports.
-FirstReportStats ComputeFirstReports(const engine::Database& db,
-                                     int histogram_bins = 18);
+/// Integer partials merged in scratch-slot order — bitwise identical on
+/// both backends.
+FirstReportStats ComputeFirstReports(
+    const engine::Database& db, int histogram_bins = 18,
+    parallel::Backend backend = parallel::Backend::kMorselPool);
 
 }  // namespace gdelt::analysis

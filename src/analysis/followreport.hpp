@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "engine/database.hpp"
+#include "parallel/morsel.hpp"
 
 namespace gdelt::analysis {
 
@@ -43,8 +44,10 @@ struct FollowReportMatrix {
 
 /// Computes follow-reporting over `subset` (matrix order = subset order).
 /// An article counts as following i if i published on the same event in a
-/// strictly earlier capture interval.
+/// strictly earlier capture interval. Partial count matrices are merged
+/// in scratch-slot order, so both backends are bitwise identical.
 FollowReportMatrix ComputeFollowReporting(
-    const engine::Database& db, std::span<const std::uint32_t> subset);
+    const engine::Database& db, std::span<const std::uint32_t> subset,
+    parallel::Backend backend = parallel::Backend::kMorselPool);
 
 }  // namespace gdelt::analysis

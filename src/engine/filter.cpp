@@ -1,15 +1,25 @@
 #include "engine/filter.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 #include "convert/binary_format.hpp"
+#include "parallel/morsel.hpp"
 #include "parallel/parallel.hpp"
 #include "trace/trace.hpp"
 
 namespace gdelt::engine {
 namespace {
 
-/// Evaluates the conjunction for one mention row.
+/// Evaluates the conjunction for one mention row (scalar reference; the
+/// bitmap passes below must agree with this bit-for-bit).
 bool Matches(const Database& db, const MentionFilter& f, std::uint64_t i) {
   const std::int64_t at = db.mention_interval()[i];
   if (at < f.begin_interval || at >= f.end_interval) return false;
@@ -28,11 +38,293 @@ bool Matches(const Database& db, const MentionFilter& f, std::uint64_t i) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// SIMD dispatch
+// ---------------------------------------------------------------------------
+
+/// AVX2 present on this CPU (independent of the env/runtime toggle).
+bool HardwareHasSimd() noexcept {
+#if defined(__x86_64__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+/// Hardware support minus the GDELT_DISABLE_SIMD=1 escape hatch.
+bool DefaultSimd() noexcept {
+  if (!HardwareHasSimd()) return false;
+  const char* env = std::getenv("GDELT_DISABLE_SIMD");
+  return env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0;
+}
+
+std::atomic<bool> g_simd_enabled{DefaultSimd()};
+
+// ---------------------------------------------------------------------------
+// Per-word compare kernels: each returns a 64-bit lane mask for up to 64
+// consecutive rows (bit b = row base+b passes). The AVX2 variants handle
+// exactly 64 rows; tails fall back to the scalar variants.
+// ---------------------------------------------------------------------------
+
+#if defined(__x86_64__)
+/// begin <= at[i] < end over 64 consecutive int64 intervals.
+__attribute__((target("avx2"))) std::uint64_t IntervalWordAvx2(
+    const std::int64_t* at, std::int64_t begin, std::int64_t end) {
+  const __m256i lo = _mm256_set1_epi64x(begin);
+  const __m256i hi = _mm256_set1_epi64x(end);
+  std::uint64_t bits = 0;
+  for (int k = 0; k < 16; ++k) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(at + 4 * k));
+    // pass = !(a < begin) && (a < end); andnot avoids begin-1 overflow.
+    const __m256i below = _mm256_cmpgt_epi64(lo, a);
+    const __m256i above_ok = _mm256_cmpgt_epi64(hi, a);
+    const __m256i pass = _mm256_andnot_si256(below, above_ok);
+    const auto m = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(pass)));
+    bits |= static_cast<std::uint64_t>(m) << (4 * k);
+  }
+  return bits;
+}
+
+/// conf[i] >= min_conf (unsigned) over 64 consecutive bytes.
+__attribute__((target("avx2"))) std::uint64_t ConfidenceWordAvx2(
+    const std::uint8_t* conf, std::uint8_t min_conf) {
+  const __m256i min_v = _mm256_set1_epi8(static_cast<char>(min_conf));
+  std::uint64_t bits = 0;
+  for (int k = 0; k < 2; ++k) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(conf + 32 * k));
+    // unsigned >=: max(c, min) == c
+    const __m256i ge = _mm256_cmpeq_epi8(_mm256_max_epu8(c, min_v), c);
+    const auto m = static_cast<unsigned>(_mm256_movemask_epi8(ge));
+    bits |= static_cast<std::uint64_t>(m) << (32 * k);
+  }
+  return bits;
+}
+#endif  // __x86_64__
+
+std::uint64_t IntervalWordScalar(const std::int64_t* at, std::size_t rows,
+                                 std::int64_t begin, std::int64_t end) {
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (at[i] >= begin && at[i] < end) bits |= std::uint64_t{1} << i;
+  }
+  return bits;
+}
+
+std::uint64_t ConfidenceWordScalar(const std::uint8_t* conf, std::size_t rows,
+                                   std::uint8_t min_conf) {
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (conf[i] >= min_conf) bits |= std::uint64_t{1} << i;
+  }
+  return bits;
+}
+
+std::uint64_t IntervalWord(bool simd, const std::int64_t* at, std::size_t rows,
+                           std::int64_t begin, std::int64_t end) {
+#if defined(__x86_64__)
+  if (simd && rows == 64) return IntervalWordAvx2(at, begin, end);
+#endif
+  (void)simd;
+  return IntervalWordScalar(at, rows, begin, end);
+}
+
+std::uint64_t ConfidenceWord(bool simd, const std::uint8_t* conf,
+                             std::size_t rows, std::uint8_t min_conf) {
+#if defined(__x86_64__)
+  if (simd && rows == 64) return ConfidenceWordAvx2(conf, min_conf);
+#endif
+  (void)simd;
+  return ConfidenceWordScalar(conf, rows, min_conf);
+}
+
+/// Words per pool morsel for bitmap-granular loops, matching the
+/// row-granular morsel size so ablation sweeps move both together.
+std::size_t WordsPerMorsel() {
+  return std::max<std::size_t>(1, parallel::MorselRows() / 64);
+}
+
+/// Deterministic pool histogram over the set bits of a bitmap:
+/// per-slot partials merged in slot order (integer sums commute, so the
+/// result is identical no matter which worker ran which morsel).
+template <typename BinOf>
+std::vector<std::uint64_t> BitmapHistogram(const SelectionBitmap& sel,
+                                           std::size_t num_bins,
+                                           BinOf&& bin_of) {
+  std::vector<std::vector<std::uint64_t>> partials(parallel::PoolSlots());
+  parallel::PoolParallelFor(
+      sel.words.size(),
+      [&](IndexRange r, std::size_t slot) {
+        auto& local = partials[slot];
+        if (local.size() != num_bins) local.assign(num_bins, 0);
+        for (std::size_t w = r.begin; w < r.end; ++w) {
+          std::uint64_t bits = sel.words[w];
+          while (bits) {
+            const auto b = static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            const std::size_t bin = bin_of(w * 64 + b);
+            if (bin < num_bins) ++local[bin];
+          }
+        }
+      },
+      WordsPerMorsel());
+  std::vector<std::uint64_t> merged(num_bins, 0);
+  for (const auto& local : partials) {
+    if (local.size() != num_bins) continue;  // slot never ran a morsel
+    for (std::size_t b = 0; b < num_bins; ++b) merged[b] += local[b];
+  }
+  return merged;
+}
+
 }  // namespace
+
+void SetSimdEnabled(bool enabled) noexcept {
+  g_simd_enabled.store(enabled && HardwareHasSimd(),
+                       std::memory_order_relaxed);
+}
+
+bool SimdEnabled() noexcept {
+  return g_simd_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SelectionBitmap::CountSet() const noexcept {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : words) {
+    total += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> SelectionBitmap::ToRows() const {
+  const std::size_t nw = words.size();
+  const std::size_t bw = WordsPerMorsel();
+  const std::size_t num_blocks = (nw + bw - 1) / bw;
+  // Pass 1: per-block set counts. Each pool morsel is exactly one block
+  // (same words-per-morsel), so block index = r.begin / bw is unique and
+  // deterministic regardless of which worker ran it.
+  std::vector<std::uint64_t> offsets(num_blocks, 0);
+  parallel::PoolParallelFor(
+      nw,
+      [&](IndexRange r, std::size_t) {
+        std::uint64_t count = 0;
+        for (std::size_t w = r.begin; w < r.end; ++w) {
+          count += static_cast<std::uint64_t>(std::popcount(words[w]));
+        }
+        offsets[r.begin / bw] = count;
+      },
+      bw);
+  const std::uint64_t total = ExclusivePrefixSum(offsets);
+  // Pass 2: scatter ascending row ids at each block's offset.
+  std::vector<std::uint64_t> rows(total);
+  parallel::PoolParallelFor(
+      nw,
+      [&](IndexRange r, std::size_t) {
+        std::uint64_t at = offsets[r.begin / bw];
+        for (std::size_t w = r.begin; w < r.end; ++w) {
+          std::uint64_t bits = words[w];
+          while (bits) {
+            const auto b = static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            rows[at++] = w * 64 + b;
+          }
+        }
+      },
+      bw);
+  return rows;
+}
+
+SelectionBitmap SelectMentionsBitmap(const Database& db,
+                                     const MentionFilter& filter) {
+  TRACE_SPAN("engine.select_mentions");
+  SelectionBitmap sel;
+  const std::size_t n = db.num_mentions();
+  sel.num_rows = n;
+  const std::size_t nw = (n + 63) / 64;
+  sel.words.assign(nw, ~std::uint64_t{0});
+  if (nw == 0) return sel;
+  if (const std::size_t tail = n & 63; tail != 0) {
+    sel.words[nw - 1] = ~std::uint64_t{0} >> (64 - tail);
+  }
+
+  const bool interval_pass = filter.begin_interval != INT64_MIN ||
+                             filter.end_interval != INT64_MAX;
+  const bool conf_pass = filter.min_confidence > 0;
+  const bool pub_pass = filter.publisher_country != kNoCountry;
+  const bool event_pass =
+      filter.event_country != kNoCountry || filter.exclude_orphans;
+  if (!interval_pass && !conf_pass && !pub_pass && !event_pass) return sel;
+
+  const bool simd = SimdEnabled();
+  const auto at = db.mention_interval();
+  const auto conf = db.mention_confidence();
+  const auto src = db.mention_source_id();
+  const auto source_country = db.source_country();
+  const auto event_row = db.mention_event_row();
+  const auto event_country = db.event_country();
+
+  parallel::PoolParallelFor(
+      nw,
+      [&](IndexRange r, std::size_t) {
+        for (std::size_t w = r.begin; w < r.end; ++w) {
+          const std::size_t row0 = w * 64;
+          const std::size_t rows_here = std::min<std::size_t>(64, n - row0);
+          std::uint64_t bits = sel.words[w];
+          // Sequential-column passes first (SIMD-friendly, cheapest).
+          if (interval_pass) {
+            bits &= IntervalWord(simd, at.data() + row0, rows_here,
+                                 filter.begin_interval, filter.end_interval);
+          }
+          if (bits != 0 && conf_pass) {
+            bits &= ConfidenceWord(simd, conf.data() + row0, rows_here,
+                                   filter.min_confidence);
+          }
+          // Gather-dependent passes only visit surviving bits, so a
+          // selective window never touches the indirection columns for
+          // rejected rows (and whole zero words are skipped outright).
+          if (bits != 0 && pub_pass) {
+            std::uint64_t scan = bits;
+            while (scan) {
+              const auto b = static_cast<unsigned>(std::countr_zero(scan));
+              scan &= scan - 1;
+              if (source_country[src[row0 + b]] != filter.publisher_country) {
+                bits &= ~(std::uint64_t{1} << b);
+              }
+            }
+          }
+          if (bits != 0 && event_pass) {
+            std::uint64_t scan = bits;
+            while (scan) {
+              const auto b = static_cast<unsigned>(std::countr_zero(scan));
+              scan &= scan - 1;
+              const std::uint32_t row = event_row[row0 + b];
+              bool keep;
+              if (row == convert::kOrphanEventRow) {
+                keep = !filter.exclude_orphans &&
+                       filter.event_country == kNoCountry;
+              } else {
+                keep = filter.event_country == kNoCountry ||
+                       event_country[row] == filter.event_country;
+              }
+              if (!keep) bits &= ~(std::uint64_t{1} << b);
+            }
+          }
+          sel.words[w] = bits;
+        }
+      },
+      WordsPerMorsel());
+  return sel;
+}
 
 std::vector<std::uint64_t> SelectMentions(const Database& db,
                                           const MentionFilter& filter) {
-  TRACE_SPAN("engine.select_mentions");
+  return SelectMentionsBitmap(db, filter).ToRows();
+}
+
+std::vector<std::uint64_t> SelectMentionsBaseline(const Database& db,
+                                                  const MentionFilter& filter) {
+  TRACE_SPAN("engine.select_mentions.baseline");
   const std::size_t n = db.num_mentions();
   // Pass 1: per-chunk match counts; pass 2: scatter rows in order.
   const auto nt = static_cast<std::size_t>(MaxThreads());
@@ -73,29 +365,26 @@ std::vector<std::uint64_t> ArticlesPerSource(
                            });
 }
 
-CountryCrossReport CountryCrossReporting(
-    const Database& db, std::span<const std::uint64_t> rows) {
-  TRACE_SPAN("engine.cross_report.filtered");
-  const std::size_t nc = Countries().size();
-  const auto event_row = db.mention_event_row();
+std::vector<std::uint64_t> ArticlesPerSource(const Database& db,
+                                             const SelectionBitmap& sel) {
+  TRACE_SPAN("engine.articles_per_source.filtered");
   const auto src = db.mention_source_id();
-  const auto event_country = db.event_country();
-  const auto source_country = db.source_country();
+  return BitmapHistogram(sel, db.num_sources(),
+                         [&](std::uint64_t i) -> std::size_t {
+                           return src[i];
+                         });
+}
 
+namespace {
+
+/// Shared bin layout of the cross-reporting histogram: the nc*nc count
+/// matrix followed by nc publisher totals for orphan/unlocated rows.
+template <typename Hist>
+CountryCrossReport CrossReportFromHistogram(std::size_t nc, Hist&& histogram) {
   CountryCrossReport report;
   report.num_countries = nc;
   const std::size_t matrix_bins = nc * nc;
-  auto flat = ParallelHistogram(
-      rows.size(), matrix_bins + nc, [&](std::size_t k) -> std::size_t {
-        const std::uint64_t i = rows[k];
-        const std::uint16_t pub = source_country[src[i]];
-        if (pub == kNoCountry) return SIZE_MAX;
-        const std::uint32_t row = event_row[i];
-        if (row == convert::kOrphanEventRow) return matrix_bins + pub;
-        const std::uint16_t rep = event_country[row];
-        if (rep == kNoCountry) return matrix_bins + pub;
-        return static_cast<std::size_t>(rep) * nc + pub;
-      });
+  auto flat = histogram(matrix_bins);
   report.counts.assign(flat.begin(),
                        flat.begin() + static_cast<std::ptrdiff_t>(matrix_bins));
   report.articles_per_publisher.assign(
@@ -106,6 +395,56 @@ CountryCrossReport CountryCrossReporting(
     }
   }
   return report;
+}
+
+}  // namespace
+
+CountryCrossReport CountryCrossReporting(
+    const Database& db, std::span<const std::uint64_t> rows) {
+  TRACE_SPAN("engine.cross_report.filtered");
+  const std::size_t nc = Countries().size();
+  const auto event_row = db.mention_event_row();
+  const auto src = db.mention_source_id();
+  const auto event_country = db.event_country();
+  const auto source_country = db.source_country();
+  const auto bin_of = [&](std::uint64_t i, std::size_t matrix_bins,
+                          std::size_t ncs) -> std::size_t {
+    const std::uint16_t pub = source_country[src[i]];
+    if (pub == kNoCountry) return SIZE_MAX;
+    const std::uint32_t row = event_row[i];
+    if (row == convert::kOrphanEventRow) return matrix_bins + pub;
+    const std::uint16_t rep = event_country[row];
+    if (rep == kNoCountry) return matrix_bins + pub;
+    return static_cast<std::size_t>(rep) * ncs + pub;
+  };
+  return CrossReportFromHistogram(nc, [&](std::size_t matrix_bins) {
+    return ParallelHistogram(rows.size(), matrix_bins + nc,
+                             [&](std::size_t k) -> std::size_t {
+                               return bin_of(rows[k], matrix_bins, nc);
+                             });
+  });
+}
+
+CountryCrossReport CountryCrossReporting(const Database& db,
+                                         const SelectionBitmap& sel) {
+  TRACE_SPAN("engine.cross_report.filtered");
+  const std::size_t nc = Countries().size();
+  const auto event_row = db.mention_event_row();
+  const auto src = db.mention_source_id();
+  const auto event_country = db.event_country();
+  const auto source_country = db.source_country();
+  return CrossReportFromHistogram(nc, [&](std::size_t matrix_bins) {
+    return BitmapHistogram(
+        sel, matrix_bins + nc, [&](std::uint64_t i) -> std::size_t {
+          const std::uint16_t pub = source_country[src[i]];
+          if (pub == kNoCountry) return SIZE_MAX;
+          const std::uint32_t row = event_row[i];
+          if (row == convert::kOrphanEventRow) return matrix_bins + pub;
+          const std::uint16_t rep = event_country[row];
+          if (rep == kNoCountry) return matrix_bins + pub;
+          return static_cast<std::size_t>(rep) * nc + pub;
+        });
+  });
 }
 
 QuarterSeries ArticlesPerQuarter(const Database& db,
@@ -125,6 +464,22 @@ QuarterSeries ArticlesPerQuarter(const Database& db,
   return series;
 }
 
+QuarterSeries ArticlesPerQuarter(const Database& db,
+                                 const SelectionBitmap& sel) {
+  const QuarterWindow w = QuartersOf(db);
+  const auto when = db.mention_interval();
+  QuarterSeries series;
+  series.first_quarter = w.first;
+  series.values = BitmapHistogram(
+      sel, static_cast<std::size_t>(w.count),
+      [&](std::uint64_t i) -> std::size_t {
+        const std::int32_t q =
+            QuarterOfUnixSeconds(IntervalStartUnixSeconds(when[i])) - w.first;
+        return q < 0 ? SIZE_MAX : static_cast<std::size_t>(q);
+      });
+  return series;
+}
+
 std::uint64_t DistinctEvents(const Database& db,
                              std::span<const std::uint64_t> rows) {
   const auto event_row = db.mention_event_row();
@@ -134,6 +489,23 @@ std::uint64_t DistinctEvents(const Database& db,
   for (const std::uint64_t i : rows) {
     const std::uint32_t row = event_row[i];
     if (row != convert::kOrphanEventRow) seen[row] = 1;
+  }
+  std::uint64_t count = 0;
+  for (const std::uint8_t s : seen) count += s;
+  return count;
+}
+
+std::uint64_t DistinctEvents(const Database& db, const SelectionBitmap& sel) {
+  const auto event_row = db.mention_event_row();
+  std::vector<std::uint8_t> seen(db.num_events() + 1, 0);
+  for (std::size_t w = 0; w < sel.words.size(); ++w) {
+    std::uint64_t bits = sel.words[w];
+    while (bits) {
+      const auto b = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const std::uint32_t row = event_row[w * 64 + b];
+      if (row != convert::kOrphanEventRow) seen[row] = 1;
+    }
   }
   std::uint64_t count = 0;
   for (const std::uint8_t s : seen) count += s;

@@ -40,9 +40,47 @@ struct MentionFilter {
   }
 };
 
-/// Mention rows matching the filter, ascending. Parallel two-pass build.
+/// Dense selection over the mentions table: bit i set = row i selected.
+/// Produced column-at-a-time by the vectorized filter passes and
+/// consumed directly by the bitmap aggregate overloads below, so a
+/// filter→aggregate chain never re-touches non-matching rows.
+struct SelectionBitmap {
+  std::size_t num_rows = 0;
+  /// ceil(num_rows / 64) little-endian words; tail bits are clear.
+  std::vector<std::uint64_t> words;
+
+  bool Test(std::uint64_t i) const noexcept {
+    return (words[i >> 6] >> (i & 63)) & 1u;
+  }
+  /// Number of selected rows (popcount over the words).
+  std::uint64_t CountSet() const noexcept;
+  /// Materializes the selected row ids, ascending.
+  std::vector<std::uint64_t> ToRows() const;
+};
+
+/// Column-at-a-time vectorized selection: AVX2 compare kernels for the
+/// interval-window and min-confidence columns, zero-word-skipping scalar
+/// passes for the gather-dependent country/orphan predicates. Runs on
+/// the shared morsel pool; byte-identical to SelectMentionsBaseline.
+SelectionBitmap SelectMentionsBitmap(const Database& db,
+                                     const MentionFilter& filter);
+
+/// Mention rows matching the filter, ascending
+/// (= SelectMentionsBitmap(...).ToRows()).
 std::vector<std::uint64_t> SelectMentions(const Database& db,
                                           const MentionFilter& filter);
+
+/// Row-at-a-time scalar baseline (OpenMP two-pass build). Kept for the
+/// scalar-vs-SIMD ablation bench and the golden equivalence tests.
+std::vector<std::uint64_t> SelectMentionsBaseline(const Database& db,
+                                                  const MentionFilter& filter);
+
+/// Runtime SIMD toggle. Defaults to CPU detection, and
+/// GDELT_DISABLE_SIMD=1 pins it off for the whole process; benches and
+/// tests flip it per measurement to compare code paths in one run.
+/// Enabling is a no-op on hosts without AVX2.
+void SetSimdEnabled(bool enabled) noexcept;
+bool SimdEnabled() noexcept;
 
 /// Article count per source over a row subset.
 std::vector<std::uint64_t> ArticlesPerSource(
@@ -60,5 +98,15 @@ QuarterSeries ArticlesPerQuarter(const Database& db,
 /// Distinct events touched by a row subset.
 std::uint64_t DistinctEvents(const Database& db,
                              std::span<const std::uint64_t> rows);
+
+// Bitmap-consuming aggregate overloads: identical results to the
+// row-vector versions over ToRows(), without materializing the rows.
+std::vector<std::uint64_t> ArticlesPerSource(const Database& db,
+                                             const SelectionBitmap& sel);
+CountryCrossReport CountryCrossReporting(const Database& db,
+                                         const SelectionBitmap& sel);
+QuarterSeries ArticlesPerQuarter(const Database& db,
+                                 const SelectionBitmap& sel);
+std::uint64_t DistinctEvents(const Database& db, const SelectionBitmap& sel);
 
 }  // namespace gdelt::engine

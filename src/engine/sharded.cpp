@@ -1,6 +1,7 @@
 #include "engine/sharded.hpp"
 
 #include "convert/binary_format.hpp"
+#include "parallel/morsel.hpp"
 #include "parallel/parallel.hpp"
 #include "trace/trace.hpp"
 
@@ -75,13 +76,16 @@ CountryCrossReport ShardedCountryCrossReporting(const Database& db,
   TRACE_SPAN("engine.sharded.cross_report");
   const auto shards = MakeTimeShards(db, num_shards);
   std::vector<CrossReportPartial> partials(shards.size());
-  // Each shard runs on its own thread — the local stand-in for one rank.
-#pragma omp parallel for schedule(static)
-  for (std::int64_t s = 0; s < static_cast<std::int64_t>(shards.size());
-       ++s) {
-    partials[static_cast<std::size_t>(s)] =
-        CrossReportingOnShard(db, shards[static_cast<std::size_t>(s)]);
-  }
+  // One-shard morsels on the shared pool — the local stand-in for one rank
+  // each; stealing balances shards with uneven mention density.
+  parallel::PoolParallelFor(
+      shards.size(),
+      [&](IndexRange r, std::size_t) {
+        for (std::size_t s = r.begin; s < r.end; ++s) {
+          partials[s] = CrossReportingOnShard(db, shards[s]);
+        }
+      },
+      /*morsel_rows=*/1);
   return ReduceCrossReport(partials);
 }
 
@@ -91,15 +95,18 @@ std::vector<std::uint64_t> ShardedArticlesPerSource(const Database& db,
   const auto src = db.mention_source_id();
   std::vector<std::vector<std::uint64_t>> partials(
       shards.size(), std::vector<std::uint64_t>(db.num_sources(), 0));
-#pragma omp parallel for schedule(static)
-  for (std::int64_t s = 0; s < static_cast<std::int64_t>(shards.size());
-       ++s) {
-    auto& local = partials[static_cast<std::size_t>(s)];
-    const Shard& shard = shards[static_cast<std::size_t>(s)];
-    for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
-      ++local[src[i]];
-    }
-  }
+  parallel::PoolParallelFor(
+      shards.size(),
+      [&](IndexRange r, std::size_t) {
+        for (std::size_t s = r.begin; s < r.end; ++s) {
+          auto& local = partials[s];
+          const Shard& shard = shards[s];
+          for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
+            ++local[src[i]];
+          }
+        }
+      },
+      /*morsel_rows=*/1);
   std::vector<std::uint64_t> merged(db.num_sources(), 0);
   for (const auto& local : partials) {
     for (std::size_t k = 0; k < merged.size(); ++k) merged[k] += local[k];

@@ -1,0 +1,211 @@
+// Morsel-driven work-stealing execution (cf. HyPer's morsel model and
+// RegionsMT's thread pool).
+//
+// The OpenMP wrappers in parallel.hpp give each kernel a private thread
+// team: under the serve layer that means one saturating co-reporting
+// query owns its whole team while a point query queues behind it. The
+// MorselPool replaces per-query teams with one shared set of workers.
+// A job is split into fixed-size row-range *morsels* (default
+// kDefaultMorselRows rows, override with GDELT_MORSEL_ROWS); each worker
+// owns a deque per priority class and steals the front half of a
+// victim's deque when its own runs dry, so load balance emerges without
+// a central queue on the hot path.
+//
+// Two priority classes exist so a small interactive query submitted
+// while a big batch query is in flight gets its morsels drained first:
+// workers always pop/steal kInteractive morsels before kBatch ones.
+// Submitters tag work via ScopedPriority (thread-local, so the serve
+// scheduler can wrap an entire query handler).
+//
+// Determinism: ParallelFor(job) partitions [0, n) into contiguous
+// morsels and the per-slot reduction helpers merge partials in slot
+// order, so results are bitwise identical regardless of which worker
+// ran which morsel (integer sums commute; float-producing kernels
+// confine their non-commutative math to a single morsel).
+//
+// Locking discipline (PR 5): every mutex is a sync::Mutex annotated for
+// Clang TSA. Per-worker deque locks are leaves (never held while taking
+// another lock); the pool-wide mu_ serializes sleep/wake and shutdown.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "parallel/parallel.hpp"  // IndexRange
+#include "util/sync.hpp"
+
+namespace gdelt::parallel {
+
+/// Priority class for submitted work. Workers drain kInteractive morsels
+/// before kBatch morsels, both when popping their own deque and when
+/// choosing what to steal.
+enum class Priority : std::uint8_t { kInteractive = 0, kBatch = 1 };
+
+/// Execution backend for the migrated aggregate kernels: the shared
+/// morsel pool (default) or the legacy per-query OpenMP team, kept as
+/// the scheduling ablation baseline and the golden-equivalence
+/// reference (every kernel produces bitwise-identical results on both).
+enum class Backend : std::uint8_t { kMorselPool, kOpenMp };
+
+/// Default rows per morsel. Small enough that a saturating batch job
+/// reaches a priority/steal decision point every few hundred
+/// microseconds; large enough to amortize deque traffic. Override per
+/// process with GDELT_MORSEL_ROWS (clamped to [64, 2^22]).
+inline constexpr std::size_t kDefaultMorselRows = 16384;
+
+/// Rows per morsel currently in effect: the SetMorselRows override if
+/// one is active, else the GDELT_MORSEL_ROWS env value (read once), else
+/// kDefaultMorselRows.
+std::size_t MorselRows() noexcept;
+
+/// Process-wide morsel-size override for benches sweeping the knob
+/// in-process (the env variable is latched on first use). 0 restores the
+/// env/default value; nonzero is clamped like the env value.
+void SetMorselRows(std::size_t rows) noexcept;
+
+/// RAII tag: work submitted by this thread while the tag lives uses the
+/// given priority. Nests; restores the previous value on destruction.
+class ScopedPriority {
+ public:
+  explicit ScopedPriority(Priority p) noexcept;
+  ~ScopedPriority();
+  ScopedPriority(const ScopedPriority&) = delete;
+  ScopedPriority& operator=(const ScopedPriority&) = delete;
+
+  /// The calling thread's current submission priority (kBatch default).
+  static Priority Current() noexcept;
+
+ private:
+  Priority previous_;
+};
+
+/// Counters exposed for tests and the stats endpoint. Snapshot values;
+/// monotonically increasing over the pool's lifetime.
+struct MorselPoolStats {
+  std::uint64_t jobs = 0;     ///< ParallelFor jobs completed.
+  std::uint64_t morsels = 0;  ///< morsels executed.
+  std::uint64_t steals = 0;   ///< morsels obtained by stealing.
+  std::uint64_t inline_jobs = 0;  ///< jobs run inline (nested/shutdown).
+};
+
+/// Shared work-stealing pool. Thread-safe; one instance normally serves
+/// the whole process (Shared()), but tests construct private pools.
+class MorselPool {
+ public:
+  /// Spawns `workers` threads (<=0: one per hardware thread).
+  explicit MorselPool(int workers = 0);
+  ~MorselPool();
+
+  MorselPool(const MorselPool&) = delete;
+  MorselPool& operator=(const MorselPool&) = delete;
+
+  /// Runs body(range, slot) over [0, n) split into contiguous morsels
+  /// of `morsel_rows` rows (0 = MorselRows()). Blocks until every
+  /// morsel completed. `slot` is a dense scratch index in
+  /// [0, num_slots()): morsels of one job running concurrently always
+  /// hold distinct slots, so per-slot scratch needs no further locking.
+  /// The calling thread participates (it drains its own job), so the
+  /// pool makes progress even with zero workers; calls from inside a
+  /// worker run inline serially (no nested-pool deadlock). Returns
+  /// false only when the pool is shutting down and the job was instead
+  /// run inline on the caller.
+  bool ParallelFor(std::size_t n,
+                   const std::function<void(IndexRange, std::size_t)>& body,
+                   std::size_t morsel_rows = 0);
+
+  /// Deterministic sum over [0, n): per-slot partials of map(i) merged
+  /// in slot order. T must be an integral type for bitwise determinism
+  /// under stealing.
+  template <typename T, typename Map>
+  T Sum(std::size_t n, Map&& map) {
+    std::vector<T> partials(num_slots(), T{});
+    ParallelFor(n, [&](IndexRange r, std::size_t slot) {
+      T local{};
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        local += map(i);
+      }
+      partials[slot] += local;
+    });
+    T total{};
+    for (const T& p : partials) total += p;
+    return total;
+  }
+
+  /// Upper bound on concurrently-held scratch slots (workers + callers).
+  std::size_t num_slots() const noexcept { return slots_; }
+
+  /// Number of dedicated worker threads.
+  std::size_t num_workers() const noexcept { return workers_.size(); }
+
+  MorselPoolStats stats() const;
+
+  /// Stops admitting jobs, drains queued morsels, joins the workers.
+  /// Idempotent; safe to race with ParallelFor (the invariant: every
+  /// submitted job still runs to completion, inline if need be).
+  void Shutdown();
+
+  /// Process-wide pool, sized by gdelt::MaxThreads(), created on first
+  /// use and shut down at exit.
+  static MorselPool& Shared();
+
+ private:
+  struct Job;
+  struct Run;  // one morsel of one job
+  struct Worker;
+
+  void WorkerLoop(std::size_t w);
+  /// Pops local work or steals; false when none exists right now.
+  bool TakeRun(std::size_t w, Run& out);
+  bool StealInto(std::size_t thief, Run& out);
+  /// Takes a queued run belonging to `job` from any deque (caller-drain).
+  bool TakeJobRun(const Job* job, Run& out);
+  void Execute(const Run& run, std::size_t slot);
+  std::size_t AcquireCallerSlot();
+  void ReleaseCallerSlot(std::size_t slot);
+  /// Serial in-place execution (nested call or shutting-down pool).
+  void RunInline(std::size_t n,
+                 const std::function<void(IndexRange, std::size_t)>& body,
+                 std::size_t morsel_rows, std::size_t slot);
+
+  std::size_t slots_ = 1;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  /// Written by the constructor before any concurrency, then only read
+  /// and cleared under join_mu_ in Shutdown.
+  std::vector<std::thread> threads_;
+  /// Serializes the join section of concurrent Shutdown calls.
+  sync::Mutex join_mu_;
+
+  mutable sync::Mutex mu_;
+  sync::CondVar work_cv_;  // signalled when queued_ rises
+  sync::CondVar slot_cv_;  // signalled when a caller slot frees
+  bool shutting_down_ GDELT_GUARDED_BY(mu_) = false;
+  std::size_t sleepers_ GDELT_GUARDED_BY(mu_) = 0;
+  /// Runs sitting in deques. Signed: a take may be observed before the
+  /// matching push's increment (both are sub-critical-section ordered);
+  /// the value is transiently negative then, never at rest.
+  std::int64_t queued_ GDELT_GUARDED_BY(mu_) = 0;
+  /// Free scratch slots for non-worker callers draining their own job.
+  std::vector<std::size_t> caller_slots_ GDELT_GUARDED_BY(mu_);
+  std::uint64_t jobs_ GDELT_GUARDED_BY(mu_) = 0;
+  std::uint64_t inline_jobs_ GDELT_GUARDED_BY(mu_) = 0;
+  std::atomic<std::uint64_t> morsels_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+/// Convenience: MorselPool::Shared().ParallelFor(...). Kernels migrated
+/// off raw OpenMP call this; a kernel that must not touch the shared
+/// pool (ablation baselines) keeps its omp pragma under an allow tag.
+void PoolParallelFor(std::size_t n,
+                     const std::function<void(IndexRange, std::size_t)>& body,
+                     std::size_t morsel_rows = 0);
+
+/// Scratch-slot count of the shared pool (for sizing partial arrays).
+std::size_t PoolSlots() noexcept;
+
+}  // namespace gdelt::parallel

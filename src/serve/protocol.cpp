@@ -75,6 +75,11 @@ bool IsKnownQueryKind(std::string_view kind) noexcept {
   return false;
 }
 
+bool IsBatchQueryKind(std::string_view kind) noexcept {
+  return kind == "coreport" || kind == "follow" ||
+         kind == "country-coreport" || kind == "first-reports";
+}
+
 bool Request::IsQuery() const noexcept { return IsKnownQueryKind(kind); }
 
 Result<Request> ParseRequest(std::string_view line) {

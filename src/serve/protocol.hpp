@@ -60,6 +60,12 @@ struct Request {
 /// True if `kind` names one of the dispatchable query kinds.
 bool IsKnownQueryKind(std::string_view kind) noexcept;
 
+/// True for the whole-table matrix builders (coreport, follow,
+/// country-coreport, first-reports) that can monopolize the machine for
+/// seconds. The scheduler runs these at batch priority so the cheap
+/// interactive kinds keep their latency under load.
+bool IsBatchQueryKind(std::string_view kind) noexcept;
+
 /// Parses one request line (strict; see file comment).
 Result<Request> ParseRequest(std::string_view line);
 

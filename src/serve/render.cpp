@@ -78,14 +78,31 @@ std::vector<std::uint32_t> RankSources(
 }
 
 /// The restricted (window/confidence-filtered) query family.
+///
+/// The morsel backend runs the vectorized bitmap filter and feeds the
+/// selection bitmap straight into the filtered aggregates — mention rows
+/// are materialized only when a kernel needs an explicit row list (the
+/// restricted co-reporting rebuild). The OpenMP backend keeps the
+/// original scalar two-pass row materialization as the ablation baseline.
 Result<RenderedQuery> RenderRestricted(const engine::Database& db,
-                                       const Request& r) {
+                                       const Request& r,
+                                       parallel::Backend backend) {
   RenderedQuery out;
-  const auto rows = engine::SelectMentions(db, r.filter);
-  out.note = StrFormat("[filter selects %zu of %zu mentions]", rows.size(),
+  const bool bitmap_path = backend == parallel::Backend::kMorselPool;
+  engine::SelectionBitmap sel;
+  std::vector<std::uint64_t> rows;
+  if (bitmap_path) {
+    sel = engine::SelectMentionsBitmap(db, r.filter);
+  } else {
+    rows = engine::SelectMentionsBaseline(db, r.filter);
+  }
+  const std::uint64_t selected = bitmap_path ? sel.CountSet() : rows.size();
+  out.note = StrFormat("[filter selects %llu of %zu mentions]",
+                       static_cast<unsigned long long>(selected),
                        db.num_mentions());
   if (r.kind == "top-sources") {
-    const auto counts = engine::ArticlesPerSource(db, rows);
+    const auto counts = bitmap_path ? engine::ArticlesPerSource(db, sel)
+                                    : engine::ArticlesPerSource(db, rows);
     const auto ids = RankSources(counts, r.top_k);
     Appendf(out.text, "Top %zu sources (restricted):\n", ids.size());
     for (const std::uint32_t s : ids) {
@@ -96,8 +113,12 @@ Result<RenderedQuery> RenderRestricted(const engine::Database& db,
     return out;
   }
   if (r.kind == "coreport") {
-    const auto counts = engine::ArticlesPerSource(db, rows);
+    const auto counts = bitmap_path ? engine::ArticlesPerSource(db, sel)
+                                    : engine::ArticlesPerSource(db, rows);
     const auto top = RankSources(counts, r.top_k);
+    // The per-event rebuild wants explicit rows; pay the materialization
+    // only on this branch.
+    if (bitmap_path) rows = sel.ToRows();
     const auto matrix = analysis::ComputeCoReporting(db, top, rows);
     Appendf(out.text,
             "Co-reporting (Jaccard) among top %zu sources (restricted):\n",
@@ -113,7 +134,8 @@ Result<RenderedQuery> RenderRestricted(const engine::Database& db,
     return out;
   }
   // cross-report
-  const auto report = engine::CountryCrossReporting(db, rows);
+  const auto report = bitmap_path ? engine::CountryCrossReporting(db, sel)
+                                  : engine::CountryCrossReporting(db, rows);
   const auto reported = engine::CountriesByReportedEvents(db, r.top_k);
   const auto publishing = engine::CountriesByPublishedArticles(db, r.top_k);
   Appendf(out.text, "Country cross-reporting (restricted window):\n");
@@ -130,12 +152,13 @@ Result<RenderedQuery> RenderRestricted(const engine::Database& db,
 }  // namespace
 
 Result<RenderedQuery> RenderQuery(const engine::Database& db,
-                                  const Request& r) {
+                                  const Request& r,
+                                  parallel::Backend backend) {
   const std::string& query = r.kind;
   const std::size_t top_k = r.top_k;
   if (r.restricted && (query == "top-sources" || query == "cross-report" ||
                        query == "coreport")) {
-    return RenderRestricted(db, r);
+    return RenderRestricted(db, r, backend);
   }
   RenderedQuery out;
   if (query == "stats") {
@@ -177,7 +200,10 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
   }
   if (query == "coreport") {
     const auto top = engine::TopSourcesByArticles(db, top_k);
-    const auto matrix = analysis::ComputeCoReporting(db, top);
+    analysis::TiledCoReportOptions coreport_options;
+    coreport_options.use_morsel_pool =
+        backend == parallel::Backend::kMorselPool;
+    const auto matrix = analysis::ComputeCoReporting(db, top, coreport_options);
     Appendf(out.text, "Co-reporting (Jaccard) among top %zu sources:\n",
             top.size());
     for (std::size_t i = 0; i < top.size(); ++i) {
@@ -192,7 +218,7 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
   }
   if (query == "follow") {
     const auto top = engine::TopSourcesByArticles(db, top_k);
-    const auto matrix = analysis::ComputeFollowReporting(db, top);
+    const auto matrix = analysis::ComputeFollowReporting(db, top, backend);
     Appendf(out.text,
             "Follow-reporting f_ij among top %zu sources "
             "(cf. Table IV):\n",
@@ -263,7 +289,7 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
     return out;
   }
   if (query == "delay") {
-    const auto stats = analysis::PerSourceDelayStats(db);
+    const auto stats = analysis::PerSourceDelayStats(db, backend);
     const auto top = engine::TopSourcesByArticles(db, top_k);
     Appendf(out.text,
             "Publication delay for top %zu sources "
@@ -314,7 +340,8 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
     return out;
   }
   if (query == "first-reports") {
-    const auto stats = analysis::ComputeFirstReports(db);
+    const auto stats =
+        analysis::ComputeFirstReports(db, /*histogram_bins=*/18, backend);
     const auto counts = engine::ArticlesPerSource(db);
     std::vector<std::uint32_t> by_breaks(db.num_sources());
     std::iota(by_breaks.begin(), by_breaks.end(), 0u);

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "engine/database.hpp"
+#include "parallel/morsel.hpp"
 #include "serve/protocol.hpp"
 #include "util/status.hpp"
 
@@ -26,7 +27,14 @@ struct RenderedQuery {
 /// result. Window/confidence restrictions apply to the same kinds they
 /// apply to in the CLI (top-sources, cross-report, coreport); other kinds
 /// ignore them, also like the CLI. Unknown kinds -> InvalidArgument.
-Result<RenderedQuery> RenderQuery(const engine::Database& db,
-                                  const Request& r);
+///
+/// `backend` selects the execution substrate for the kernels that have
+/// both: the shared morsel pool (default; restricted kinds additionally
+/// take the vectorized bitmap filter path) or private OpenMP teams (the
+/// scheduling-ablation baseline, scalar two-pass filter). Both render
+/// byte-identical text.
+Result<RenderedQuery> RenderQuery(
+    const engine::Database& db, const Request& r,
+    parallel::Backend backend = parallel::Backend::kMorselPool);
 
 }  // namespace gdelt::serve

@@ -22,11 +22,20 @@ Scheduler::Scheduler(const Options& options) : opt_(options) {
 
 Scheduler::~Scheduler() { Drain(); }
 
-bool Scheduler::Submit(Task task) {
+bool Scheduler::Submit(Task task, parallel::Priority priority) {
   {
     sync::MutexLock lock(mu_);
-    if (draining_ || queue_.size() >= opt_.queue_capacity) return false;
-    queue_.push_back(std::move(task));
+    if (draining_ ||
+        queues_[0].size() + queues_[1].size() >= opt_.queue_capacity) {
+      return false;
+    }
+    // The two-lane queue is part of the morsel-pool scheduling model; in
+    // thread-per-query mode everything lands in one FIFO lane so the
+    // baseline measured by bench_serve_throughput is the genuine
+    // arrival-order behavior, not priority admission with OpenMP teams.
+    const std::size_t lane =
+        opt_.use_morsel_pool ? static_cast<std::size_t>(priority) : 1;
+    queues_[lane].push_back({std::move(task), priority});
   }
   cv_.NotifyOne();
   return true;
@@ -51,26 +60,39 @@ void Scheduler::Drain() {
 
 std::size_t Scheduler::QueueDepth() const {
   sync::MutexLock lock(mu_);
-  return queue_.size();
+  return queues_[0].size() + queues_[1].size();
 }
 
 void Scheduler::WorkerLoop() {
   // The OpenMP num-threads ICV is per native thread: setting it here caps
   // every parallel region this worker opens, so concurrent queries share
-  // the machine instead of each grabbing all cores.
+  // the machine instead of each grabbing all cores. In morsel mode the
+  // hot kernels run on the shared pool instead, but the budget still
+  // caps the remaining OpenMP regions (engine row aggregates, merges).
   SetThreads(threads_per_query_);
   while (true) {
-    Task task;
+    Entry entry;
     {
       sync::MutexLock lock(mu_);
       // An explicit loop, not a predicate lambda: lambdas are analyzed as
       // separate functions and could not see that mu_ is held.
-      while (!draining_ && queue_.empty()) cv_.Wait(mu_);
-      if (queue_.empty()) return;  // draining and nothing left
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      while (!draining_ && queues_[0].empty() && queues_[1].empty()) {
+        cv_.Wait(mu_);
+      }
+      // Interactive lane first: a cheap query admitted behind a batch
+      // scan does not wait for it.
+      auto& lane = !queues_[0].empty() ? queues_[0] : queues_[1];
+      if (lane.empty()) return;  // draining and nothing left
+      entry = std::move(lane.front());
+      lane.pop_front();
     }
-    task();
+    if (opt_.use_morsel_pool) {
+      // Morsels this task submits inherit the request's priority class.
+      parallel::ScopedPriority priority(entry.priority);
+      entry.task();
+    } else {
+      entry.task();
+    }
   }
 }
 

@@ -8,6 +8,14 @@
 // instead of building unbounded latency), a fixed pool of worker threads,
 // and a per-query OpenMP thread budget (each worker pins its own
 // omp_set_num_threads, so workers * budget ≈ the hardware).
+//
+// In the default morsel mode the kernels additionally run their row
+// morsels on the shared work-stealing pool (parallel::MorselPool) instead
+// of private OpenMP teams: each admitted request carries a priority
+// class, workers execute it under parallel::ScopedPriority, and the
+// two-lane queue below dequeues interactive requests ahead of batch ones
+// — so a cheap query admitted behind a saturating co-reporting scan
+// passes it both at dequeue and inside the pool.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "parallel/morsel.hpp"
 #include "util/sync.hpp"
 
 namespace gdelt::serve {
@@ -26,6 +35,10 @@ class Scheduler {
     int workers = 2;                 ///< fixed worker pool size (>= 1)
     std::size_t queue_capacity = 64; ///< pending requests beyond the pool
     int threads_per_query = 0;       ///< OpenMP budget; 0 = cores / workers
+    /// Run query kernels on the shared morsel pool (default) or leave
+    /// each worker to its private OpenMP team (the thread-per-query
+    /// scheduling baseline measured by bench_serve_throughput).
+    bool use_morsel_pool = true;
   };
 
   /// Starts the worker pool immediately.
@@ -40,8 +53,11 @@ class Scheduler {
 
   /// Admission control: enqueues the task, or returns false when the
   /// bounded queue is full or the scheduler is draining. Every admitted
-  /// task is guaranteed to run, even during drain.
-  bool Submit(Task task);
+  /// task is guaranteed to run, even during drain. Interactive tasks
+  /// dequeue ahead of batch tasks regardless of arrival order; the
+  /// priority also rides into the morsel pool while the task runs.
+  bool Submit(Task task,
+              parallel::Priority priority = parallel::Priority::kInteractive);
 
   /// Stops admission, runs all queued tasks to completion, joins the
   /// workers. Idempotent.
@@ -51,8 +67,14 @@ class Scheduler {
   std::size_t queue_capacity() const noexcept { return opt_.queue_capacity; }
   int workers() const noexcept { return opt_.workers; }
   int threads_per_query() const noexcept { return threads_per_query_; }
+  bool use_morsel_pool() const noexcept { return opt_.use_morsel_pool; }
 
  private:
+  struct Entry {
+    Task task;
+    parallel::Priority priority;
+  };
+
   void WorkerLoop();
 
   Options opt_;
@@ -64,7 +86,8 @@ class Scheduler {
 
   mutable sync::Mutex mu_;
   sync::CondVar cv_;
-  std::deque<Task> queue_ GDELT_GUARDED_BY(mu_);
+  /// One lane per parallel::Priority value; interactive (0) drains first.
+  std::deque<Entry> queues_[2] GDELT_GUARDED_BY(mu_);
   bool draining_ GDELT_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_ GDELT_GUARDED_BY(drain_mu_);
 };

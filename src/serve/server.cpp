@@ -281,7 +281,10 @@ std::string Server::HandleQuery(const Request& request,
         std::this_thread::sleep_for(
             std::chrono::milliseconds(request.debug_sleep_ms));
       }
-      rendered = RenderQuery(db_, request);
+      rendered = RenderQuery(db_, request,
+                             scheduler_.use_morsel_pool()
+                                 ? parallel::Backend::kMorselPool
+                                 : parallel::Backend::kOpenMp);
     }
     const double execute_ms = MsSince(exec_start);
     if (!rendered.ok()) {
@@ -329,7 +332,10 @@ std::string Server::HandleQuery(const Request& request,
     }
     promise->set_value(OkResponse(request, rendered->text, /*cached=*/false,
                                   wall_ms, stages, spans));
-  });
+  },
+                                          IsBatchQueryKind(request.kind)
+                                              ? parallel::Priority::kBatch
+                                              : parallel::Priority::kInteractive);
   if (!admitted) {
     metrics_.rejected_overloaded.fetch_add(1);
     return ErrorResponse(

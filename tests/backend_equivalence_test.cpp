@@ -1,0 +1,130 @@
+// Golden equivalence: every kernel migrated onto the morsel pool must
+// produce bitwise-identical results to its OpenMP-team baseline — under
+// the default morsel size and at both extremes of the knob. Integer
+// partials merge in slot order (sums commute across morsels); float
+// statistics are confined wholly within one morsel, so even doubles
+// compare with EXPECT_EQ.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/coreport.hpp"
+#include "analysis/delay.hpp"
+#include "analysis/firstreport.hpp"
+#include "analysis/followreport.hpp"
+#include "convert/converter.hpp"
+#include "engine/queries.hpp"
+#include "engine/sharded.hpp"
+#include "gen/emit.hpp"
+#include "gen/generator.hpp"
+#include "parallel/morsel.hpp"
+#include "test_util.hpp"
+
+namespace gdelt::analysis {
+namespace {
+
+using ::gdelt::testing::TempDir;
+
+class BackendEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dirs_ = new TempDir("backend_equiv");
+    auto cfg = gen::GeneratorConfig::Tiny();
+    const auto dataset = gen::GenerateDataset(cfg);
+    ASSERT_TRUE(gen::EmitDataset(dataset, cfg, dirs_->path() + "/raw").ok());
+    convert::ConvertOptions options;
+    options.input_dir = dirs_->path() + "/raw";
+    options.output_dir = dirs_->path() + "/db";
+    ASSERT_TRUE(convert::ConvertDataset(options).ok());
+    auto db = engine::Database::Load(dirs_->path() + "/db");
+    ASSERT_TRUE(db.ok());
+    db_ = new engine::Database(std::move(*db));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete dirs_;
+  }
+
+  static inline TempDir* dirs_ = nullptr;
+  static inline engine::Database* db_ = nullptr;
+};
+
+TEST_F(BackendEquivalenceTest, PerSourceDelayStats) {
+  const auto omp = PerSourceDelayStats(*db_, parallel::Backend::kOpenMp);
+  for (const std::size_t morsel_rows :
+       {std::size_t{0}, std::size_t{64}, std::size_t{1} << 22}) {
+    parallel::SetMorselRows(morsel_rows);
+    const auto pool = PerSourceDelayStats(*db_, parallel::Backend::kMorselPool);
+    ASSERT_EQ(pool.size(), omp.size());
+    for (std::size_t s = 0; s < omp.size(); ++s) {
+      EXPECT_EQ(pool[s].article_count, omp[s].article_count);
+      EXPECT_EQ(pool[s].min, omp[s].min);
+      EXPECT_EQ(pool[s].max, omp[s].max);
+      EXPECT_EQ(pool[s].average, omp[s].average);  // bitwise double
+      EXPECT_EQ(pool[s].median, omp[s].median);
+    }
+  }
+  parallel::SetMorselRows(0);
+}
+
+TEST_F(BackendEquivalenceTest, FollowReporting) {
+  const auto top = engine::TopSourcesByArticles(*db_, 10);
+  const auto omp =
+      ComputeFollowReporting(*db_, top, parallel::Backend::kOpenMp);
+  for (const std::size_t morsel_rows : {std::size_t{0}, std::size_t{64}}) {
+    parallel::SetMorselRows(morsel_rows);
+    const auto pool =
+        ComputeFollowReporting(*db_, top, parallel::Backend::kMorselPool);
+    EXPECT_EQ(pool.n, omp.n);
+    EXPECT_EQ(pool.follow_counts, omp.follow_counts);
+    EXPECT_EQ(pool.articles, omp.articles);
+  }
+  parallel::SetMorselRows(0);
+}
+
+TEST_F(BackendEquivalenceTest, FirstReports) {
+  const auto omp =
+      ComputeFirstReports(*db_, /*histogram_bins=*/18,
+                          parallel::Backend::kOpenMp);
+  for (const std::size_t morsel_rows : {std::size_t{0}, std::size_t{64}}) {
+    parallel::SetMorselRows(morsel_rows);
+    const auto pool = ComputeFirstReports(*db_, /*histogram_bins=*/18,
+                                          parallel::Backend::kMorselPool);
+    EXPECT_EQ(pool.first_reports, omp.first_reports);
+    EXPECT_EQ(pool.first_delay_histogram, omp.first_delay_histogram);
+    EXPECT_EQ(pool.events_broken_within_hour, omp.events_broken_within_hour);
+    EXPECT_EQ(pool.repeat_events, omp.repeat_events);
+    EXPECT_EQ(pool.repeat_articles, omp.repeat_articles);
+  }
+  parallel::SetMorselRows(0);
+}
+
+TEST_F(BackendEquivalenceTest, CoReportingDenseAndSparse) {
+  const auto top = engine::TopSourcesByArticles(*db_, 12);
+  for (const bool force_sparse : {false, true}) {
+    TiledCoReportOptions omp_options;
+    omp_options.use_morsel_pool = false;
+    TiledCoReportOptions pool_options;
+    pool_options.use_morsel_pool = true;
+    if (force_sparse) {
+      omp_options.dense_partials_budget_bytes = 1;
+      pool_options.dense_partials_budget_bytes = 1;
+    }
+    const auto omp = ComputeCoReporting(*db_, top, omp_options);
+    const auto pool = ComputeCoReporting(*db_, top, pool_options);
+    EXPECT_EQ(pool.counts(), omp.counts())
+        << (force_sparse ? "sparse" : "dense") << " flavor diverged";
+  }
+}
+
+TEST_F(BackendEquivalenceTest, ShardedKernelsMatchSingleNode) {
+  const auto sharded = engine::ShardedCountryCrossReporting(*db_, 7);
+  const auto single = engine::CountryCrossReporting(*db_);
+  EXPECT_EQ(sharded.counts, single.counts);
+  EXPECT_EQ(sharded.articles_per_publisher, single.articles_per_publisher);
+  EXPECT_EQ(engine::ShardedArticlesPerSource(*db_, 7),
+            engine::ArticlesPerSource(*db_));
+}
+
+}  // namespace
+}  // namespace gdelt::analysis

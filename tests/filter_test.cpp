@@ -7,6 +7,7 @@
 #include "convert/converter.hpp"
 #include "gen/emit.hpp"
 #include "gen/generator.hpp"
+#include "parallel/morsel.hpp"
 #include "test_util.hpp"
 
 namespace gdelt::engine {
@@ -169,6 +170,101 @@ TEST_F(FilterTest, DistinctEventsBounds) {
   EXPECT_GT(DistinctEvents(*db_, usa_rows), 0u);
 }
 
+/// The filter matrix the golden equivalence suite sweeps: every
+/// predicate alone plus the conjunction and the no-op filter.
+std::vector<MentionFilter> EquivalenceFilters(const Database& db) {
+  std::vector<MentionFilter> filters;
+  filters.emplace_back();  // all-pass
+  MentionFilter window;
+  const std::int64_t span = db.last_interval() - db.first_interval();
+  window.begin_interval = db.first_interval() + span / 4;
+  window.end_interval = db.first_interval() + span / 2;
+  filters.push_back(window);
+  MentionFilter confidence;
+  confidence.min_confidence = 60;
+  filters.push_back(confidence);
+  MentionFilter publisher;
+  publisher.publisher_country = country::kUK;
+  filters.push_back(publisher);
+  MentionFilter located;
+  located.event_country = country::kUSA;
+  filters.push_back(located);
+  MentionFilter conjunction;
+  conjunction.begin_interval = db.first_interval() + span / 8;
+  conjunction.end_interval = db.last_interval() - span / 8;
+  conjunction.min_confidence = 40;
+  conjunction.publisher_country = country::kUK;
+  conjunction.exclude_orphans = true;
+  filters.push_back(conjunction);
+  MentionFilter none;
+  none.begin_interval = db.last_interval() + 1000;
+  none.end_interval = db.last_interval() + 2000;
+  filters.push_back(none);  // empty result
+  return filters;
+}
+
+/// Golden equivalence: the vectorized bitmap (SIMD and scalar), the
+/// two-pass row baseline, and the brute-force reference all agree.
+TEST_F(FilterTest, BitmapMatchesBaselineUnderSimdToggle) {
+  const bool saved = SimdEnabled();
+  for (const MentionFilter& f : EquivalenceFilters(*db_)) {
+    const auto reference = BruteForceSelect(*db_, f);
+    const auto baseline = SelectMentionsBaseline(*db_, f);
+    EXPECT_EQ(baseline, reference);
+
+    SetSimdEnabled(false);
+    const auto scalar = SelectMentionsBitmap(*db_, f);
+    SetSimdEnabled(true);
+    const auto simd = SelectMentionsBitmap(*db_, f);
+
+    EXPECT_EQ(scalar.words, simd.words);  // bitwise, word for word
+    EXPECT_EQ(scalar.num_rows, db_->num_mentions());
+    EXPECT_EQ(scalar.CountSet(), reference.size());
+    EXPECT_EQ(scalar.ToRows(), reference);
+    EXPECT_EQ(SelectMentions(*db_, f), reference);
+  }
+  SetSimdEnabled(saved);
+}
+
+/// Bitmap-consuming aggregates equal the row-vector aggregates over
+/// ToRows() for every filter in the matrix.
+TEST_F(FilterTest, BitmapAggregatesMatchRowAggregates) {
+  for (const MentionFilter& f : EquivalenceFilters(*db_)) {
+    const auto sel = SelectMentionsBitmap(*db_, f);
+    const auto rows = sel.ToRows();
+
+    EXPECT_EQ(ArticlesPerSource(*db_, sel), ArticlesPerSource(*db_, rows));
+
+    const auto cross_sel = CountryCrossReporting(*db_, sel);
+    const auto cross_rows = CountryCrossReporting(*db_, rows);
+    EXPECT_EQ(cross_sel.counts, cross_rows.counts);
+    EXPECT_EQ(cross_sel.articles_per_publisher,
+              cross_rows.articles_per_publisher);
+
+    const auto quarters_sel = ArticlesPerQuarter(*db_, sel);
+    const auto quarters_rows = ArticlesPerQuarter(*db_, rows);
+    EXPECT_EQ(quarters_sel.first_quarter, quarters_rows.first_quarter);
+    EXPECT_EQ(quarters_sel.values, quarters_rows.values);
+
+    EXPECT_EQ(DistinctEvents(*db_, sel), DistinctEvents(*db_, rows));
+  }
+}
+
+/// Morsel-size extremes cannot change the bitmap (ToRows offsets are
+/// keyed by deterministic block ranges, not worker identity).
+TEST_F(FilterTest, BitmapInvariantUnderMorselSize) {
+  MentionFilter f;
+  f.min_confidence = 40;
+  const auto reference = SelectMentionsBitmap(*db_, f);
+  for (const std::size_t rows : {std::size_t{64}, std::size_t{1} << 22}) {
+    parallel::SetMorselRows(rows);
+    const auto sel = SelectMentionsBitmap(*db_, f);
+    EXPECT_EQ(sel.words, reference.words);
+    EXPECT_EQ(sel.ToRows(), reference.ToRows());
+  }
+  parallel::SetMorselRows(0);
+}
+
 TEST(FilterSmallTest, EmptySelection) {
   TempDir dir("filter0");
   TestDbBuilder builder;
@@ -183,6 +279,48 @@ TEST(FilterSmallTest, EmptySelection) {
   EXPECT_EQ(DistinctEvents(*db, rows), 0u);
   const auto counts = ArticlesPerSource(*db, rows);
   EXPECT_EQ(counts[0], 0u);
+  const auto sel = SelectMentionsBitmap(*db, f);
+  EXPECT_EQ(sel.CountSet(), 0u);
+  EXPECT_EQ(DistinctEvents(*db, sel), 0u);
+}
+
+/// 67 mentions: one full bitmap word plus a 3-bit tail. Exercises the
+/// scalar tail kernels and the tail-masking invariant on a database far
+/// smaller than one morsel.
+TEST(FilterSmallTest, UnalignedTailBitmap) {
+  TempDir dir("filter_tail");
+  TestDbBuilder builder;
+  constexpr int kMentions = 67;
+  for (int i = 0; i < kMentions; ++i) {
+    const auto e =
+        builder.AddEvent(100 + i, i % 2 == 0 ? country::kUSA : country::kUK);
+    builder.AddMention(e, 101 + i, "s" + std::to_string(i % 5) + ".com",
+                       static_cast<std::uint8_t>(i % 100));
+  }
+  auto db = builder.Build(dir.path());
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->num_mentions(), static_cast<std::uint64_t>(kMentions));
+
+  // All-pass: every bit set, tail bits beyond row 66 clear.
+  const auto all = SelectMentionsBitmap(*db, MentionFilter{});
+  ASSERT_EQ(all.words.size(), 2u);
+  EXPECT_EQ(all.words[0], ~std::uint64_t{0});
+  EXPECT_EQ(all.words[1], (std::uint64_t{1} << (kMentions - 64)) - 1);
+  EXPECT_EQ(all.CountSet(), static_cast<std::uint64_t>(kMentions));
+
+  // A confidence cut that crosses the word boundary: equivalence against
+  // the row baseline, including rows in the tail word.
+  const bool saved = SimdEnabled();
+  MentionFilter f;
+  f.min_confidence = 50;
+  const auto baseline = SelectMentionsBaseline(*db, f);
+  for (const bool simd : {false, true}) {
+    SetSimdEnabled(simd);
+    const auto sel = SelectMentionsBitmap(*db, f);
+    EXPECT_EQ(sel.ToRows(), baseline);
+    EXPECT_EQ(sel.words[1] >> (kMentions - 64), 0u);  // tail stays clear
+  }
+  SetSimdEnabled(saved);
 }
 
 }  // namespace

@@ -28,6 +28,12 @@ Clang enforces, leaving GCC-only boxes unprotected):
   raw-random      rand() and std::random_device are banned outside
                   src/gen: kernels and tests must use the seeded
                   Xoshiro256 helpers so every run is replayable.
+  raw-omp         `#pragma omp parallel` in src/analysis and src/engine
+                  is banned: migrated kernels run on the shared morsel
+                  pool (parallel/morsel.hpp) so one saturating query
+                  cannot monopolize a private thread team. Ablation
+                  baselines that must keep a private OpenMP team carry
+                  `// gdelt-lint: allow(raw-omp)` with a reason.
 
 Usage:
   gdelt_lint.py [--root DIR] [paths...]
@@ -62,6 +68,7 @@ RESIZE_RE = re.compile(r"\.\s*(resize|reserve)\s*\(")
 TRACE_SPAN_RE = re.compile(r"\bTRACE_SPAN\s*\(\s*\"([^\"]*)\"")
 TRACE_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 RAW_RANDOM_RE = re.compile(r"(?<![\w:])rand\s*\(\s*\)|\bstd::random_device\b")
+RAW_OMP_RE = re.compile(r"#\s*pragma\s+omp\s+parallel\b")
 # A nearby line is a bounds check if it contains one of these tokens
 # (which only appear in limit arithmetic in this codebase), or if it is
 # an if/assert that mentions an identifier from the copy's own argument
@@ -150,6 +157,13 @@ def in_gen_scope(path: str) -> bool:
     return "/gen/" in p or p.startswith("gen/")
 
 
+def in_morsel_scope(path: str) -> bool:
+    """Directories whose kernels were migrated onto the morsel pool."""
+    p = norm(path)
+    return "/analysis/" in p or p.startswith("analysis/") or \
+        "/engine/" in p or p.startswith("engine/")
+
+
 def check_file(path: str, rel: str) -> Iterator[Finding]:
     try:
         with open(path, encoding="utf-8") as fh:
@@ -235,6 +249,17 @@ def check_file(path: str, rel: str) -> Iterator[Finding]:
                     f'TRACE_SPAN name "{name}" does not match the '
                     "area.verb convention (lowercase dotted path, e.g. "
                     '"convert.parse_events")')
+
+        # --- raw-omp -----------------------------------------------------
+        if in_morsel_scope(rel):
+            m = RAW_OMP_RE.search(code)
+            if m and not has_allow(lines, i, "raw-omp"):
+                yield Finding(
+                    rel, lineno, "raw-omp",
+                    "raw `#pragma omp parallel` in a migrated kernel "
+                    "directory; use parallel::PoolParallelFor (shared "
+                    "morsel pool) or annotate an ablation baseline with "
+                    "`// gdelt-lint: allow(raw-omp)` and a reason")
 
         # --- raw-random --------------------------------------------------
         if not in_gen_scope(rel):

@@ -1,0 +1,15 @@
+// Fixture: untagged OpenMP team in a migrated kernel directory.
+#include <cstddef>
+
+void Kernel(std::size_t n) {
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)i;
+  }
+}
+
+void Kernel2(std::size_t n) {
+  // A comment that is not the allow tag does not excuse the pragma.
+#pragma omp parallel
+  { (void)n; }
+}

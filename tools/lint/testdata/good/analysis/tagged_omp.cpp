@@ -1,0 +1,20 @@
+// Fixture: ablation baselines keep their private OpenMP teams under the
+// allow tag; non-parallel omp pragmas and non-kernel directories are
+// outside the rule.
+#include <cstddef>
+
+void Baseline(std::size_t n) {
+  // Contended-atomics baseline of the representation ablation.
+  // gdelt-lint: allow(raw-omp)
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)i;
+  }
+}
+
+void AtomicOnly(std::size_t* slot) {
+  // `omp atomic` inside a morsel body is fine; only team creation is
+  // restricted.
+#pragma omp atomic
+  ++*slot;
+}
