@@ -1,0 +1,175 @@
+// Router throughput: requests/sec for a scattered query kind through
+// gdelt_router versus the same query against a single gdelt_serve, cold
+// (every sub-request renders) and cached (the backends' LRU result
+// caches answer the per-shard sub-requests without touching a kernel).
+//
+// Everything runs in-process on ephemeral loopback ports with real
+// sockets: the single-node lane is exactly bench_serve_throughput's
+// path, and the router lanes add the scatter fan-out, per-shard
+// round-trips and partial-aggregate merge on top. Each logical shard
+// gets its own backend process-equivalent (a Server instance over the
+// full bench database; the shard clamp makes partials correct
+// regardless of how rows are physically placed).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fixture.hpp"
+#include "router/router.hpp"
+#include "router/topology.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/timer.hpp"
+
+namespace gdelt::bench {
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 50;
+/// A decomposable kind: the router splits it into per-shard partials.
+const char* const kRequestLine = R"({"query":"top-sources","top":5})";
+
+using ServerList = std::vector<std::unique_ptr<serve::Server>>;
+
+/// Starts `count` backends over the shared bench database.
+ServerList StartBackends(int count, std::size_t cache_entries) {
+  ServerList backends;
+  for (int i = 0; i < count; ++i) {
+    serve::ServerOptions options;
+    options.scheduler.workers = 2;
+    options.cache_entries = cache_entries;
+    auto server = std::make_unique<serve::Server>(Db(), nullptr, options);
+    if (!server->Start().ok()) return {};
+    backends.push_back(std::move(server));
+  }
+  return backends;
+}
+
+/// A router fronting one single-replica shard per backend.
+std::unique_ptr<router::Router> StartRouter(const ServerList& backends) {
+  router::RouterOptions options;
+  for (const auto& backend : backends) {
+    options.topology.shards.push_back(
+        {router::Endpoint{"127.0.0.1", backend->port()}});
+  }
+  auto r = std::make_unique<router::Router>(options);
+  if (!r->Start().ok()) return nullptr;
+  return r;
+}
+
+/// Sends `count` copies of the canonical request, asserting transport
+/// ok; appends each round-trip's latency to `latencies_ms` when given.
+void Hammer(int port, int count, std::vector<double>* latencies_ms = nullptr) {
+  auto client = serve::LineClient::Connect("127.0.0.1", port);
+  if (!client.ok()) return;
+  for (int i = 0; i < count; ++i) {
+    WallTimer timer;
+    const auto response = client->RoundTrip(kRequestLine);
+    if (!response.ok()) return;
+    if (latencies_ms != nullptr) {
+      latencies_ms->push_back(timer.ElapsedSeconds() * 1e3);
+    }
+  }
+}
+
+/// Wall seconds for kClients concurrent clients to push their requests
+/// at `port`; fills `latencies_ms` with every round-trip latency.
+double MeasureOnce(int port, std::vector<double>& latencies_ms) {
+  WallTimer timer;
+  std::vector<std::vector<double>> per_client(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back(
+        [port, &per_client, c] {
+          Hammer(port, kRequestsPerClient, &per_client[c]);
+        });
+  }
+  for (auto& t : threads) t.join();
+  const double wall = timer.ElapsedSeconds();
+  for (auto& v : per_client) {
+    latencies_ms.insert(latencies_ms.end(), v.begin(), v.end());
+  }
+  return wall;
+}
+
+double Percentile(std::vector<double> ms, double p) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  auto at = static_cast<std::size_t>(p * static_cast<double>(ms.size()));
+  return ms[std::min(at, ms.size() - 1)];
+}
+
+struct Lane {
+  std::string name;
+  double wall_seconds = 0.0;
+  std::vector<double> latencies_ms;
+};
+
+/// One measured configuration: `num_shards` == 0 is the single-node
+/// baseline (clients talk straight to one backend), otherwise a router
+/// in front of `num_shards` backends. `cache_entries` > 0 primes the
+/// backend caches with one request before measuring.
+Lane RunLane(const std::string& name, int num_shards,
+             std::size_t cache_entries) {
+  Lane lane;
+  lane.name = name;
+  auto backends = StartBackends(std::max(num_shards, 1), cache_entries);
+  if (backends.empty()) return lane;
+  std::unique_ptr<router::Router> router;
+  int port = backends.front()->port();
+  if (num_shards > 0) {
+    router = StartRouter(backends);
+    if (router == nullptr) return lane;
+    port = router->port();
+  }
+  if (cache_entries > 0) Hammer(port, 1);  // prime
+  lane.wall_seconds = MeasureOnce(port, lane.latencies_ms);
+  if (router != nullptr) router->Stop();
+  for (auto& backend : backends) backend->Stop();
+  return lane;
+}
+
+void Print() {
+  const int total = kClients * kRequestsPerClient;
+  BenchJsonWriter writer("router_throughput");
+
+  std::vector<Lane> lanes;
+  for (const bool cached : {false, true}) {
+    const std::size_t cache_entries = cached ? 64 : 0;
+    const char* const suffix = cached ? "cached" : "cold";
+    lanes.push_back(RunLane(std::string("single_node_") + suffix,
+                            /*num_shards=*/0, cache_entries));
+    lanes.push_back(RunLane(std::string("router_2shard_") + suffix,
+                            /*num_shards=*/2, cache_entries));
+    lanes.push_back(RunLane(std::string("router_4shard_") + suffix,
+                            /*num_shards=*/4, cache_entries));
+  }
+  for (const auto& lane : lanes) {
+    writer.RecordLatencies(lane.name, kClients, lane.wall_seconds,
+                           lane.latencies_ms);
+  }
+
+  std::printf("\n=== Router throughput (%d clients x %d requests, "
+              "top-sources) ===\n",
+              kClients, kRequestsPerClient);
+  for (const auto& lane : lanes) {
+    if (lane.wall_seconds <= 0.0) {
+      std::printf("  %-22s: FAILED TO START\n", lane.name.c_str());
+      continue;
+    }
+    std::printf("  %-22s: %8.1f req/s  (%.3fs total, p50 %.1fms "
+                "p95 %.1fms p99 %.1fms)\n",
+                lane.name.c_str(), total / lane.wall_seconds,
+                lane.wall_seconds, Percentile(lane.latencies_ms, 0.50),
+                Percentile(lane.latencies_ms, 0.95),
+                Percentile(lane.latencies_ms, 0.99));
+  }
+}
+
+}  // namespace
+}  // namespace gdelt::bench
+
+GDELT_BENCH_MAIN(gdelt::bench::Print)

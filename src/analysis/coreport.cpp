@@ -236,6 +236,24 @@ CoReportMatrix ComputeCoReporting(const engine::Database& db,
   return matrix;
 }
 
+CoReportMatrix ComputeCoReportingOnEvents(const engine::Database& db,
+                                          std::span<const std::uint32_t> subset,
+                                          std::size_t events_begin,
+                                          std::size_t events_end) {
+  TRACE_SPAN("coreport.compute.partial");
+  const auto slot = SlotMap(db, subset);
+  const std::size_t n = subset.empty() ? db.num_sources() : subset.size();
+  CoReportMatrix matrix(n);
+  events_end = std::min(events_end, db.num_events());
+  if (n == 0 || events_begin >= events_end) return matrix;
+  const auto& index = db.event_distinct_sources();
+  std::vector<std::uint32_t> slots;
+  DenseEventsRange(index, slot, n, IndexRange{events_begin, events_end},
+                   slots, matrix.mutable_counts());
+  MirrorLowerTriangle(matrix.mutable_counts().data(), n);
+  return matrix;
+}
+
 CoReportMatrix ComputeCoReporting(const engine::Database& db,
                                   std::span<const std::uint32_t> subset,
                                   std::span<const std::uint64_t> rows) {

@@ -81,6 +81,17 @@ CoReportMatrix ComputeCoReporting(const engine::Database& db,
                                   std::span<const std::uint32_t> subset = {},
                                   const TiledCoReportOptions& options = {});
 
+/// Partial-aggregate kernel for scatter-gather serving (docs/PROTOCOL.md
+/// partial frames): pair counts accumulated over only the events in
+/// [events_begin, events_end). Counts are integer sums over disjoint
+/// per-event contributions, so summing the matrices of a partition of
+/// the event axis reproduces ComputeCoReporting exactly. The result is
+/// mirrored (full symmetric matrix) like every other kernel here.
+CoReportMatrix ComputeCoReportingOnEvents(const engine::Database& db,
+                                          std::span<const std::uint32_t> subset,
+                                          std::size_t events_begin,
+                                          std::size_t events_end);
+
 /// Co-reporting restricted to a filtered mention row set (an
 /// engine::SelectMentions result): each event's distinct-source set is
 /// rebuilt from only the selected mentions, so time-window / confidence

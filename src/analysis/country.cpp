@@ -73,4 +73,49 @@ CountryCoReport ComputeCountryCoReporting(const engine::Database& db) {
   return report;
 }
 
+CountryCoReport ComputeCountryCoReportingOnEvents(const engine::Database& db,
+                                                  std::size_t events_begin,
+                                                  std::size_t events_end) {
+  TRACE_SPAN("country.coreport.partial");
+  const std::size_t nc = Countries().size();
+  if (nc > 64) std::abort();
+
+  const auto src = db.mention_source_id();
+  const auto source_country = db.source_country();
+
+  CountryCoReport report;
+  report.n = nc;
+  report.event_counts.assign(nc, 0);
+  report.pair_counts.assign(nc * nc, 0);
+  events_end = std::min(events_end, db.num_events());
+
+  for (std::size_t e = events_begin; e < events_end; ++e) {
+    std::uint64_t mask = 0;
+    for (const std::uint64_t row :
+         db.mentions_by_event().RowsOf(static_cast<std::uint32_t>(e))) {
+      const std::uint16_t c = source_country[src[row]];
+      if (c != kNoCountry) mask |= 1ull << c;
+    }
+    std::uint64_t m1 = mask;
+    while (m1) {
+      const unsigned c = static_cast<unsigned>(std::countr_zero(m1));
+      m1 &= m1 - 1;
+      ++report.pair_counts[c * nc + c];
+      std::uint64_t m2 = m1;
+      while (m2) {
+        const unsigned d = static_cast<unsigned>(std::countr_zero(m2));
+        m2 &= m2 - 1;
+        ++report.pair_counts[c * nc + d];
+      }
+    }
+  }
+  for (std::size_t c = 0; c < nc; ++c) {
+    report.event_counts[c] = report.pair_counts[c * nc + c];
+    for (std::size_t d = 0; d < c; ++d) {
+      report.pair_counts[c * nc + d] = report.pair_counts[d * nc + c];
+    }
+  }
+  return report;
+}
+
 }  // namespace gdelt::analysis

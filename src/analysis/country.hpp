@@ -38,4 +38,13 @@ struct CountryCoReport {
 /// (the registry is <= 64 countries by design; statically asserted).
 CountryCoReport ComputeCountryCoReporting(const engine::Database& db);
 
+/// Partial-aggregate kernel for scatter-gather serving: the same counts
+/// accumulated over only the events in [events_begin, events_end).
+/// Summing pair_counts of a partition of the event axis (and re-deriving
+/// event_counts from the diagonal) reproduces ComputeCountryCoReporting
+/// exactly.
+CountryCoReport ComputeCountryCoReportingOnEvents(const engine::Database& db,
+                                                  std::size_t events_begin,
+                                                  std::size_t events_end);
+
 }  // namespace gdelt::analysis

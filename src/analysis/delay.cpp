@@ -93,6 +93,23 @@ std::vector<DelayStats> PerSourceDelayStats(const engine::Database& db,
   return stats;
 }
 
+std::vector<DelayStats> PerSourceDelayStatsStrided(const engine::Database& db,
+                                                   std::uint32_t shard,
+                                                   std::uint32_t of) {
+  TRACE_SPAN("delay.per_source.partial");
+  const auto when = db.mention_interval();
+  const auto event_when = db.mention_event_interval();
+  const std::size_t ns = db.num_sources();
+  std::vector<DelayStats> stats(ns);
+  db.mentions_by_source();
+  std::vector<std::int64_t> delays;
+  for (std::size_t s = shard; s < ns; s += of) {
+    OneSourceDelayStats(db, when, event_when, static_cast<std::uint32_t>(s),
+                        delays, stats[s]);
+  }
+  return stats;
+}
+
 std::vector<std::uint64_t> DelayMetricHistogram(
     const std::vector<DelayStats>& stats, DelayMetric metric, int num_bins) {
   std::vector<std::uint64_t> bins(static_cast<std::size_t>(num_bins), 0);
@@ -156,6 +173,51 @@ QuarterlyDelay QuarterlyDelayStats(const engine::Database& db) {
     result.average[q] = sum / static_cast<double>(n);
     result.median[q] = MedianInPlace(begin, end);
   });
+  return result;
+}
+
+QuarterlyDelay QuarterlyDelayStatsStrided(const engine::Database& db,
+                                          std::uint32_t shard,
+                                          std::uint32_t of) {
+  TRACE_SPAN("delay.quarterly.partial");
+  const auto w = engine::QuartersOf(db);
+  const auto quarters = engine::MentionQuarters(db);
+  const auto when = db.mention_interval();
+  const auto event_when = db.mention_event_interval();
+  const auto nq = static_cast<std::size_t>(w.count);
+
+  QuarterlyDelay result;
+  result.first_quarter = w.first;
+  result.average.assign(nq, 0.0);
+  result.median.assign(nq, 0);
+  if (nq == 0) return result;
+
+  // Replicate the full kernel's grouping byte-for-byte: the scatter fixes
+  // the per-quarter delay order, which fixes the float summation order.
+  std::vector<std::uint64_t> counts =
+      ParallelHistogram(quarters.size(), nq, [&](std::size_t i) {
+        return static_cast<std::size_t>(quarters[i]);
+      });
+  std::vector<std::uint64_t> offsets(nq + 1, 0);
+  for (std::size_t q = 0; q < nq; ++q) offsets[q + 1] = offsets[q] + counts[q];
+  std::vector<std::int64_t> delays(quarters.size());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t i = 0; i < quarters.size(); ++i) {
+    const auto q = static_cast<std::size_t>(quarters[i]);
+    delays[cursor[q]++] = when[i] - event_when[i];
+  }
+
+  for (std::size_t q = shard; q < nq; q += of) {
+    auto* begin = delays.data() + offsets[q];
+    auto* end = delays.data() + offsets[q + 1];
+    end = std::partition(begin, end, [](std::int64_t d) { return d >= 0; });
+    const auto n = static_cast<std::size_t>(end - begin);
+    if (n == 0) continue;
+    double sum = 0.0;
+    for (auto* p = begin; p != end; ++p) sum += static_cast<double>(*p);
+    result.average[q] = sum / static_cast<double>(n);
+    result.median[q] = MedianInPlace(begin, end);
+  }
   return result;
 }
 

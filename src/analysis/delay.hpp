@@ -32,6 +32,15 @@ std::vector<DelayStats> PerSourceDelayStats(
     const engine::Database& db,
     parallel::Backend backend = parallel::Backend::kMorselPool);
 
+/// Partial-aggregate kernel for scatter-gather serving: delay stats for
+/// only the sources with `s % of == shard`; all other entries stay
+/// zeroed. Each owned source is computed whole (sort + sequential sum
+/// over its sorted delays), exactly like PerSourceDelayStats, so the
+/// union of the strided results is bitwise identical to the full run.
+std::vector<DelayStats> PerSourceDelayStatsStrided(const engine::Database& db,
+                                                   std::uint32_t shard,
+                                                   std::uint32_t of);
+
 /// Histogram over sources of one delay metric, in power-of-two bins
 /// [1,2), [2,4), ... plus bin 0 for exact zero. Used to print Fig 9.
 enum class DelayMetric { kMin, kAverage, kMedian, kMax };
@@ -45,6 +54,15 @@ struct QuarterlyDelay {
   std::vector<std::int64_t> median;
 };
 QuarterlyDelay QuarterlyDelayStats(const engine::Database& db);
+
+/// Partial-aggregate kernel for scatter-gather serving: quarterly delay
+/// reduced for only the quarters with `q % of == shard`; other entries
+/// stay zeroed. The full grouping pass (count, scatter, partition) is
+/// replicated so each owned quarter sums its delays in exactly the order
+/// QuarterlyDelayStats does — the merged averages are bitwise identical.
+QuarterlyDelay QuarterlyDelayStatsStrided(const engine::Database& db,
+                                          std::uint32_t shard,
+                                          std::uint32_t of);
 
 /// Articles per quarter with delay > 96 intervals / 24 h (Fig 11).
 engine::QuarterSeries SlowArticlesPerQuarter(const engine::Database& db,

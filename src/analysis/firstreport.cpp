@@ -142,4 +142,28 @@ FirstReportStats ComputeFirstReports(const engine::Database& db,
   return stats;
 }
 
+FirstReportStats ComputeFirstReportsOnEvents(const engine::Database& db,
+                                             std::size_t events_begin,
+                                             std::size_t events_end,
+                                             int histogram_bins) {
+  const std::size_t ns = db.num_sources();
+  const auto bins = static_cast<std::size_t>(histogram_bins);
+  FirstReportStats stats;
+  stats.first_reports.assign(ns, 0);
+  stats.first_delay_histogram.assign(bins, 0);
+  stats.repeat_events.assign(ns, 0);
+  stats.repeat_articles.assign(ns, 0);
+  events_end = std::min(events_end, db.num_events());
+  if (events_begin >= events_end) return stats;
+  FirstReportLocal local;
+  local.EnsureSized(ns, bins);
+  FirstReportEventsRange(db, IndexRange{events_begin, events_end}, local);
+  stats.first_reports = std::move(local.first_reports);
+  stats.first_delay_histogram = std::move(local.hist);
+  stats.repeat_events = std::move(local.repeat_events);
+  stats.repeat_articles = std::move(local.repeat_articles);
+  stats.events_broken_within_hour = local.within_hour;
+  return stats;
+}
+
 }  // namespace gdelt::analysis

@@ -57,4 +57,14 @@ FirstReportStats ComputeFirstReports(
     const engine::Database& db, int histogram_bins = 18,
     parallel::Backend backend = parallel::Backend::kMorselPool);
 
+/// Partial-aggregate kernel for scatter-gather serving: the same
+/// statistics accumulated over only the events in
+/// [events_begin, events_end). Every counter is an integer sum over
+/// disjoint per-event contributions, so summing the stats of a
+/// partition of the event axis reproduces ComputeFirstReports exactly.
+FirstReportStats ComputeFirstReportsOnEvents(const engine::Database& db,
+                                             std::size_t events_begin,
+                                             std::size_t events_end,
+                                             int histogram_bins = 18);
+
 }  // namespace gdelt::analysis

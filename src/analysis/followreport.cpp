@@ -125,4 +125,30 @@ FollowReportMatrix ComputeFollowReporting(const engine::Database& db,
   return result;
 }
 
+FollowReportMatrix ComputeFollowReportingOnEvents(
+    const engine::Database& db, std::span<const std::uint32_t> subset,
+    std::size_t events_begin, std::size_t events_end) {
+  TRACE_SPAN("followreport.compute.partial");
+  FollowReportMatrix result;
+  result.n = subset.size();
+  result.follow_counts.assign(result.n * result.n, 0);
+  result.articles.assign(result.n, 0);
+
+  std::vector<std::int32_t> slot(db.num_sources(), -1);
+  for (std::size_t k = 0; k < subset.size(); ++k) {
+    slot[subset[k]] = static_cast<std::int32_t>(k);
+  }
+  const auto per_source = engine::ArticlesPerSource(db);
+  for (std::size_t k = 0; k < subset.size(); ++k) {
+    result.articles[k] = per_source[subset[k]];
+  }
+  events_end = std::min(events_end, db.num_events());
+  if (result.n == 0 || events_begin >= events_end) return result;
+  FollowScratch scratch;
+  FollowEventsRange(db, slot, result.n,
+                    IndexRange{events_begin, events_end}, scratch,
+                    result.follow_counts);
+  return result;
+}
+
 }  // namespace gdelt::analysis

@@ -50,4 +50,14 @@ FollowReportMatrix ComputeFollowReporting(
     const engine::Database& db, std::span<const std::uint32_t> subset,
     parallel::Backend backend = parallel::Backend::kMorselPool);
 
+/// Partial-aggregate kernel for scatter-gather serving: follow counts
+/// accumulated over only the events in [events_begin, events_end).
+/// `articles` is still the whole-dataset per-source total (every shard
+/// reports the same values; the router checks they agree). Summing the
+/// follow_counts of a partition of the event axis reproduces
+/// ComputeFollowReporting exactly.
+FollowReportMatrix ComputeFollowReportingOnEvents(
+    const engine::Database& db, std::span<const std::uint32_t> subset,
+    std::size_t events_begin, std::size_t events_end);
+
 }  // namespace gdelt::analysis

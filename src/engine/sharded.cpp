@@ -45,6 +45,35 @@ CrossReportPartial CrossReportingOnShard(const Database& db,
   return partial;
 }
 
+CrossReportPartial CrossReportingOnShard(const Database& db,
+                                         const Shard& shard,
+                                         const SelectionBitmap& sel) {
+  const std::size_t nc = Countries().size();
+  const auto event_row = db.mention_event_row();
+  const auto src = db.mention_source_id();
+  const auto event_country = db.event_country();
+  const auto source_country = db.source_country();
+
+  CrossReportPartial partial;
+  partial.counts.assign(nc * nc, 0);
+  partial.articles_per_publisher.assign(nc, 0);
+  for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
+    if (!sel.Test(i)) continue;
+    const std::uint16_t pub = source_country[src[i]];
+    if (pub == kNoCountry) continue;
+    const std::uint32_t row = event_row[i];
+    const std::uint16_t rep = row == convert::kOrphanEventRow
+                                  ? kNoCountry
+                                  : event_country[row];
+    if (rep == kNoCountry) {
+      ++partial.articles_per_publisher[pub];
+    } else {
+      ++partial.counts[static_cast<std::size_t>(rep) * nc + pub];
+    }
+  }
+  return partial;
+}
+
 CountryCrossReport ReduceCrossReport(
     const std::vector<CrossReportPartial>& partials) {
   TRACE_SPAN("engine.sharded.reduce");

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "engine/database.hpp"
+#include "engine/filter.hpp"
 #include "engine/queries.hpp"
 
 namespace gdelt::engine {
@@ -40,6 +41,14 @@ struct CrossReportPartial {
 /// Computes one shard's partial (what a single MPI rank would do).
 CrossReportPartial CrossReportingOnShard(const Database& db,
                                          const Shard& shard);
+
+/// Filtered flavor for the router's restricted cross-report partials:
+/// only rows selected by `sel` contribute. The binning matches the
+/// filtered single-node kernel (CountryCrossReporting(db, sel)) exactly,
+/// so reducing the partials of a row-range partition reproduces it.
+CrossReportPartial CrossReportingOnShard(const Database& db,
+                                         const Shard& shard,
+                                         const SelectionBitmap& sel);
 
 /// Reduces shard partials into the final report (the allreduce step).
 CountryCrossReport ReduceCrossReport(

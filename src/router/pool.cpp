@@ -1,0 +1,233 @@
+#include "router/pool.hpp"
+
+#include <utility>
+
+#include "serve/json.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::router {
+namespace {
+
+/// Outcome of one metrics probe, applied back under the pool lock.
+struct ProbeResult {
+  bool alive = false;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queue_capacity = 0;
+};
+
+ProbeResult ProbeEndpoint(const Endpoint& endpoint,
+                          const serve::ConnectOptions& connect) {
+  ProbeResult result;
+  auto client = serve::LineClient::Connect(endpoint.host, endpoint.port,
+                                           connect);
+  if (!client.ok()) return result;
+  if (connect.connect_timeout_ms > 0) {
+    // A backend that accepts but never answers is as dead as one that
+    // refuses; bound the probe read by the same budget as the dial.
+    (void)client->SetRecvTimeoutMs(connect.connect_timeout_ms);
+  }
+  auto response = client->RoundTrip("{\"query\":\"metrics\"}");
+  if (!response.ok()) return result;
+  auto parsed = serve::JsonValue::Parse(*response);
+  if (!parsed.ok() || !parsed->is_object()) return result;
+  const serve::JsonValue* ok = parsed->Find("ok");
+  if (ok == nullptr || !ok->AsBool(false)) return result;
+  result.alive = true;
+  if (const serve::JsonValue* metrics = parsed->Find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    if (const serve::JsonValue* depth = metrics->Find("queue_depth")) {
+      result.queue_depth = static_cast<std::uint64_t>(depth->AsInt(0));
+    }
+    if (const serve::JsonValue* cap = metrics->Find("queue_capacity")) {
+      result.queue_capacity = static_cast<std::uint64_t>(cap->AsInt(0));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+BackendPool::BackendPool(Topology topology, BackendPoolOptions options)
+    : opt_(options), num_shards_(topology.shards.size()) {
+  sync::MutexLock lock(mu_);
+  shards_.reserve(topology.shards.size());
+  for (auto& replicas : topology.shards) {
+    std::vector<EndpointState> states;
+    states.reserve(replicas.size());
+    for (auto& endpoint : replicas) {
+      EndpointState state;
+      state.endpoint = std::move(endpoint);
+      states.push_back(std::move(state));
+    }
+    shards_.push_back(std::move(states));
+  }
+}
+
+BackendPool::EndpointState* BackendPool::StateOf(std::size_t shard,
+                                                 std::size_t replica) {
+  if (shard >= shards_.size() || replica >= shards_[shard].size()) {
+    return nullptr;
+  }
+  return &shards_[shard][replica];
+}
+
+Result<BackendPool::Lease> BackendPool::Acquire(std::size_t shard) {
+  struct Candidate {
+    std::size_t replica = 0;
+    Endpoint endpoint;
+    std::optional<serve::LineClient> idle;
+  };
+  std::vector<Candidate> candidates;
+  {
+    sync::MutexLock lock(mu_);
+    if (shard >= shards_.size()) {
+      return status::InvalidArgument("no shard " + std::to_string(shard) +
+                                     " in the topology");
+    }
+    auto& replicas = shards_[shard];
+    const auto add_tier = [&](bool want_down, bool want_saturated) {
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        EndpointState& state = replicas[i];
+        if (state.down != want_down) continue;
+        if (!want_down && state.saturated != want_saturated) continue;
+        Candidate c;
+        c.replica = i;
+        c.endpoint = state.endpoint;
+        if (!state.idle.empty()) {
+          c.idle.emplace(std::move(state.idle.back()));
+          state.idle.pop_back();
+        }
+        candidates.push_back(std::move(c));
+      }
+    };
+    add_tier(/*down=*/false, /*saturated=*/false);
+    add_tier(/*down=*/false, /*saturated=*/true);
+    add_tier(/*down=*/true, /*saturated=*/false);
+    add_tier(/*down=*/true, /*saturated=*/true);
+  }
+
+  Status last_error = status::IoError(
+      "shard " + std::to_string(shard) + " has no replicas");
+  for (Candidate& candidate : candidates) {
+    if (candidate.idle.has_value()) {
+      return Lease{std::move(*candidate.idle), shard, candidate.replica};
+    }
+    auto client = serve::LineClient::Connect(candidate.endpoint.host,
+                                             candidate.endpoint.port,
+                                             opt_.connect);
+    if (client.ok()) {
+      return Lease{std::move(*client), shard, candidate.replica};
+    }
+    ReportFailure(shard, candidate.replica);
+    last_error = client.status();
+  }
+  return status::IoError("shard " + std::to_string(shard) +
+                         " unavailable: " + last_error.message());
+}
+
+void BackendPool::Release(Lease lease, bool reusable) {
+  if (!reusable) return;  // the LineClient destructor closes the socket
+  sync::MutexLock lock(mu_);
+  EndpointState* state = StateOf(lease.shard, lease.replica);
+  if (state == nullptr || state->down ||
+      state->idle.size() >= opt_.max_idle_per_endpoint) {
+    return;
+  }
+  state->idle.push_back(std::move(lease.client));
+}
+
+void BackendPool::ReportSuccess(std::size_t shard, std::size_t replica) {
+  sync::MutexLock lock(mu_);
+  EndpointState* state = StateOf(shard, replica);
+  if (state == nullptr) return;
+  if (state->down) {
+    GDELT_LOG(kInfo, "router: backend " + state->endpoint.Label() +
+                         " is back up");
+  }
+  state->consecutive_failures = 0;
+  state->down = false;
+}
+
+void BackendPool::ReportFailure(std::size_t shard, std::size_t replica) {
+  sync::MutexLock lock(mu_);
+  EndpointState* state = StateOf(shard, replica);
+  if (state == nullptr) return;
+  ++state->consecutive_failures;
+  state->idle.clear();
+  if (!state->down &&
+      state->consecutive_failures >= opt_.down_after_failures) {
+    state->down = true;
+    GDELT_LOG(kWarning,
+              StrFormat("router: marking backend %s down after %u "
+                        "consecutive failures (shard %zu replica %zu)",
+                        state->endpoint.Label().c_str(),
+                        state->consecutive_failures, shard, replica));
+  }
+}
+
+bool BackendPool::AllReplicasDown(std::size_t shard) const {
+  sync::MutexLock lock(mu_);
+  if (shard >= shards_.size()) return true;
+  for (const EndpointState& state : shards_[shard]) {
+    if (!state.down) return false;
+  }
+  return true;
+}
+
+void BackendPool::ProbeAll() {
+  struct Target {
+    std::size_t shard = 0;
+    std::size_t replica = 0;
+    Endpoint endpoint;
+  };
+  std::vector<Target> targets;
+  {
+    sync::MutexLock lock(mu_);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      for (std::size_t r = 0; r < shards_[s].size(); ++r) {
+        targets.push_back({s, r, shards_[s][r].endpoint});
+      }
+    }
+  }
+  for (const Target& target : targets) {
+    const ProbeResult probe = ProbeEndpoint(target.endpoint, opt_.connect);
+    if (probe.alive) {
+      ReportSuccess(target.shard, target.replica);
+      sync::MutexLock lock(mu_);
+      if (EndpointState* state = StateOf(target.shard, target.replica)) {
+        state->queue_depth = probe.queue_depth;
+        state->queue_capacity = probe.queue_capacity;
+        state->saturated = probe.queue_capacity > 0 &&
+                           probe.queue_depth >= probe.queue_capacity;
+      }
+    } else {
+      ReportFailure(target.shard, target.replica);
+    }
+  }
+}
+
+std::string BackendPool::HealthJson() const {
+  sync::MutexLock lock(mu_);
+  std::string out = "[";
+  bool first = true;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (std::size_t r = 0; r < shards_[s].size(); ++r) {
+      const EndpointState& state = shards_[s][r];
+      if (!first) out += ",";
+      first = false;
+      out += StrFormat("{\"shard\":%zu,\"replica\":%zu,\"endpoint\":", s, r);
+      serve::AppendJsonString(out, state.endpoint.Label());
+      out += StrFormat(",\"down\":%s,\"consecutive_failures\":%u,"
+                       "\"queue_depth\":%llu,\"queue_capacity\":%llu}",
+                       state.down ? "true" : "false",
+                       state.consecutive_failures,
+                       static_cast<unsigned long long>(state.queue_depth),
+                       static_cast<unsigned long long>(state.queue_capacity));
+    }
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace gdelt::router

@@ -1,0 +1,103 @@
+// Per-shard backend connection pools with health tracking.
+//
+// The pool owns, for every endpoint in the topology: a small stack of
+// idle reusable connections, a consecutive-failure counter that marks
+// the endpoint down after `down_after_failures` strikes, and the
+// queue_depth/queue_capacity gauges from the endpoint's last `metrics`
+// probe (a saturated backend is deprioritized, not skipped — shedding
+// is the backend's own admission controller's job). All of it lives
+// behind one sync::Mutex; connects and probes run outside the lock so a
+// hung backend cannot stall the whole router.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "router/topology.hpp"
+#include "serve/client.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+
+namespace gdelt::router {
+
+struct BackendPoolOptions {
+  /// Consecutive round-trip/connect failures before an endpoint is
+  /// marked down. A down endpoint is only tried as a last resort (which
+  /// doubles as its recovery probe) until a success or a health probe
+  /// revives it.
+  std::uint32_t down_after_failures = 3;
+  /// Idle connections kept per endpoint for reuse.
+  std::size_t max_idle_per_endpoint = 4;
+  /// Connect policy for every dial (scatter and probe alike).
+  serve::ConnectOptions connect;
+};
+
+class BackendPool {
+ public:
+  BackendPool(Topology topology, BackendPoolOptions options);
+
+  std::size_t num_shards() const noexcept { return num_shards_; }
+
+  /// A leased connection to one replica of one shard. Return it with
+  /// Release; dropping it on the floor just closes the socket.
+  struct Lease {
+    serve::LineClient client;
+    std::size_t shard = 0;
+    std::size_t replica = 0;
+  };
+
+  /// Leases a connection to a replica of `shard`. Preference order: up
+  /// and unsaturated replicas first, then up-but-saturated, then down
+  /// ones as a recovery probe. Reuses an idle connection when one is
+  /// pooled, else dials under the connect policy. Every replica
+  /// refusing yields an IoError carrying the last dial failure.
+  Result<Lease> Acquire(std::size_t shard);
+
+  /// Returns the lease's connection to the idle pool (`reusable`) or
+  /// drops it. Does not touch the health counters — call ReportSuccess
+  /// or ReportFailure for that.
+  void Release(Lease lease, bool reusable);
+
+  /// Resets the failure streak and revives the endpoint.
+  void ReportSuccess(std::size_t shard, std::size_t replica);
+
+  /// One strike; marks the endpoint down on the configured streak and
+  /// drops its idle connections (they share the broken backend).
+  void ReportFailure(std::size_t shard, std::size_t replica);
+
+  /// True when every replica of `shard` is marked down.
+  bool AllReplicasDown(std::size_t shard) const;
+
+  /// One health sweep: round-trips `{"query":"metrics"}` on every
+  /// endpoint, reviving responders, striking the rest, and refreshing
+  /// the queue gauges. Runs the probes outside the pool lock.
+  void ProbeAll();
+
+  /// JSON array of per-endpoint health for the router metrics surface.
+  std::string HealthJson() const;
+
+ private:
+  struct EndpointState {
+    Endpoint endpoint;
+    std::uint32_t consecutive_failures = 0;
+    bool down = false;
+    bool saturated = false;  ///< queue full at the last probe
+    std::uint64_t queue_depth = 0;
+    std::uint64_t queue_capacity = 0;
+    std::vector<serve::LineClient> idle;
+  };
+
+  EndpointState* StateOf(std::size_t shard, std::size_t replica)
+      GDELT_REQUIRES(mu_);
+
+  const BackendPoolOptions opt_;
+  const std::size_t num_shards_;
+
+  mutable sync::Mutex mu_;
+  std::vector<std::vector<EndpointState>> shards_ GDELT_GUARDED_BY(mu_);
+};
+
+}  // namespace gdelt::router

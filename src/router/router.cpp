@@ -1,0 +1,583 @@
+#include "router/router.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "serve/partial.hpp"
+#include "trace/trace.hpp"
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::router {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using serve::ErrorCode;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::int64_t MsUntil(Clock::time_point deadline) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                               Clock::now())
+      .count();
+}
+
+/// Slack added to the per-shard socket read beyond the request
+/// deadline: the backend enforces the same deadline itself and answers
+/// with a structured timeout error at it, so the router waits a beat
+/// longer to relay that envelope instead of racing it and reporting the
+/// shard unavailable.
+constexpr std::int64_t kRecvGraceMs = 250;
+
+/// Writes the whole buffer, retrying on short writes / EINTR.
+bool WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// True when the (already parsed) backend response is an admission
+/// rejection — worth retrying on a less loaded replica.
+bool IsOverloadedResponse(const serve::JsonValue& response) {
+  const serve::JsonValue* ok = response.Find("ok");
+  if (ok == nullptr || ok->AsBool(true)) return false;
+  const serve::JsonValue* error = response.Find("error");
+  if (error == nullptr) return false;
+  const serve::JsonValue* code = error->Find("code");
+  return code != nullptr && code->AsString() == "overloaded";
+}
+
+}  // namespace
+
+Router::Router(const RouterOptions& options)
+    : opt_(options),
+      pool_(options.topology, [&options] {
+        BackendPoolOptions pool_options;
+        pool_options.down_after_failures = options.down_after_failures;
+        pool_options.max_idle_per_endpoint = options.max_idle_per_endpoint;
+        pool_options.connect = options.connect;
+        return pool_options;
+      }()) {}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start() {
+  if (pool_.num_shards() == 0) {
+    return status::InvalidArgument("router needs at least one shard");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opt_.port));
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status::InvalidArgument("bad listen host '" + opt_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status::Internal("bind " + opt_.host + ":" +
+                            std::to_string(opt_.port) + ": " + err);
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status::Internal("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (opt_.health_interval_ms > 0) {
+    health_thread_ = std::thread([this] { HealthLoop(); });
+  }
+  GDELT_LOG(kInfo,
+            StrFormat("router: listening on %s:%d (%zu shards, "
+                      "max_inflight=%zu)",
+                      opt_.host.c_str(), port_, pool_.num_shards(),
+                      opt_.max_inflight));
+  return Status::Ok();
+}
+
+void Router::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (!started_) return;
+
+  // 1. Stop taking new connections.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. Unblock anyone waiting for a scatter slot (AdmitScatter checks
+  //    stopping_ on wake) and let in-flight responses flush.
+  inflight_cv_.NotifyAll();
+  const auto grace_end = Clock::now() + std::chrono::seconds(2);
+  while (active_requests_.load() > 0 && Clock::now() < grace_end) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // 3. Unblock readers and join connection threads.
+  {
+    sync::MutexLock lock(conn_mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    sync::MutexLock lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& t : threads) {
+    if (t.joinable()) t.join();
+  }
+
+  {
+    sync::MutexLock lock(health_stop_mu_);
+  }
+  health_stop_cv_.NotifyAll();
+  if (health_thread_.joinable()) health_thread_.join();
+
+  GDELT_LOG(kInfo,
+            StrFormat("router: drained — %llu requests, %llu scattered, "
+                      "%llu relayed, %llu degraded",
+                      static_cast<unsigned long long>(
+                          metrics_.requests_total.load()),
+                      static_cast<unsigned long long>(
+                          metrics_.scatters.load()),
+                      static_cast<unsigned long long>(metrics_.relays.load()),
+                      static_cast<unsigned long long>(
+                          metrics_.degraded_responses.load())));
+}
+
+std::string Router::HandleLine(const std::string& line) {
+  const auto received = Clock::now();
+  TRACE_SPAN("router.request");
+  metrics_.requests_total.fetch_add(1);
+  if (stopping_.load()) {
+    return serve::ErrorResponse("", ErrorCode::kShuttingDown,
+                                "router is shutting down");
+  }
+  auto parsed = serve::ParseRequest(line);
+  if (!parsed.ok()) {
+    metrics_.bad_requests.fetch_add(1);
+    return serve::ErrorResponse("", ErrorCode::kBadRequest,
+                                parsed.status().message());
+  }
+  const serve::Request& r = *parsed;
+
+  if (r.kind == "ping") {
+    return serve::OkJsonResponse(r, "pong", "true");
+  }
+  if (r.kind == "metrics") {
+    return serve::OkJsonResponse(r, "metrics", MetricsJson());
+  }
+  if (r.kind == "metrics_prom") {
+    return serve::OkResponse(r, PrometheusText(), /*cached=*/false,
+                             MsSince(received));
+  }
+  if (r.kind == "ingest") {
+    metrics_.bad_requests.fetch_add(1);
+    return serve::ErrorResponse(
+        r.id, ErrorCode::kBadRequest,
+        "router does not accept ingest; send it to the shard backends");
+  }
+  if (!serve::IsKnownQueryKind(r.kind)) {
+    metrics_.unknown_queries.fetch_add(1);
+    return serve::ErrorResponse(r.id, ErrorCode::kUnknownQuery,
+                                "unknown query '" + r.kind + "'");
+  }
+  return HandleQuery(r, line, received);
+}
+
+std::string Router::HandleQuery(const serve::Request& r,
+                                const std::string& line,
+                                Clock::time_point received) {
+  const std::int64_t timeout_ms =
+      r.timeout_ms > 0 ? r.timeout_ms : opt_.default_timeout_ms;
+  const auto deadline = received + std::chrono::milliseconds(timeout_ms);
+  const std::size_t num_shards = pool_.num_shards();
+
+  // Whole-query relay: single-shard topologies, kinds whose merge is
+  // evaluation-order-sensitive, and partial sub-requests addressed to
+  // the router itself. The canonical-key hash pins a (query, options)
+  // pair to one backend, keeping that backend's result cache hot.
+  if (num_shards == 1 || r.partial || !serve::IsPartialQueryKind(r.kind)) {
+    const std::size_t target =
+        num_shards == 1
+            ? 0
+            : static_cast<std::size_t>(Fnv1a64(serve::CanonicalKey(r)) %
+                                       num_shards);
+    metrics_.relays.fetch_add(1);
+    auto response = RelayLine(target, line, deadline);
+    if (!response.ok()) {
+      metrics_.unavailable.fetch_add(1);
+      return serve::ErrorResponse(r.id, ErrorCode::kUnavailable,
+                                  "shard " + std::to_string(target) + ": " +
+                                      response.status().message());
+    }
+    metrics_.responses_ok.fetch_add(1);
+    return *response + "\n";
+  }
+  return ScatterGather(r, received, deadline);
+}
+
+template <typename MakeLine>
+Result<std::string> Router::ShardRoundTrip(std::size_t shard,
+                                           MakeLine&& make_line,
+                                           Clock::time_point deadline) {
+  const std::uint32_t passes = std::max<std::uint32_t>(1, opt_.scatter_passes);
+  Status last_error = status::IoError("never attempted");
+  for (std::uint32_t pass = 1; pass <= passes; ++pass) {
+    std::int64_t remaining = MsUntil(deadline);
+    if (remaining <= 0) {
+      return status::IoError("deadline expired (last: " +
+                             last_error.message() + ")");
+    }
+    if (pass > 1) {
+      // Brief pause before re-walking the replica list: an overloaded or
+      // restarting backend gets a moment to recover.
+      const auto nap = std::chrono::milliseconds(
+          std::min<std::int64_t>(50 * pass, std::max<std::int64_t>(
+                                                1, remaining / 8)));
+      std::this_thread::sleep_for(nap);
+      remaining = MsUntil(deadline);
+      if (remaining <= 0) {
+        return status::IoError("deadline expired (last: " +
+                               last_error.message() + ")");
+      }
+    }
+    auto lease = pool_.Acquire(shard);
+    if (!lease.ok()) {
+      last_error = lease.status();
+      continue;
+    }
+    const std::size_t replica = lease->replica;
+    (void)lease->client.SetRecvTimeoutMs(remaining + kRecvGraceMs);
+    auto response = lease->client.RoundTrip(make_line(remaining));
+    if (!response.ok()) {
+      pool_.ReportFailure(shard, replica);
+      pool_.Release(std::move(*lease), /*reusable=*/false);
+      last_error = response.status();
+      continue;
+    }
+    pool_.ReportSuccess(shard, replica);
+    bool overloaded = false;
+    if (auto parsed = serve::JsonValue::Parse(*response);
+        parsed.ok() && parsed->is_object()) {
+      overloaded = IsOverloadedResponse(*parsed);
+    }
+    pool_.Release(std::move(*lease), /*reusable=*/true);
+    if (overloaded) {
+      last_error = status::IoError("replica " + std::to_string(replica) +
+                                   " rejected: overloaded");
+      continue;
+    }
+    return *std::move(response);
+  }
+  return last_error;
+}
+
+Result<std::string> Router::RelayLine(std::size_t shard,
+                                      const std::string& line,
+                                      Clock::time_point deadline) {
+  return ShardRoundTrip(
+      shard, [&line](std::int64_t) { return line; }, deadline);
+}
+
+Result<serve::JsonValue> Router::FetchShardFrame(const serve::Request& r,
+                                                 std::uint32_t shard,
+                                                 Clock::time_point deadline) {
+  serve::Request sub = r;
+  const auto of = static_cast<std::uint32_t>(pool_.num_shards());
+  auto response = ShardRoundTrip(
+      static_cast<std::size_t>(shard),
+      [&sub, shard, of](std::int64_t remaining) {
+        // The sub-request carries the remaining budget so the backend
+        // sheds work the router would discard anyway.
+        sub.timeout_ms = remaining;
+        return serve::BuildShardRequestLine(sub, shard, of);
+      },
+      deadline);
+  if (!response.ok()) return response.status();
+  auto parsed = serve::JsonValue::Parse(*response);
+  if (!parsed.ok() || !parsed->is_object()) {
+    return status::Internal("unparseable backend response");
+  }
+  const serve::JsonValue* ok = parsed->Find("ok");
+  if (ok == nullptr || !ok->AsBool(false)) {
+    std::string message = "backend error";
+    if (const serve::JsonValue* error = parsed->Find("error")) {
+      if (const serve::JsonValue* code = error->Find("code")) {
+        message = code->AsString();
+      }
+      if (const serve::JsonValue* text = error->Find("message")) {
+        message += ": " + text->AsString();
+      }
+    }
+    return status::IoError(message);
+  }
+  const serve::JsonValue* frame = parsed->Find("partial");
+  if (frame == nullptr || !frame->is_object()) {
+    return status::Internal("backend answered without a partial frame");
+  }
+  return *frame;
+}
+
+std::string Router::ScatterGather(const serve::Request& r,
+                                  Clock::time_point received,
+                                  Clock::time_point deadline) {
+  TRACE_SPAN("router.scatter");
+  const bool batch = serve::IsBatchQueryKind(r.kind);
+  if (!AdmitScatter(batch, deadline)) {
+    metrics_.rejected_overloaded.fetch_add(1);
+    return serve::ErrorResponse(
+        r.id, ErrorCode::kOverloaded,
+        StrFormat("router scatter limit (%zu in flight); retry later",
+                  opt_.max_inflight));
+  }
+  const std::size_t num_shards = pool_.num_shards();
+  struct Outcome {
+    bool ok = false;
+    serve::JsonValue frame;
+    std::string error;
+  };
+  std::vector<Outcome> outcomes(num_shards);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(num_shards);
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      threads.emplace_back([this, &r, &outcomes, i, deadline] {
+        auto frame =
+            FetchShardFrame(r, static_cast<std::uint32_t>(i), deadline);
+        if (frame.ok()) {
+          outcomes[i].ok = true;
+          outcomes[i].frame = *std::move(frame);
+        } else {
+          outcomes[i].error = frame.status().message();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  ReleaseScatter();
+  metrics_.scatters.fetch_add(1);
+
+  std::vector<serve::JsonValue> frames;
+  std::vector<std::uint32_t> failed;
+  std::string first_error;
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    if (outcomes[i].ok) {
+      frames.push_back(std::move(outcomes[i].frame));
+    } else {
+      failed.push_back(static_cast<std::uint32_t>(i));
+      if (first_error.empty()) first_error = outcomes[i].error;
+      GDELT_LOG(kWarning, StrFormat("router: %s shard %zu failed: %s",
+                                    r.kind.c_str(), i,
+                                    outcomes[i].error.c_str()));
+    }
+  }
+  metrics_.shard_failures.fetch_add(failed.size());
+  if (frames.empty()) {
+    metrics_.unavailable.fetch_add(1);
+    return serve::ErrorResponse(r.id, ErrorCode::kUnavailable,
+                                "no shard answered: " + first_error);
+  }
+  auto merged = serve::MergePartialFrames(r, frames);
+  if (!merged.ok()) {
+    return serve::ErrorResponse(r.id, ErrorCode::kInternal,
+                                merged.status().message());
+  }
+  const double wall_ms = MsSince(received);
+  if (failed.empty()) {
+    metrics_.responses_ok.fetch_add(1);
+    return serve::OkResponse(r, *merged, /*cached=*/false, wall_ms);
+  }
+
+  // Degraded: the surviving shards' merge, plus the failed shard list.
+  // Same envelope as OkResponse with `"partial_failure"` spliced in
+  // before the text so clients can tell an undercount from a full
+  // answer.
+  metrics_.degraded_responses.fetch_add(1);
+  metrics_.responses_ok.fetch_add(1);
+  std::string out = "{\"id\":";
+  serve::AppendJsonString(out, r.id);
+  out += ",\"ok\":true,\"query\":";
+  serve::AppendJsonString(out, r.kind);
+  out += ",\"cached\":false";
+  out += StrFormat(",\"wall_ms\":%.3f", wall_ms);
+  out += ",\"partial_failure\":[";
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(failed[i]);
+  }
+  out += "],\"text\":";
+  serve::AppendJsonString(out, *merged);
+  out += "}\n";
+  return out;
+}
+
+bool Router::AdmitScatter(bool batch, Clock::time_point deadline) {
+  sync::MutexLock lock(inflight_mu_);
+  if (inflight_ < opt_.max_inflight) {
+    ++inflight_;
+    return true;
+  }
+  // Two-lane admission, mirroring the backend scheduler: batch kinds
+  // shed immediately at the limit, interactive kinds wait a bounded
+  // slice for a slot.
+  if (batch) return false;
+  const auto wait_deadline =
+      std::min(deadline, Clock::now() + std::chrono::milliseconds(
+                                            opt_.interactive_wait_ms));
+  while (inflight_ >= opt_.max_inflight) {
+    if (stopping_.load()) return false;
+    const auto now = Clock::now();
+    if (now >= wait_deadline) return false;
+    inflight_cv_.WaitFor(inflight_mu_, wait_deadline - now);
+  }
+  ++inflight_;
+  return true;
+}
+
+void Router::ReleaseScatter() {
+  {
+    sync::MutexLock lock(inflight_mu_);
+    --inflight_;
+  }
+  inflight_cv_.NotifyOne();
+}
+
+std::string Router::MetricsJson() {
+  std::string out = "{";
+  const auto counter = [&out](const char* name, std::uint64_t value) {
+    out += StrFormat("\"%s\":%llu,", name,
+                     static_cast<unsigned long long>(value));
+  };
+  counter("requests_total", metrics_.requests_total.load());
+  counter("responses_ok", metrics_.responses_ok.load());
+  counter("relays", metrics_.relays.load());
+  counter("scatters", metrics_.scatters.load());
+  counter("shard_failures", metrics_.shard_failures.load());
+  counter("degraded_responses", metrics_.degraded_responses.load());
+  counter("rejected_overloaded", metrics_.rejected_overloaded.load());
+  counter("bad_requests", metrics_.bad_requests.load());
+  counter("unknown_queries", metrics_.unknown_queries.load());
+  counter("unavailable", metrics_.unavailable.load());
+  counter("connections_opened", metrics_.connections_opened.load());
+  out += StrFormat("\"num_shards\":%zu,\"shards\":", pool_.num_shards());
+  out += pool_.HealthJson();
+  out += "}";
+  return out;
+}
+
+std::string Router::PrometheusText() {
+  std::string out;
+  out.reserve(1024);
+  const auto counter = [&out](const char* name, std::uint64_t value) {
+    out += StrFormat("# TYPE %s counter\n%s %llu\n", name, name,
+                     static_cast<unsigned long long>(value));
+  };
+  counter("gdelt_router_requests_total", metrics_.requests_total.load());
+  counter("gdelt_router_responses_ok_total", metrics_.responses_ok.load());
+  counter("gdelt_router_relays_total", metrics_.relays.load());
+  counter("gdelt_router_scatters_total", metrics_.scatters.load());
+  counter("gdelt_router_shard_failures_total",
+          metrics_.shard_failures.load());
+  counter("gdelt_router_degraded_responses_total",
+          metrics_.degraded_responses.load());
+  counter("gdelt_router_rejected_overloaded_total",
+          metrics_.rejected_overloaded.load());
+  counter("gdelt_router_bad_requests_total", metrics_.bad_requests.load());
+  counter("gdelt_router_unavailable_total", metrics_.unavailable.load());
+  return out;
+}
+
+void Router::AcceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    metrics_.connections_opened.fetch_add(1);
+    sync::MutexLock lock(conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Router::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos && open;
+         start = nl + 1, nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      active_requests_.fetch_add(1);
+      const std::string response = HandleLine(line);
+      open = WriteAll(fd, response);
+      active_requests_.fetch_sub(1);
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > opt_.max_line_bytes) {
+      active_requests_.fetch_add(1);
+      metrics_.bad_requests.fetch_add(1);
+      WriteAll(fd, serve::ErrorResponse("", ErrorCode::kBadRequest,
+                                        "request line too long"));
+      active_requests_.fetch_sub(1);
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+void Router::HealthLoop() {
+  sync::MutexLock lock(health_stop_mu_);
+  while (!stopping_.load()) {
+    health_stop_cv_.WaitFor(
+        health_stop_mu_, std::chrono::milliseconds(opt_.health_interval_ms));
+    if (stopping_.load()) break;
+    pool_.ProbeAll();
+  }
+}
+
+}  // namespace gdelt::router

@@ -1,0 +1,75 @@
+#include "router/topology.hpp"
+
+#include <charconv>
+
+namespace gdelt::router {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Result<Endpoint> ParseEndpoint(std::string_view token) {
+  token = Trim(token);
+  const std::size_t colon = token.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return status::InvalidArgument("endpoint '" + std::string(token) +
+                                   "' is not host:port");
+  }
+  const std::string_view host = token.substr(0, colon);
+  const std::string_view port_text = token.substr(colon + 1);
+  int port = 0;
+  const auto [end, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), port);
+  if (ec != std::errc{} || end != port_text.data() + port_text.size() ||
+      port < 1 || port > 65535) {
+    return status::InvalidArgument("endpoint '" + std::string(token) +
+                                   "' has a bad port");
+  }
+  return Endpoint{std::string(host), port};
+}
+
+}  // namespace
+
+Result<Topology> ParseTopology(std::string_view spec) {
+  Topology topology;
+  std::size_t start = 0;
+  // A trailing ';' would read as an empty shard; reject it like any other.
+  while (start <= spec.size()) {
+    std::size_t semi = spec.find(';', start);
+    if (semi == std::string_view::npos) semi = spec.size();
+    const std::string_view shard_spec = Trim(spec.substr(start, semi - start));
+    if (shard_spec.empty()) {
+      return status::InvalidArgument(
+          "topology spec has an empty shard (shard " +
+          std::to_string(topology.shards.size()) + ")");
+    }
+    std::vector<Endpoint> replicas;
+    std::size_t rep_start = 0;
+    while (rep_start <= shard_spec.size()) {
+      std::size_t comma = shard_spec.find(',', rep_start);
+      if (comma == std::string_view::npos) comma = shard_spec.size();
+      auto endpoint =
+          ParseEndpoint(shard_spec.substr(rep_start, comma - rep_start));
+      if (!endpoint.ok()) return endpoint.status();
+      replicas.push_back(std::move(*endpoint));
+      if (comma == shard_spec.size()) break;
+      rep_start = comma + 1;
+    }
+    topology.shards.push_back(std::move(replicas));
+    if (semi == spec.size()) break;
+    start = semi + 1;
+  }
+  if (topology.shards.empty()) {
+    return status::InvalidArgument("topology spec is empty");
+  }
+  return topology;
+}
+
+}  // namespace gdelt::router

@@ -1,10 +1,13 @@
 // Minimal blocking client for the gdelt_serve protocol.
 //
 // One TCP connection, one request line out, one response line back —
-// enough for the gdelt_client tool, the protocol tests and the
-// throughput bench. Not thread-safe; open one LineClient per thread.
+// enough for the gdelt_client tool, the protocol tests, the throughput
+// bench and the router's shard fan-out. Not thread-safe; open one
+// LineClient per thread.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -12,10 +15,32 @@
 
 namespace gdelt::serve {
 
+/// Connection policy for LineClient::Connect: a bounded connect timeout
+/// and retry-with-backoff, the same shape as convert::ChunkFetcher's
+/// fetch policy (deterministic per-endpoint jitter, injectable sleep).
+struct ConnectOptions {
+  /// Per-attempt connect timeout; 0 blocks on the kernel default.
+  std::int64_t connect_timeout_ms = 5'000;
+  std::uint32_t max_attempts = 1;  ///< total connect attempts
+  std::uint64_t backoff_initial_ms = 100;
+  double backoff_multiplier = 2.0;
+  std::uint64_t backoff_max_ms = 2'000;
+  /// Seed for the deterministic jitter (xor'd with the endpoint hash and
+  /// attempt number, as in ChunkFetcher::BackoffMs).
+  std::uint64_t jitter_seed = 0;
+  /// Test hook: replaces the real sleep between attempts.
+  std::function<void(std::uint64_t /*ms*/)> sleep_fn;
+};
+
 class LineClient {
  public:
   /// Connects to host:port (IPv4 dotted quad or "localhost").
   static Result<LineClient> Connect(const std::string& host, int port);
+
+  /// Connects under `options`: each attempt bounded by the connect
+  /// timeout, failures retried with deterministic jittered backoff.
+  static Result<LineClient> Connect(const std::string& host, int port,
+                                    const ConnectOptions& options);
 
   LineClient(LineClient&& other) noexcept;
   LineClient& operator=(LineClient&& other) noexcept;
@@ -32,6 +57,11 @@ class LineClient {
 
   /// Blocks for the next response line (without trailing newline).
   Result<std::string> ReadLine();
+
+  /// Bounds every subsequent recv by `ms` (SO_RCVTIMEO; 0 = no bound).
+  /// An expired read comes back as a DeadlineExceeded-flavored IoError so
+  /// the router can distinguish a slow shard from a dead one.
+  Status SetRecvTimeoutMs(std::int64_t ms);
 
   void Close();
 

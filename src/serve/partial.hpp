@@ -1,0 +1,75 @@
+// Partial-aggregate wire format for scatter-gather serving
+// (docs/PROTOCOL.md, "Partial-aggregate execution").
+//
+// A `"partial":true` request asks a backend to compute only partition
+// `shard` of `of` of a query and answer with a versioned JSON frame of
+// raw aggregates instead of rendered text. The router scatters one such
+// sub-request per shard, parses the frames, sums/assembles them, and
+// renders the final text through the shared formatting layer
+// (serve/render_text.hpp) — so the merged output is byte-identical to a
+// single-node `gdelt_serve` over the same data, by construction.
+//
+// Partition axes per kind (chosen so every partial is an exact integer
+// decomposition of the single-node kernel):
+//   - event ranges   (SplitRange over event rows): coreport, follow,
+//                    country-coreport, first-reports
+//   - mention ranges (engine::MakeTimeShards):     top-sources,
+//                    cross-report, and the event-range axis again for
+//                    top-events (local top-k per range)
+//   - strided        (source id / quarter modulo `of`): delay, whose
+//                    per-source stats are whole-source floats that must
+//                    not be split
+// The order-dependent floating-point kinds (stats, quarterly, tone) do
+// not decompose; the router sends those to a single shard whole.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "engine/database.hpp"
+#include "parallel/morsel.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/render.hpp"
+#include "util/status.hpp"
+
+namespace gdelt::serve {
+
+/// Version stamped into every frame as `"v"`; the merger rejects frames
+/// from a different protocol revision instead of mis-summing them.
+inline constexpr int kPartialVersion = 1;
+
+/// Count-matrix encoding inside a frame. Auto picks sparse when the
+/// triple list is smaller than the dense payload; the explicit values
+/// are a process-global test hook to pin down both paths.
+enum class PartialMatrixEncoding { kAuto, kDense, kSparse };
+
+/// Test hook: forces every subsequently rendered frame to use `enc`.
+/// Not thread-safe against in-flight renders; set it before serving.
+void SetPartialMatrixEncoding(PartialMatrixEncoding enc) noexcept;
+
+/// Computes partition `r.shard` of `r.of` of query `r.kind` and returns
+/// the partial-result frame as `RenderedQuery::text` (a single JSON
+/// object, no trailing newline). OkResponse splices it in unquoted.
+Result<RenderedQuery> RenderPartialFrame(const engine::Database& db,
+                                         const Request& r,
+                                         parallel::Backend backend);
+
+/// Merges shard frames (the parsed `"partial"` members of backend
+/// responses, in any order) into the final rendered text. Validates the
+/// version, kind, `of`, shard distinctness and the frame-carried global
+/// fields (which every shard must agree on); a mismatch means the shards
+/// answered over different data and yields an internal error rather than
+/// a silently wrong merge. Frames may cover only a subset of the shards
+/// (degraded mode); missing additive contributions simply undercount,
+/// which the router reports via `"partial_failure"`.
+Result<std::string> MergePartialFrames(const Request& r,
+                                       std::span<const JsonValue> frames);
+
+/// Serializes the sub-request line the router sends to the backend that
+/// owns partition `shard` of `of` (terminating '\n' included).
+std::string BuildShardRequestLine(const Request& r, std::uint32_t shard,
+                                  std::uint32_t of);
+
+}  // namespace gdelt::serve

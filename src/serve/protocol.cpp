@@ -64,6 +64,7 @@ std::string_view ErrorCodeName(ErrorCode code) noexcept {
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "internal";
 }
@@ -80,6 +81,13 @@ bool IsBatchQueryKind(std::string_view kind) noexcept {
          kind == "country-coreport" || kind == "first-reports";
 }
 
+bool IsPartialQueryKind(std::string_view kind) noexcept {
+  return kind == "top-sources" || kind == "top-events" ||
+         kind == "coreport" || kind == "follow" ||
+         kind == "country-coreport" || kind == "cross-report" ||
+         kind == "delay" || kind == "first-reports";
+}
+
 bool Request::IsQuery() const noexcept { return IsKnownQueryKind(kind); }
 
 Result<Request> ParseRequest(std::string_view line) {
@@ -89,6 +97,8 @@ Result<Request> ParseRequest(std::string_view line) {
   }
   Request r;
   std::int64_t n = 0;
+  bool saw_shard = false;
+  bool saw_of = false;
   for (const auto& [key, value] : root.members()) {
     if (key == "id") {
       GDELT_RETURN_IF_ERROR(TakeString(value, key, r.id));
@@ -113,6 +123,22 @@ Result<Request> ParseRequest(std::string_view line) {
         return status::InvalidArgument("'trace' must be a boolean");
       }
       r.trace = value.AsBool();
+    } else if (key == "partial") {
+      if (!value.is_bool()) {
+        return status::InvalidArgument("'partial' must be a boolean");
+      }
+      r.partial = value.AsBool();
+    } else if (key == "shard") {
+      GDELT_RETURN_IF_ERROR(TakeInt(value, key, 4'095, n));
+      r.shard = static_cast<std::uint32_t>(n);
+      saw_shard = true;
+    } else if (key == "of") {
+      GDELT_RETURN_IF_ERROR(TakeInt(value, key, 4'096, n));
+      if (n < 1) {
+        return status::InvalidArgument("'of' must be >= 1");
+      }
+      r.of = static_cast<std::uint32_t>(n);
+      saw_of = true;
     } else if (key == "export") {
       GDELT_RETURN_IF_ERROR(TakeString(value, key, r.export_path));
     } else if (key == "mentions") {
@@ -141,16 +167,38 @@ Result<Request> ParseRequest(std::string_view line) {
     return status::InvalidArgument(
         "ingest needs 'export' and/or 'mentions' paths");
   }
+  if ((saw_shard || saw_of) && !r.partial) {
+    return status::InvalidArgument(
+        "'shard'/'of' require '\"partial\":true'");
+  }
+  if (r.partial) {
+    if (!IsKnownQueryKind(r.kind)) {
+      return status::InvalidArgument(
+          "'partial' applies only to query kinds");
+    }
+    if (!IsPartialQueryKind(r.kind)) {
+      return status::InvalidArgument("query '" + r.kind +
+                                     "' does not decompose into partials");
+    }
+    if (r.shard >= r.of) {
+      return status::InvalidArgument("'shard' must be < 'of'");
+    }
+  }
   return r;
 }
 
 std::string CanonicalKey(const Request& r) {
   // Normalized bounds (parsed intervals, not raw text) so equivalent
   // spellings of a timestamp share an entry.
-  return StrFormat("%s|top=%zu|begin=%lld|end=%lld|conf=%d", r.kind.c_str(),
-                   r.top_k, static_cast<long long>(r.filter.begin_interval),
-                   static_cast<long long>(r.filter.end_interval),
-                   r.min_confidence);
+  std::string key =
+      StrFormat("%s|top=%zu|begin=%lld|end=%lld|conf=%d", r.kind.c_str(),
+                r.top_k, static_cast<long long>(r.filter.begin_interval),
+                static_cast<long long>(r.filter.end_interval),
+                r.min_confidence);
+  if (r.partial) {
+    key += StrFormat("|part=%u/%u", r.shard, r.of);
+  }
+  return key;
 }
 
 std::string OkResponse(const Request& r, std::string_view text, bool cached,
@@ -193,8 +241,15 @@ std::string OkResponse(const Request& r, std::string_view text, bool cached,
     }
     out += "}";
   }
-  out += ",\"text\":";
-  AppendJsonString(out, text);
+  if (r.partial) {
+    // Partial-aggregate requests carry a pre-rendered JSON frame, not
+    // display text; splice it in unquoted (docs/PROTOCOL.md).
+    out += ",\"partial\":";
+    out += text;
+  } else {
+    out += ",\"text\":";
+    AppendJsonString(out, text);
+  }
   out += "}\n";
   return out;
 }

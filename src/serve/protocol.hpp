@@ -26,6 +26,7 @@ enum class ErrorCode {
   kTimeout,       ///< per-request deadline expired
   kShuttingDown,  ///< server is draining after SIGTERM
   kInternal,      ///< dispatcher failure (bug)
+  kUnavailable,   ///< router: no healthy replica answered for a shard
 };
 
 std::string_view ErrorCodeName(ErrorCode code) noexcept;
@@ -44,6 +45,14 @@ struct Request {
   std::int64_t timeout_ms = 0;      ///< 0 = server default
   std::int64_t debug_sleep_ms = 0;  ///< testing aid: stall the worker
   bool trace = false;               ///< return per-stage timings inline
+
+  // partial-aggregate execution (router scatter; docs/PROTOCOL.md).
+  // When `partial` is set the backend computes only the partition
+  // `shard` of `of` and answers with a versioned partial-result frame
+  // instead of rendered text.
+  bool partial = false;
+  std::uint32_t shard = 0;
+  std::uint32_t of = 1;
 
   // ingest options
   std::string export_path;
@@ -65,6 +74,12 @@ bool IsKnownQueryKind(std::string_view kind) noexcept;
 /// seconds. The scheduler runs these at batch priority so the cheap
 /// interactive kinds keep their latency under load.
 bool IsBatchQueryKind(std::string_view kind) noexcept;
+
+/// True for kinds that decompose into mergeable partial aggregates
+/// (`"partial":true` requests). The floating-point reductions whose
+/// result depends on evaluation order as a whole (stats, quarterly,
+/// tone) are excluded: the router sends those to a single shard.
+bool IsPartialQueryKind(std::string_view kind) noexcept;
 
 /// Parses one request line (strict; see file comment).
 Result<Request> ParseRequest(std::string_view line);
@@ -90,6 +105,8 @@ struct SpanTiming {
 };
 
 /// Builds one successful query response line (terminating '\n' included).
+/// For `r.partial` requests `text` is a pre-rendered partial-result frame
+/// and is spliced in unquoted under `"partial"` instead of `"text"`.
 std::string OkResponse(const Request& r, std::string_view text, bool cached,
                        double wall_ms);
 

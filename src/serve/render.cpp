@@ -1,8 +1,6 @@
 #include "serve/render.hpp"
 
 #include <algorithm>
-#include <cstdarg>
-#include <cstdio>
 #include <numeric>
 #include <vector>
 
@@ -16,65 +14,31 @@
 #include "analysis/tone.hpp"
 #include "engine/filter.hpp"
 #include "engine/queries.hpp"
-#include "gtime/timestamp.hpp"
+#include "serve/partial.hpp"
+#include "serve/render_text.hpp"
 #include "util/strings.hpp"
 
 namespace gdelt::serve {
 namespace {
 
-/// printf-append; the render bodies below are transcriptions of the
-/// original gdelt_query printf calls, so keeping the printf idiom keeps
-/// the bytes identical.
-void Appendf(std::string& out, const char* fmt, ...)
-    __attribute__((format(printf, 2, 3)));
-
-void Appendf(std::string& out, const char* fmt, ...) {
-  va_list args;
-  va_start(args, fmt);
-  char stack_buf[512];
-  va_list copy;
-  va_copy(copy, args);
-  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
-  va_end(args);
-  if (needed < 0) {
-    va_end(copy);
-    return;
+/// Domain labels of a ranked source-id list.
+std::vector<std::string> SourceLabels(const engine::Database& db,
+                                      std::span<const std::uint32_t> ids) {
+  std::vector<std::string> labels;
+  labels.reserve(ids.size());
+  for (const std::uint32_t s : ids) {
+    labels.emplace_back(db.source_domain(s));
   }
-  if (static_cast<std::size_t>(needed) < sizeof(stack_buf)) {
-    out.append(stack_buf, static_cast<std::size_t>(needed));
-  } else {
-    std::string big(static_cast<std::size_t>(needed) + 1, '\0');
-    std::vsnprintf(big.data(), big.size(), fmt, copy);
-    big.resize(static_cast<std::size_t>(needed));
-    out += big;
-  }
-  va_end(copy);
+  return labels;
 }
 
-void AppendQuarterSeries(std::string& out, const char* label,
-                         const engine::QuarterSeries& series) {
-  Appendf(out, "%s\n", label);
-  for (std::size_t q = 0; q < series.values.size(); ++q) {
-    Appendf(out, "  %s  %s\n",
-            QuarterLabel(series.first_quarter + static_cast<QuarterId>(q))
-                .c_str(),
-            WithThousands(series.values[q]).c_str());
-  }
-}
-
-/// Source ids ranked by a per-source count vector (restricted rankings).
-std::vector<std::uint32_t> RankSources(
-    const std::vector<std::uint64_t>& counts, std::size_t top_k) {
-  std::vector<std::uint32_t> ids(counts.size());
-  std::iota(ids.begin(), ids.end(), 0u);
-  const std::size_t take = std::min(top_k, ids.size());
-  std::partial_sort(ids.begin(),
-                    ids.begin() + static_cast<std::ptrdiff_t>(take),
-                    ids.end(), [&](std::uint32_t a, std::uint32_t b) {
-                      return counts[a] > counts[b];
-                    });
-  ids.resize(take);
-  return ids;
+/// Per-rank projection of a per-source-id count vector.
+std::vector<std::uint64_t> CountsOf(const std::vector<std::uint64_t>& counts,
+                                    std::span<const std::uint32_t> ids) {
+  std::vector<std::uint64_t> out;
+  out.reserve(ids.size());
+  for (const std::uint32_t s : ids) out.push_back(counts[s]);
+  return out;
 }
 
 /// The restricted (window/confidence-filtered) query family.
@@ -104,12 +68,8 @@ Result<RenderedQuery> RenderRestricted(const engine::Database& db,
     const auto counts = bitmap_path ? engine::ArticlesPerSource(db, sel)
                                     : engine::ArticlesPerSource(db, rows);
     const auto ids = RankSources(counts, r.top_k);
-    Appendf(out.text, "Top %zu sources (restricted):\n", ids.size());
-    for (const std::uint32_t s : ids) {
-      Appendf(out.text, "  %-28s %s\n",
-              std::string(db.source_domain(s)).c_str(),
-              WithThousands(counts[s]).c_str());
-    }
+    AppendTopSourcesText(out.text, SourceLabels(db, ids), CountsOf(counts, ids),
+                         /*restricted=*/true);
     return out;
   }
   if (r.kind == "coreport") {
@@ -120,17 +80,8 @@ Result<RenderedQuery> RenderRestricted(const engine::Database& db,
     // only on this branch.
     if (bitmap_path) rows = sel.ToRows();
     const auto matrix = analysis::ComputeCoReporting(db, top, rows);
-    Appendf(out.text,
-            "Co-reporting (Jaccard) among top %zu sources (restricted):\n",
-            top.size());
-    for (std::size_t i = 0; i < top.size(); ++i) {
-      Appendf(out.text, "  %-28s",
-              std::string(db.source_domain(top[i])).c_str());
-      for (std::size_t j = 0; j < top.size(); ++j) {
-        Appendf(out.text, " %.3f", matrix.Jaccard(i, j));
-      }
-      Appendf(out.text, "\n");
-    }
+    AppendCoreportText(out.text, SourceLabels(db, top), matrix,
+                       /*restricted=*/true);
     return out;
   }
   // cross-report
@@ -138,14 +89,8 @@ Result<RenderedQuery> RenderRestricted(const engine::Database& db,
                                   : engine::CountryCrossReporting(db, rows);
   const auto reported = engine::CountriesByReportedEvents(db, r.top_k);
   const auto publishing = engine::CountriesByPublishedArticles(db, r.top_k);
-  Appendf(out.text, "Country cross-reporting (restricted window):\n");
-  for (const CountryId rep : reported) {
-    Appendf(out.text, "  %-14s", std::string(CountryName(rep)).c_str());
-    for (const CountryId p : publishing) {
-      Appendf(out.text, " %-12s", WithThousands(report.At(rep, p)).c_str());
-    }
-    Appendf(out.text, "\n");
-  }
+  AppendCrossReportText(out.text, reported, publishing, report,
+                        /*restricted=*/true);
   return out;
 }
 
@@ -156,6 +101,9 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
                                   parallel::Backend backend) {
   const std::string& query = r.kind;
   const std::size_t top_k = r.top_k;
+  if (r.partial) {
+    return RenderPartialFrame(db, r, backend);
+  }
   if (r.restricted && (query == "top-sources" || query == "cross-report" ||
                        query == "coreport")) {
     return RenderRestricted(db, r, backend);
@@ -170,23 +118,19 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
   if (query == "top-sources") {
     const auto counts = engine::ArticlesPerSource(db);
     const auto top = engine::TopSourcesByArticles(db, top_k);
-    Appendf(out.text, "Top %zu sources by article count:\n", top.size());
-    for (const std::uint32_t s : top) {
-      Appendf(out.text, "  %-28s %s\n",
-              std::string(db.source_domain(s)).c_str(),
-              WithThousands(counts[s]).c_str());
-    }
+    AppendTopSourcesText(out.text, SourceLabels(db, top), CountsOf(counts, top),
+                         /*restricted=*/false);
     return out;
   }
   if (query == "top-events") {
     const auto top = engine::TopReportedEvents(db, top_k);
-    Appendf(out.text, "Top %zu most reported events (cf. Table III):\n",
-            top.size());
-    Appendf(out.text, "  %-9s %s\n", "Mentions", "Event source URL");
+    std::vector<std::uint32_t> articles;
+    std::vector<std::string> urls;
     for (const auto& ev : top) {
-      Appendf(out.text, "  %-9u %s\n", ev.articles,
-              std::string(db.event_source_url(ev.event_row)).c_str());
+      articles.push_back(ev.articles);
+      urls.emplace_back(db.event_source_url(ev.event_row));
     }
+    AppendTopEventsText(out.text, articles, urls);
     return out;
   }
   if (query == "quarterly") {
@@ -204,117 +148,38 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
     coreport_options.use_morsel_pool =
         backend == parallel::Backend::kMorselPool;
     const auto matrix = analysis::ComputeCoReporting(db, top, coreport_options);
-    Appendf(out.text, "Co-reporting (Jaccard) among top %zu sources:\n",
-            top.size());
-    for (std::size_t i = 0; i < top.size(); ++i) {
-      Appendf(out.text, "  %-28s",
-              std::string(db.source_domain(top[i])).c_str());
-      for (std::size_t j = 0; j < top.size(); ++j) {
-        Appendf(out.text, " %.3f", matrix.Jaccard(i, j));
-      }
-      Appendf(out.text, "\n");
-    }
+    AppendCoreportText(out.text, SourceLabels(db, top), matrix,
+                       /*restricted=*/false);
     return out;
   }
   if (query == "follow") {
     const auto top = engine::TopSourcesByArticles(db, top_k);
     const auto matrix = analysis::ComputeFollowReporting(db, top, backend);
-    Appendf(out.text,
-            "Follow-reporting f_ij among top %zu sources "
-            "(cf. Table IV):\n",
-            top.size());
-    for (std::size_t i = 0; i < top.size(); ++i) {
-      Appendf(out.text, "  %-28s",
-              std::string(db.source_domain(top[i])).c_str());
-      for (std::size_t j = 0; j < top.size(); ++j) {
-        Appendf(out.text, " %.3f", matrix.F(i, j));
-      }
-      Appendf(out.text, "\n");
-    }
-    Appendf(out.text, "  %-28s", "Sum");
-    for (std::size_t j = 0; j < top.size(); ++j) {
-      Appendf(out.text, " %.3f", matrix.ColumnSum(j));
-    }
-    Appendf(out.text, "\n");
+    AppendFollowText(out.text, SourceLabels(db, top), matrix);
     return out;
   }
   if (query == "country-coreport") {
     const auto report = analysis::ComputeCountryCoReporting(db);
     const auto top = engine::CountriesByPublishedArticles(db, top_k);
-    Appendf(out.text, "Country co-reporting (Jaccard, cf. Table V):\n  %-14s",
-            "");
-    for (const CountryId c : top) {
-      Appendf(out.text, " %-12s", std::string(CountryName(c)).c_str());
-    }
-    Appendf(out.text, "\n");
-    for (const CountryId c : top) {
-      Appendf(out.text, "  %-14s", std::string(CountryName(c)).c_str());
-      for (const CountryId d : top) {
-        if (c == d) {
-          Appendf(out.text, " %-12s", "-");
-        } else {
-          Appendf(out.text, " %-12.3f", report.Jaccard(c, d));
-        }
-      }
-      Appendf(out.text, "\n");
-    }
+    AppendCountryCoreportText(out.text, top, report);
     return out;
   }
   if (query == "cross-report") {
     const auto report = engine::CountryCrossReporting(db);
     const auto reported = engine::CountriesByReportedEvents(db, top_k);
     const auto publishing = engine::CountriesByPublishedArticles(db, top_k);
-    Appendf(out.text,
-            "Country cross-reporting counts (cf. Table VI):\n  %-14s", "");
-    for (const CountryId p : publishing) {
-      Appendf(out.text, " %-12s", std::string(CountryName(p)).c_str());
-    }
-    Appendf(out.text, "\n");
-    for (const CountryId rep : reported) {
-      Appendf(out.text, "  %-14s", std::string(CountryName(rep)).c_str());
-      for (const CountryId p : publishing) {
-        Appendf(out.text, " %-12s", WithThousands(report.At(rep, p)).c_str());
-      }
-      Appendf(out.text, "\n");
-    }
-    Appendf(out.text,
-            "\nAs percentage of publisher's articles (cf. Table VII):\n");
-    for (const CountryId rep : reported) {
-      Appendf(out.text, "  %-14s", std::string(CountryName(rep)).c_str());
-      for (const CountryId p : publishing) {
-        Appendf(out.text, " %-12.2f", report.Percent(rep, p));
-      }
-      Appendf(out.text, "\n");
-    }
+    AppendCrossReportText(out.text, reported, publishing, report,
+                          /*restricted=*/false);
     return out;
   }
   if (query == "delay") {
     const auto stats = analysis::PerSourceDelayStats(db, backend);
     const auto top = engine::TopSourcesByArticles(db, top_k);
-    Appendf(out.text,
-            "Publication delay for top %zu sources "
-            "(cf. Table VIII; 15-min intervals):\n",
-            top.size());
-    Appendf(out.text, "  %-28s %8s %8s %8s %8s\n", "Publisher", "Min", "Max",
-            "Average", "Median");
-    for (const std::uint32_t s : top) {
-      const auto& st = stats[s];
-      Appendf(out.text, "  %-28s %8lld %8lld %8.0f %8lld\n",
-              std::string(db.source_domain(s)).c_str(),
-              static_cast<long long>(st.min),
-              static_cast<long long>(st.max), st.average,
-              static_cast<long long>(st.median));
-    }
-    const auto quarterly = analysis::QuarterlyDelayStats(db);
-    Appendf(out.text, "\nQuarterly delay (Fig 10):\n");
-    for (std::size_t q = 0; q < quarterly.average.size(); ++q) {
-      Appendf(out.text, "  %s  avg %.1f  median %lld\n",
-              QuarterLabel(quarterly.first_quarter +
-                           static_cast<QuarterId>(q))
-                  .c_str(),
-              quarterly.average[q],
-              static_cast<long long>(quarterly.median[q]));
-    }
+    std::vector<analysis::DelayStats> top_stats;
+    top_stats.reserve(top.size());
+    for (const std::uint32_t s : top) top_stats.push_back(stats[s]);
+    AppendDelayText(out.text, SourceLabels(db, top), top_stats,
+                    analysis::QuarterlyDelayStats(db));
     return out;
   }
   if (query == "tone") {
@@ -343,31 +208,16 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
     const auto stats =
         analysis::ComputeFirstReports(db, /*histogram_bins=*/18, backend);
     const auto counts = engine::ArticlesPerSource(db);
-    std::vector<std::uint32_t> by_breaks(db.num_sources());
-    std::iota(by_breaks.begin(), by_breaks.end(), 0u);
-    std::partial_sort(by_breaks.begin(),
-                      by_breaks.begin() + static_cast<std::ptrdiff_t>(
-                          std::min<std::size_t>(top_k, by_breaks.size())),
-                      by_breaks.end(),
-                      [&](std::uint32_t a, std::uint32_t b) {
-                        return stats.first_reports[a] > stats.first_reports[b];
-                      });
-    Appendf(out.text,
-            "Sources breaking the most stories (wildfire pool "
-            "candidates):\n");
-    Appendf(out.text, "  %-28s %10s %10s %12s\n", "Source", "breaks",
-            "articles", "repeat-rate");
-    for (std::size_t k = 0; k < top_k && k < by_breaks.size(); ++k) {
-      const auto s = by_breaks[k];
-      Appendf(out.text, "  %-28s %10s %10s %11.1f%%\n",
-              std::string(db.source_domain(s)).c_str(),
-              WithThousands(stats.first_reports[s]).c_str(),
-              WithThousands(counts[s]).c_str(),
-              100.0 * stats.RepeatRate(s, counts[s]));
+    const auto by_breaks = RankSources(stats.first_reports, top_k);
+    std::vector<std::uint64_t> breaks;
+    std::vector<double> rate_pct;
+    for (const std::uint32_t s : by_breaks) {
+      breaks.push_back(stats.first_reports[s]);
+      rate_pct.push_back(100.0 * stats.RepeatRate(s, counts[s]));
     }
-    Appendf(out.text, "\nevents first reported within 1 hour: %s of %s\n",
-            WithThousands(stats.events_broken_within_hour).c_str(),
-            WithThousands(db.num_events()).c_str());
+    AppendFirstReportsText(out.text, SourceLabels(db, by_breaks), breaks,
+                           CountsOf(counts, by_breaks), rate_pct,
+                           stats.events_broken_within_hour, db.num_events());
     return out;
   }
   return status::InvalidArgument("unknown query '" + query + "'");

@@ -1,0 +1,235 @@
+#include "serve/render_text.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <numeric>
+
+#include "gtime/timestamp.hpp"
+#include "util/strings.hpp"
+
+namespace gdelt::serve {
+
+std::vector<std::uint32_t> RankSources(
+    const std::vector<std::uint64_t>& counts, std::size_t top_k) {
+  std::vector<std::uint32_t> ids(counts.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  const std::size_t take = std::min(top_k, ids.size());
+  std::partial_sort(ids.begin(),
+                    ids.begin() + static_cast<std::ptrdiff_t>(take),
+                    ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+                      return counts[a] > counts[b];
+                    });
+  ids.resize(take);
+  return ids;
+}
+
+void Appendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char stack_buf[512];
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(copy);
+    return;
+  }
+  if (static_cast<std::size_t>(needed) < sizeof(stack_buf)) {
+    out.append(stack_buf, static_cast<std::size_t>(needed));
+  } else {
+    std::string big(static_cast<std::size_t>(needed) + 1, '\0');
+    std::vsnprintf(big.data(), big.size(), fmt, copy);
+    big.resize(static_cast<std::size_t>(needed));
+    out += big;
+  }
+  va_end(copy);
+}
+
+void AppendQuarterSeries(std::string& out, const char* label,
+                         const engine::QuarterSeries& series) {
+  Appendf(out, "%s\n", label);
+  for (std::size_t q = 0; q < series.values.size(); ++q) {
+    Appendf(out, "  %s  %s\n",
+            QuarterLabel(series.first_quarter + static_cast<QuarterId>(q))
+                .c_str(),
+            WithThousands(series.values[q]).c_str());
+  }
+}
+
+void AppendTopSourcesText(std::string& out,
+                          const std::vector<std::string>& labels,
+                          const std::vector<std::uint64_t>& counts,
+                          bool restricted) {
+  if (restricted) {
+    Appendf(out, "Top %zu sources (restricted):\n", labels.size());
+  } else {
+    Appendf(out, "Top %zu sources by article count:\n", labels.size());
+  }
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    Appendf(out, "  %-28s %s\n", labels[k].c_str(),
+            WithThousands(counts[k]).c_str());
+  }
+}
+
+void AppendTopEventsText(std::string& out,
+                         const std::vector<std::uint32_t>& articles,
+                         const std::vector<std::string>& urls) {
+  Appendf(out, "Top %zu most reported events (cf. Table III):\n",
+          articles.size());
+  Appendf(out, "  %-9s %s\n", "Mentions", "Event source URL");
+  for (std::size_t k = 0; k < articles.size(); ++k) {
+    Appendf(out, "  %-9u %s\n", articles[k], urls[k].c_str());
+  }
+}
+
+void AppendCoreportText(std::string& out,
+                        const std::vector<std::string>& labels,
+                        const analysis::CoReportMatrix& matrix,
+                        bool restricted) {
+  if (restricted) {
+    Appendf(out,
+            "Co-reporting (Jaccard) among top %zu sources (restricted):\n",
+            labels.size());
+  } else {
+    Appendf(out, "Co-reporting (Jaccard) among top %zu sources:\n",
+            labels.size());
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    Appendf(out, "  %-28s", labels[i].c_str());
+    for (std::size_t j = 0; j < labels.size(); ++j) {
+      Appendf(out, " %.3f", matrix.Jaccard(i, j));
+    }
+    Appendf(out, "\n");
+  }
+}
+
+void AppendFollowText(std::string& out,
+                      const std::vector<std::string>& labels,
+                      const analysis::FollowReportMatrix& matrix) {
+  Appendf(out,
+          "Follow-reporting f_ij among top %zu sources "
+          "(cf. Table IV):\n",
+          labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    Appendf(out, "  %-28s", labels[i].c_str());
+    for (std::size_t j = 0; j < labels.size(); ++j) {
+      Appendf(out, " %.3f", matrix.F(i, j));
+    }
+    Appendf(out, "\n");
+  }
+  Appendf(out, "  %-28s", "Sum");
+  for (std::size_t j = 0; j < labels.size(); ++j) {
+    Appendf(out, " %.3f", matrix.ColumnSum(j));
+  }
+  Appendf(out, "\n");
+}
+
+void AppendCountryCoreportText(std::string& out,
+                               const std::vector<CountryId>& top,
+                               const analysis::CountryCoReport& report) {
+  Appendf(out, "Country co-reporting (Jaccard, cf. Table V):\n  %-14s", "");
+  for (const CountryId c : top) {
+    Appendf(out, " %-12s", std::string(CountryName(c)).c_str());
+  }
+  Appendf(out, "\n");
+  for (const CountryId c : top) {
+    Appendf(out, "  %-14s", std::string(CountryName(c)).c_str());
+    for (const CountryId d : top) {
+      if (c == d) {
+        Appendf(out, " %-12s", "-");
+      } else {
+        Appendf(out, " %-12.3f", report.Jaccard(c, d));
+      }
+    }
+    Appendf(out, "\n");
+  }
+}
+
+void AppendCrossReportText(std::string& out,
+                           const std::vector<CountryId>& reported,
+                           const std::vector<CountryId>& publishing,
+                           const engine::CountryCrossReport& report,
+                           bool restricted) {
+  if (restricted) {
+    Appendf(out, "Country cross-reporting (restricted window):\n");
+    for (const CountryId rep : reported) {
+      Appendf(out, "  %-14s", std::string(CountryName(rep)).c_str());
+      for (const CountryId p : publishing) {
+        Appendf(out, " %-12s", WithThousands(report.At(rep, p)).c_str());
+      }
+      Appendf(out, "\n");
+    }
+    return;
+  }
+  Appendf(out, "Country cross-reporting counts (cf. Table VI):\n  %-14s", "");
+  for (const CountryId p : publishing) {
+    Appendf(out, " %-12s", std::string(CountryName(p)).c_str());
+  }
+  Appendf(out, "\n");
+  for (const CountryId rep : reported) {
+    Appendf(out, "  %-14s", std::string(CountryName(rep)).c_str());
+    for (const CountryId p : publishing) {
+      Appendf(out, " %-12s", WithThousands(report.At(rep, p)).c_str());
+    }
+    Appendf(out, "\n");
+  }
+  Appendf(out, "\nAs percentage of publisher's articles (cf. Table VII):\n");
+  for (const CountryId rep : reported) {
+    Appendf(out, "  %-14s", std::string(CountryName(rep)).c_str());
+    for (const CountryId p : publishing) {
+      Appendf(out, " %-12.2f", report.Percent(rep, p));
+    }
+    Appendf(out, "\n");
+  }
+}
+
+void AppendDelayText(std::string& out,
+                     const std::vector<std::string>& labels,
+                     const std::vector<analysis::DelayStats>& stats,
+                     const analysis::QuarterlyDelay& quarterly) {
+  Appendf(out,
+          "Publication delay for top %zu sources "
+          "(cf. Table VIII; 15-min intervals):\n",
+          labels.size());
+  Appendf(out, "  %-28s %8s %8s %8s %8s\n", "Publisher", "Min", "Max",
+          "Average", "Median");
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    const auto& st = stats[k];
+    Appendf(out, "  %-28s %8lld %8lld %8.0f %8lld\n", labels[k].c_str(),
+            static_cast<long long>(st.min), static_cast<long long>(st.max),
+            st.average, static_cast<long long>(st.median));
+  }
+  Appendf(out, "\nQuarterly delay (Fig 10):\n");
+  for (std::size_t q = 0; q < quarterly.average.size(); ++q) {
+    Appendf(out, "  %s  avg %.1f  median %lld\n",
+            QuarterLabel(quarterly.first_quarter + static_cast<QuarterId>(q))
+                .c_str(),
+            quarterly.average[q], static_cast<long long>(quarterly.median[q]));
+  }
+}
+
+void AppendFirstReportsText(std::string& out,
+                            const std::vector<std::string>& labels,
+                            const std::vector<std::uint64_t>& breaks,
+                            const std::vector<std::uint64_t>& articles,
+                            const std::vector<double>& repeat_rate_pct,
+                            std::uint64_t within_hour,
+                            std::uint64_t num_events) {
+  Appendf(out,
+          "Sources breaking the most stories (wildfire pool "
+          "candidates):\n");
+  Appendf(out, "  %-28s %10s %10s %12s\n", "Source", "breaks", "articles",
+          "repeat-rate");
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    Appendf(out, "  %-28s %10s %10s %11.1f%%\n", labels[k].c_str(),
+            WithThousands(breaks[k]).c_str(),
+            WithThousands(articles[k]).c_str(), repeat_rate_pct[k]);
+  }
+  Appendf(out, "\nevents first reported within 1 hour: %s of %s\n",
+          WithThousands(within_hour).c_str(),
+          WithThousands(num_events).c_str());
+}
+
+}  // namespace gdelt::serve

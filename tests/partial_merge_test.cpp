@@ -1,0 +1,305 @@
+// Round-trip tests for the partial-aggregate layer (serve/partial.hpp):
+// every decomposable query kind, rendered as per-shard frames and merged
+// back, must reproduce the single-node renderer's text byte for byte —
+// at 2 and 4 shards, under both matrix encodings, restricted and not.
+// Plus the merger's rejection paths: wrong version, duplicate shards,
+// mismatched kinds, frames from a different partition count.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/database.hpp"
+#include "parallel/parallel.hpp"
+#include "serve/json.hpp"
+#include "serve/partial.hpp"
+#include "serve/protocol.hpp"
+#include "serve/render.hpp"
+#include "test_util.hpp"
+
+namespace gdelt::serve {
+namespace {
+
+using ::gdelt::testing::TempDir;
+using ::gdelt::testing::TestDbBuilder;
+
+constexpr const char* kPartialKinds[] = {
+    "top-sources", "top-events",       "coreport",
+    "follow",      "country-coreport", "cross-report",
+    "delay",       "first-reports",
+};
+
+/// Restores the process-global matrix encoding on scope exit so a
+/// failing test cannot poison its neighbors.
+class EncodingGuard {
+ public:
+  explicit EncodingGuard(PartialMatrixEncoding enc) {
+    SetPartialMatrixEncoding(enc);
+  }
+  ~EncodingGuard() { SetPartialMatrixEncoding(PartialMatrixEncoding::kAuto); }
+};
+
+class PartialMergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("partial");
+    TestDbBuilder builder;
+    // Enough events, countries and sources that every kind has real
+    // structure to split: co-reporting pairs spanning partition
+    // boundaries, repeat mentions for first-reports, multi-mention
+    // events for delay medians, three countries for the country kinds.
+    std::vector<std::uint64_t> events;
+    for (int i = 0; i < 14; ++i) {
+      const CountryId country =
+          i % 4 == 3 ? kNoCountry : static_cast<CountryId>(1 + i % 3);
+      events.push_back(builder.AddEvent(100 * (i + 1), country));
+    }
+    const char* sources[] = {"a.com", "b.com", "c.com",
+                             "d.com", "e.com", "f.com"};
+    int tick = 0;
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      // Every event is mentioned by a sliding window of sources so
+      // adjacent partitions share pairs.
+      for (std::size_t s = 0; s < 3; ++s) {
+        const char* source = sources[(e + s) % 6];
+        const auto when =
+            static_cast<std::int64_t>(100 * (e + 1) + 1 + s + (tick++ % 5));
+        const auto confidence = static_cast<std::uint8_t>(30 + 10 * s);
+        builder.AddMention(events[e], when, source, confidence);
+      }
+      // Repeat mention: the windows's first source covers it again later
+      // (first-reports repeat-rate fodder).
+      if (e % 2 == 0) {
+        builder.AddMention(events[e],
+                           static_cast<std::int64_t>(100 * (e + 1) + 40),
+                           sources[e % 6], 90);
+      }
+    }
+    auto db = builder.Build(dir_->path());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::make_unique<engine::Database>(std::move(*db));
+  }
+
+  static Request MakeRequest(const std::string& kind, std::size_t top,
+                             const std::string& extra = "") {
+    std::string line = "{\"query\":\"" + kind + "\",\"top\":" +
+                       std::to_string(top) + extra + "}";
+    auto r = ParseRequest(line);
+    EXPECT_TRUE(r.ok()) << line << ": " << r.status().ToString();
+    return r.ok() ? *r : Request{};
+  }
+
+  std::string SingleNode(const Request& r) {
+    auto rendered = RenderQuery(*db_, r);
+    EXPECT_TRUE(rendered.ok()) << rendered.status().ToString();
+    return rendered.ok() ? rendered->text : std::string();
+  }
+
+  /// Renders every partition of `r`, parses the frames and merges them.
+  Result<std::string> ViaPartials(const Request& r, std::uint32_t of) {
+    std::vector<JsonValue> frames;
+    for (std::uint32_t shard = 0; shard < of; ++shard) {
+      Request sub = r;
+      sub.partial = true;
+      sub.shard = shard;
+      sub.of = of;
+      auto frame =
+          RenderPartialFrame(*db_, sub, parallel::Backend::kMorselPool);
+      GDELT_RETURN_IF_ERROR(frame.status());
+      auto parsed = JsonValue::Parse(frame->text);
+      GDELT_RETURN_IF_ERROR(parsed.status());
+      frames.push_back(std::move(*parsed));
+    }
+    return MergePartialFrames(r, frames);
+  }
+
+  void ExpectRoundTrip(const Request& r) {
+    const std::string truth = SingleNode(r);
+    ASSERT_FALSE(truth.empty());
+    for (const std::uint32_t of : {2u, 4u}) {
+      auto merged = ViaPartials(r, of);
+      ASSERT_TRUE(merged.ok())
+          << r.kind << " of=" << of << ": " << merged.status().ToString();
+      EXPECT_EQ(*merged, truth) << r.kind << " of=" << of;
+    }
+  }
+
+  std::unique_ptr<TempDir> dir_;
+  std::unique_ptr<engine::Database> db_;
+};
+
+TEST_F(PartialMergeTest, AllKindsRoundTripByteIdentically) {
+  for (const char* kind : kPartialKinds) {
+    ExpectRoundTrip(MakeRequest(kind, 3));
+  }
+}
+
+TEST_F(PartialMergeTest, TopLargerThanUniverseRoundTrips) {
+  for (const char* kind : kPartialKinds) {
+    ExpectRoundTrip(MakeRequest(kind, 50));
+  }
+}
+
+TEST_F(PartialMergeTest, RestrictedKindsRoundTrip) {
+  // The filterable kinds, under a confidence floor and a time window
+  // that both actually drop mentions.
+  for (const char* kind : {"top-sources", "coreport", "cross-report"}) {
+    ExpectRoundTrip(MakeRequest(kind, 3, ",\"min_confidence\":45"));
+    ExpectRoundTrip(
+        MakeRequest(kind, 3, ",\"from\":\"20150101000000\""));
+  }
+}
+
+TEST_F(PartialMergeTest, DenseEncodingRoundTrips) {
+  EncodingGuard guard(PartialMatrixEncoding::kDense);
+  for (const char* kind :
+       {"coreport", "follow", "country-coreport", "cross-report"}) {
+    ExpectRoundTrip(MakeRequest(kind, 4));
+  }
+}
+
+TEST_F(PartialMergeTest, SparseEncodingRoundTrips) {
+  EncodingGuard guard(PartialMatrixEncoding::kSparse);
+  for (const char* kind :
+       {"coreport", "follow", "country-coreport", "cross-report"}) {
+    ExpectRoundTrip(MakeRequest(kind, 4));
+  }
+}
+
+TEST_F(PartialMergeTest, MoreShardsThanEventsRoundTrips) {
+  // 32 partitions over 14 events: the tail partitions are empty (the
+  // range splitter clamps), and their frames must merge as no-ops.
+  const Request r = MakeRequest("coreport", 3);
+  const std::string truth = SingleNode(r);
+  auto merged = ViaPartials(r, 32);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(*merged, truth);
+}
+
+TEST_F(PartialMergeTest, SubsetOfFramesMergesDegraded) {
+  // Degraded mode: merging only shard 0 of 2 must still succeed (the
+  // router reports the missing shard separately); the text undercounts
+  // rather than erroring.
+  const Request r = MakeRequest("top-sources", 3);
+  Request sub = r;
+  sub.partial = true;
+  sub.shard = 0;
+  sub.of = 2;
+  auto frame = RenderPartialFrame(*db_, sub, parallel::Backend::kMorselPool);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  auto parsed = JsonValue::Parse(frame->text);
+  ASSERT_TRUE(parsed.ok());
+  std::vector<JsonValue> frames;
+  frames.push_back(std::move(*parsed));
+  auto merged = MergePartialFrames(r, frames);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_FALSE(merged->empty());
+}
+
+TEST_F(PartialMergeTest, WireLineReproducesInProcessFrame) {
+  // The request line the router actually sends, parsed back through the
+  // strict protocol parser, must select the same partition.
+  const Request r = MakeRequest("follow", 3);
+  const std::string line = BuildShardRequestLine(r, 1, 2);
+  auto sub = ParseRequest(line);
+  ASSERT_TRUE(sub.ok()) << line << ": " << sub.status().ToString();
+  EXPECT_TRUE(sub->partial);
+  EXPECT_EQ(sub->shard, 1u);
+  EXPECT_EQ(sub->of, 2u);
+  auto wire = RenderPartialFrame(*db_, *sub, parallel::Backend::kMorselPool);
+  ASSERT_TRUE(wire.ok());
+
+  Request direct = r;
+  direct.partial = true;
+  direct.shard = 1;
+  direct.of = 2;
+  auto in_process =
+      RenderPartialFrame(*db_, direct, parallel::Backend::kMorselPool);
+  ASSERT_TRUE(in_process.ok());
+  EXPECT_EQ(wire->text, in_process->text);
+}
+
+TEST_F(PartialMergeTest, MergerRejectsBadFrames) {
+  const Request r = MakeRequest("top-sources", 3);
+  Request sub = r;
+  sub.partial = true;
+  sub.shard = 0;
+  sub.of = 2;
+  auto frame = RenderPartialFrame(*db_, sub, parallel::Backend::kMorselPool);
+  ASSERT_TRUE(frame.ok());
+  const std::string good = frame->text;
+
+  const auto merge_one = [&r](const std::string& text) {
+    auto parsed = JsonValue::Parse(text);
+    EXPECT_TRUE(parsed.ok()) << text;
+    std::vector<JsonValue> frames;
+    frames.push_back(std::move(*parsed));
+    return MergePartialFrames(r, frames);
+  };
+
+  // Wrong protocol revision.
+  {
+    std::string bad = good;
+    const auto pos = bad.find("\"v\":1");
+    ASSERT_NE(pos, std::string::npos) << good;
+    bad.replace(pos, 5, "\"v\":2");
+    EXPECT_FALSE(merge_one(bad).ok());
+  }
+  // Frame for a different kind.
+  {
+    std::string bad = good;
+    const auto pos = bad.find("top-sources");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 11, "follow-xxxx");
+    EXPECT_FALSE(merge_one(bad).ok());
+  }
+  // Not an object.
+  EXPECT_FALSE(merge_one("[1,2,3]").ok());
+
+  // Duplicate shard ids.
+  {
+    auto parsed = JsonValue::Parse(good);
+    ASSERT_TRUE(parsed.ok());
+    std::vector<JsonValue> frames;
+    frames.push_back(*parsed);
+    frames.push_back(std::move(*parsed));
+    EXPECT_FALSE(MergePartialFrames(r, frames).ok());
+  }
+  // Mixed partition counts: an of=4 frame next to an of=2 frame.
+  {
+    Request other = r;
+    other.partial = true;
+    other.shard = 1;
+    other.of = 4;
+    auto other_frame =
+        RenderPartialFrame(*db_, other, parallel::Backend::kMorselPool);
+    ASSERT_TRUE(other_frame.ok());
+    auto a = JsonValue::Parse(good);
+    auto b = JsonValue::Parse(other_frame->text);
+    ASSERT_TRUE(a.ok() && b.ok());
+    std::vector<JsonValue> frames;
+    frames.push_back(std::move(*a));
+    frames.push_back(std::move(*b));
+    EXPECT_FALSE(MergePartialFrames(r, frames).ok());
+  }
+}
+
+TEST_F(PartialMergeTest, ParserRejectsBadPartialRequests) {
+  // Partial execution of an order-sensitive kind is refused up front.
+  EXPECT_FALSE(
+      ParseRequest(R"({"query":"stats","partial":true})").ok());
+  EXPECT_FALSE(
+      ParseRequest(R"({"query":"tone","partial":true,"shard":0,"of":2})")
+          .ok());
+  // Shard out of range.
+  EXPECT_FALSE(
+      ParseRequest(
+          R"({"query":"coreport","partial":true,"shard":2,"of":2})")
+          .ok());
+  // shard/of without partial.
+  EXPECT_FALSE(
+      ParseRequest(R"({"query":"coreport","shard":0,"of":2})").ok());
+}
+
+}  // namespace
+}  // namespace gdelt::serve
