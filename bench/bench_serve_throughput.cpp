@@ -115,6 +115,71 @@ std::vector<double> MeasureInteractiveUnderLoad(bool use_morsel_pool,
   return latencies_ms;
 }
 
+/// Doomed-flood: every other request is a full-table co-reporting scan
+/// with a 1ms deadline — guaranteed dead on arrival — interleaved with
+/// cheap interactive requests ("goodput"). With cooperative cancellation
+/// the workers notice the expired deadline at dequeue (or a few morsels
+/// in) and move on; without it every doomed scan runs to completion
+/// before its timeout error is even written, starving the good half.
+struct FloodResult {
+  double wall_s = 0.0;
+  int good_ok = 0;
+  std::vector<double> good_latencies_ms;
+};
+
+FloodResult MeasureDoomedFlood(bool cancellation) {
+  const char* const kDoomedLine =
+      R"({"query":"coreport","top":64,"timeout_ms":1})";
+  serve::ServerOptions options = ServeOptions(/*cache_entries=*/0);
+  options.cancellation = cancellation;
+  serve::Server server(Db(), nullptr, options);
+  FloodResult result;
+  if (!server.Start().ok()) return result;
+
+  // As many clients as workers: a doomed request usually meets an idle
+  // worker, clears the dequeue-time deadline check (which both modes
+  // share — it predates cancellation) and *starts the scan*. What this
+  // measures is the mid-scan contrast: with cancellation the armed token
+  // trips at the first morsel poll; without it the worker serves the
+  // full dead scan before the timeout error is written.
+  constexpr int kFloodClients = 2;
+  constexpr int kPerClient = 30;  // 15 doomed + 15 good each
+  std::atomic<int> good_ok{0};
+  std::vector<std::vector<double>> per_client(kFloodClients);
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kFloodClients; ++c) {
+    threads.emplace_back([&server, &good_ok, &per_client, kDoomedLine, c] {
+      auto client = serve::LineClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) return;
+      for (int i = 0; i < kPerClient; ++i) {
+        if (i % 2 == 0) {
+          // Doomed half: the response is always a timeout/cancelled
+          // error; only how long the server burns on it differs.
+          if (!client->RoundTrip(kDoomedLine).ok()) return;
+          continue;
+        }
+        WallTimer request_timer;
+        const auto response = client->RoundTrip(kRequestLine);
+        if (!response.ok()) return;
+        if (response->find("\"ok\":true") != std::string::npos) {
+          good_ok.fetch_add(1, std::memory_order_relaxed);
+          per_client[c].push_back(request_timer.ElapsedSeconds() * 1e3);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  result.wall_s = timer.ElapsedSeconds();
+  server.Stop();
+  result.good_ok = good_ok.load();
+  for (auto& v : per_client) {
+    result.good_latencies_ms.insert(result.good_latencies_ms.end(),
+                                    v.begin(), v.end());
+  }
+  return result;
+}
+
 void BM_ServeRoundTripCold(benchmark::State& state) {
   serve::Server server(Db(), nullptr, ServeOptions(/*cache_entries=*/0));
   if (!server.Start().ok()) return;
@@ -208,6 +273,15 @@ void Print() {
   writer.RecordLatencies("interactive_under_batch_thread_per_query", 1,
                          /*wall_seconds=*/0.0, baseline_lat);
 
+  // Doomed-flood: goodput with cooperative cancellation on vs off. The
+  // acceptance bar (ISSUE 8) is >=2x goodput with cancellation on.
+  const auto flood_on = MeasureDoomedFlood(/*cancellation=*/true);
+  const auto flood_off = MeasureDoomedFlood(/*cancellation=*/false);
+  writer.RecordLatencies("doomed_flood_cancellation_on", 2, flood_on.wall_s,
+                         flood_on.good_latencies_ms);
+  writer.RecordLatencies("doomed_flood_cancellation_off", 2, flood_off.wall_s,
+                         flood_off.good_latencies_ms);
+
   std::printf("\n=== Serving throughput (%d clients x %d requests) ===\n",
               kClients, kRequestsPerClient);
   std::printf("  cold          : %8.1f req/s  (%.3fs total, p50 %.1fms "
@@ -237,6 +311,24 @@ void Print() {
   const double p99_base = Percentile(baseline_lat, 0.99);
   if (p99_pool > 0.0 && p99_base > 0.0) {
     std::printf("  p99 improvement  : %.2fx\n", p99_base / p99_pool);
+  }
+
+  std::printf("\n--- doomed flood: 50%% of requests carry a 1ms deadline "
+              "onto a full-table scan ---\n");
+  const double goodput_on =
+      flood_on.wall_s > 0.0 ? flood_on.good_ok / flood_on.wall_s : 0.0;
+  const double goodput_off =
+      flood_off.wall_s > 0.0 ? flood_off.good_ok / flood_off.wall_s : 0.0;
+  std::printf("  cancellation on  : %7.1f good req/s  (%d ok in %.3fs, "
+              "p99 %.1fms)\n",
+              goodput_on, flood_on.good_ok, flood_on.wall_s,
+              Percentile(flood_on.good_latencies_ms, 0.99));
+  std::printf("  cancellation off : %7.1f good req/s  (%d ok in %.3fs, "
+              "p99 %.1fms)\n",
+              goodput_off, flood_off.good_ok, flood_off.wall_s,
+              Percentile(flood_off.good_latencies_ms, 0.99));
+  if (goodput_on > 0.0 && goodput_off > 0.0) {
+    std::printf("  goodput gain     : %.2fx\n", goodput_on / goodput_off);
   }
 }
 

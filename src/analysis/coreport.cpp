@@ -59,12 +59,16 @@ void MirrorLowerTriangle(std::uint32_t* counts, std::size_t n) {
   });
 }
 
-/// Dense pair-count accumulation for events [r.begin, r.end).
+/// Dense pair-count accumulation for events [r.begin, r.end). `cancel`
+/// is polled every 256 events; morsel bodies pass nullptr (the pool
+/// already polls per morsel), serial range kernels pass their token.
 void DenseEventsRange(const CsrSetIndex& index,
                       const std::vector<std::int32_t>& slot, std::size_t n,
                       IndexRange r, std::vector<std::uint32_t>& slots,
-                      std::vector<std::uint32_t>& local) {
+                      std::vector<std::uint32_t>& local,
+                      const util::CancelToken* cancel = nullptr) {
   for (std::size_t e = r.begin; e < r.end; ++e) {
+    if ((e & 255) == 0 && util::Cancelled(cancel)) return;
     SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
     for (std::size_t a = 0; a < slots.size(); ++a) {
       ++local[static_cast<std::size_t>(slots[a]) * n + slots[a]];
@@ -91,11 +95,13 @@ void TiledDense(const engine::Database& db, const CsrSetIndex& index,
       locals.resize(parallel::PoolSlots());
       std::vector<std::vector<std::uint32_t>> scratch(parallel::PoolSlots());
       parallel::PoolParallelFor(
-          db.num_events(), [&](IndexRange r, std::size_t s) {
+          db.num_events(),
+          [&](IndexRange r, std::size_t s) {
             auto& local = locals[s];
             if (local.size() != n * n) local.assign(n * n, 0);
             DenseEventsRange(index, slot, n, r, scratch[s], local);
-          });
+          },
+          /*morsel_rows=*/0, options.cancel);
     } else {
       const auto parts = SplitRange(db.num_events(), num_parts);
       locals.resize(parts.size());
@@ -103,7 +109,8 @@ void TiledDense(const engine::Database& db, const CsrSetIndex& index,
         auto& local = locals[p];
         local.assign(n * n, 0);
         std::vector<std::uint32_t> slots;
-        DenseEventsRange(index, slot, n, parts[p], slots, local);
+        DenseEventsRange(index, slot, n, parts[p], slots, local,
+                         options.cancel);
       });
     }
   }
@@ -130,7 +137,8 @@ void TiledSparse(const engine::Database& db, const CsrSetIndex& index,
         parallel::PoolSlots());
     std::vector<std::vector<std::uint32_t>> scratch(parallel::PoolSlots());
     parallel::PoolParallelFor(
-        db.num_events(), [&](IndexRange r, std::size_t s) {
+        db.num_events(),
+        [&](IndexRange r, std::size_t s) {
           auto& acc = accs[s];
           auto& slots = scratch[s];
           for (std::size_t e = r.begin; e < r.end; ++e) {
@@ -142,7 +150,8 @@ void TiledSparse(const engine::Database& db, const CsrSetIndex& index,
               }
             }
           }
-        });
+        },
+        /*morsel_rows=*/0, options.cancel);
     runs.resize(accs.size());
     parallel::PoolParallelFor(
         accs.size(),
@@ -152,7 +161,7 @@ void TiledSparse(const engine::Database& db, const CsrSetIndex& index,
             std::sort(runs[p].begin(), runs[p].end());
           }
         },
-        /*morsel_rows=*/1);
+        /*morsel_rows=*/1, options.cancel);
   } else {
     const auto parts = SplitRange(db.num_events(), num_parts);
     runs.resize(parts.size());
@@ -160,6 +169,7 @@ void TiledSparse(const engine::Database& db, const CsrSetIndex& index,
       std::unordered_map<std::uint64_t, std::uint32_t> acc;
       std::vector<std::uint32_t> slots;
       for (std::size_t e = parts[p].begin; e < parts[p].end; ++e) {
+        if ((e & 255) == 0 && util::Cancelled(options.cancel)) break;
         SelectSlots(index, slot, static_cast<std::uint32_t>(e), slots);
         for (std::size_t a = 0; a < slots.size(); ++a) {
           ++acc[UpperKey(slots[a], slots[a])];
@@ -198,7 +208,7 @@ void TiledSparse(const engine::Database& db, const CsrSetIndex& index,
         [&](IndexRange r, std::size_t) {
           for (std::size_t t = r.begin; t < r.end; ++t) merge_tile(t);
         },
-        /*morsel_rows=*/1);
+        /*morsel_rows=*/1, options.cancel);
   } else {
     ParallelFor(num_tiles, merge_tile);
   }
@@ -239,7 +249,8 @@ CoReportMatrix ComputeCoReporting(const engine::Database& db,
 CoReportMatrix ComputeCoReportingOnEvents(const engine::Database& db,
                                           std::span<const std::uint32_t> subset,
                                           std::size_t events_begin,
-                                          std::size_t events_end) {
+                                          std::size_t events_end,
+                                          const util::CancelToken* cancel) {
   TRACE_SPAN("coreport.compute.partial");
   const auto slot = SlotMap(db, subset);
   const std::size_t n = subset.empty() ? db.num_sources() : subset.size();
@@ -249,14 +260,15 @@ CoReportMatrix ComputeCoReportingOnEvents(const engine::Database& db,
   const auto& index = db.event_distinct_sources();
   std::vector<std::uint32_t> slots;
   DenseEventsRange(index, slot, n, IndexRange{events_begin, events_end},
-                   slots, matrix.mutable_counts());
+                   slots, matrix.mutable_counts(), cancel);
   MirrorLowerTriangle(matrix.mutable_counts().data(), n);
   return matrix;
 }
 
 CoReportMatrix ComputeCoReporting(const engine::Database& db,
                                   std::span<const std::uint32_t> subset,
-                                  std::span<const std::uint64_t> rows) {
+                                  std::span<const std::uint64_t> rows,
+                                  const util::CancelToken* cancel) {
   TRACE_SPAN("coreport.compute.filtered");
   const auto slot = SlotMap(db, subset);
   const std::size_t n = subset.empty() ? db.num_sources() : subset.size();
@@ -282,7 +294,9 @@ CoReportMatrix ComputeCoReporting(const engine::Database& db,
   pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
 
   auto& counts = matrix.mutable_counts();
+  std::size_t groups = 0;
   for (std::size_t a = 0; a < pairs.size();) {
+    if ((groups++ & 255) == 0 && util::Cancelled(cancel)) break;
     const std::uint64_t ev = pairs[a] >> 32;
     std::size_t b = a;
     while (b < pairs.size() && (pairs[b] >> 32) == ev) ++b;
@@ -315,6 +329,8 @@ CoReportMatrix ComputeCoReportingDenseAtomic(
 #pragma omp parallel
   {
     std::vector<std::uint32_t> slots;
+    // gdelt-lint: allow(cancel-blind-loop) — ablation holdout, never runs
+    // under the server; benches want the uninterrupted full scan.
 #pragma omp for schedule(dynamic, 256)
     for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
          ++e) {
@@ -359,6 +375,8 @@ CoReportMatrix ComputeCoReportingSparse(const engine::Database& db,
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     auto& local = locals[tid];
     std::vector<std::uint32_t> slots;
+    // gdelt-lint: allow(cancel-blind-loop) — ablation holdout, never runs
+    // under the server; benches want the uninterrupted full scan.
 #pragma omp for schedule(dynamic, 256)
     for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
          ++e) {
@@ -392,6 +410,9 @@ graph::SparseMatrix ComputeCoReportingTimeSliced(const engine::Database& db) {
   const auto w = engine::QuartersOf(db);
   const auto nq = static_cast<std::size_t>(std::max(w.count, 1));
   std::vector<std::vector<std::uint32_t>> slice_events(nq);
+  // gdelt-lint: allow(cancel-blind-loop) — time-sliced ablation kernel
+  // (bench-only, no token plumbed); the slicing pass is cheap relative
+  // to the per-slice matrix build.
   for (std::size_t e = 0; e < db.num_events(); ++e) {
     std::int64_t q =
         QuarterOfUnixSeconds(IntervalStartUnixSeconds(added[e])) - w.first;

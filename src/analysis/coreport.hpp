@@ -22,6 +22,7 @@
 
 #include "engine/database.hpp"
 #include "graph/matrix.hpp"
+#include "util/cancel.hpp"
 
 namespace gdelt::analysis {
 
@@ -69,6 +70,11 @@ struct TiledCoReportOptions {
   /// a private OpenMP team (scheduling-ablation baseline). Both produce
   /// bitwise-identical matrices.
   bool use_morsel_pool = true;
+  /// Cooperative cancellation: polled per morsel (pool path) or per
+  /// iteration chunk (OpenMP path). A cancelled run returns an
+  /// unspecified partial matrix — the caller must check the token and
+  /// discard it (see util/cancel.hpp).
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Computes co-reporting over a subset of sources (empty subset = all).
@@ -87,10 +93,10 @@ CoReportMatrix ComputeCoReporting(const engine::Database& db,
 /// per-event contributions, so summing the matrices of a partition of
 /// the event axis reproduces ComputeCoReporting exactly. The result is
 /// mirrored (full symmetric matrix) like every other kernel here.
-CoReportMatrix ComputeCoReportingOnEvents(const engine::Database& db,
-                                          std::span<const std::uint32_t> subset,
-                                          std::size_t events_begin,
-                                          std::size_t events_end);
+CoReportMatrix ComputeCoReportingOnEvents(
+    const engine::Database& db, std::span<const std::uint32_t> subset,
+    std::size_t events_begin, std::size_t events_end,
+    const util::CancelToken* cancel = nullptr);
 
 /// Co-reporting restricted to a filtered mention row set (an
 /// engine::SelectMentions result): each event's distinct-source set is
@@ -101,7 +107,8 @@ CoReportMatrix ComputeCoReportingOnEvents(const engine::Database& db,
 /// identical to the unfiltered kernel.
 CoReportMatrix ComputeCoReporting(const engine::Database& db,
                                   std::span<const std::uint32_t> subset,
-                                  std::span<const std::uint64_t> rows);
+                                  std::span<const std::uint64_t> rows,
+                                  const util::CancelToken* cancel = nullptr);
 
 /// The pre-tiling baseline kept for the representation ablation: a shared
 /// dense matrix updated with per-pair atomics. Identical counts,

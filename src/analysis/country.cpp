@@ -7,7 +7,8 @@
 
 namespace gdelt::analysis {
 
-CountryCoReport ComputeCountryCoReporting(const engine::Database& db) {
+CountryCoReport ComputeCountryCoReporting(const engine::Database& db,
+                                          const util::CancelToken* cancel) {
   TRACE_SPAN("country.coreport");
   const std::size_t nc = Countries().size();
   static_assert(sizeof(std::uint64_t) * 8 >= 64);
@@ -22,6 +23,7 @@ CountryCoReport ComputeCountryCoReporting(const engine::Database& db) {
   ParallelFor(
       db.num_events(),
       [&](std::size_t e) {
+        if ((e & 255) == 0 && util::Cancelled(cancel)) return;
         std::uint64_t mask = 0;
         for (const std::uint64_t row :
              db.mentions_by_event().RowsOf(static_cast<std::uint32_t>(e))) {
@@ -44,6 +46,7 @@ CountryCoReport ComputeCountryCoReporting(const engine::Database& db) {
     auto& local = local_pairs[static_cast<std::size_t>(tid)];
     local.assign(nc * nc, 0);
     for (std::size_t e = r.begin; e < r.end; ++e) {
+      if ((e & 4095) == 0 && util::Cancelled(cancel)) return;
       std::uint64_t m1 = masks[e];
       while (m1) {
         const unsigned c = static_cast<unsigned>(std::countr_zero(m1));
@@ -73,9 +76,9 @@ CountryCoReport ComputeCountryCoReporting(const engine::Database& db) {
   return report;
 }
 
-CountryCoReport ComputeCountryCoReportingOnEvents(const engine::Database& db,
-                                                  std::size_t events_begin,
-                                                  std::size_t events_end) {
+CountryCoReport ComputeCountryCoReportingOnEvents(
+    const engine::Database& db, std::size_t events_begin,
+    std::size_t events_end, const util::CancelToken* cancel) {
   TRACE_SPAN("country.coreport.partial");
   const std::size_t nc = Countries().size();
   if (nc > 64) std::abort();
@@ -90,6 +93,7 @@ CountryCoReport ComputeCountryCoReportingOnEvents(const engine::Database& db,
   events_end = std::min(events_end, db.num_events());
 
   for (std::size_t e = events_begin; e < events_end; ++e) {
+    if ((e & 255) == 0 && util::Cancelled(cancel)) break;
     std::uint64_t mask = 0;
     for (const std::uint64_t row :
          db.mentions_by_event().RowsOf(static_cast<std::uint32_t>(e))) {

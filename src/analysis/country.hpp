@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "engine/database.hpp"
+#include "util/cancel.hpp"
 
 namespace gdelt::analysis {
 
@@ -36,15 +37,16 @@ struct CountryCoReport {
 /// Computes country co-reporting over all events. Parallel over events;
 /// each event's publisher-country set is packed into a 64-bit mask
 /// (the registry is <= 64 countries by design; statically asserted).
-CountryCoReport ComputeCountryCoReporting(const engine::Database& db);
+CountryCoReport ComputeCountryCoReporting(
+    const engine::Database& db, const util::CancelToken* cancel = nullptr);
 
 /// Partial-aggregate kernel for scatter-gather serving: the same counts
 /// accumulated over only the events in [events_begin, events_end).
 /// Summing pair_counts of a partition of the event axis (and re-deriving
 /// event_counts from the diagonal) reproduces ComputeCountryCoReporting
 /// exactly.
-CountryCoReport ComputeCountryCoReportingOnEvents(const engine::Database& db,
-                                                  std::size_t events_begin,
-                                                  std::size_t events_end);
+CountryCoReport ComputeCountryCoReportingOnEvents(
+    const engine::Database& db, std::size_t events_begin,
+    std::size_t events_end, const util::CancelToken* cancel = nullptr);
 
 }  // namespace gdelt::analysis

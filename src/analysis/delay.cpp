@@ -51,7 +51,8 @@ void OneSourceDelayStats(const engine::Database& db,
 }  // namespace
 
 std::vector<DelayStats> PerSourceDelayStats(const engine::Database& db,
-                                            parallel::Backend backend) {
+                                            parallel::Backend backend,
+                                            const util::CancelToken* cancel) {
   TRACE_SPAN("delay.per_source");
   const auto when = db.mention_interval();
   const auto event_when = db.mention_event_interval();
@@ -74,7 +75,7 @@ std::vector<DelayStats> PerSourceDelayStats(const engine::Database& db,
                                 stats[s]);
           }
         },
-        /*morsel_rows=*/64);
+        /*morsel_rows=*/64, cancel);
     return stats;
   }
 
@@ -86,6 +87,7 @@ std::vector<DelayStats> PerSourceDelayStats(const engine::Database& db,
     std::vector<std::int64_t> delays;
 #pragma omp for schedule(dynamic, 16)
     for (std::int64_t s = 0; s < static_cast<std::int64_t>(ns); ++s) {
+      if ((s & 255) == 0 && util::Cancelled(cancel)) continue;
       OneSourceDelayStats(db, when, event_when, static_cast<std::uint32_t>(s),
                           delays, stats[static_cast<std::size_t>(s)]);
     }
@@ -93,9 +95,9 @@ std::vector<DelayStats> PerSourceDelayStats(const engine::Database& db,
   return stats;
 }
 
-std::vector<DelayStats> PerSourceDelayStatsStrided(const engine::Database& db,
-                                                   std::uint32_t shard,
-                                                   std::uint32_t of) {
+std::vector<DelayStats> PerSourceDelayStatsStrided(
+    const engine::Database& db, std::uint32_t shard, std::uint32_t of,
+    const util::CancelToken* cancel) {
   TRACE_SPAN("delay.per_source.partial");
   const auto when = db.mention_interval();
   const auto event_when = db.mention_event_interval();
@@ -103,7 +105,9 @@ std::vector<DelayStats> PerSourceDelayStatsStrided(const engine::Database& db,
   std::vector<DelayStats> stats(ns);
   db.mentions_by_source();
   std::vector<std::int64_t> delays;
+  std::size_t visited = 0;
   for (std::size_t s = shard; s < ns; s += of) {
+    if ((visited++ & 255) == 0 && util::Cancelled(cancel)) break;
     OneSourceDelayStats(db, when, event_when, static_cast<std::uint32_t>(s),
                         delays, stats[s]);
   }

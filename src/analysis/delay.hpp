@@ -30,16 +30,17 @@ struct DelayStats {
 /// average is bitwise identical on both backends.
 std::vector<DelayStats> PerSourceDelayStats(
     const engine::Database& db,
-    parallel::Backend backend = parallel::Backend::kMorselPool);
+    parallel::Backend backend = parallel::Backend::kMorselPool,
+    const util::CancelToken* cancel = nullptr);
 
 /// Partial-aggregate kernel for scatter-gather serving: delay stats for
 /// only the sources with `s % of == shard`; all other entries stay
 /// zeroed. Each owned source is computed whole (sort + sequential sum
 /// over its sorted delays), exactly like PerSourceDelayStats, so the
 /// union of the strided results is bitwise identical to the full run.
-std::vector<DelayStats> PerSourceDelayStatsStrided(const engine::Database& db,
-                                                   std::uint32_t shard,
-                                                   std::uint32_t of);
+std::vector<DelayStats> PerSourceDelayStatsStrided(
+    const engine::Database& db, std::uint32_t shard, std::uint32_t of,
+    const util::CancelToken* cancel = nullptr);
 
 /// Histogram over sources of one delay metric, in power-of-two bins
 /// [1,2), [2,4), ... plus bin 0 for exact zero. Used to print Fig 9.

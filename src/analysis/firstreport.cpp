@@ -27,13 +27,17 @@ struct FirstReportLocal {
 };
 
 /// Accumulates first-report statistics for events [r.begin, r.end).
+/// `cancel` is polled every 256 events; morsel bodies pass nullptr (the
+/// pool already polls per morsel).
 void FirstReportEventsRange(const engine::Database& db, IndexRange r,
-                            FirstReportLocal& local) {
+                            FirstReportLocal& local,
+                            const util::CancelToken* cancel = nullptr) {
   const auto src = db.mention_source_id();
   const auto when = db.mention_interval();
   const auto event_when = db.mention_event_interval();
   const auto& index = db.event_distinct_sources();
   for (std::size_t e = r.begin; e < r.end; ++e) {
+    if ((e & 255) == 0 && util::Cancelled(cancel)) return;
     const auto rows =
         db.mentions_by_event().RowsOf(static_cast<std::uint32_t>(e));
     if (rows.empty()) continue;
@@ -83,7 +87,8 @@ void FirstReportEventsRange(const engine::Database& db, IndexRange r,
 
 FirstReportStats ComputeFirstReports(const engine::Database& db,
                                      int histogram_bins,
-                                     parallel::Backend backend) {
+                                     parallel::Backend backend,
+                                     const util::CancelToken* cancel) {
   const std::size_t ns = db.num_sources();
   const auto bins = static_cast<std::size_t>(histogram_bins);
   FirstReportStats stats;
@@ -95,12 +100,14 @@ FirstReportStats ComputeFirstReports(const engine::Database& db,
   std::vector<FirstReportLocal> locals;
   if (backend == parallel::Backend::kMorselPool) {
     locals.resize(parallel::PoolSlots());
-    parallel::PoolParallelFor(db.num_events(),
-                              [&](IndexRange r, std::size_t slot) {
-                                auto& local = locals[slot];
-                                local.EnsureSized(ns, bins);
-                                FirstReportEventsRange(db, r, local);
-                              });
+    parallel::PoolParallelFor(
+        db.num_events(),
+        [&](IndexRange r, std::size_t slot) {
+          auto& local = locals[slot];
+          local.EnsureSized(ns, bins);
+          FirstReportEventsRange(db, r, local);
+        },
+        /*morsel_rows=*/0, cancel);
   } else {
     // Ablation baseline: private OpenMP team.
     locals.resize(static_cast<std::size_t>(MaxThreads()));
@@ -114,6 +121,7 @@ FirstReportStats ComputeFirstReports(const engine::Database& db,
 #pragma omp for schedule(dynamic, 256)
       for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
            ++e) {
+        if ((e & 255) == 0 && util::Cancelled(cancel)) continue;
         FirstReportEventsRange(
             db,
             IndexRange{static_cast<std::size_t>(e),
@@ -145,7 +153,8 @@ FirstReportStats ComputeFirstReports(const engine::Database& db,
 FirstReportStats ComputeFirstReportsOnEvents(const engine::Database& db,
                                              std::size_t events_begin,
                                              std::size_t events_end,
-                                             int histogram_bins) {
+                                             int histogram_bins,
+                                             const util::CancelToken* cancel) {
   const std::size_t ns = db.num_sources();
   const auto bins = static_cast<std::size_t>(histogram_bins);
   FirstReportStats stats;
@@ -157,7 +166,8 @@ FirstReportStats ComputeFirstReportsOnEvents(const engine::Database& db,
   if (events_begin >= events_end) return stats;
   FirstReportLocal local;
   local.EnsureSized(ns, bins);
-  FirstReportEventsRange(db, IndexRange{events_begin, events_end}, local);
+  FirstReportEventsRange(db, IndexRange{events_begin, events_end}, local,
+                         cancel);
   stats.first_reports = std::move(local.first_reports);
   stats.first_delay_histogram = std::move(local.hist);
   stats.repeat_events = std::move(local.repeat_events);

@@ -55,16 +55,17 @@ struct FirstReportStats {
 /// both backends.
 FirstReportStats ComputeFirstReports(
     const engine::Database& db, int histogram_bins = 18,
-    parallel::Backend backend = parallel::Backend::kMorselPool);
+    parallel::Backend backend = parallel::Backend::kMorselPool,
+    const util::CancelToken* cancel = nullptr);
 
 /// Partial-aggregate kernel for scatter-gather serving: the same
 /// statistics accumulated over only the events in
 /// [events_begin, events_end). Every counter is an integer sum over
 /// disjoint per-event contributions, so summing the stats of a
 /// partition of the event axis reproduces ComputeFirstReports exactly.
-FirstReportStats ComputeFirstReportsOnEvents(const engine::Database& db,
-                                             std::size_t events_begin,
-                                             std::size_t events_end,
-                                             int histogram_bins = 18);
+FirstReportStats ComputeFirstReportsOnEvents(
+    const engine::Database& db, std::size_t events_begin,
+    std::size_t events_end, int histogram_bins = 18,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace gdelt::analysis

@@ -18,15 +18,19 @@ struct FollowScratch {
 };
 
 /// Accumulates follow counts for events [r.begin, r.end) into `local`.
+/// `cancel` is polled every 256 events; morsel bodies pass nullptr (the
+/// pool already polls per morsel).
 void FollowEventsRange(const engine::Database& db,
                        const std::vector<std::int32_t>& slot, std::size_t n,
                        IndexRange r, FollowScratch& scratch,
-                       std::vector<std::uint64_t>& local) {
+                       std::vector<std::uint64_t>& local,
+                       const util::CancelToken* cancel = nullptr) {
   const auto src = db.mention_source_id();
   const auto when = db.mention_interval();
   const auto& index = db.event_distinct_sources();
   scratch.first_pub.resize(n);
   for (std::size_t e = r.begin; e < r.end; ++e) {
+    if ((e & 255) == 0 && util::Cancelled(cancel)) return;
     // Prefilter on the memoized distinct-source list: most events have
     // no subset member at all, so their mention rows are never walked.
     bool any_member = false;
@@ -67,7 +71,8 @@ void FollowEventsRange(const engine::Database& db,
 
 FollowReportMatrix ComputeFollowReporting(const engine::Database& db,
                                           std::span<const std::uint32_t> subset,
-                                          parallel::Backend backend) {
+                                          parallel::Backend backend,
+                                          const util::CancelToken* cancel) {
   TRACE_SPAN("followreport.compute");
   FollowReportMatrix result;
   result.n = subset.size();
@@ -92,11 +97,13 @@ FollowReportMatrix ComputeFollowReporting(const engine::Database& db,
     std::vector<std::vector<std::uint64_t>> locals(slots);
     std::vector<FollowScratch> scratch(slots);
     parallel::PoolParallelFor(
-        db.num_events(), [&](IndexRange r, std::size_t s) {
+        db.num_events(),
+        [&](IndexRange r, std::size_t s) {
           auto& local = locals[s];
           if (local.size() != n * n) local.assign(n * n, 0);
           FollowEventsRange(db, slot, n, r, scratch[s], local);
-        });
+        },
+        /*morsel_rows=*/0, cancel);
     MergeTiledPartials(std::span<std::uint64_t>(result.follow_counts), locals);
     return result;
   }
@@ -115,6 +122,7 @@ FollowReportMatrix ComputeFollowReporting(const engine::Database& db,
 #pragma omp for schedule(dynamic, 256)
     for (std::int64_t e = 0; e < static_cast<std::int64_t>(db.num_events());
          ++e) {
+      if ((e & 255) == 0 && util::Cancelled(cancel)) continue;
       FollowEventsRange(db, slot, n,
                         IndexRange{static_cast<std::size_t>(e),
                                    static_cast<std::size_t>(e) + 1},
@@ -127,7 +135,8 @@ FollowReportMatrix ComputeFollowReporting(const engine::Database& db,
 
 FollowReportMatrix ComputeFollowReportingOnEvents(
     const engine::Database& db, std::span<const std::uint32_t> subset,
-    std::size_t events_begin, std::size_t events_end) {
+    std::size_t events_begin, std::size_t events_end,
+    const util::CancelToken* cancel) {
   TRACE_SPAN("followreport.compute.partial");
   FollowReportMatrix result;
   result.n = subset.size();
@@ -145,9 +154,8 @@ FollowReportMatrix ComputeFollowReportingOnEvents(
   events_end = std::min(events_end, db.num_events());
   if (result.n == 0 || events_begin >= events_end) return result;
   FollowScratch scratch;
-  FollowEventsRange(db, slot, result.n,
-                    IndexRange{events_begin, events_end}, scratch,
-                    result.follow_counts);
+  FollowEventsRange(db, slot, result.n, IndexRange{events_begin, events_end},
+                    scratch, result.follow_counts, cancel);
   return result;
 }
 

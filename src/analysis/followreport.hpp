@@ -48,7 +48,8 @@ struct FollowReportMatrix {
 /// in scratch-slot order, so both backends are bitwise identical.
 FollowReportMatrix ComputeFollowReporting(
     const engine::Database& db, std::span<const std::uint32_t> subset,
-    parallel::Backend backend = parallel::Backend::kMorselPool);
+    parallel::Backend backend = parallel::Backend::kMorselPool,
+    const util::CancelToken* cancel = nullptr);
 
 /// Partial-aggregate kernel for scatter-gather serving: follow counts
 /// accumulated over only the events in [events_begin, events_end).
@@ -58,6 +59,7 @@ FollowReportMatrix ComputeFollowReporting(
 /// ComputeFollowReporting exactly.
 FollowReportMatrix ComputeFollowReportingOnEvents(
     const engine::Database& db, std::span<const std::uint32_t> subset,
-    std::size_t events_begin, std::size_t events_end);
+    std::size_t events_begin, std::size_t events_end,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace gdelt::analysis

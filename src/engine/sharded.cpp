@@ -19,7 +19,8 @@ std::vector<Shard> MakeTimeShards(const Database& db,
 }
 
 CrossReportPartial CrossReportingOnShard(const Database& db,
-                                         const Shard& shard) {
+                                         const Shard& shard,
+                                         const util::CancelToken* cancel) {
   const std::size_t nc = Countries().size();
   const auto event_row = db.mention_event_row();
   const auto src = db.mention_source_id();
@@ -30,6 +31,7 @@ CrossReportPartial CrossReportingOnShard(const Database& db,
   partial.counts.assign(nc * nc, 0);
   partial.articles_per_publisher.assign(nc, 0);
   for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
+    if ((i & 4095) == 0 && util::Cancelled(cancel)) break;
     const std::uint16_t pub = source_country[src[i]];
     if (pub == kNoCountry) continue;
     const std::uint32_t row = event_row[i];
@@ -47,7 +49,8 @@ CrossReportPartial CrossReportingOnShard(const Database& db,
 
 CrossReportPartial CrossReportingOnShard(const Database& db,
                                          const Shard& shard,
-                                         const SelectionBitmap& sel) {
+                                         const SelectionBitmap& sel,
+                                         const util::CancelToken* cancel) {
   const std::size_t nc = Countries().size();
   const auto event_row = db.mention_event_row();
   const auto src = db.mention_source_id();
@@ -58,6 +61,7 @@ CrossReportPartial CrossReportingOnShard(const Database& db,
   partial.counts.assign(nc * nc, 0);
   partial.articles_per_publisher.assign(nc, 0);
   for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
+    if ((i & 4095) == 0 && util::Cancelled(cancel)) break;
     if (!sel.Test(i)) continue;
     const std::uint16_t pub = source_country[src[i]];
     if (pub == kNoCountry) continue;
@@ -100,8 +104,9 @@ CountryCrossReport ReduceCrossReport(
   return report;
 }
 
-CountryCrossReport ShardedCountryCrossReporting(const Database& db,
-                                                std::size_t num_shards) {
+CountryCrossReport ShardedCountryCrossReporting(
+    const Database& db, std::size_t num_shards,
+    const util::CancelToken* cancel) {
   TRACE_SPAN("engine.sharded.cross_report");
   const auto shards = MakeTimeShards(db, num_shards);
   std::vector<CrossReportPartial> partials(shards.size());
@@ -111,15 +116,16 @@ CountryCrossReport ShardedCountryCrossReporting(const Database& db,
       shards.size(),
       [&](IndexRange r, std::size_t) {
         for (std::size_t s = r.begin; s < r.end; ++s) {
-          partials[s] = CrossReportingOnShard(db, shards[s]);
+          partials[s] = CrossReportingOnShard(db, shards[s], cancel);
         }
       },
-      /*morsel_rows=*/1);
+      /*morsel_rows=*/1, cancel);
   return ReduceCrossReport(partials);
 }
 
-std::vector<std::uint64_t> ShardedArticlesPerSource(const Database& db,
-                                                    std::size_t num_shards) {
+std::vector<std::uint64_t> ShardedArticlesPerSource(
+    const Database& db, std::size_t num_shards,
+    const util::CancelToken* cancel) {
   const auto shards = MakeTimeShards(db, num_shards);
   const auto src = db.mention_source_id();
   std::vector<std::vector<std::uint64_t>> partials(
@@ -131,11 +137,12 @@ std::vector<std::uint64_t> ShardedArticlesPerSource(const Database& db,
           auto& local = partials[s];
           const Shard& shard = shards[s];
           for (std::uint64_t i = shard.begin; i < shard.end; ++i) {
+            if ((i & 4095) == 0 && util::Cancelled(cancel)) break;
             ++local[src[i]];
           }
         }
       },
-      /*morsel_rows=*/1);
+      /*morsel_rows=*/1, cancel);
   std::vector<std::uint64_t> merged(db.num_sources(), 0);
   for (const auto& local : partials) {
     for (std::size_t k = 0; k < merged.size(); ++k) merged[k] += local[k];

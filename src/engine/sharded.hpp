@@ -19,6 +19,7 @@
 #include "engine/database.hpp"
 #include "engine/filter.hpp"
 #include "engine/queries.hpp"
+#include "util/cancel.hpp"
 
 namespace gdelt::engine {
 
@@ -39,8 +40,12 @@ struct CrossReportPartial {
 };
 
 /// Computes one shard's partial (what a single MPI rank would do).
+/// `cancel` is polled per row chunk; a cancelled partial is garbage and
+/// must be discarded by the caller (util/cancel.hpp semantics).
 CrossReportPartial CrossReportingOnShard(const Database& db,
-                                         const Shard& shard);
+                                         const Shard& shard,
+                                         const util::CancelToken* cancel =
+                                             nullptr);
 
 /// Filtered flavor for the router's restricted cross-report partials:
 /// only rows selected by `sel` contribute. The binning matches the
@@ -48,18 +53,22 @@ CrossReportPartial CrossReportingOnShard(const Database& db,
 /// so reducing the partials of a row-range partition reproduces it.
 CrossReportPartial CrossReportingOnShard(const Database& db,
                                          const Shard& shard,
-                                         const SelectionBitmap& sel);
+                                         const SelectionBitmap& sel,
+                                         const util::CancelToken* cancel =
+                                             nullptr);
 
 /// Reduces shard partials into the final report (the allreduce step).
 CountryCrossReport ReduceCrossReport(
     const std::vector<CrossReportPartial>& partials);
 
 /// End-to-end sharded aggregated query; equals CountryCrossReporting().
-CountryCrossReport ShardedCountryCrossReporting(const Database& db,
-                                                std::size_t num_shards);
+CountryCrossReport ShardedCountryCrossReporting(
+    const Database& db, std::size_t num_shards,
+    const util::CancelToken* cancel = nullptr);
 
 /// Sharded per-source article counts (simple additive reduction).
-std::vector<std::uint64_t> ShardedArticlesPerSource(const Database& db,
-                                                    std::size_t num_shards);
+std::vector<std::uint64_t> ShardedArticlesPerSource(
+    const Database& db, std::size_t num_shards,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace gdelt::engine

@@ -62,6 +62,9 @@ Priority ScopedPriority::Current() noexcept { return tls_priority; }
 struct MorselPool::Job {
   std::function<void(IndexRange, std::size_t)> body;
   Priority priority = Priority::kBatch;
+  /// Polled before each morsel body; cancelled jobs drain their queued
+  /// morsels as skips so `remaining` always reaches zero exactly once.
+  const util::CancelToken* cancel = nullptr;
   sync::Mutex mu;
   sync::CondVar done_cv;
   std::size_t remaining GDELT_GUARDED_BY(mu) = 0;
@@ -116,15 +119,15 @@ MorselPool& MorselPool::Shared() {
 
 void PoolParallelFor(std::size_t n,
                      const std::function<void(IndexRange, std::size_t)>& body,
-                     std::size_t morsel_rows) {
-  MorselPool::Shared().ParallelFor(n, body, morsel_rows);
+                     std::size_t morsel_rows, const util::CancelToken* cancel) {
+  MorselPool::Shared().ParallelFor(n, body, morsel_rows, cancel);
 }
 
 std::size_t PoolSlots() noexcept { return MorselPool::Shared().num_slots(); }
 
 bool MorselPool::ParallelFor(
     std::size_t n, const std::function<void(IndexRange, std::size_t)>& body,
-    std::size_t morsel_rows) {
+    std::size_t morsel_rows, const util::CancelToken* cancel) {
   if (n == 0) return true;
   const std::size_t rows = morsel_rows > 0 ? morsel_rows : MorselRows();
 
@@ -132,7 +135,7 @@ bool MorselPool::ParallelFor(
   // the slot the thread already holds. Queuing instead would deadlock a
   // 1-worker pool (the worker would wait on work only it can execute).
   if (tls_pool == this) {
-    RunInline(n, body, rows, tls_slot);
+    RunInline(n, body, rows, tls_slot, cancel);
     sync::MutexLock lock(mu_);
     ++inline_jobs_;
     return true;
@@ -145,7 +148,7 @@ bool MorselPool::ParallelFor(
   // one range itself (a point query must not wait behind deque traffic).
   if (num_morsels == 1 || W == 0) {
     const std::size_t slot = AcquireCallerSlot();
-    RunInline(n, body, rows, slot);
+    RunInline(n, body, rows, slot, cancel);
     ReleaseCallerSlot(slot);
     sync::MutexLock lock(mu_);
     ++jobs_;
@@ -155,6 +158,7 @@ bool MorselPool::ParallelFor(
   auto job = std::make_shared<Job>();
   job->body = body;
   job->priority = ScopedPriority::Current();
+  job->cancel = cancel;
   {
     sync::MutexLock lock(job->mu);
     job->remaining = num_morsels;
@@ -174,7 +178,7 @@ bool MorselPool::ParallelFor(
     // Pool is going away; honor the call anyway (all-or-nothing: the
     // job still runs to completion, just not on the pool).
     const std::size_t slot = AcquireCallerSlot();
-    RunInline(n, body, rows, slot);
+    RunInline(n, body, rows, slot, cancel);
     ReleaseCallerSlot(slot);
     return false;
   }
@@ -216,12 +220,17 @@ bool MorselPool::ParallelFor(
 
 void MorselPool::RunInline(
     std::size_t n, const std::function<void(IndexRange, std::size_t)>& body,
-    std::size_t morsel_rows, std::size_t slot) {
+    std::size_t morsel_rows, std::size_t slot,
+    const util::CancelToken* cancel) {
   const MorselPool* saved_pool = tls_pool;
   const std::size_t saved_slot = tls_slot;
   tls_pool = this;
   tls_slot = slot;
   for (std::size_t begin = 0; begin < n; begin += morsel_rows) {
+    if (util::Cancelled(cancel)) {
+      morsels_skipped_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // keep counting skips so stats reflect the saved work
+    }
     body(IndexRange{begin, std::min(n, begin + morsel_rows)}, slot);
     morsels_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -230,8 +239,15 @@ void MorselPool::RunInline(
 }
 
 void MorselPool::Execute(const Run& run, std::size_t slot) {
-  run.job->body(run.range, slot);
-  morsels_.fetch_add(1, std::memory_order_relaxed);
+  // A cancelled job's queued morsels become skips; `remaining` still
+  // counts down so the job completes exactly once, and the enforcement
+  // boundary above the pool discards the (partial) result.
+  if (util::Cancelled(run.job->cancel)) {
+    morsels_skipped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    run.job->body(run.range, slot);
+    morsels_.fetch_add(1, std::memory_order_relaxed);
+  }
   sync::MutexLock lock(run.job->mu);
   if (--run.job->remaining == 0) run.job->done_cv.NotifyAll();
 }
@@ -359,6 +375,7 @@ MorselPoolStats MorselPool::stats() const {
   }
   s.morsels = morsels_.load(std::memory_order_relaxed);
   s.steals = steals_.load(std::memory_order_relaxed);
+  s.morsels_skipped = morsels_skipped_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "parallel/parallel.hpp"  // IndexRange
+#include "util/cancel.hpp"
 #include "util/sync.hpp"
 
 namespace gdelt::parallel {
@@ -92,6 +93,7 @@ struct MorselPoolStats {
   std::uint64_t morsels = 0;  ///< morsels executed.
   std::uint64_t steals = 0;   ///< morsels obtained by stealing.
   std::uint64_t inline_jobs = 0;  ///< jobs run inline (nested/shutdown).
+  std::uint64_t morsels_skipped = 0;  ///< morsels dropped by cancellation.
 };
 
 /// Shared work-stealing pool. Thread-safe; one instance normally serves
@@ -115,9 +117,17 @@ class MorselPool {
   /// worker run inline serially (no nested-pool deadlock). Returns
   /// false only when the pool is shutting down and the job was instead
   /// run inline on the caller.
+  ///
+  /// With a non-null `cancel`, each morsel polls the token before its
+  /// body runs; once cancelled the remaining morsels of the job are
+  /// skipped (counted in MorselPoolStats::morsels_skipped) but the job
+  /// still completes exactly once — the call returns normally and the
+  /// *caller* is responsible for discarding the partial result (the
+  /// enforcement boundary re-checks the token; see util/cancel.hpp).
   bool ParallelFor(std::size_t n,
                    const std::function<void(IndexRange, std::size_t)>& body,
-                   std::size_t morsel_rows = 0);
+                   std::size_t morsel_rows = 0,
+                   const util::CancelToken* cancel = nullptr);
 
   /// Deterministic sum over [0, n): per-slot partials of map(i) merged
   /// in slot order. T must be an integral type for bitwise determinism
@@ -171,7 +181,8 @@ class MorselPool {
   /// Serial in-place execution (nested call or shutting-down pool).
   void RunInline(std::size_t n,
                  const std::function<void(IndexRange, std::size_t)>& body,
-                 std::size_t morsel_rows, std::size_t slot);
+                 std::size_t morsel_rows, std::size_t slot,
+                 const util::CancelToken* cancel);
 
   std::size_t slots_ = 1;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -196,6 +207,7 @@ class MorselPool {
   std::uint64_t inline_jobs_ GDELT_GUARDED_BY(mu_) = 0;
   std::atomic<std::uint64_t> morsels_{0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> morsels_skipped_{0};
 };
 
 /// Convenience: MorselPool::Shared().ParallelFor(...). Kernels migrated
@@ -203,7 +215,8 @@ class MorselPool {
 /// pool (ablation baselines) keeps its omp pragma under an allow tag.
 void PoolParallelFor(std::size_t n,
                      const std::function<void(IndexRange, std::size_t)>& body,
-                     std::size_t morsel_rows = 0);
+                     std::size_t morsel_rows = 0,
+                     const util::CancelToken* cancel = nullptr);
 
 /// Scratch-slot count of the shared pool (for sizing partial arrays).
 std::size_t PoolSlots() noexcept;

@@ -316,8 +316,14 @@ Result<std::string> Router::RelayLine(std::size_t shard,
 
 Result<serve::JsonValue> Router::FetchShardFrame(const serve::Request& r,
                                                  std::uint32_t shard,
+                                                 const std::string& scatter_id,
                                                  Clock::time_point deadline) {
   serve::Request sub = r;
+  // Every shard of one scatter runs under the same router-chosen id, so a
+  // single `cancel` line aborts the whole scatter's in-flight work. The
+  // client's id still names the merged response; only the sub-requests
+  // are re-keyed.
+  sub.id = scatter_id;
   const auto of = static_cast<std::uint32_t>(pool_.num_shards());
   auto response = ShardRoundTrip(
       static_cast<std::size_t>(shard),
@@ -353,6 +359,24 @@ Result<serve::JsonValue> Router::FetchShardFrame(const serve::Request& r,
   return *frame;
 }
 
+void Router::BroadcastCancel(const std::string& scatter_id) {
+  std::string line = "{\"id\":";
+  serve::AppendJsonString(line, scatter_id);
+  line += ",\"query\":\"cancel\"}";
+  const std::size_t num_shards = pool_.num_shards();
+  for (std::size_t shard = 0; shard < num_shards; ++shard) {
+    auto lease = pool_.Acquire(shard);
+    if (!lease.ok()) continue;
+    // Short window, one attempt, and no ReportFailure on error: a lost
+    // cancel costs some wasted scan time, not correctness, and it must
+    // not skew replica health accounting.
+    (void)lease->client.SetRecvTimeoutMs(kRecvGraceMs);
+    auto response = lease->client.RoundTrip(line);
+    pool_.Release(std::move(*lease), /*reusable=*/response.ok());
+    if (response.ok()) metrics_.cancels_sent.fetch_add(1);
+  }
+}
+
 std::string Router::ScatterGather(const serve::Request& r,
                                   Clock::time_point received,
                                   Clock::time_point deadline) {
@@ -360,12 +384,22 @@ std::string Router::ScatterGather(const serve::Request& r,
   const bool batch = serve::IsBatchQueryKind(r.kind);
   if (!AdmitScatter(batch, deadline)) {
     metrics_.rejected_overloaded.fetch_add(1);
+    // Backoff hint: roughly when a scatter slot should free up — the
+    // observed p50 scatter wall time (50ms until we have samples).
+    const auto snap = scatter_latency_.Snap();
+    const double p50 = snap.count > 0 ? snap.QuantileMs(0.50) : 50.0;
+    const auto retry_after_ms =
+        static_cast<std::int64_t>(std::max(p50, 1.0));
+    last_retry_after_ms_.store(retry_after_ms);
     return serve::ErrorResponse(
         r.id, ErrorCode::kOverloaded,
         StrFormat("router scatter limit (%zu in flight); retry later",
-                  opt_.max_inflight));
+                  opt_.max_inflight),
+        retry_after_ms);
   }
   const std::size_t num_shards = pool_.num_shards();
+  const std::string scatter_id =
+      "rc-" + std::to_string(scatter_seq_.fetch_add(1) + 1);
   struct Outcome {
     bool ok = false;
     serve::JsonValue frame;
@@ -376,9 +410,9 @@ std::string Router::ScatterGather(const serve::Request& r,
     std::vector<std::thread> threads;
     threads.reserve(num_shards);
     for (std::size_t i = 0; i < num_shards; ++i) {
-      threads.emplace_back([this, &r, &outcomes, i, deadline] {
-        auto frame =
-            FetchShardFrame(r, static_cast<std::uint32_t>(i), deadline);
+      threads.emplace_back([this, &r, &outcomes, &scatter_id, i, deadline] {
+        auto frame = FetchShardFrame(r, static_cast<std::uint32_t>(i),
+                                     scatter_id, deadline);
         if (frame.ok()) {
           outcomes[i].ok = true;
           outcomes[i].frame = *std::move(frame);
@@ -391,6 +425,18 @@ std::string Router::ScatterGather(const serve::Request& r,
   }
   ReleaseScatter();
   metrics_.scatters.fetch_add(1);
+  scatter_latency_.Record(MsSince(received) / 1e3);
+  // A hard-failed shard means this scatter is settled as degraded (or
+  // worse) — but backends may still be scanning under its id: a replica
+  // the router abandoned mid-round-trip, a sub-request past its
+  // deadline. Tell every reachable shard to stop. After the join, so a
+  // survivor's frame can never be cancelled out from under the merge;
+  // for sub-requests that already finished the verb is an idempotent
+  // no-op.
+  const bool any_failed = std::any_of(
+      outcomes.begin(), outcomes.end(),
+      [](const Outcome& outcome) { return !outcome.ok; });
+  if (any_failed) BroadcastCancel(scatter_id);
 
   std::vector<serve::JsonValue> frames;
   std::vector<std::uint32_t> failed;
@@ -489,11 +535,14 @@ std::string Router::MetricsJson() {
   counter("scatters", metrics_.scatters.load());
   counter("shard_failures", metrics_.shard_failures.load());
   counter("degraded_responses", metrics_.degraded_responses.load());
+  counter("cancels_sent", metrics_.cancels_sent.load());
   counter("rejected_overloaded", metrics_.rejected_overloaded.load());
   counter("bad_requests", metrics_.bad_requests.load());
   counter("unknown_queries", metrics_.unknown_queries.load());
   counter("unavailable", metrics_.unavailable.load());
   counter("connections_opened", metrics_.connections_opened.load());
+  out += StrFormat("\"retry_after_ms\":%lld,",
+                   static_cast<long long>(last_retry_after_ms_.load()));
   out += StrFormat("\"num_shards\":%zu,\"shards\":", pool_.num_shards());
   out += pool_.HealthJson();
   out += "}";
@@ -515,10 +564,15 @@ std::string Router::PrometheusText() {
           metrics_.shard_failures.load());
   counter("gdelt_router_degraded_responses_total",
           metrics_.degraded_responses.load());
+  counter("gdelt_router_cancels_sent_total", metrics_.cancels_sent.load());
   counter("gdelt_router_rejected_overloaded_total",
           metrics_.rejected_overloaded.load());
   counter("gdelt_router_bad_requests_total", metrics_.bad_requests.load());
   counter("gdelt_router_unavailable_total", metrics_.unavailable.load());
+  out += StrFormat(
+      "# TYPE gdelt_router_retry_after_ms gauge\n"
+      "gdelt_router_retry_after_ms %lld\n",
+      static_cast<long long>(last_retry_after_ms_.load()));
   return out;
 }
 

@@ -29,6 +29,7 @@
 #include "router/pool.hpp"
 #include "router/topology.hpp"
 #include "serve/json.hpp"
+#include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "util/status.hpp"
 #include "util/sync.hpp"
@@ -70,6 +71,10 @@ struct RouterMetrics {
   std::atomic<std::uint64_t> scatters{0};
   std::atomic<std::uint64_t> shard_failures{0};
   std::atomic<std::uint64_t> degraded_responses{0};
+  /// Best-effort `cancel` verbs sent to surviving shards after a sibling
+  /// shard hard-failed — their partial work is doomed (the merge already
+  /// lost a shard or the whole scatter died), so stop paying for it.
+  std::atomic<std::uint64_t> cancels_sent{0};
   std::atomic<std::uint64_t> rejected_overloaded{0};
   std::atomic<std::uint64_t> bad_requests{0};
   std::atomic<std::uint64_t> unknown_queries{0};
@@ -119,10 +124,22 @@ class Router {
                                 Clock::time_point deadline);
 
   /// Fetches partition `shard` of `r` from the owning backend and
-  /// returns the parsed `"partial"` frame.
+  /// returns the parsed `"partial"` frame. The sub-request is sent under
+  /// `scatter_id` (one id per scatter, shared by every shard) so a later
+  /// `cancel` verb can address the whole scatter's in-flight work.
   Result<serve::JsonValue> FetchShardFrame(const serve::Request& r,
                                            std::uint32_t shard,
+                                           const std::string& scatter_id,
                                            Clock::time_point deadline);
+
+  /// Best-effort: sends `{"query":"cancel","id":scatter_id}` to one
+  /// replica of every shard (down replicas are skipped by the pool).
+  /// Called after the gather joins when some shard hard-failed: any
+  /// backend still scanning under this scatter's id — a replica the
+  /// router abandoned mid-round-trip, a deadline-expired sub-request —
+  /// is working for nobody. Never retries, never blocks beyond a short
+  /// receive window, never touches replica health accounting.
+  void BroadcastCancel(const std::string& scatter_id);
 
   /// One deadline-bounded round-trip against a replica of `shard`,
   /// retried across replicas/passes. `make_line` rebuilds the request
@@ -165,6 +182,12 @@ class Router {
   sync::Mutex inflight_mu_;
   sync::CondVar inflight_cv_;
   std::size_t inflight_ GDELT_GUARDED_BY(inflight_mu_) = 0;
+
+  /// Monotonic scatter ids ("rc-<n>") addressing in-flight sub-requests.
+  std::atomic<std::uint64_t> scatter_seq_{0};
+  /// Scatter wall-time histogram feeding the shed-path retry_after_ms.
+  serve::LatencyHistogram scatter_latency_;
+  std::atomic<std::int64_t> last_retry_after_ms_{0};
 };
 
 }  // namespace gdelt::router

@@ -4,6 +4,13 @@ namespace gdelt::serve {
 
 std::optional<std::string> ResultCache::Get(const std::string& key,
                                             std::uint64_t epoch) {
+  auto hit = GetTagged(key, epoch);
+  if (!hit) return std::nullopt;
+  return std::move(hit->text);
+}
+
+std::optional<ResultCache::Hit> ResultCache::GetTagged(const std::string& key,
+                                                       std::uint64_t epoch) {
   sync::MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -20,11 +27,11 @@ std::optional<std::string> ResultCache::Get(const std::string& key,
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++hits_;
-  return it->second->text;
+  return Hit{it->second->text, it->second->late};
 }
 
 void ResultCache::Put(const std::string& key, std::uint64_t epoch,
-                      std::string text) {
+                      std::string text, bool late) {
   if (max_entries_ == 0) return;
   sync::MutexLock lock(mu_);
   if (const auto it = index_.find(key); it != index_.end()) {
@@ -33,7 +40,7 @@ void ResultCache::Put(const std::string& key, std::uint64_t epoch,
     index_.erase(it);
   }
   text_bytes_ += text.size();
-  lru_.push_front(Entry{key, epoch, std::move(text)});
+  lru_.push_front(Entry{key, epoch, std::move(text), late});
   index_[key] = lru_.begin();
   while (lru_.size() > max_entries_) {
     text_bytes_ -= lru_.back().text.size();

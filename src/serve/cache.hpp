@@ -27,8 +27,23 @@ class ResultCache {
   /// An entry stored under an older epoch is dropped and counts as a miss.
   std::optional<std::string> Get(const std::string& key, std::uint64_t epoch);
 
+  /// A Get result that also reports how the entry got there.
+  struct Hit {
+    std::string text;
+    bool late = false;  ///< true if cached by a render that missed its
+                        ///< deadline (a salvaged timeout)
+  };
+
+  /// Like Get, but surfaces the `late` tag so the server can count a
+  /// timeout-salvaged hit distinctly from an ordinary one.
+  std::optional<Hit> GetTagged(const std::string& key, std::uint64_t epoch);
+
   /// Inserts/overwrites the entry, evicting from the LRU tail as needed.
-  void Put(const std::string& key, std::uint64_t epoch, std::string text);
+  /// `late` tags text that finished rendering only after its request's
+  /// deadline had expired — still complete and correct (the cancel token
+  /// was never observed), just too slow for the client that paid for it.
+  void Put(const std::string& key, std::uint64_t epoch, std::string text,
+           bool late = false);
 
   void Clear();
 
@@ -43,6 +58,7 @@ class ResultCache {
     std::string key;
     std::uint64_t epoch;
     std::string text;
+    bool late = false;
   };
 
   const std::size_t max_entries_;

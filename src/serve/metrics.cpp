@@ -75,6 +75,10 @@ std::string ServerMetrics::ToJson(const Gauges& gauges) const {
   counter("cache_misses", cache_misses.load());
   counter("rejected_overloaded", rejected_overloaded.load());
   counter("timeouts", timeouts.load());
+  counter("cancelled_deadline", cancelled_deadline.load());
+  counter("cancelled_disconnect", cancelled_disconnect.load());
+  counter("cancelled_router", cancelled_router.load());
+  counter("timeouts_salvaged_by_cache", timeouts_salvaged_by_cache.load());
   counter("bad_requests", bad_requests.load());
   counter("unknown_queries", unknown_queries.load());
   counter("internal_errors", internal_errors.load());
@@ -93,6 +97,9 @@ std::string ServerMetrics::ToJson(const Gauges& gauges) const {
   counter("epoch", gauges.epoch);
   counter("cache_entries", gauges.cache_entries);
   counter("cache_text_bytes", gauges.cache_text_bytes);
+  counter("morsels_skipped", gauges.morsels_skipped);
+  out += StrFormat("\"retry_after_ms\":%lld,",
+                   static_cast<long long>(gauges.retry_after_ms));
   out += StrFormat("\"uptime_s\":%.1f,", gauges.uptime_s);
   out += "\"latency_ms\":{";
   {
@@ -118,7 +125,7 @@ std::string ServerMetrics::ToJson(const Gauges& gauges) const {
 std::string ServerMetrics::Summary(const Gauges& gauges) const {
   return StrFormat(
       "served=%llu ok=%llu hit=%llu miss=%llu overload=%llu timeout=%llu "
-      "bad=%llu queue=%zu/%zu cache=%zu epoch=%llu "
+      "cancelled=%llu bad=%llu queue=%zu/%zu cache=%zu epoch=%llu "
       "ingest_fail=%llu retries=%llu quarantined=%llu ingest_age=%.0fs "
       "up=%.0fs",
       static_cast<unsigned long long>(requests_total.load()),
@@ -127,6 +134,9 @@ std::string ServerMetrics::Summary(const Gauges& gauges) const {
       static_cast<unsigned long long>(cache_misses.load()),
       static_cast<unsigned long long>(rejected_overloaded.load()),
       static_cast<unsigned long long>(timeouts.load()),
+      static_cast<unsigned long long>(cancelled_deadline.load() +
+                                      cancelled_disconnect.load() +
+                                      cancelled_router.load()),
       static_cast<unsigned long long>(bad_requests.load()),
       gauges.queue_depth, gauges.queue_capacity, gauges.cache_entries,
       static_cast<unsigned long long>(gauges.epoch),

@@ -63,6 +63,16 @@ class ServerMetrics {
   std::atomic<std::uint64_t> cache_misses{0};
   std::atomic<std::uint64_t> rejected_overloaded{0};
   std::atomic<std::uint64_t> timeouts{0};
+  // Cooperative-cancellation outcomes, split by who pulled the trigger:
+  // the armed deadline expiring mid-execution, the client vanishing
+  // (POLLHUP while queued/executing), or an explicit `cancel` verb (the
+  // router's orphaned-scatter reaper, or any client by request id).
+  std::atomic<std::uint64_t> cancelled_deadline{0};
+  std::atomic<std::uint64_t> cancelled_disconnect{0};
+  std::atomic<std::uint64_t> cancelled_router{0};
+  // Deadline-expired renders whose full text was cached anyway (tagged
+  // late) and later served a repeat of the same canonical key.
+  std::atomic<std::uint64_t> timeouts_salvaged_by_cache{0};
   std::atomic<std::uint64_t> bad_requests{0};
   std::atomic<std::uint64_t> unknown_queries{0};
   std::atomic<std::uint64_t> internal_errors{0};
@@ -87,6 +97,9 @@ class ServerMetrics {
     std::uint64_t ingest_quarantined = 0;
     std::uint64_t last_ingest_generation = 0;
     double last_ingest_age_s = -1;  ///< seconds since last success; -1 = never
+    // cancellation/overload health
+    std::uint64_t morsels_skipped = 0;   ///< pool morsels drained as no-ops
+    std::int64_t retry_after_ms = 0;     ///< last backoff hint handed out
   };
 
   /// The `metrics` response payload: one JSON object (no trailing

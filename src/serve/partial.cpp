@@ -398,7 +398,7 @@ void PartialTopEvents(const engine::Database& db, const Request& r,
 }
 
 void PartialCoreport(const engine::Database& db, const Request& r,
-                     std::string& out) {
+                     std::string& out, const util::CancelToken* cancel) {
   const IndexRange range = EventRangeFor(db, r.shard, r.of);
   std::vector<std::uint32_t> top;
   analysis::CoReportMatrix matrix(0);
@@ -414,11 +414,11 @@ void PartialCoreport(const engine::Database& db, const Request& r,
       const std::uint32_t ev = event_row[row];
       return ev < range.begin || ev >= range.end;
     });
-    matrix = analysis::ComputeCoReporting(db, top, rows);
+    matrix = analysis::ComputeCoReporting(db, top, rows, cancel);
   } else {
     top = engine::TopSourcesByArticles(db, r.top_k);
     matrix = analysis::ComputeCoReportingOnEvents(db, top, range.begin,
-                                                  range.end);
+                                                  range.end, cancel);
   }
   out += "\"subset\":";
   AppendIntArray(out, top);
@@ -429,12 +429,12 @@ void PartialCoreport(const engine::Database& db, const Request& r,
 }
 
 void PartialFollow(const engine::Database& db, const Request& r,
-                   std::string& out) {
+                   std::string& out, const util::CancelToken* cancel) {
   const IndexRange range = EventRangeFor(db, r.shard, r.of);
   const auto top = engine::TopSourcesByArticles(db, r.top_k);
   const auto matrix =
       analysis::ComputeFollowReportingOnEvents(db, top, range.begin,
-                                               range.end);
+                                               range.end, cancel);
   out += "\"subset\":";
   AppendIntArray(out, top);
   out += ",\"domains\":";
@@ -446,10 +446,11 @@ void PartialFollow(const engine::Database& db, const Request& r,
 }
 
 void PartialCountryCoreport(const engine::Database& db, const Request& r,
-                            std::string& out) {
+                            std::string& out,
+                            const util::CancelToken* cancel) {
   const IndexRange range = EventRangeFor(db, r.shard, r.of);
-  const auto report =
-      analysis::ComputeCountryCoReportingOnEvents(db, range.begin, range.end);
+  const auto report = analysis::ComputeCountryCoReportingOnEvents(
+      db, range.begin, range.end, cancel);
   const auto top = engine::CountriesByPublishedArticles(db, r.top_k);
   out += "\"top\":";
   AppendIntArray(out, top);
@@ -458,14 +459,14 @@ void PartialCountryCoreport(const engine::Database& db, const Request& r,
 }
 
 void PartialCrossReport(const engine::Database& db, const Request& r,
-                        std::string& out) {
+                        std::string& out, const util::CancelToken* cancel) {
   const engine::Shard shard = MentionShardFor(db, r.shard, r.of);
   engine::CrossReportPartial partial;
   if (r.restricted) {
     const auto sel = engine::SelectMentionsBitmap(db, r.filter);
-    partial = engine::CrossReportingOnShard(db, shard, sel);
+    partial = engine::CrossReportingOnShard(db, shard, sel, cancel);
   } else {
-    partial = engine::CrossReportingOnShard(db, shard);
+    partial = engine::CrossReportingOnShard(db, shard, cancel);
   }
   const std::size_t nc = Countries().size();
   out += "\"reported\":";
@@ -479,9 +480,10 @@ void PartialCrossReport(const engine::Database& db, const Request& r,
 }
 
 void PartialDelay(const engine::Database& db, const Request& r,
-                  std::string& out) {
+                  std::string& out, const util::CancelToken* cancel) {
   const auto top = engine::TopSourcesByArticles(db, r.top_k);
-  const auto stats = analysis::PerSourceDelayStatsStrided(db, r.shard, r.of);
+  const auto stats =
+      analysis::PerSourceDelayStatsStrided(db, r.shard, r.of, cancel);
   const auto quarterly =
       analysis::QuarterlyDelayStatsStrided(db, r.shard, r.of);
   out += "\"top\":";
@@ -540,10 +542,10 @@ void PartialDelay(const engine::Database& db, const Request& r,
 }
 
 void PartialFirstReports(const engine::Database& db, const Request& r,
-                         std::string& out) {
+                         std::string& out, const util::CancelToken* cancel) {
   const IndexRange range = EventRangeFor(db, r.shard, r.of);
-  const auto stats =
-      analysis::ComputeFirstReportsOnEvents(db, range.begin, range.end);
+  const auto stats = analysis::ComputeFirstReportsOnEvents(
+      db, range.begin, range.end, /*histogram_bins=*/18, cancel);
   out += "\"breaks\":";
   AppendIntArray(out, stats.first_reports);
   out += ",\"repeat_articles\":";
@@ -958,7 +960,8 @@ void SetPartialMatrixEncoding(PartialMatrixEncoding enc) noexcept {
 
 Result<RenderedQuery> RenderPartialFrame(const engine::Database& db,
                                          const Request& r,
-                                         parallel::Backend /*backend*/) {
+                                         parallel::Backend /*backend*/,
+                                         const util::CancelToken* cancel) {
   RenderedQuery out;
   Appendf(out.text, "{\"v\":%d,\"kind\":", kPartialVersion);
   AppendJsonString(out.text, r.kind);
@@ -968,17 +971,17 @@ Result<RenderedQuery> RenderPartialFrame(const engine::Database& db,
   } else if (r.kind == "top-events") {
     PartialTopEvents(db, r, out.text);
   } else if (r.kind == "coreport") {
-    PartialCoreport(db, r, out.text);
+    PartialCoreport(db, r, out.text, cancel);
   } else if (r.kind == "follow") {
-    PartialFollow(db, r, out.text);
+    PartialFollow(db, r, out.text, cancel);
   } else if (r.kind == "country-coreport") {
-    PartialCountryCoreport(db, r, out.text);
+    PartialCountryCoreport(db, r, out.text, cancel);
   } else if (r.kind == "cross-report") {
-    PartialCrossReport(db, r, out.text);
+    PartialCrossReport(db, r, out.text, cancel);
   } else if (r.kind == "delay") {
-    PartialDelay(db, r, out.text);
+    PartialDelay(db, r, out.text, cancel);
   } else if (r.kind == "first-reports") {
-    PartialFirstReports(db, r, out.text);
+    PartialFirstReports(db, r, out.text, cancel);
   } else {
     return status::InvalidArgument("query '" + r.kind +
                                    "' does not decompose into partials");

@@ -32,6 +32,7 @@
 #include "serve/json.hpp"
 #include "serve/protocol.hpp"
 #include "serve/render.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 
 namespace gdelt::serve {
@@ -52,9 +53,11 @@ void SetPartialMatrixEncoding(PartialMatrixEncoding enc) noexcept;
 /// Computes partition `r.shard` of `r.of` of query `r.kind` and returns
 /// the partial-result frame as `RenderedQuery::text` (a single JSON
 /// object, no trailing newline). OkResponse splices it in unquoted.
-Result<RenderedQuery> RenderPartialFrame(const engine::Database& db,
-                                         const Request& r,
-                                         parallel::Backend backend);
+/// `cancel` reaches the partial kernels; RenderQuery's enforcement
+/// boundary discards a cancelled frame before it can be shipped.
+Result<RenderedQuery> RenderPartialFrame(
+    const engine::Database& db, const Request& r, parallel::Backend backend,
+    const util::CancelToken* cancel = nullptr);
 
 /// Merges shard frames (the parsed `"partial"` members of backend
 /// responses, in any order) into the final rendered text. Validates the

@@ -43,6 +43,14 @@ std::string PrometheusText(const ServerMetrics& metrics,
   Counter(out, "gdelt_rejected_overloaded_total",
           metrics.rejected_overloaded.load());
   Counter(out, "gdelt_timeouts_total", metrics.timeouts.load());
+  Counter(out, "gdelt_cancelled_deadline_total",
+          metrics.cancelled_deadline.load());
+  Counter(out, "gdelt_cancelled_disconnect_total",
+          metrics.cancelled_disconnect.load());
+  Counter(out, "gdelt_cancelled_router_total",
+          metrics.cancelled_router.load());
+  Counter(out, "gdelt_timeouts_salvaged_by_cache_total",
+          metrics.timeouts_salvaged_by_cache.load());
   Counter(out, "gdelt_bad_requests_total", metrics.bad_requests.load());
   Counter(out, "gdelt_unknown_queries_total", metrics.unknown_queries.load());
   Counter(out, "gdelt_internal_errors_total", metrics.internal_errors.load());
@@ -64,6 +72,9 @@ std::string PrometheusText(const ServerMetrics& metrics,
         static_cast<double>(gauges.cache_text_bytes));
   Gauge(out, "gdelt_uptime_seconds", gauges.uptime_s);
   Gauge(out, "gdelt_last_ingest_age_seconds", gauges.last_ingest_age_s);
+  Counter(out, "gdelt_morsels_skipped_total", gauges.morsels_skipped);
+  Gauge(out, "gdelt_retry_after_ms",
+        static_cast<double>(gauges.retry_after_ms));
 
   const auto histograms = metrics.HistogramSnapshots();
   if (!histograms.empty()) {

@@ -65,6 +65,7 @@ std::string_view ErrorCodeName(ErrorCode code) noexcept {
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kCancelled: return "cancelled";
   }
   return "internal";
 }
@@ -167,6 +168,10 @@ Result<Request> ParseRequest(std::string_view line) {
     return status::InvalidArgument(
         "ingest needs 'export' and/or 'mentions' paths");
   }
+  if (r.kind == "cancel" && r.id.empty()) {
+    return status::InvalidArgument(
+        "cancel needs an 'id' naming the request to abort");
+  }
   if ((saw_shard || saw_of) && !r.partial) {
     return status::InvalidArgument(
         "'shard'/'of' require '\"partial\":true'");
@@ -216,6 +221,10 @@ std::string OkResponse(const Request& r, std::string_view text, bool cached,
   AppendJsonString(out, r.kind);
   out += cached ? ",\"cached\":true" : ",\"cached\":false";
   out += StrFormat(",\"wall_ms\":%.3f", wall_ms);
+  if (r.effective_timeout_ms > 0) {
+    out += StrFormat(",\"deadline_ms\":%lld",
+                     static_cast<long long>(r.effective_timeout_ms));
+  }
   if (!stages.empty()) {
     out += ",\"trace\":{\"stages\":[";
     bool first = true;
@@ -268,12 +277,22 @@ std::string OkJsonResponse(const Request& r, std::string_view field,
 
 std::string ErrorResponse(std::string_view id, ErrorCode code,
                           std::string_view message) {
+  return ErrorResponse(id, code, message, /*retry_after_ms=*/0);
+}
+
+std::string ErrorResponse(std::string_view id, ErrorCode code,
+                          std::string_view message,
+                          std::int64_t retry_after_ms) {
   std::string out = "{\"id\":";
   AppendJsonString(out, id);
   out += ",\"ok\":false,\"error\":{\"code\":";
   AppendJsonString(out, ErrorCodeName(code));
   out += ",\"message\":";
   AppendJsonString(out, message);
+  if (retry_after_ms > 0) {
+    out += StrFormat(",\"retry_after_ms\":%lld",
+                     static_cast<long long>(retry_after_ms));
+  }
   out += "}}\n";
   return out;
 }

@@ -27,6 +27,7 @@ enum class ErrorCode {
   kShuttingDown,  ///< server is draining after SIGTERM
   kInternal,      ///< dispatcher failure (bug)
   kUnavailable,   ///< router: no healthy replica answered for a shard
+  kCancelled,     ///< cooperatively cancelled (disconnect / cancel verb)
 };
 
 std::string_view ErrorCodeName(ErrorCode code) noexcept;
@@ -34,7 +35,9 @@ std::string_view ErrorCodeName(ErrorCode code) noexcept;
 /// A parsed, validated client request.
 struct Request {
   std::string id;    ///< client correlation id, echoed back (may be empty)
-  std::string kind;  ///< query name, or "metrics" | "ping" | "ingest"
+  std::string kind;  ///< query name, or "metrics" | "ping" | "ingest" |
+                     ///< "cancel" (cancel requires a non-empty id naming
+                     ///< the in-flight request to abort)
 
   // query options (mirror the gdelt_query CLI flags)
   std::size_t top_k = 10;
@@ -45,6 +48,11 @@ struct Request {
   std::int64_t timeout_ms = 0;      ///< 0 = server default
   std::int64_t debug_sleep_ms = 0;  ///< testing aid: stall the worker
   bool trace = false;               ///< return per-stage timings inline
+
+  /// Server-side only (never parsed): the deadline actually enforced
+  /// after clamping `timeout_ms` to the server's --max-timeout-ms.
+  /// Echoed as `"deadline_ms"` in ok responses when > 0.
+  std::int64_t effective_timeout_ms = 0;
 
   // partial-aggregate execution (router scatter; docs/PROTOCOL.md).
   // When `partial` is set the backend computes only the partition
@@ -124,5 +132,12 @@ std::string OkJsonResponse(const Request& r, std::string_view field,
 /// Builds one error response line (terminating '\n' included).
 std::string ErrorResponse(std::string_view id, ErrorCode code,
                           std::string_view message);
+
+/// Same, with a client backoff hint: `"retry_after_ms"` inside the error
+/// object (emitted when > 0). Sent on overload rejections/sheds, sized
+/// from queue depth x observed p50 execution time (docs/PROTOCOL.md).
+std::string ErrorResponse(std::string_view id, ErrorCode code,
+                          std::string_view message,
+                          std::int64_t retry_after_ms);
 
 }  // namespace gdelt::serve

@@ -50,7 +50,8 @@ std::vector<std::uint64_t> CountsOf(const std::vector<std::uint64_t>& counts,
 /// original scalar two-pass row materialization as the ablation baseline.
 Result<RenderedQuery> RenderRestricted(const engine::Database& db,
                                        const Request& r,
-                                       parallel::Backend backend) {
+                                       parallel::Backend backend,
+                                       const util::CancelToken* cancel) {
   RenderedQuery out;
   const bool bitmap_path = backend == parallel::Backend::kMorselPool;
   engine::SelectionBitmap sel;
@@ -79,7 +80,7 @@ Result<RenderedQuery> RenderRestricted(const engine::Database& db,
     // The per-event rebuild wants explicit rows; pay the materialization
     // only on this branch.
     if (bitmap_path) rows = sel.ToRows();
-    const auto matrix = analysis::ComputeCoReporting(db, top, rows);
+    const auto matrix = analysis::ComputeCoReporting(db, top, rows, cancel);
     AppendCoreportText(out.text, SourceLabels(db, top), matrix,
                        /*restricted=*/true);
     return out;
@@ -94,19 +95,20 @@ Result<RenderedQuery> RenderRestricted(const engine::Database& db,
   return out;
 }
 
-}  // namespace
-
-Result<RenderedQuery> RenderQuery(const engine::Database& db,
-                                  const Request& r,
-                                  parallel::Backend backend) {
+/// Unchecked dispatch; RenderQuery wraps it with the cancellation
+/// enforcement boundary.
+Result<RenderedQuery> RenderQueryImpl(const engine::Database& db,
+                                      const Request& r,
+                                      parallel::Backend backend,
+                                      const util::CancelToken* cancel) {
   const std::string& query = r.kind;
   const std::size_t top_k = r.top_k;
   if (r.partial) {
-    return RenderPartialFrame(db, r, backend);
+    return RenderPartialFrame(db, r, backend, cancel);
   }
   if (r.restricted && (query == "top-sources" || query == "cross-report" ||
                        query == "coreport")) {
-    return RenderRestricted(db, r, backend);
+    return RenderRestricted(db, r, backend, cancel);
   }
   RenderedQuery out;
   if (query == "stats") {
@@ -147,6 +149,7 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
     analysis::TiledCoReportOptions coreport_options;
     coreport_options.use_morsel_pool =
         backend == parallel::Backend::kMorselPool;
+    coreport_options.cancel = cancel;
     const auto matrix = analysis::ComputeCoReporting(db, top, coreport_options);
     AppendCoreportText(out.text, SourceLabels(db, top), matrix,
                        /*restricted=*/false);
@@ -154,12 +157,13 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
   }
   if (query == "follow") {
     const auto top = engine::TopSourcesByArticles(db, top_k);
-    const auto matrix = analysis::ComputeFollowReporting(db, top, backend);
+    const auto matrix = analysis::ComputeFollowReporting(db, top, backend,
+                                                         cancel);
     AppendFollowText(out.text, SourceLabels(db, top), matrix);
     return out;
   }
   if (query == "country-coreport") {
-    const auto report = analysis::ComputeCountryCoReporting(db);
+    const auto report = analysis::ComputeCountryCoReporting(db, cancel);
     const auto top = engine::CountriesByPublishedArticles(db, top_k);
     AppendCountryCoreportText(out.text, top, report);
     return out;
@@ -173,7 +177,7 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
     return out;
   }
   if (query == "delay") {
-    const auto stats = analysis::PerSourceDelayStats(db, backend);
+    const auto stats = analysis::PerSourceDelayStats(db, backend, cancel);
     const auto top = engine::TopSourcesByArticles(db, top_k);
     std::vector<analysis::DelayStats> top_stats;
     top_stats.reserve(top.size());
@@ -205,8 +209,8 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
     return out;
   }
   if (query == "first-reports") {
-    const auto stats =
-        analysis::ComputeFirstReports(db, /*histogram_bins=*/18, backend);
+    const auto stats = analysis::ComputeFirstReports(db, /*histogram_bins=*/18,
+                                                     backend, cancel);
     const auto counts = engine::ArticlesPerSource(db);
     const auto by_breaks = RankSources(stats.first_reports, top_k);
     std::vector<std::uint64_t> breaks;
@@ -221,6 +225,23 @@ Result<RenderedQuery> RenderQuery(const engine::Database& db,
     return out;
   }
   return status::InvalidArgument("unknown query '" + query + "'");
+}
+
+}  // namespace
+
+Result<RenderedQuery> RenderQuery(const engine::Database& db,
+                                  const Request& r,
+                                  parallel::Backend backend,
+                                  const util::CancelToken* cancel) {
+  auto out = RenderQueryImpl(db, r, backend, cancel);
+  // Enforcement boundary: a kernel that observed the token mid-scan bailed
+  // with a short count, so whatever Impl rendered is garbage. Re-check the
+  // token here and replace the result wholesale — callers either get the
+  // complete text or kCancelled, never a truncated aggregate.
+  if (util::Cancelled(cancel)) {
+    return status::Cancelled("query cancelled during execution");
+  }
+  return out;
 }
 
 }  // namespace gdelt::serve

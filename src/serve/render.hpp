@@ -13,6 +13,7 @@
 #include "engine/database.hpp"
 #include "parallel/morsel.hpp"
 #include "serve/protocol.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 
 namespace gdelt::serve {
@@ -33,8 +34,14 @@ struct RenderedQuery {
 /// take the vectorized bitmap filter path) or private OpenMP teams (the
 /// scheduling-ablation baseline, scalar two-pass filter). Both render
 /// byte-identical text.
+///
+/// `cancel` (optional) is threaded into every long-running kernel and
+/// re-checked once after dispatch: a cancelled render returns
+/// StatusCode::kCancelled and never leaks partially aggregated text —
+/// the result is all-or-nothing by construction.
 Result<RenderedQuery> RenderQuery(
     const engine::Database& db, const Request& r,
-    parallel::Backend backend = parallel::Backend::kMorselPool);
+    parallel::Backend backend = parallel::Backend::kMorselPool,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace gdelt::serve

@@ -6,8 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <optional>
 
 #include "serve/prom.hpp"
@@ -36,6 +38,40 @@ bool WriteAll(int fd, std::string_view data) {
     data.remove_prefix(static_cast<std::size_t>(n));
   }
   return true;
+}
+
+/// True once the peer has hung up (or the socket errored): the request
+/// this connection is waiting on has no reader left.
+bool PeerGone(int fd) {
+  if (fd < 0) return false;
+#ifdef POLLRDHUP
+  pollfd pfd{fd, POLLRDHUP, 0};
+#else
+  pollfd pfd{fd, 0, 0};
+#endif
+  if (::poll(&pfd, 1, /*timeout_ms=*/0) <= 0) return false;
+  return (pfd.revents & (POLLHUP | POLLERR
+#ifdef POLLRDHUP
+                         | POLLRDHUP
+#endif
+                         )) != 0;
+}
+
+/// Token-polling sleep for `debug_sleep_ms`: stalls in short slices so a
+/// deadline or cancel landing mid-stall aborts within ~one slice, the
+/// same cadence a real kernel polls at morsel granularity.
+void CancellableSleep(std::int64_t ms, const util::CancelToken* cancel) {
+  constexpr std::int64_t kSliceMs = 100;
+  const auto until = Clock::now() + std::chrono::milliseconds(ms);
+  while (!util::Cancelled(cancel)) {
+    const auto now = Clock::now();
+    if (now >= until) return;
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(until - now)
+            .count();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min<std::int64_t>(left, kSliceMs)));
+  }
 }
 
 }  // namespace
@@ -171,6 +207,8 @@ ServerMetrics::Gauges Server::GaugesNow() const {
     g.ingest_retries = fetch.retries;
     g.ingest_quarantined = fetch.quarantined;
   }
+  g.morsels_skipped = parallel::MorselPool::Shared().stats().morsels_skipped;
+  g.retry_after_ms = last_retry_after_ms_.load();
   g.last_ingest_generation = last_ingest_generation_.load();
   const std::int64_t last_ms = last_ingest_ms_.load();
   g.last_ingest_age_s = last_ms < 0 ? -1.0
@@ -180,7 +218,7 @@ ServerMetrics::Gauges Server::GaugesNow() const {
   return g;
 }
 
-std::string Server::HandleLine(const std::string& line) {
+std::string Server::HandleLine(const std::string& line, int client_fd) {
   const auto received = Clock::now();
   TRACE_SPAN("serve.request");
   metrics_.requests_total.fetch_add(1);
@@ -214,23 +252,69 @@ std::string Server::HandleLine(const std::string& line) {
   if (r.kind == "ingest") {
     return HandleIngest(r);
   }
+  if (r.kind == "cancel") {
+    // Handled inline on the connection thread — a cancel must never sit
+    // in the queue behind the very work it is trying to abort.
+    return HandleCancel(r);
+  }
   if (!IsKnownQueryKind(r.kind)) {
     metrics_.unknown_queries.fetch_add(1);
     return ErrorResponse(r.id, ErrorCode::kUnknownQuery,
                          "unknown query '" + r.kind + "'");
   }
-  return HandleQuery(r, received, parse_ms);
+  return HandleQuery(r, received, parse_ms, client_fd);
 }
 
-std::string Server::HandleQuery(const Request& request,
-                                Clock::time_point received, double parse_ms) {
+std::string Server::HandleCancel(const Request& request) {
+  std::shared_ptr<util::CancelToken> token;
+  {
+    sync::MutexLock lock(cancel_mu_);
+    const auto it = inflight_.find(request.id);
+    if (it != inflight_.end()) token = it->second;
+  }
+  if (token == nullptr) {
+    // Already finished (or never seen) — cancellation is best-effort and
+    // idempotent, so this is a normal answer, not an error.
+    return OkJsonResponse(request, "cancelled", "false");
+  }
+  token->Cancel(util::CancelReason::kRouter);
+  return OkJsonResponse(request, "cancelled", "true");
+}
+
+std::int64_t Server::RetryAfterMsNow() {
+  const auto snap = exec_latency_.Snap();
+  // No completions yet: assume a modest slot cost instead of handing out
+  // a zero hint that would invite an immediate, equally doomed retry.
+  const double p50_ms = snap.count > 0 ? snap.QuantileMs(0.50) : 25.0;
+  const auto depth = static_cast<double>(scheduler_.QueueDepth() + 1);
+  const auto hint = static_cast<std::int64_t>(depth * std::max(p50_ms, 1.0));
+  last_retry_after_ms_.store(hint);
+  return hint;
+}
+
+std::string Server::HandleQuery(Request request, Clock::time_point received,
+                                double parse_ms, int client_fd) {
+  // Clamp the requested budget to the server's ceiling; the effective
+  // value is what the deadline below enforces and what the response
+  // envelope echoes as "deadline_ms".
+  const std::int64_t timeout_ms = std::min(
+      request.timeout_ms > 0 ? request.timeout_ms : opt_.default_timeout_ms,
+      opt_.max_timeout_ms);
+  request.effective_timeout_ms = timeout_ms;
+  const auto deadline = received + std::chrono::milliseconds(timeout_ms);
+
   const std::uint64_t epoch = Epoch();
   const std::string key = CanonicalKey(request);
   const auto lookup_start = Clock::now();
-  auto cached_text = cache_.Get(key, epoch);
+  auto cached_hit = cache_.GetTagged(key, epoch);
   const double lookup_ms = MsSince(lookup_start);
-  if (cached_text) {
+  if (cached_hit) {
     metrics_.cache_hits.fetch_add(1);
+    if (cached_hit->late) {
+      // This exact result once cost a client its deadline; the cache
+      // turned that sunk scan into a hit.
+      metrics_.timeouts_salvaged_by_cache.fetch_add(1);
+    }
     metrics_.responses_ok.fetch_add(1);
     metrics_.RecordLatency(request.kind,
                            MsSince(received) / 1e3);
@@ -238,21 +322,37 @@ std::string Server::HandleQuery(const Request& request,
     if (request.trace) {
       stages = {{"parse", parse_ms}, {"cache_lookup", lookup_ms}};
     }
-    return OkResponse(request, *cached_text, /*cached=*/true,
+    return OkResponse(request, cached_hit->text, /*cached=*/true,
                       MsSince(received), stages, {});
   }
   metrics_.cache_misses.fetch_add(1);
 
-  const std::int64_t timeout_ms =
-      request.timeout_ms > 0 ? request.timeout_ms : opt_.default_timeout_ms;
-  const auto deadline = received + std::chrono::milliseconds(timeout_ms);
+  // One token per admitted request: armed with the deadline at dequeue,
+  // cancellable by the client hanging up or a `cancel` verb meanwhile.
+  std::shared_ptr<util::CancelToken> token;
+  if (opt_.cancellation) {
+    token = std::make_shared<util::CancelToken>();
+    if (!request.id.empty()) {
+      sync::MutexLock lock(cancel_mu_);
+      inflight_[request.id] = token;
+    }
+  }
+  // Deregister on every exit path (matching by token so a reused id
+  // belonging to a newer in-flight request is left alone).
+  const auto deregister = [this, &request, &token] {
+    if (token == nullptr || request.id.empty()) return;
+    sync::MutexLock lock(cancel_mu_);
+    const auto it = inflight_.find(request.id);
+    if (it != inflight_.end() && it->second == token) inflight_.erase(it);
+  };
 
   auto promise = std::make_shared<std::promise<std::string>>();
   auto future = promise->get_future();
   const auto submitted = Clock::now();
   const bool admitted = scheduler_.Submit([this, request, key, epoch,
                                            received, deadline, submitted,
-                                           parse_ms, lookup_ms, promise] {
+                                           parse_ms, lookup_ms, promise,
+                                           token] {
     // The queue wait straddles two threads: enqueued on the connection
     // thread, measured here at dequeue on the worker.
     const auto dequeued = Clock::now();
@@ -261,13 +361,31 @@ std::string Server::HandleQuery(const Request& request,
             .count();
     trace::RecordManual("serve.queue_wait", submitted, dequeued);
     // Deadline check at dequeue: a request that sat in the queue past its
-    // deadline is answered without burning a scan on it.
+    // deadline is answered without burning a scan on it. The shed client
+    // gets the same backoff hint as an admission rejection.
     if (Clock::now() >= deadline) {
       metrics_.timeouts.fetch_add(1);
       promise->set_value(ErrorResponse(request.id, ErrorCode::kTimeout,
-                                       "deadline expired in queue"));
+                                       "deadline expired in queue",
+                                       RetryAfterMsNow()));
       return;
     }
+    // A queued cancel (disconnect or verb) also sheds before the scan.
+    if (util::Cancelled(token.get())) {
+      const bool disconnect =
+          token->reason() == util::CancelReason::kDisconnect;
+      (disconnect ? metrics_.cancelled_disconnect : metrics_.cancelled_router)
+          .fetch_add(1);
+      promise->set_value(ErrorResponse(request.id, ErrorCode::kCancelled,
+                                       disconnect
+                                           ? "client disconnected in queue"
+                                           : "cancelled in queue"));
+      return;
+    }
+    // Arm the deadline now that execution begins: from here on the token
+    // trips inside the kernels at morsel granularity, so a 100ms budget
+    // aborts a multi-second scan within ~one morsel of the deadline.
+    if (token) token->ArmDeadline(deadline);
     // A traced request gets a thread-local collector: every span the
     // kernels finish on this thread lands in the response, even with
     // global tracing off.
@@ -278,28 +396,64 @@ std::string Server::HandleQuery(const Request& request,
     {
       TRACE_SPAN("serve.execute");
       if (request.debug_sleep_ms > 0) {
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(request.debug_sleep_ms));
+        CancellableSleep(request.debug_sleep_ms, token.get());
       }
-      rendered = RenderQuery(db_, request,
-                             scheduler_.use_morsel_pool()
-                                 ? parallel::Backend::kMorselPool
-                                 : parallel::Backend::kOpenMp);
+      if (!util::Cancelled(token.get())) {
+        rendered = RenderQuery(db_, request,
+                               scheduler_.use_morsel_pool()
+                                   ? parallel::Backend::kMorselPool
+                                   : parallel::Backend::kOpenMp,
+                               token.get());
+      } else {
+        rendered = status::Cancelled("cancelled before execution");
+      }
     }
     const double execute_ms = MsSince(exec_start);
+    exec_latency_.Record(execute_ms / 1e3);
     if (!rendered.ok()) {
+      if (rendered.status().code() == StatusCode::kCancelled && token) {
+        // Nothing cancelled is ever cached: the kernels bailed mid-scan
+        // and the discarded partial text must not poison the cache.
+        switch (token->reason()) {
+          case util::CancelReason::kDeadline:
+            metrics_.timeouts.fetch_add(1);
+            metrics_.cancelled_deadline.fetch_add(1);
+            promise->set_value(
+                ErrorResponse(request.id, ErrorCode::kTimeout,
+                              "deadline expired during execution "
+                              "(cancelled mid-scan)",
+                              RetryAfterMsNow()));
+            return;
+          case util::CancelReason::kDisconnect:
+            metrics_.cancelled_disconnect.fetch_add(1);
+            promise->set_value(ErrorResponse(request.id, ErrorCode::kCancelled,
+                                             "client disconnected"));
+            return;
+          case util::CancelReason::kRouter:
+          case util::CancelReason::kNone:
+            metrics_.cancelled_router.fetch_add(1);
+            promise->set_value(ErrorResponse(request.id, ErrorCode::kCancelled,
+                                             "cancelled by request"));
+            return;
+        }
+      }
       metrics_.internal_errors.fetch_add(1);
       promise->set_value(ErrorResponse(request.id, ErrorCode::kInternal,
                                        rendered.status().message()));
       return;
     }
     if (!rendered->note.empty()) GDELT_LOG(kDebug, rendered->note);
-    // Cache even on timeout — the scan is already paid for; a retry of
-    // the same request will hit.
+    // The render ran to completion (the token never tripped), but the
+    // deadline may still have passed in the final stretch — e.g. inside
+    // the last debug-sleep slice or between the kernel finishing and
+    // here. The text is complete and correct, so cache it tagged late:
+    // the scan is already paid for, and a retry of the same canonical
+    // key turns this timeout into a salvaged hit.
+    const bool late = Clock::now() >= deadline;
     const auto put_start = Clock::now();
-    cache_.Put(key, epoch, rendered->text);
+    cache_.Put(key, epoch, rendered->text, late);
     const double cache_put_ms = MsSince(put_start);
-    if (Clock::now() >= deadline) {
+    if (late) {
       metrics_.timeouts.fetch_add(1);
       promise->set_value(ErrorResponse(request.id, ErrorCode::kTimeout,
                                        "deadline expired during execution"));
@@ -337,15 +491,31 @@ std::string Server::HandleQuery(const Request& request,
                                               ? parallel::Priority::kBatch
                                               : parallel::Priority::kInteractive);
   if (!admitted) {
+    deregister();
     metrics_.rejected_overloaded.fetch_add(1);
     return ErrorResponse(
         request.id, ErrorCode::kOverloaded,
         StrFormat("request queue full (%zu pending); retry later",
-                  scheduler_.queue_capacity()));
+                  scheduler_.queue_capacity()),
+        RetryAfterMsNow());
   }
   // Every admitted task runs (even during drain), so this wait is bounded
   // by queue depth * per-query time; the worker enforces the deadline.
-  return future.get();
+  // With a live socket attached, watch it while waiting: a client that
+  // hangs up mid-queue or mid-scan has its work cancelled instead of
+  // burning a scan nobody will read.
+  if (token && client_fd >= 0) {
+    while (future.wait_for(std::chrono::milliseconds(20)) !=
+           std::future_status::ready) {
+      if (PeerGone(client_fd)) {
+        token->Cancel(util::CancelReason::kDisconnect);
+        break;
+      }
+    }
+  }
+  std::string response = future.get();
+  deregister();
+  return response;
 }
 
 std::string Server::HandleIngest(const Request& request) {
@@ -415,7 +585,7 @@ void Server::HandleConnection(int fd) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       active_requests_.fetch_add(1);
-      const std::string response = HandleLine(line);
+      const std::string response = HandleLine(line, fd);
       open = WriteAll(fd, response);
       active_requests_.fetch_sub(1);
     }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/database.hpp"
@@ -24,6 +25,7 @@
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
 #include "stream/delta_store.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 #include "util/sync.hpp"
 
@@ -35,6 +37,14 @@ struct ServerOptions {
   Scheduler::Options scheduler;
   std::size_t cache_entries = 1024;      ///< 0 disables the result cache
   std::int64_t default_timeout_ms = 30'000;
+  /// Ceiling for client-supplied `timeout_ms` (and the default). The
+  /// effective, clamped deadline is echoed back as `"deadline_ms"`.
+  std::int64_t max_timeout_ms = 300'000;
+  /// Cooperative cancellation: per-request CancelToken threaded into the
+  /// kernels, deadline enforced mid-scan, disconnects and `cancel` verbs
+  /// abort in-flight work. Off = the pre-cancellation behavior (deadline
+  /// checked only between requests) — the bench_serve_throughput A/B.
+  bool cancellation = true;
   int metrics_log_interval_s = 0;        ///< 0 disables the periodic log line
   std::size_t max_line_bytes = 1 << 20;  ///< request line length cap
   std::int64_t slow_query_ms = 0;  ///< log queries slower than this; 0 = off
@@ -72,16 +82,25 @@ class Server {
   /// Handles one request line and returns the full response line
   /// (terminating '\n' included). This is the whole protocol minus the
   /// socket framing — exposed so tests can drive it without a network.
-  std::string HandleLine(const std::string& line);
+  ///
+  /// `client_fd` (optional) is the connection's socket: while the request
+  /// is queued or executing, the fd is polled for hangup and an orphaned
+  /// request is cancelled instead of scanning for a client that left.
+  /// -1 (the default, and what tests use) disables disconnect detection.
+  std::string HandleLine(const std::string& line, int client_fd = -1);
 
   const ServerMetrics& metrics() const noexcept { return metrics_; }
   ServerMetrics::Gauges GaugesNow() const;
 
  private:
-  std::string HandleQuery(const Request& request,
+  std::string HandleQuery(Request request,
                           std::chrono::steady_clock::time_point received,
-                          double parse_ms);
+                          double parse_ms, int client_fd);
+  std::string HandleCancel(const Request& request);
   std::string HandleIngest(const Request& request);
+  /// Backoff hint for shed work: queue depth x observed p50 execution
+  /// time, floored at one execution slot. Records the hint gauge.
+  std::int64_t RetryAfterMsNow();
   void AcceptLoop();
   void HandleConnection(int fd);
   void MetricsLogLoop();
@@ -111,6 +130,19 @@ class Server {
   sync::Mutex conn_mu_;
   std::vector<int> conn_fds_ GDELT_GUARDED_BY(conn_mu_);
   std::vector<std::thread> conn_threads_ GDELT_GUARDED_BY(conn_mu_);
+
+  // --- cooperative cancellation state ---
+  /// In-flight requests addressable by a `cancel` verb, keyed by the
+  /// client-chosen request id. Entries are registered before Submit and
+  /// unregistered (by matching token, so a reused id never erases a
+  /// newer request) when the response is ready.
+  sync::Mutex cancel_mu_;
+  std::unordered_map<std::string, std::shared_ptr<util::CancelToken>>
+      inflight_ GDELT_GUARDED_BY(cancel_mu_);
+  /// Execution-time histogram (misses only, not cache hits) feeding the
+  /// p50 behind retry_after_ms.
+  LatencyHistogram exec_latency_;
+  std::atomic<std::int64_t> last_retry_after_ms_{0};
 
   /// Serializes ingest requests (the DeltaStore additionally guards its
   /// own state; this keeps fetch+apply of one request an atomic unit).

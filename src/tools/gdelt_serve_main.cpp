@@ -44,6 +44,12 @@ int main(int argc, char** argv) {
               "OpenMP threads per query (0 = cores / workers)");
   args.AddInt("cache", 1024, "result cache entries (0 disables)");
   args.AddInt("timeout-ms", 30000, "default per-request deadline");
+  args.AddInt("max-timeout-ms", 300000,
+              "ceiling for client-supplied timeout_ms; requests asking for "
+              "more are clamped and the effective deadline is echoed back");
+  args.AddBool("no-cancellation", false,
+               "disable cooperative cancellation (deadlines checked only "
+               "between requests, not mid-scan) — for A/B benchmarking");
   args.AddInt("metrics-interval", 60,
               "seconds between metrics log lines (0 disables)");
   args.AddInt("slow-ms", 0,
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
       static_cast<int>(args.GetInt("threads-per-query"));
   options.cache_entries = static_cast<std::size_t>(args.GetInt("cache"));
   options.default_timeout_ms = args.GetInt("timeout-ms");
+  options.max_timeout_ms = args.GetInt("max-timeout-ms");
+  options.cancellation = !args.GetBool("no-cancellation");
   options.metrics_log_interval_s =
       static_cast<int>(args.GetInt("metrics-interval"));
   options.slow_query_ms = args.GetInt("slow-ms");

@@ -1,0 +1,94 @@
+// Cooperative cancellation for long-running queries.
+//
+// A CancelToken is created per request by the serve layer, threaded
+// through the scheduler and RenderQuery into the engine, and polled at
+// morsel granularity by the parallel runtime and the analysis kernels.
+// Cancellation is never preemptive: a kernel that observes the token
+// may stop early and return garbage, and the *enforcement boundary*
+// (RenderQuery / the serve worker) re-checks the token and replaces any
+// partial result with a Cancelled status, so no partial output escapes.
+//
+// The fast path is one relaxed atomic load; arming a deadline adds one
+// steady_clock read per poll until it latches. All members are atomics,
+// so the type is trivially TSA-clean (no capabilities to annotate) and
+// safe to poll from every worker while any thread cancels.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace gdelt::util {
+
+/// Why a token fired. First cause wins and is latched; later Cancel()
+/// calls and deadline expiries do not overwrite it.
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kDeadline = 1,    ///< armed deadline expired mid-execution
+  kDisconnect = 2,  ///< the requesting client hung up
+  kRouter = 3,      ///< the router abandoned this scatter
+};
+
+/// Shared cancellation flag + optional deadline. One token per request;
+/// pointers to it outlive the request only via the registries that hand
+/// them out (the serve layer owns the lifetime).
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms the deadline: Poll() latches kDeadline once steady_clock
+  /// passes this point. Call at most once, before handing the token to
+  /// the kernels (the serve worker arms it at dequeue).
+  void ArmDeadline(std::chrono::steady_clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+
+  /// Latches `reason` unless some reason already fired (first wins).
+  void Cancel(CancelReason reason) noexcept {
+    std::uint8_t expected = 0;
+    reason_.compare_exchange_strong(expected,
+                                    static_cast<std::uint8_t>(reason),
+                                    std::memory_order_relaxed,
+                                    std::memory_order_relaxed);
+  }
+
+  /// True once cancelled; checks the armed deadline lazily so pollers
+  /// observe expiry without anyone calling Cancel(). Cheap enough for
+  /// per-morsel (and even per-chunk) polling.
+  bool Poll() const noexcept {
+    if (reason_.load(std::memory_order_relaxed) != 0) return true;
+    const std::int64_t armed = deadline_ns_.load(std::memory_order_relaxed);
+    if (armed == kUnarmed) return false;
+    const std::int64_t now =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    if (now < armed) return false;
+    std::uint8_t expected = 0;
+    reason_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(CancelReason::kDeadline),
+        std::memory_order_relaxed, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// The latched reason (kNone while running). Poll() first if you need
+  /// deadline expiry reflected.
+  CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static constexpr std::int64_t kUnarmed = INT64_MAX;
+  mutable std::atomic<std::uint8_t> reason_{0};
+  std::atomic<std::int64_t> deadline_ns_{kUnarmed};
+};
+
+/// Null-safe poll: kernels take `const CancelToken*` defaulted to
+/// nullptr, so callers that never cancel (CLI, tests, benches) pass
+/// nothing and pay one pointer compare.
+inline bool Cancelled(const CancelToken* token) noexcept {
+  return token != nullptr && token->Poll();
+}
+
+}  // namespace gdelt::util

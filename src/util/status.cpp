@@ -15,6 +15,7 @@ std::string_view StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kParseError: return "ParseError";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode : std::uint8_t {
   kParseError,   ///< malformed CSV / master-list entry
   kUnimplemented,
   kInternal,
+  kCancelled,    ///< cooperatively cancelled (deadline, disconnect, router)
 };
 
 /// Human-readable name of a status code ("Ok", "ParseError", ...).
@@ -116,6 +117,9 @@ inline Status Unimplemented(std::string msg) {
 }
 inline Status Internal(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status Cancelled(std::string msg) {
+  return {StatusCode::kCancelled, std::move(msg)};
 }
 }  // namespace status
 

@@ -1,0 +1,107 @@
+// Unit tests for util::CancelToken: latch semantics (first reason wins),
+// lazy deadline expiry, and the null-safe Cancelled() helper the kernels
+// poll through.
+#include "util/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace gdelt::util {
+namespace {
+
+using std::chrono::steady_clock;
+
+TEST(CancelTokenTest, FreshTokenIsNotCancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.Poll());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+}
+
+TEST(CancelTokenTest, CancelLatchesReason) {
+  CancelToken token;
+  token.Cancel(CancelReason::kDisconnect);
+  EXPECT_TRUE(token.Poll());
+  EXPECT_EQ(token.reason(), CancelReason::kDisconnect);
+}
+
+TEST(CancelTokenTest, FirstReasonWins) {
+  CancelToken token;
+  token.Cancel(CancelReason::kRouter);
+  token.Cancel(CancelReason::kDisconnect);
+  EXPECT_EQ(token.reason(), CancelReason::kRouter);
+}
+
+TEST(CancelTokenTest, ExplicitCancelBeatsLaterDeadlineExpiry) {
+  CancelToken token;
+  token.Cancel(CancelReason::kDisconnect);
+  token.ArmDeadline(steady_clock::now() - std::chrono::seconds(1));
+  EXPECT_TRUE(token.Poll());
+  // The expired deadline must not overwrite the already-latched reason.
+  EXPECT_EQ(token.reason(), CancelReason::kDisconnect);
+}
+
+TEST(CancelTokenTest, FutureDeadlineDoesNotFire) {
+  CancelToken token;
+  token.ArmDeadline(steady_clock::now() + std::chrono::hours(1));
+  EXPECT_FALSE(token.Poll());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+}
+
+TEST(CancelTokenTest, PastDeadlineLatchesOnPoll) {
+  CancelToken token;
+  token.ArmDeadline(steady_clock::now() - std::chrono::milliseconds(1));
+  // reason() alone does not reflect expiry — Poll() performs the latch.
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+  EXPECT_TRUE(token.Poll());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+  // And it stays latched.
+  EXPECT_TRUE(token.Poll());
+}
+
+TEST(CancelTokenTest, DeadlineExpiresWhileRunning) {
+  CancelToken token;
+  token.ArmDeadline(steady_clock::now() + std::chrono::milliseconds(20));
+  EXPECT_FALSE(token.Poll());
+  const auto give_up = steady_clock::now() + std::chrono::seconds(10);
+  while (!token.Poll() && steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(token.Poll());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+}
+
+TEST(CancelTokenTest, NullSafeHelper) {
+  EXPECT_FALSE(Cancelled(nullptr));
+  CancelToken token;
+  EXPECT_FALSE(Cancelled(&token));
+  token.Cancel(CancelReason::kRouter);
+  EXPECT_TRUE(Cancelled(&token));
+}
+
+TEST(CancelTokenTest, ConcurrentCancelAndPollAgree) {
+  // Many pollers racing one canceller: every poller eventually observes
+  // the cancellation and they all agree on the reason.
+  CancelToken token;
+  constexpr int kPollers = 4;
+  std::vector<std::thread> pollers;
+  std::atomic<int> observed{0};
+  for (int i = 0; i < kPollers; ++i) {
+    pollers.emplace_back([&token, &observed] {
+      while (!token.Poll()) {
+        std::this_thread::yield();
+      }
+      if (token.reason() == CancelReason::kRouter) observed.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  token.Cancel(CancelReason::kRouter);
+  for (auto& t : pollers) t.join();
+  EXPECT_EQ(observed.load(), kPollers);
+}
+
+}  // namespace
+}  // namespace gdelt::util

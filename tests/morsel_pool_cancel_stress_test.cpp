@@ -1,0 +1,159 @@
+// Cancellation stress tests for the morsel pool, in the mold of
+// morsel_pool_stress_test: jobs racing Cancel() from another thread must
+// still complete exactly once (the caller always returns), never touch an
+// index twice, and account every morsel as either executed or skipped.
+// Runs under TSan in CI — the token is all-atomics and the pool's
+// completion accounting must stay race-free while cancels land mid-job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "parallel/morsel.hpp"
+#include "util/cancel.hpp"
+
+namespace gdelt::parallel {
+namespace {
+
+TEST(MorselPoolCancelStressTest, PreCancelledJobSkipsEveryMorsel) {
+  MorselPool pool(2);
+  util::CancelToken token;
+  token.Cancel(util::CancelReason::kRouter);
+  std::atomic<std::uint64_t> executed{0};
+  const bool admitted = pool.ParallelFor(
+      /*n=*/512,
+      [&](IndexRange, std::size_t) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+      },
+      /*morsel_rows=*/32, &token);
+  (void)admitted;  // either way the call must return with nothing run
+  EXPECT_EQ(executed.load(), 0u);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.morsels, 0u);
+  EXPECT_EQ(stats.morsels_skipped, 512u / 32u);
+}
+
+TEST(MorselPoolCancelStressTest, CancelAfterCompletionIsANoop) {
+  MorselPool pool(2);
+  util::CancelToken token;
+  std::vector<std::atomic<std::uint32_t>> touched(1024);
+  pool.ParallelFor(
+      touched.size(),
+      [&](IndexRange r, std::size_t) {
+        for (std::size_t i = r.begin; i < r.end; ++i) {
+          touched[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*morsel_rows=*/64, &token);
+  token.Cancel(util::CancelReason::kRouter);
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    ASSERT_EQ(touched[i].load(std::memory_order_relaxed), 1u) << i;
+  }
+  EXPECT_EQ(pool.stats().morsels_skipped, 0u);
+}
+
+TEST(MorselPoolCancelStressTest, ArmedDeadlineAbortsMidJob) {
+  MorselPool pool(2);
+  util::CancelToken token;
+  token.ArmDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(5));
+  std::atomic<std::uint64_t> executed{0};
+  constexpr std::size_t kMorsels = 512;
+  // ~500us per morsel: running all of them would take far longer than the
+  // 5ms deadline even with every worker helping, so the pool must start
+  // draining morsels as skips once the deadline latches.
+  pool.ParallelFor(
+      kMorsels,
+      [&](IndexRange, std::size_t) {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      },
+      /*morsel_rows=*/1, &token);
+  const auto stats = pool.stats();
+  EXPECT_GT(stats.morsels_skipped, 0u);
+  EXPECT_EQ(stats.morsels + stats.morsels_skipped, kMorsels);
+  EXPECT_EQ(token.reason(), util::CancelReason::kDeadline);
+}
+
+TEST(MorselPoolCancelStressTest, SubmitRacingCancel) {
+  constexpr int kRounds = 8;
+  constexpr int kSubmitters = 4;
+  constexpr int kJobsPerSubmitter = 6;
+  constexpr std::size_t kN = 512;
+  constexpr std::size_t kRows = 32;
+  constexpr std::size_t kMorselsPerJob = kN / kRows;
+  constexpr int kJobs = kSubmitters * kJobsPerSubmitter;
+
+  for (int round = 0; round < kRounds; ++round) {
+    MorselPool pool(2);
+    std::vector<std::unique_ptr<util::CancelToken>> tokens;
+    tokens.reserve(kJobs);
+    for (int i = 0; i < kJobs; ++i) {
+      tokens.push_back(std::make_unique<util::CancelToken>());
+    }
+    // A couple of tokens are cancelled before any job starts so at least
+    // some jobs deterministically skip everything; the canceller thread
+    // races the rest against in-flight execution.
+    tokens[0]->Cancel(util::CancelReason::kRouter);
+    tokens[kJobs / 2]->Cancel(util::CancelReason::kDisconnect);
+
+    std::atomic<int> jobs_returned{0};
+    std::thread canceller([&tokens] {
+      for (std::size_t i = 1; i < tokens.size(); i += 2) {
+        tokens[i]->Cancel(util::CancelReason::kRouter);
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int j = 0; j < kJobsPerSubmitter; ++j) {
+          util::CancelToken* token =
+              tokens[static_cast<std::size_t>(t * kJobsPerSubmitter + j)]
+                  .get();
+          std::vector<std::atomic<std::uint32_t>> touched(kN);
+          pool.ParallelFor(
+              kN,
+              [&](IndexRange r, std::size_t) {
+                for (std::size_t i = r.begin; i < r.end; ++i) {
+                  touched[i].fetch_add(1, std::memory_order_relaxed);
+                }
+              },
+              kRows, token);
+          // Cancelled or not, no index runs twice; the job ended exactly
+          // once (this line being reached is the "once").
+          for (std::size_t i = 0; i < kN; ++i) {
+            ASSERT_LE(touched[i].load(std::memory_order_relaxed), 1u)
+                << "round " << round << " index " << i;
+          }
+          jobs_returned.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : submitters) t.join();
+    canceller.join();
+
+    EXPECT_EQ(jobs_returned.load(), kJobs) << "round " << round;
+    const auto stats = pool.stats();
+    // Every submitted job completed exactly once, somewhere.
+    EXPECT_EQ(stats.jobs + stats.inline_jobs,
+              static_cast<std::uint64_t>(kJobs))
+        << "round " << round;
+    // Exact morsel conservation: each morsel either executed or was
+    // drained as a skip, never both, never lost.
+    EXPECT_EQ(stats.morsels + stats.morsels_skipped,
+              static_cast<std::uint64_t>(kJobs) * kMorselsPerJob)
+        << "round " << round;
+    // The pre-cancelled jobs guarantee observable skips.
+    EXPECT_GE(stats.morsels_skipped, 2u * kMorselsPerJob)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace gdelt::parallel

@@ -352,6 +352,40 @@ TEST_F(RouterTest, DegradedResponseNamesTheDeadShard) {
   EXPECT_GT(router_->metrics().degraded_responses.load(), 0u);
 }
 
+TEST_F(RouterTest, ShardFailureBroadcastsCancelToSurvivors) {
+  StartBackends(1);
+  RouterOptions options;
+  options.scatter_passes = 1;
+  options.down_after_failures = 1;
+  options.connect.connect_timeout_ms = 300;
+  // Shard 0 is real; shard 1 points at a dropped listener, so its fetch
+  // hard-fails and the router must tell the survivor to stop working on
+  // this scatter's sub-request (best-effort `cancel` verb).
+  options.topology.shards.push_back(
+      {Endpoint{"127.0.0.1", backends_[0]->port()}});
+  options.topology.shards.push_back(
+      {Endpoint{"127.0.0.1", DroppedListenerPort()}});
+  router_ = std::make_unique<Router>(options);
+  ASSERT_TRUE(router_->Start().ok());
+
+  auto client = ConnectRouter();
+  const auto response =
+      client.RoundTrip(R"({"id":"c","query":"coreport","top":3})");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  const auto v = Parsed(*response);
+  ASSERT_TRUE(v.Find("ok")->AsBool()) << *response;
+  ASSERT_NE(v.Find("partial_failure"), nullptr) << *response;
+  // The survivor acknowledged a cancel line addressed at this scatter's
+  // sub-request id (it may already have finished — cancellation is
+  // best-effort and idempotent — but the verb round-tripped).
+  EXPECT_GE(router_->metrics().cancels_sent.load(), 1u);
+  // The router's metrics surface exposes the counter.
+  const auto metrics = client.RoundTrip(R"({"query":"metrics"})");
+  ASSERT_TRUE(metrics.ok());
+  const auto m = Parsed(*metrics);
+  EXPECT_GE(m.Find("metrics")->Find("cancels_sent")->AsInt(), 1);
+}
+
 TEST_F(RouterTest, AllShardsDeadIsUnavailable) {
   RouterOptions options;
   options.scatter_passes = 1;

@@ -384,6 +384,122 @@ TEST_F(ServeTest, RequestPastDeadlineReturnsTimeout) {
   EXPECT_EQ(ErrorCodeOf(v), "timeout");
 }
 
+TEST_F(ServeTest, MidScanDeadlineAbortsWithinSliceBudget) {
+  StartServer(ServerOptions{});
+  auto client = Connect();
+  // A 100ms budget against a 5s stall: the worker arms the token at
+  // dequeue and the (slice-polling) execution path must observe the
+  // expiry and answer within roughly deadline + one 100ms poll slice —
+  // far below the 5s a deadline-blind server would burn.
+  const auto start = std::chrono::steady_clock::now();
+  const auto response = client.RoundTrip(
+      R"({"query":"stats","timeout_ms":100,"debug_sleep_ms":5000})");
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  ASSERT_TRUE(response.ok());
+  const auto v = Parsed(*response);
+  EXPECT_FALSE(v.Find("ok")->AsBool(true));
+  EXPECT_EQ(ErrorCodeOf(v), "timeout");
+  EXPECT_LT(wall_ms, 2000.0) << "mid-scan abort took " << wall_ms << "ms";
+
+  const auto metrics = client.RoundTrip(R"({"query":"metrics"})");
+  ASSERT_TRUE(metrics.ok());
+  const auto m = Parsed(*metrics);
+  EXPECT_GE(m.Find("metrics")->Find("cancelled_deadline")->AsInt(), 1);
+}
+
+TEST_F(ServeTest, CancelVerbAbortsInFlightRequest) {
+  ServerOptions options;
+  options.scheduler.workers = 1;
+  options.scheduler.threads_per_query = 1;
+  options.cache_entries = 0;
+  StartServer(options);
+  auto victim = Connect();
+  auto controller = Connect();
+  ASSERT_TRUE(
+      victim.Send(R"({"id":"victim","query":"stats","debug_sleep_ms":5000})")
+          .ok());
+  // Let the worker dequeue it and enter the stall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const auto cancel =
+      controller.RoundTrip(R"({"id":"victim","query":"cancel"})");
+  ASSERT_TRUE(cancel.ok());
+  const auto cv = Parsed(*cancel);
+  ASSERT_TRUE(cv.Find("ok")->AsBool()) << *cancel;
+  EXPECT_TRUE(cv.Find("cancelled")->AsBool(false));
+
+  const auto aborted = victim.ReadLine();
+  ASSERT_TRUE(aborted.ok());
+  const auto av = Parsed(*aborted);
+  EXPECT_FALSE(av.Find("ok")->AsBool(true));
+  EXPECT_EQ(ErrorCodeOf(av), "cancelled");
+
+  // Cancelling an id that is not in flight is an idempotent no-op.
+  const auto noop = controller.RoundTrip(R"({"id":"ghost","query":"cancel"})");
+  ASSERT_TRUE(noop.ok());
+  EXPECT_FALSE(Parsed(*noop).Find("cancelled")->AsBool(true));
+
+  const auto metrics = controller.RoundTrip(R"({"query":"metrics"})");
+  ASSERT_TRUE(metrics.ok());
+  const auto m = Parsed(*metrics);
+  EXPECT_GE(m.Find("metrics")->Find("cancelled_router")->AsInt(), 1);
+}
+
+TEST_F(ServeTest, CancelVerbRequiresAnId) {
+  StartServer(ServerOptions{});
+  auto client = Connect();
+  const auto response = client.RoundTrip(R"({"query":"cancel"})");
+  ASSERT_TRUE(response.ok());
+  const auto v = Parsed(*response);
+  EXPECT_FALSE(v.Find("ok")->AsBool(true));
+  EXPECT_EQ(ErrorCodeOf(v), "bad_request");
+}
+
+TEST_F(ServeTest, EnvelopeEchoesClampedDeadline) {
+  ServerOptions options;
+  options.max_timeout_ms = 500;
+  StartServer(options);
+  auto client = Connect();
+  // Asking for far more than the ceiling: the server clamps and says so.
+  const auto response =
+      client.RoundTrip(R"({"query":"stats","timeout_ms":100000})");
+  ASSERT_TRUE(response.ok());
+  const auto v = Parsed(*response);
+  ASSERT_TRUE(v.Find("ok")->AsBool()) << *response;
+  ASSERT_NE(v.Find("deadline_ms"), nullptr);
+  EXPECT_EQ(v.Find("deadline_ms")->AsInt(), 500);
+}
+
+TEST_F(ServeTest, LateRenderIsCachedAndSalvagesRetry) {
+  // Cancellation off: the render is allowed to run past its deadline to
+  // completion, which is exactly the case the late-tagged cache exists
+  // for — the scan is paid for, so a retry should get it for free.
+  ServerOptions options;
+  options.cancellation = false;
+  StartServer(options);
+  auto client = Connect();
+  const std::string line =
+      R"({"query":"stats","timeout_ms":50,"debug_sleep_ms":300})";
+  const auto first = client.RoundTrip(line);
+  ASSERT_TRUE(first.ok());
+  const auto v1 = Parsed(*first);
+  EXPECT_FALSE(v1.Find("ok")->AsBool(true));
+  EXPECT_EQ(ErrorCodeOf(v1), "timeout");
+
+  // Same canonical request again: served from the late-tagged entry.
+  const auto second = client.RoundTrip(line);
+  ASSERT_TRUE(second.ok());
+  const auto v2 = Parsed(*second);
+  ASSERT_TRUE(v2.Find("ok")->AsBool()) << *second;
+  EXPECT_TRUE(v2.Find("cached")->AsBool(false));
+
+  const auto metrics = client.RoundTrip(R"({"query":"metrics"})");
+  ASSERT_TRUE(metrics.ok());
+  const auto m = Parsed(*metrics);
+  EXPECT_GE(m.Find("metrics")->Find("timeouts_salvaged_by_cache")->AsInt(), 1);
+}
+
 TEST_F(ServeTest, QueueOverflowReturnsOverloaded) {
   ServerOptions options;
   options.scheduler.workers = 1;
@@ -411,6 +527,10 @@ TEST_F(ServeTest, QueueOverflowReturnsOverloaded) {
   const auto v = Parsed(*response);
   EXPECT_FALSE(v.Find("ok")->AsBool(true));
   EXPECT_EQ(ErrorCodeOf(v), "overloaded");
+  // Shed work carries a backoff hint derived from queue depth and the
+  // observed p50 execution time.
+  ASSERT_NE(v.Find("error")->Find("retry_after_ms"), nullptr);
+  EXPECT_GE(v.Find("error")->Find("retry_after_ms")->AsInt(), 1);
 
   const auto busy_response = busy.ReadLine();
   ASSERT_TRUE(busy_response.ok());

@@ -34,6 +34,17 @@ Clang enforces, leaving GCC-only boxes unprotected):
                   cannot monopolize a private thread team. Ablation
                   baselines that must keep a private OpenMP team carry
                   `// gdelt-lint: allow(raw-omp)` with a reason.
+  cancel-blind-loop
+                  In src/analysis and src/engine, a `for` loop bounded by
+                  the full row range (num_events()/num_mentions()/
+                  events_end) must consult the cooperative cancel token —
+                  a util::Cancelled(...) poll on the loop line or within
+                  the first few body lines. Such loops are exactly the
+                  scans that make a query outlive its deadline; a loop
+                  that cannot observe cancellation holds a worker hostage
+                  until the full scan completes. Ablation baselines and
+                  setup passes that deliberately run to completion carry
+                  `// gdelt-lint: allow(cancel-blind-loop)` with a reason.
 
 Usage:
   gdelt_lint.py [--root DIR] [paths...]
@@ -69,6 +80,17 @@ TRACE_SPAN_RE = re.compile(r"\bTRACE_SPAN\s*\(\s*\"([^\"]*)\"")
 TRACE_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 RAW_RANDOM_RE = re.compile(r"(?<![\w:])rand\s*\(\s*\)|\bstd::random_device\b")
 RAW_OMP_RE = re.compile(r"#\s*pragma\s+omp\s+parallel\b")
+# A row-range loop: a `for` whose header names the full event/mention
+# extent. Morsel bodies iterate IndexRange begin/end instead, so this
+# only matches whole-table scans.
+ROW_LOOP_RE = re.compile(
+    r"\bfor\s*\(.*\b(?:num_events\s*\(\s*\)|num_mentions\s*\(\s*\)|"
+    r"events_end\b)")
+CANCEL_POLL_RE = re.compile(r"\bCancelled\s*\(")
+# How many lines below a row-range loop header we search for the poll
+# (the idiom puts it on the first body line; multi-line headers push it
+# a couple of lines further down).
+CANCEL_WINDOW = 6
 # A nearby line is a bounds check if it contains one of these tokens
 # (which only appear in limit arithmetic in this codebase), or if it is
 # an if/assert that mentions an identifier from the copy's own argument
@@ -260,6 +282,20 @@ def check_file(path: str, rel: str) -> Iterator[Finding]:
                     "directory; use parallel::PoolParallelFor (shared "
                     "morsel pool) or annotate an ablation baseline with "
                     "`// gdelt-lint: allow(raw-omp)` and a reason")
+
+        # --- cancel-blind-loop -------------------------------------------
+        if in_morsel_scope(rel) and ROW_LOOP_RE.search(code):
+            window = lines[i:min(len(lines), i + 1 + CANCEL_WINDOW)]
+            if not any(CANCEL_POLL_RE.search(strip_comment(w))
+                       for w in window) \
+                    and not has_allow(lines, i, "cancel-blind-loop"):
+                yield Finding(
+                    rel, lineno, "cancel-blind-loop",
+                    "full row-range loop never consults the cancel "
+                    "token; poll util::Cancelled(cancel) every few "
+                    "hundred rows (see country.cpp) or annotate "
+                    "`// gdelt-lint: allow(cancel-blind-loop)` with a "
+                    "reason")
 
         # --- raw-random --------------------------------------------------
         if not in_gen_scope(rel):
