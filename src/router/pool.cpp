@@ -14,6 +14,7 @@ struct ProbeResult {
   bool alive = false;
   std::uint64_t queue_depth = 0;
   std::uint64_t queue_capacity = 0;
+  std::uint64_t epoch = 0;
 };
 
 ProbeResult ProbeEndpoint(const Endpoint& endpoint,
@@ -41,6 +42,9 @@ ProbeResult ProbeEndpoint(const Endpoint& endpoint,
     }
     if (const serve::JsonValue* cap = metrics->Find("queue_capacity")) {
       result.queue_capacity = static_cast<std::uint64_t>(cap->AsInt(0));
+    }
+    if (const serve::JsonValue* epoch = metrics->Find("epoch")) {
+      result.epoch = static_cast<std::uint64_t>(epoch->AsInt(0));
     }
   }
   return result;
@@ -198,6 +202,7 @@ void BackendPool::ProbeAll() {
       if (EndpointState* state = StateOf(target.shard, target.replica)) {
         state->queue_depth = probe.queue_depth;
         state->queue_capacity = probe.queue_capacity;
+        state->epoch = probe.epoch;
         state->saturated = probe.queue_capacity > 0 &&
                            probe.queue_depth >= probe.queue_capacity;
       }
@@ -219,11 +224,13 @@ std::string BackendPool::HealthJson() const {
       out += StrFormat("{\"shard\":%zu,\"replica\":%zu,\"endpoint\":", s, r);
       serve::AppendJsonString(out, state.endpoint.Label());
       out += StrFormat(",\"down\":%s,\"consecutive_failures\":%u,"
-                       "\"queue_depth\":%llu,\"queue_capacity\":%llu}",
+                       "\"queue_depth\":%llu,\"queue_capacity\":%llu,"
+                       "\"epoch\":%llu}",
                        state.down ? "true" : "false",
                        state.consecutive_failures,
                        static_cast<unsigned long long>(state.queue_depth),
-                       static_cast<unsigned long long>(state.queue_capacity));
+                       static_cast<unsigned long long>(state.queue_capacity),
+                       static_cast<unsigned long long>(state.epoch));
     }
   }
   out += "]";

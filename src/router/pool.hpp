@@ -87,6 +87,9 @@ class BackendPool {
     bool saturated = false;  ///< queue full at the last probe
     std::uint64_t queue_depth = 0;
     std::uint64_t queue_capacity = 0;
+    /// Backend's cache epoch (delta ingest generation) at the last probe:
+    /// skew across replicas of one shard means an ingest landed unevenly.
+    std::uint64_t epoch = 0;
     std::vector<serve::LineClient> idle;
   };
 

@@ -1,79 +1,153 @@
 #include "serve/cache.hpp"
 
+#include <algorithm>
+#include <functional>
+
 namespace gdelt::serve {
+
+ResultCache::ResultCache(std::size_t max_entries)
+    : max_entries_(max_entries) {
+  const std::size_t n = max_entries_ >= kShardThreshold ? kShards : 1;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute capacity; the first max%n shards absorb the remainder
+    // so the shard capacities always sum to max_entries_.
+    shard->max_entries = max_entries_ / n + (i < max_entries_ % n ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  if (shards_.size() == 1) return *shards_[0];
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+void ResultCache::EraseLocked(Shard& shard, std::list<Entry>::iterator it,
+                              bool stale) {
+  shard.text_bytes -= it->text->size();
+  shard.index.erase(it->key);
+  shard.lru.erase(it);
+  if (stale) evicted_stale_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResultCache::SweepShardLocked(Shard& shard, std::uint64_t epoch) {
+  if (epoch <= shard.seen_epoch) return;
+  shard.seen_epoch = epoch;
+  for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+    const auto cur = it++;
+    if (cur->epoch != epoch) EraseLocked(shard, cur, /*stale=*/true);
+  }
+}
 
 std::optional<std::string> ResultCache::Get(const std::string& key,
                                             std::uint64_t epoch) {
   auto hit = GetTagged(key, epoch);
   if (!hit) return std::nullopt;
-  return std::move(hit->text);
+  return *hit->text;
 }
 
 std::optional<ResultCache::Hit> ResultCache::GetTagged(const std::string& key,
                                                        std::uint64_t epoch) {
-  sync::MutexLock lock(mu_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
+  if (max_entries_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Shard& shard = ShardFor(key);
+  sync::MutexLock lock(shard.mu);
+  // A lookup at a newer epoch proves everything older in this shard is
+  // dead; collect it all now so entries()/text_bytes() stay honest even
+  // for keys that are never asked about again.
+  SweepShardLocked(shard, epoch);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   if (it->second->epoch != epoch) {
     // Stale epoch: the delta store ingested since this was cached.
-    text_bytes_ -= it->second->text.size();
-    lru_.erase(it->second);
-    index_.erase(it);
-    ++misses_;
+    EraseLocked(shard, it->second, /*stale=*/true);
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  ++hits_;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return Hit{it->second->text, it->second->late};
 }
 
-void ResultCache::Put(const std::string& key, std::uint64_t epoch,
+bool ResultCache::Put(const std::string& key, std::uint64_t epoch,
                       std::string text, bool late) {
-  if (max_entries_ == 0) return;
-  sync::MutexLock lock(mu_);
-  if (const auto it = index_.find(key); it != index_.end()) {
-    text_bytes_ -= it->second->text.size();
-    lru_.erase(it->second);
-    index_.erase(it);
+  if (max_entries_ == 0) return false;
+  Shard& shard = ShardFor(key);
+  sync::MutexLock lock(shard.mu);
+  if (epoch < shard.seen_epoch) {
+    // Born stale: a slow render finished after the database moved on.
+    // Inserting it would park dead bytes in the LRU until swept.
+    return false;
   }
-  text_bytes_ += text.size();
-  lru_.push_front(Entry{key, epoch, std::move(text), late});
-  index_[key] = lru_.begin();
-  while (lru_.size() > max_entries_) {
-    text_bytes_ -= lru_.back().text.size();
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    if (it->second->epoch > epoch) {
+      // A fresher render already landed for this key; a late write from
+      // a pre-ingest epoch must not clobber it.
+      return false;
+    }
+    EraseLocked(shard, it->second, /*stale=*/it->second->epoch < epoch);
+  }
+  shard.seen_epoch = std::max(shard.seen_epoch, epoch);
+  shard.text_bytes += text.size();
+  shard.lru.push_front(Entry{
+      key, epoch, std::make_shared<const std::string>(std::move(text)), late});
+  shard.index[key] = shard.lru.begin();
+  while (shard.lru.size() > shard.max_entries) {
+    EraseLocked(shard, std::prev(shard.lru.end()), /*stale=*/false);
+  }
+  return true;
+}
+
+void ResultCache::ObserveEpoch(std::uint64_t epoch) {
+  for (const auto& shard : shards_) {
+    sync::MutexLock lock(shard->mu);
+    SweepShardLocked(*shard, epoch);
   }
 }
 
 void ResultCache::Clear() {
-  sync::MutexLock lock(mu_);
-  lru_.clear();
-  index_.clear();
-  text_bytes_ = 0;
+  for (const auto& shard : shards_) {
+    sync::MutexLock lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->text_bytes = 0;
+  }
 }
 
 std::uint64_t ResultCache::hits() const {
-  sync::MutexLock lock(mu_);
-  return hits_;
+  return hits_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t ResultCache::misses() const {
-  sync::MutexLock lock(mu_);
-  return misses_;
+  return misses_.load(std::memory_order_relaxed);
 }
 
 std::size_t ResultCache::entries() const {
-  sync::MutexLock lock(mu_);
-  return lru_.size();
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    sync::MutexLock lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
 }
 
 std::uint64_t ResultCache::text_bytes() const {
-  sync::MutexLock lock(mu_);
-  return text_bytes_;
+  std::uint64_t n = 0;
+  for (const auto& shard : shards_) {
+    sync::MutexLock lock(shard->mu);
+    n += shard->text_bytes;
+  }
+  return n;
+}
+
+std::uint64_t ResultCache::evicted_stale() const {
+  return evicted_stale_.load(std::memory_order_relaxed);
 }
 
 }  // namespace gdelt::serve

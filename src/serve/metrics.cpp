@@ -97,6 +97,7 @@ std::string ServerMetrics::ToJson(const Gauges& gauges) const {
   counter("epoch", gauges.epoch);
   counter("cache_entries", gauges.cache_entries);
   counter("cache_text_bytes", gauges.cache_text_bytes);
+  counter("cache_evicted_stale", gauges.cache_evicted_stale);
   counter("morsels_skipped", gauges.morsels_skipped);
   out += StrFormat("\"retry_after_ms\":%lld,",
                    static_cast<long long>(gauges.retry_after_ms));

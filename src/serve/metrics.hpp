@@ -91,6 +91,8 @@ class ServerMetrics {
     std::uint64_t epoch = 0;
     std::size_t cache_entries = 0;
     std::uint64_t cache_text_bytes = 0;
+    /// Entries collected because their epoch went stale (cumulative).
+    std::uint64_t cache_evicted_stale = 0;
     double uptime_s = 0;
     // ingest/fetch health (from the delta store's ChunkFetcher)
     std::uint64_t ingest_retries = 0;

@@ -70,6 +70,7 @@ std::string PrometheusText(const ServerMetrics& metrics,
   Gauge(out, "gdelt_cache_entries", static_cast<double>(gauges.cache_entries));
   Gauge(out, "gdelt_cache_text_bytes",
         static_cast<double>(gauges.cache_text_bytes));
+  Counter(out, "gdelt_cache_evicted_stale_total", gauges.cache_evicted_stale);
   Gauge(out, "gdelt_uptime_seconds", gauges.uptime_s);
   Gauge(out, "gdelt_last_ingest_age_seconds", gauges.last_ingest_age_s);
   Counter(out, "gdelt_morsels_skipped_total", gauges.morsels_skipped);

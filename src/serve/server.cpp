@@ -198,6 +198,7 @@ ServerMetrics::Gauges Server::GaugesNow() const {
   g.epoch = Epoch();
   g.cache_entries = cache_.entries();
   g.cache_text_bytes = cache_.text_bytes();
+  g.cache_evicted_stale = cache_.evicted_stale();
   g.uptime_s = started_ ? std::chrono::duration<double>(Clock::now() -
                                                         start_time_)
                               .count()
@@ -322,7 +323,7 @@ std::string Server::HandleQuery(Request request, Clock::time_point received,
     if (request.trace) {
       stages = {{"parse", parse_ms}, {"cache_lookup", lookup_ms}};
     }
-    return OkResponse(request, cached_hit->text, /*cached=*/true,
+    return OkResponse(request, *cached_hit->text, /*cached=*/true,
                       MsSince(received), stages, {});
   }
   metrics_.cache_misses.fetch_add(1);
@@ -393,12 +394,25 @@ std::string Server::HandleQuery(Request request, Clock::time_point received,
     if (request.trace) collector.emplace();
     const auto exec_start = Clock::now();
     Result<RenderedQuery> rendered = status::Internal("not rendered");
+    // The epoch captured at request entry only served the cache lookup.
+    // The data this render actually executes against is whatever is
+    // published when execution starts, which may be generations newer if
+    // ingests landed while the request sat in the queue (or stalled in
+    // the debug sleep). Pin the snapshot here and key the Put with *its*
+    // generation, so a result rendered from generation G+1 can never be
+    // cached — or served to a concurrent reader — under epoch G.
+    std::uint64_t render_epoch = epoch;
+    std::shared_ptr<const stream::DeltaSnapshot> snap;
     {
       TRACE_SPAN("serve.execute");
       if (request.debug_sleep_ms > 0) {
         CancellableSleep(request.debug_sleep_ms, token.get());
       }
       if (!util::Cancelled(token.get())) {
+        if (delta_ != nullptr) {
+          snap = delta_->Acquire();
+          render_epoch = snap->generation();
+        }
         rendered = RenderQuery(db_, request,
                                scheduler_.use_morsel_pool()
                                    ? parallel::Backend::kMorselPool
@@ -451,7 +465,7 @@ std::string Server::HandleQuery(Request request, Clock::time_point received,
     // key turns this timeout into a salvaged hit.
     const bool late = Clock::now() >= deadline;
     const auto put_start = Clock::now();
-    cache_.Put(key, epoch, rendered->text, late);
+    cache_.Put(key, render_epoch, rendered->text, late);
     const double cache_put_ms = MsSince(put_start);
     if (late) {
       metrics_.timeouts.fetch_add(1);
@@ -539,6 +553,10 @@ std::string Server::HandleIngest(const Request& request) {
                          status.message());
   }
   metrics_.ingests.fetch_add(1);
+  // Eagerly collect entries stranded under the previous epoch so the
+  // cache's entries()/text_bytes() reflect servable data immediately,
+  // not whenever a same-key lookup happens to land.
+  cache_.ObserveEpoch(Epoch());
   last_ingest_generation_.store(delta_->Generation());
   last_ingest_ms_.store(static_cast<std::int64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -

@@ -9,27 +9,142 @@
 // queries without reconverting anything. Periodically the delta would be
 // folded into the base by re-running the converter.
 //
-// Thread safety: all delta state is guarded by an internal mutex (Clang
-// TSA-annotated), so combined queries may run concurrently with an ingest
-// call — each sees either the pre- or post-ingest snapshot, never a torn
-// one. Archive fetching (the slow, retrying part) happens outside the
-// lock; only row application holds it.
+// Concurrency model: RCU-style snapshot publication. All delta state a
+// reader can observe lives in an immutable `DeltaSnapshot` — delta
+// columns, the new-source dictionary, and the ingest generation baked
+// into the same object — published by a single release-store
+// `shared_ptr` swap. `Acquire()` returns the current snapshot; every
+// accessor on it is a read of frozen data, so a request that acquires
+// once and then calls any number of `Combined*` accessors gets counts
+// that are mutually consistent with exactly one generation, no matter
+// how many 15-minute ticks land meanwhile. Readers take no lock and
+// copy no rows. Ingest builds the next snapshot off to the side —
+// chunk/tail-sharing makes a tick O(new rows), not O(accumulated
+// delta) — and the store's internal mutex serializes only writers (and
+// the fetch-policy swap).
+//
+// The convenience accessors directly on DeltaStore (`delta_events()`,
+// `CombinedMentionCount()`, ...) each acquire their own snapshot, so two
+// consecutive calls may straddle a tick. Anything that needs
+// cross-accessor consistency — a stats render, a cache keyed by
+// generation — must hold one snapshot and read everything from it.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "convert/fetcher.hpp"
 #include "engine/database.hpp"
 #include "engine/queries.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 #include "util/sync.hpp"
 
 namespace gdelt::stream {
+
+/// One ingest call's worth of parsed delta rows. Immutable once the
+/// snapshot holding it is published; successive snapshots share all
+/// previous chunks by pointer, so publishing tick N+1 never copies the
+/// rows of ticks 1..N.
+struct DeltaChunk {
+  // events appended by this tick (delta row = chunk-local index + the
+  // chunk's event offset in the snapshot)
+  std::vector<std::int64_t> event_interval;
+  std::vector<std::uint16_t> event_country;
+
+  // mentions appended by this tick
+  /// combined source ids
+  std::vector<std::uint32_t> mention_source;
+  std::vector<std::int64_t> mention_interval;
+  /// global delta event row | kBaseFlag|base row | kUnknownEvent
+  std::vector<std::uint32_t> mention_event;
+  std::vector<std::uint64_t> mention_event_gid;
+
+  /// domains first seen by this tick (combined id = the chunk's source
+  /// offset in the snapshot + index)
+  std::vector<std::string> new_sources;
+
+  static constexpr std::uint32_t kBaseFlag = 0x80000000u;
+  static constexpr std::uint32_t kUnknownEvent = 0xFFFFFFFFu;
+};
+
+/// A frozen view of the delta at one ingest generation. Everything here
+/// is immutable after publication: holding the shared_ptr keeps every
+/// chunk (and every string a returned view points into) alive, and all
+/// accessors are const reads with no synchronization whatsoever.
+class DeltaSnapshot {
+ public:
+  /// The ingest generation this snapshot was published at. Data and
+  /// generation live in the same immutable object, so they can never be
+  /// observed torn against each other.
+  std::uint64_t generation() const noexcept { return generation_; }
+
+  std::uint64_t delta_events() const noexcept { return delta_events_; }
+  std::uint64_t delta_mentions() const noexcept { return delta_mentions_; }
+  std::uint64_t malformed_rows() const noexcept { return malformed_rows_; }
+
+  /// Total sources across base + newly discovered ones.
+  std::uint32_t num_sources() const noexcept {
+    return base_sources_ + num_new_sources_;
+  }
+
+  /// Domain for a combined source id (base ids first, then new ones).
+  /// The view stays valid for as long as this snapshot is held.
+  std::string_view source_domain(std::uint32_t id) const;
+
+  // --- combined queries (base + delta) ---
+  // Every accessor below reads only this frozen snapshot (plus the
+  // immutable base), so a sequence of calls on one snapshot yields a
+  // mutually consistent, single-generation result. `cancel` follows the
+  // kernel convention (analysis/country.cpp): the scan polls the token
+  // and bails early, returning a partial value the caller must discard
+  // after re-checking the token.
+
+  /// Articles per combined source id.
+  std::vector<std::uint64_t> CombinedArticlesPerSource(
+      const util::CancelToken* cancel = nullptr) const;
+  /// Total articles.
+  std::uint64_t CombinedMentionCount() const noexcept {
+    return (base_ ? base_->num_mentions() : 0) + delta_mentions_;
+  }
+  /// Top combined sources by articles, descending.
+  std::vector<std::uint32_t> CombinedTopSources(
+      std::size_t k, const util::CancelToken* cancel = nullptr) const;
+  /// Articles about events located in `country` (base + delta; delta
+  /// mentions of base events resolve their location through the base).
+  std::uint64_t CombinedArticlesAboutCountry(
+      CountryId country, const util::CancelToken* cancel = nullptr) const;
+
+ private:
+  friend class DeltaStore;
+
+  /// Country of a global delta event row (binary search over the chunk
+  /// offsets; the chunk count is the tick count, so this is cheap).
+  std::uint16_t EventCountryOf(std::uint32_t row) const;
+
+  const engine::Database* base_ = nullptr;  ///< may be null
+  std::uint32_t base_sources_ = 0;
+  std::uint32_t num_new_sources_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t delta_events_ = 0;
+  std::uint64_t delta_mentions_ = 0;
+  std::uint64_t malformed_rows_ = 0;
+
+  /// All published ticks, oldest first; shared (not copied) with every
+  /// other snapshot that contains them.
+  std::vector<std::shared_ptr<const DeltaChunk>> chunks_;
+  /// event_offset_[i] = global delta event row of chunks_[i]'s first
+  /// event; one-past-the-end sentinel at the back (size chunks_+1).
+  std::vector<std::uint64_t> event_offset_ = {0};
+  /// source_offset_[i] = combined source id of chunks_[i]'s first new
+  /// source, minus base_sources_; sentinel at the back.
+  std::vector<std::uint32_t> source_offset_ = {0};
+};
 
 /// Accumulates newly arrived chunks over an optional base database.
 class DeltaStore {
@@ -38,11 +153,19 @@ class DeltaStore {
   /// outlive the store.
   explicit DeltaStore(const engine::Database* base);
 
+  /// The current immutable snapshot (never null). One atomic
+  /// acquire-load; no lock, no row copies. Hold it for the duration of a
+  /// request to get cross-accessor consistency.
+  std::shared_ptr<const DeltaSnapshot> Acquire() const noexcept {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+
   /// Parses one pair of chunk archives (store-mode .zip as produced by
   /// GDELT / the generator). Either path may be empty to skip that side.
   /// All-or-nothing: both archives are fetched and verified (with retries
   /// per the fetch policy) before any row is applied, so a truncated or
-  /// corrupt archive leaves the store — and Generation() — untouched.
+  /// corrupt archive leaves the published snapshot — and Generation() —
+  /// untouched.
   Status IngestArchivePair(const std::string& export_zip_path,
                            const std::string& mentions_zip_path);
 
@@ -56,52 +179,82 @@ class DeltaStore {
   /// Fetch health counters; safe to read while another thread ingests.
   convert::FetchStats fetch_stats() const;
 
-  // --- delta-side sizes ---
-  std::uint64_t delta_events() const;
-  std::uint64_t delta_mentions() const;
-  std::uint64_t malformed_rows() const;
+  // --- snapshot-forwarding accessors ---
+  // Each call acquires its own snapshot; see the header comment for the
+  // consistency contract across multiple calls.
+  std::uint64_t delta_events() const noexcept {
+    return Acquire()->delta_events();
+  }
+  std::uint64_t delta_mentions() const noexcept {
+    return Acquire()->delta_mentions();
+  }
+  std::uint64_t malformed_rows() const noexcept {
+    return Acquire()->malformed_rows();
+  }
 
-  /// Monotonic ingest epoch: bumped inside the ingest critical section on
-  /// every successful ingest call, so result caches keyed by
-  /// (query, generation) invalidate as soon as new data lands and a query
-  /// never observes post-ingest rows paired with the pre-ingest epoch.
-  /// Safe to read concurrently with serving threads.
+  /// Monotonic ingest epoch: baked into the snapshot published by every
+  /// successful ingest call, so result caches keyed by
+  /// (query, generation) invalidate as soon as new data lands and a
+  /// reader can never observe post-ingest rows paired with the
+  /// pre-ingest epoch — both live in the same immutable object.
   std::uint64_t Generation() const noexcept {
-    return generation_.load(std::memory_order_acquire);
+    return Acquire()->generation();
   }
 
   /// Total sources across base + newly discovered ones.
-  std::uint32_t num_sources() const;
+  std::uint32_t num_sources() const noexcept {
+    return Acquire()->num_sources();
+  }
 
-  /// Domain for a combined source id (base ids first, then new ones).
-  /// Returned by value: new-source strings are stored in a growable
-  /// vector, so a view into one could dangle across a concurrent ingest.
-  std::string source_domain(std::uint32_t id) const;
+  /// Domain for a combined source id. Returned by value: the backing
+  /// string lives in a snapshot this call releases before returning.
+  std::string source_domain(std::uint32_t id) const {
+    return std::string(Acquire()->source_domain(id));
+  }
 
-  // --- combined queries (base + delta) ---
-  /// Articles per combined source id.
-  std::vector<std::uint64_t> CombinedArticlesPerSource() const;
-  /// Total articles.
-  std::uint64_t CombinedMentionCount() const;
-  /// Top combined sources by articles, descending.
-  std::vector<std::uint32_t> CombinedTopSources(std::size_t k) const;
-  /// Articles about events located in `country` (base + delta; delta
-  /// mentions of base events resolve their location through the base).
-  std::uint64_t CombinedArticlesAboutCountry(CountryId country) const;
+  // --- combined queries (base + delta), each on its own snapshot ---
+  std::vector<std::uint64_t> CombinedArticlesPerSource(
+      const util::CancelToken* cancel = nullptr) const {
+    return Acquire()->CombinedArticlesPerSource(cancel);
+  }
+  std::uint64_t CombinedMentionCount() const noexcept {
+    return Acquire()->CombinedMentionCount();
+  }
+  std::vector<std::uint32_t> CombinedTopSources(
+      std::size_t k, const util::CancelToken* cancel = nullptr) const {
+    return Acquire()->CombinedTopSources(k, cancel);
+  }
+  std::uint64_t CombinedArticlesAboutCountry(
+      CountryId country, const util::CancelToken* cancel = nullptr) const {
+    return Acquire()->CombinedArticlesAboutCountry(country, cancel);
+  }
 
  private:
-  std::uint32_t SourceIdForLocked(std::string_view domain)
+  std::uint32_t SourceIdForLocked(std::string_view domain, DeltaChunk& chunk)
       GDELT_REQUIRES(mu_);
-  std::uint32_t NumSourcesLocked() const GDELT_REQUIRES(mu_);
 
-  /// Row-apply halves of the CSV ingests; never fail, do not bump the
-  /// generation (the public entry points do).
-  void ApplyEventsCsvLocked(std::string_view csv) GDELT_REQUIRES(mu_);
-  void ApplyMentionsCsvLocked(std::string_view csv) GDELT_REQUIRES(mu_);
+  /// Row-apply halves of the CSV ingests; never fail. They fill `chunk`
+  /// and update the writer-side lookup maps; PublishLocked turns the
+  /// chunk into the next snapshot.
+  void ApplyEventsCsvLocked(std::string_view csv, DeltaChunk& chunk)
+      GDELT_REQUIRES(mu_);
+  void ApplyMentionsCsvLocked(std::string_view csv, DeltaChunk& chunk)
+      GDELT_REQUIRES(mu_);
 
-  const engine::Database* base_;  ///< may be null
+  /// Builds generation+1 from the current snapshot plus `chunk` (sharing
+  /// every existing chunk by pointer) and publishes it with one
+  /// release-store swap.
+  void PublishLocked(DeltaChunk&& chunk) GDELT_REQUIRES(mu_);
+
+  const engine::Database* base_;    ///< may be null
   std::uint32_t base_sources_ = 0;  ///< set once in the constructor
 
+  /// The published snapshot; readers acquire-load it, PublishLocked
+  /// release-stores the successor. Never null after construction.
+  std::atomic<std::shared_ptr<const DeltaSnapshot>> snapshot_;
+
+  /// Writer-side mutex: serializes ingests and guards the mutable lookup
+  /// state below. Readers never take it.
   mutable sync::Mutex mu_;
 
   /// Guarded so set_fetch_policy cannot race a stats read. Shared, not
@@ -110,33 +263,19 @@ class DeltaStore {
   /// is swapped mid-fetch. The pointee is internally thread-safe.
   std::shared_ptr<convert::ChunkFetcher> fetcher_ GDELT_GUARDED_BY(mu_);
 
-  // delta events (dense, in arrival order)
-  std::vector<std::int64_t> event_interval_ GDELT_GUARDED_BY(mu_);
-  std::vector<std::uint16_t> event_country_ GDELT_GUARDED_BY(mu_);
-  /// delta rows
+  // Writer-only lookup state (readers resolve everything through the
+  // snapshot): global event id -> delta row / base row, domain -> new
+  // source index, running malformed-row tally.
   std::unordered_map<std::uint64_t, std::uint32_t> event_row_of_
       GDELT_GUARDED_BY(mu_);
   std::unordered_map<std::uint64_t, std::uint32_t> base_event_row_of_
       GDELT_GUARDED_BY(mu_);
-
-  // delta mentions
-  /// combined source ids
-  std::vector<std::uint32_t> mention_source_ GDELT_GUARDED_BY(mu_);
-  std::vector<std::int64_t> mention_interval_ GDELT_GUARDED_BY(mu_);
-  /// delta row | kBase|row | kUnknown
-  std::vector<std::uint32_t> mention_event_ GDELT_GUARDED_BY(mu_);
-  std::vector<std::uint64_t> mention_event_gid_ GDELT_GUARDED_BY(mu_);
-
-  // new sources (combined id = base_sources_ + index)
-  std::vector<std::string> new_sources_ GDELT_GUARDED_BY(mu_);
   std::unordered_map<std::string, std::uint32_t> new_source_ids_
       GDELT_GUARDED_BY(mu_);
-
   std::uint64_t malformed_rows_ GDELT_GUARDED_BY(mu_) = 0;
-  std::atomic<std::uint64_t> generation_{0};
 
-  static constexpr std::uint32_t kBaseFlag = 0x80000000u;
-  static constexpr std::uint32_t kUnknownEvent = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kBaseFlag = DeltaChunk::kBaseFlag;
+  static constexpr std::uint32_t kUnknownEvent = DeltaChunk::kUnknownEvent;
 };
 
 }  // namespace gdelt::stream

@@ -194,11 +194,60 @@ TEST(ResultCacheTest, LruEvictionAndEpochInvalidation) {
   cache.Put("c", 1, "C");                     // evicts b
   EXPECT_FALSE(cache.Get("b", 1).has_value());
   EXPECT_EQ(cache.Get("a", 1).value(), "A");
-  // Same key, newer epoch: the stale entry is dropped.
+  // Same key, newer epoch: observing epoch 2 sweeps EVERY epoch-1 entry
+  // in the shard — none of them can ever be served again, so none of
+  // them may keep occupying capacity or counters.
   EXPECT_FALSE(cache.Get("a", 2).has_value());
-  EXPECT_EQ(cache.entries(), 1u);  // only c remains
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.evicted_stale(), 2u);  // a and c, collected as stale
   EXPECT_EQ(cache.hits(), 2u);
   EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(ResultCacheTest, StalePutDoesNotClobberNewerEpoch) {
+  ResultCache cache(2);
+  EXPECT_TRUE(cache.Put("k", 2, "fresh"));
+  // A slow render keyed to the pre-ingest epoch finishes late: it must
+  // not evict the post-ingest entry for the same key.
+  EXPECT_FALSE(cache.Put("k", 1, "stale"));
+  const auto hit = cache.GetTagged("k", 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit->text, "fresh");
+  // Nor may a born-stale put park dead bytes under a different key once
+  // the cache has observed the newer epoch.
+  EXPECT_FALSE(cache.Put("other", 1, "stale"));
+  EXPECT_FALSE(cache.Get("other", 1).has_value());
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ResultCacheTest, ObserveEpochSweepsAllShardsEagerly) {
+  // Large enough to run sharded (>= kShardThreshold), so the sweep must
+  // reach every shard, not just the one a lookup happens to land in.
+  ResultCache cache(256);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(cache.Put("k" + std::to_string(i), 1, "payload"));
+  }
+  EXPECT_EQ(cache.entries(), 64u);
+  EXPECT_GT(cache.text_bytes(), 0u);
+  cache.ObserveEpoch(2);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.text_bytes(), 0u);
+  EXPECT_EQ(cache.evicted_stale(), 64u);
+  // Every shard saw epoch 2, so epoch-1 puts are refused everywhere.
+  EXPECT_FALSE(cache.Put("late", 1, "zombie"));
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(ResultCacheTest, GetTaggedSharesPayloadBytes) {
+  ResultCache cache(4);
+  ASSERT_TRUE(cache.Put("k", 1, std::string(1 << 16, 'x')));
+  const auto a = cache.GetTagged("k", 1);
+  const auto b = cache.GetTagged("k", 1);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // A hit is a refcount bump on the stored string, never a copy.
+  EXPECT_EQ(a->text.get(), b->text.get());
+  EXPECT_EQ(a->text->size(), std::size_t{1} << 16);
 }
 
 // -------------------------------------------------------------- server --
@@ -349,6 +398,49 @@ TEST_F(ServeTest, IngestBumpsEpochAndInvalidatesCache) {
   const auto recomputed = client.RoundTrip(line);
   ASSERT_TRUE(recomputed.ok());
   EXPECT_FALSE(Parsed(*recomputed).Find("cached")->AsBool(true));
+}
+
+TEST_F(ServeTest, RenderRacedByIngestIsCachedUnderRenderEpoch) {
+  // Regression for the epoch-capture race: HandleQuery used to key the
+  // cache Put with the epoch read at request entry. A render that
+  // started before an ingest but executed after it was then cached under
+  // the pre-ingest epoch — unreachable at best, and wrong (pre-ingest
+  // bytes pinned for the new epoch) once renders consume the delta. The
+  // fix re-reads the generation from the snapshot acquired at render
+  // time, so the entry lands under the epoch of the data it actually saw.
+  delta_ = std::make_unique<stream::DeltaStore>(nullptr);
+  StartServer(ServerOptions{}, delta_.get());
+
+  // debug_sleep_ms stalls the worker *before* the snapshot is acquired
+  // and is not part of the canonical key, so this request shares its
+  // cache slot with the plain "stats" query below.
+  std::thread slow([this] {
+    auto client = Connect();
+    const auto response =
+        client.RoundTrip(R"({"query":"stats","debug_sleep_ms":600})");
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(Parsed(*response).Find("ok")->AsBool()) << *response;
+  });
+
+  // Land an ingest while the render stalls: the epoch captured at the
+  // slow request's entry (0) is now one behind.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const auto cfg = gen::GeneratorConfig::Tiny();
+  const auto dataset = gen::GenerateDataset(cfg);
+  std::string events_csv;
+  gen::AppendEventRow(events_csv, dataset.world, dataset.events[0]);
+  ASSERT_TRUE(delta_->IngestEventsCsv(events_csv).ok());
+  slow.join();
+
+  // The slow render executed at generation 1, so its result must be
+  // servable at the current epoch. Under the entry-epoch bug this lookup
+  // missed (the entry sat unreachable under epoch 0).
+  auto client = Connect();
+  const auto followup = client.RoundTrip(R"({"query":"stats"})");
+  ASSERT_TRUE(followup.ok());
+  const auto v = Parsed(*followup);
+  ASSERT_TRUE(v.Find("ok")->AsBool()) << *followup;
+  EXPECT_TRUE(v.Find("cached")->AsBool(false)) << *followup;
 }
 
 TEST_F(ServeTest, MalformedAndUnknownRequestsAreStructuredErrors) {

@@ -183,6 +183,23 @@ TEST_F(StreamTest, GenerationReflectsIngests) {
   EXPECT_GT(delta_->Generation(), 0u);
 }
 
+TEST_F(StreamTest, AcquiredSnapshotAgreesWithForwardingAccessors) {
+  // The store's convenience accessors are one-liners over Acquire();
+  // with no concurrent ingest the two views must be identical.
+  const auto snap = delta_->Acquire();
+  EXPECT_EQ(snap->generation(), delta_->Generation());
+  EXPECT_EQ(snap->delta_events(), delta_->delta_events());
+  EXPECT_EQ(snap->delta_mentions(), delta_->delta_mentions());
+  EXPECT_EQ(snap->num_sources(), delta_->num_sources());
+  EXPECT_EQ(snap->CombinedMentionCount(), delta_->CombinedMentionCount());
+  EXPECT_EQ(snap->CombinedArticlesPerSource(),
+            delta_->CombinedArticlesPerSource());
+  EXPECT_EQ(snap->CombinedTopSources(5), delta_->CombinedTopSources(5));
+  for (std::uint32_t s = 0; s < snap->num_sources(); ++s) {
+    EXPECT_EQ(std::string(snap->source_domain(s)), delta_->source_domain(s));
+  }
+}
+
 TEST(DeltaStoreGenerationTest, BumpedOnEverySuccessfulIngest) {
   DeltaStore delta(nullptr);
   EXPECT_EQ(delta.Generation(), 0u);
@@ -264,8 +281,11 @@ TEST(DeltaStoreConcurrencyTest, SourceDomainStaysValidDuringIngest) {
     }
     stop.store(true, std::memory_order_release);
   });
+  // At least one full pass even if the ingester wins the race outright
+  // (snapshot publication made ticks fast enough for that to happen on
+  // an unloaded box).
   std::uint64_t reads = 0;
-  while (!stop.load(std::memory_order_acquire)) {
+  while (!stop.load(std::memory_order_acquire) || reads == 0) {
     for (std::uint32_t id = 0; id < 4; ++id) {
       EXPECT_EQ(delta.source_domain(id),
                 "s" + std::to_string(id) + ".com");

@@ -35,11 +35,12 @@ Clang enforces, leaving GCC-only boxes unprotected):
                   baselines that must keep a private OpenMP team carry
                   `// gdelt-lint: allow(raw-omp)` with a reason.
   cancel-blind-loop
-                  In src/analysis and src/engine, a `for` loop bounded by
-                  the full row range (num_events()/num_mentions()/
-                  events_end) must consult the cooperative cancel token —
-                  a util::Cancelled(...) poll on the loop line or within
-                  the first few body lines. Such loops are exactly the
+                  In src/analysis, src/engine and src/stream, a `for`
+                  loop bounded by the full row range (num_events()/
+                  num_mentions()/events_end) or walking every delta
+                  chunk (chunks_/chunks()) must consult the cooperative
+                  cancel token — a util::Cancelled(...) poll on the loop
+                  line or within the first few body lines. Such loops are exactly the
                   scans that make a query outlive its deadline; a loop
                   that cannot observe cancellation holds a worker hostage
                   until the full scan completes. Ablation baselines and
@@ -81,11 +82,12 @@ TRACE_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
 RAW_RANDOM_RE = re.compile(r"(?<![\w:])rand\s*\(\s*\)|\bstd::random_device\b")
 RAW_OMP_RE = re.compile(r"#\s*pragma\s+omp\s+parallel\b")
 # A row-range loop: a `for` whose header names the full event/mention
-# extent. Morsel bodies iterate IndexRange begin/end instead, so this
-# only matches whole-table scans.
+# extent, or walks the streaming store's full chunk list (every delta
+# row accumulated since startup). Morsel bodies iterate IndexRange
+# begin/end instead, so this only matches whole-table scans.
 ROW_LOOP_RE = re.compile(
     r"\bfor\s*\(.*\b(?:num_events\s*\(\s*\)|num_mentions\s*\(\s*\)|"
-    r"events_end\b)")
+    r"events_end\b|chunks_\b|chunks\s*\(\s*\))")
 CANCEL_POLL_RE = re.compile(r"\bCancelled\s*\(")
 # How many lines below a row-range loop header we search for the poll
 # (the idiom puts it on the first body line; multi-line headers push it
@@ -186,6 +188,14 @@ def in_morsel_scope(path: str) -> bool:
         "/engine/" in p or p.startswith("engine/")
 
 
+def in_cancel_scope(path: str) -> bool:
+    """Directories whose full-table scans must observe cancellation:
+    the morsel-pool kernels plus the streaming delta scans."""
+    p = norm(path)
+    return in_morsel_scope(path) or "/stream/" in p or \
+        p.startswith("stream/")
+
+
 def check_file(path: str, rel: str) -> Iterator[Finding]:
     try:
         with open(path, encoding="utf-8") as fh:
@@ -284,7 +294,7 @@ def check_file(path: str, rel: str) -> Iterator[Finding]:
                     "`// gdelt-lint: allow(raw-omp)` and a reason")
 
         # --- cancel-blind-loop -------------------------------------------
-        if in_morsel_scope(rel) and ROW_LOOP_RE.search(code):
+        if in_cancel_scope(rel) and ROW_LOOP_RE.search(code):
             window = lines[i:min(len(lines), i + 1 + CANCEL_WINDOW)]
             if not any(CANCEL_POLL_RE.search(strip_comment(w))
                        for w in window) \

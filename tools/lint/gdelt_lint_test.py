@@ -46,7 +46,7 @@ class GdeltLintTest(unittest.TestCase):
         self.assertEqual(counts.get("trace-name"), 2, out)
         self.assertEqual(counts.get("raw-random"), 2, out)
         self.assertEqual(counts.get("raw-omp"), 2, out)
-        self.assertEqual(counts.get("cancel-blind-loop"), 2, out)
+        self.assertEqual(counts.get("cancel-blind-loop"), 3, out)
 
     def test_good_fixtures_are_clean(self):
         code, out = run_lint("good")
