@@ -329,6 +329,7 @@ CoReportMatrix ComputeCoReportingDenseAtomic(
 #pragma omp parallel
   {
     std::vector<std::uint32_t> slots;
+    // gdelt-astcheck: allow(cancel-poll) — re-audited: still bench-only.
     // gdelt-lint: allow(cancel-blind-loop) — ablation holdout, never runs
     // under the server; benches want the uninterrupted full scan.
 #pragma omp for schedule(dynamic, 256)
@@ -375,6 +376,7 @@ CoReportMatrix ComputeCoReportingSparse(const engine::Database& db,
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
     auto& local = locals[tid];
     std::vector<std::uint32_t> slots;
+    // gdelt-astcheck: allow(cancel-poll) — re-audited: still bench-only.
     // gdelt-lint: allow(cancel-blind-loop) — ablation holdout, never runs
     // under the server; benches want the uninterrupted full scan.
 #pragma omp for schedule(dynamic, 256)
@@ -410,6 +412,7 @@ graph::SparseMatrix ComputeCoReportingTimeSliced(const engine::Database& db) {
   const auto w = engine::QuartersOf(db);
   const auto nq = static_cast<std::size_t>(std::max(w.count, 1));
   std::vector<std::vector<std::uint32_t>> slice_events(nq);
+  // gdelt-astcheck: allow(cancel-poll) — re-audited: still bench-only.
   // gdelt-lint: allow(cancel-blind-loop) — time-sliced ablation kernel
   // (bench-only, no token plumbed); the slicing pass is cheap relative
   // to the per-slice matrix build.

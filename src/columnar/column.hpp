@@ -126,6 +126,9 @@ class Column {
   std::string_view StringAt(std::size_t i) const noexcept {
     const std::uint64_t b = offsets_[i];
     const std::uint64_t e = offsets_[i + 1];
+    // gdelt-astcheck: allow(view-escape) — columns are immutable once
+    // loaded (AppendString only runs during conversion, never on a
+    // column a reader holds), so chars_ never reallocates under a view.
     return {chars_.data() + b, static_cast<std::size_t>(e - b)};
   }
 
@@ -134,17 +137,22 @@ class Column {
     if (type_ == ColumnType::kStr) {
       // gdelt-lint: allow(unchecked-copy) — n is an in-memory dictionary
       // size from the caller, never a length parsed out of a file.
+      // gdelt-astcheck: allow(bounded-alloc) — same in-memory contract.
       offsets_.reserve(n + 1);
       chars_.reserve(n * avg_len);
     } else {
       // gdelt-lint: allow(unchecked-copy) — same: capacity hint, not
       // untrusted input.
+      // gdelt-astcheck: allow(bounded-alloc) — same capacity-hint contract.
       bytes_.reserve(n * ColumnTypeSize(type_));
     }
   }
 
   /// Resizes a fixed-width column to n zero-initialized rows.
   void ResizeFixed(std::size_t n) {
+    // gdelt-astcheck: allow(bounded-alloc) — n is a row count the loader
+    // already validated against the file's framing (BinaryReader bounds
+    // every section length before a column is sized from it).
     bytes_.assign(n * ColumnTypeSize(type_), 0);
   }
 

@@ -25,9 +25,14 @@ class DenseMatrix {
     return data_[r * cols_ + c];
   }
   std::span<double> Row(std::size_t r) noexcept {
+    // gdelt-astcheck: allow(view-escape) — data_ is sized once in the
+    // constructor and never resized; element writes through At/Row
+    // cannot reallocate, so row spans stay valid for the matrix's life.
     return {data_.data() + r * cols_, cols_};
   }
   std::span<const double> Row(std::size_t r) const noexcept {
+    // gdelt-astcheck: allow(view-escape) — same fixed-capacity contract
+    // as the mutable overload above.
     return {data_.data() + r * cols_, cols_};
   }
   std::span<const double> data() const noexcept { return data_; }

@@ -652,6 +652,13 @@ Result<std::string> MergeCoreport(const Request& r,
     GDELT_RETURN_IF_ERROR(TakeStringVec(*data, "domains", dom));
     if (first) {
       n = sub.size();
+      // The subset a shard reports can never exceed the top_k the
+      // request asked for; a larger n is a hostile or corrupt frame,
+      // and n*n sizes the accumulator matrix (top_k=100k would demand
+      // an 80 GB allocation), so reject before allocating.
+      if (n > r.top_k) {
+        return FrameError("subset larger than requested top_k");
+      }
       acc.assign(n * n, 0);
     }
     GDELT_RETURN_IF_ERROR(CarryCheck(first, subset, std::move(sub), "subset"));
@@ -671,7 +678,7 @@ Result<std::string> MergeCoreport(const Request& r,
   return text;
 }
 
-Result<std::string> MergeFollow(const Request& /*r*/,
+Result<std::string> MergeFollow(const Request& r,
                                 std::span<const JsonValue* const> frames) {
   std::vector<std::uint64_t> subset;
   std::vector<std::string> domains;
@@ -688,6 +695,11 @@ Result<std::string> MergeFollow(const Request& /*r*/,
     GDELT_RETURN_IF_ERROR(TakeU64Vec(*data, "articles", art));
     if (first) {
       n = sub.size();
+      // Same bound as MergeCoreport: n*n sizes the accumulator, and no
+      // honest shard reports more than top_k follow candidates.
+      if (n > r.top_k) {
+        return FrameError("subset larger than requested top_k");
+      }
       acc.assign(n * n, 0);
     }
     GDELT_RETURN_IF_ERROR(CarryCheck(first, subset, std::move(sub), "subset"));
@@ -854,6 +866,12 @@ Result<std::string> MergeDelay(const Request& /*r*/,
     GDELT_RETURN_IF_ERROR(TakeU64Field(*data, "q_count", qc));
     GDELT_RETURN_IF_ERROR(
         CarryCheck(first, q_count, std::move(qc), "q_count"));
+    // q_count arrives in the frame and sizes two quarterly arrays; a
+    // hostile 2^63 value would be an OOM, so bound it to a span no real
+    // dataset approaches before allocating.
+    if (q_count > kMaxQuarterSlots) {
+      return FrameError("quarterly span too large");
+    }
     if (first) {
       quarterly.first_quarter = static_cast<QuarterId>(q_first);
       quarterly.average.assign(q_count, 0.0);
@@ -1019,6 +1037,12 @@ Result<std::string> MergePartialFrames(const Request& r,
       return FrameError("frame needs a positive 'of'");
     }
     if (of == 0) {
+      // The request-side `of` is parse-clamped to kMaxPartitions, but
+      // this one arrives inside the frame and sizes the seen-shard
+      // table below — an unbounded int64 here is an OOM on demand.
+      if (of_field->AsInt() > kMaxPartitions) {
+        return FrameError("frame 'of' exceeds the partition limit");
+      }
       of = of_field->AsInt();
       seen.assign(static_cast<std::size_t>(of), false);
     } else if (of_field->AsInt() != of) {

@@ -41,6 +41,19 @@ namespace gdelt::serve {
 /// from a different protocol revision instead of mis-summing them.
 inline constexpr int kPartialVersion = 1;
 
+/// Upper bound on a frame's `of` (partition count). Matches the clamp
+/// ParseRequest applies to the request-side `of`; a frame claiming more
+/// partitions than any scatter can produce is hostile or corrupt, and
+/// `of` sizes the merger's seen-shard table, so it must be bounded
+/// before anything allocates from it.
+inline constexpr std::int64_t kMaxPartitions = 4096;
+
+/// Upper bound on the quarterly-delay span a frame may carry. GDELT
+/// coverage is a few hundred quarters; 4096 (a millennium) is far past
+/// any real dataset while keeping the merge-side `assign(q_count, ...)`
+/// allocations bounded against hostile frames.
+inline constexpr std::uint64_t kMaxQuarterSlots = 4096;
+
 /// Count-matrix encoding inside a frame. Auto picks sparse when the
 /// triple list is smaller than the dense payload; the explicit values
 /// are a process-global test hook to pin down both paths.

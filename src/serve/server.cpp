@@ -553,23 +553,31 @@ std::string Server::HandleIngest(const Request& request) {
                          status.message());
   }
   metrics_.ingests.fetch_add(1);
+  // One snapshot for every post-ingest fact: the generation the cache
+  // observes, the one the status page reports, the delta counts in the
+  // log line, and the epoch echoed to the client all come from the same
+  // publication. Separate convenience-accessor calls would each acquire
+  // their own snapshot and could straddle a concurrent ingest tick.
+  const auto snap = delta_->Acquire();
   // Eagerly collect entries stranded under the previous epoch so the
   // cache's entries()/text_bytes() reflect servable data immediately,
   // not whenever a same-key lookup happens to land.
-  cache_.ObserveEpoch(Epoch());
-  last_ingest_generation_.store(delta_->Generation());
+  cache_.ObserveEpoch(snap->generation());
+  last_ingest_generation_.store(snap->generation());
   last_ingest_ms_.store(static_cast<std::int64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
                                                             start_time_)
           .count()));
   GDELT_LOG(kInfo, StrFormat("serve: ingest ok — epoch=%llu delta_events=%llu "
                              "delta_mentions=%llu",
-                             static_cast<unsigned long long>(Epoch()),
                              static_cast<unsigned long long>(
-                                 delta_->delta_events()),
+                                 snap->generation()),
                              static_cast<unsigned long long>(
-                                 delta_->delta_mentions())));
-  return OkJsonResponse(request, "epoch", std::to_string(Epoch()));
+                                 snap->delta_events()),
+                             static_cast<unsigned long long>(
+                                 snap->delta_mentions())));
+  return OkJsonResponse(request, "epoch",
+                        std::to_string(snap->generation()));
 }
 
 void Server::AcceptLoop() {

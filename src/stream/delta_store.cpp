@@ -32,6 +32,10 @@ std::string_view DeltaSnapshot::source_domain(std::uint32_t id) const {
   const auto it =
       std::upper_bound(source_offset_.begin(), source_offset_.end(), idx);
   const auto c = static_cast<std::size_t>(it - source_offset_.begin()) - 1;
+  // gdelt-astcheck: allow(view-escape) — the snapshot is immutable after
+  // publication: chunks_ and every chunk's new_sources are frozen at
+  // construction, and the caller's shared_ptr pins the chunk (and its
+  // strings) for as long as the view can be looked at.
   return chunks_[c]->new_sources[idx - source_offset_[c]];
 }
 

@@ -284,6 +284,72 @@ TEST_F(PartialMergeTest, MergerRejectsBadFrames) {
   }
 }
 
+TEST_F(PartialMergeTest, MergerRejectsOversizedAllocationClaims) {
+  // Frame fields that size merger-side allocations (the seen-shard
+  // table, the n*n co-report accumulator, the quarterly delay arrays)
+  // must be bounded BEFORE the allocation happens: a hostile frame
+  // claiming of=2^62 or q_count=2^62 has to come back as a frame error,
+  // not a multi-exabyte vector::assign.
+  const auto merge_one = [](const Request& req, const std::string& text) {
+    auto parsed = JsonValue::Parse(text);
+    EXPECT_TRUE(parsed.ok()) << text;
+    std::vector<JsonValue> frames;
+    frames.push_back(std::move(*parsed));
+    return MergePartialFrames(req, frames);
+  };
+  const auto render_frame = [this](const Request& req) {
+    Request sub = req;
+    sub.partial = true;
+    sub.shard = 0;
+    sub.of = 2;
+    auto frame = RenderPartialFrame(*db_, sub, parallel::Backend::kMorselPool);
+    EXPECT_TRUE(frame.ok()) << frame.status().ToString();
+    return frame.ok() ? frame->text : std::string();
+  };
+
+  // Frame 'of' beyond kMaxPartitions sizes the seen-shard table.
+  {
+    const Request r = MakeRequest("top-sources", 3);
+    std::string bad = render_frame(r);
+    const auto pos = bad.find("\"of\":2");
+    ASSERT_NE(pos, std::string::npos) << bad;
+    bad.replace(pos, 6, "\"of\":4611686018427387904");
+    auto merged = merge_one(r, bad);
+    EXPECT_FALSE(merged.ok());
+    EXPECT_NE(merged.status().ToString().find("partition limit"),
+              std::string::npos)
+        << merged.status().ToString();
+  }
+  // A subset larger than the requested top_k sizes the n*n accumulator
+  // in the matrix merges; the shard can never honestly report more than
+  // it was asked for.
+  for (const char* kind : {"coreport", "follow"}) {
+    const std::string good = render_frame(MakeRequest(kind, 3));
+    ASSERT_FALSE(good.empty());
+    const Request small = MakeRequest(kind, 2);
+    auto merged = merge_one(small, good);
+    EXPECT_FALSE(merged.ok()) << kind;
+    EXPECT_NE(merged.status().ToString().find("larger than requested top_k"),
+              std::string::npos)
+        << kind << ": " << merged.status().ToString();
+  }
+  // Delay frames carry q_count, which sizes two quarterly arrays.
+  {
+    const Request r = MakeRequest("delay", 3);
+    std::string bad = render_frame(r);
+    const auto pos = bad.find("\"q_count\":");
+    ASSERT_NE(pos, std::string::npos) << bad;
+    auto end = pos + 10;
+    while (end < bad.size() && bad[end] >= '0' && bad[end] <= '9') ++end;
+    bad.replace(pos, end - pos, "\"q_count\":4611686018427387904");
+    auto merged = merge_one(r, bad);
+    EXPECT_FALSE(merged.ok());
+    EXPECT_NE(merged.status().ToString().find("quarterly span"),
+              std::string::npos)
+        << merged.status().ToString();
+  }
+}
+
 TEST_F(PartialMergeTest, ParserRejectsBadPartialRequests) {
   // Partial execution of an order-sensitive kind is refused up front.
   EXPECT_FALSE(

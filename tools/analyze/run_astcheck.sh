@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Diff-aware driver for the gdelt_astcheck semantic analyzer, matching
+# run_clang_tidy.sh semantics so the CI job (and muscle memory) treat
+# the two walls identically.
+#
+# Usage:
+#   tools/analyze/run_astcheck.sh [options] [-- <extra analyzer args>]
+#
+# Options:
+#   --build-dir DIR   build tree with compile_commands.json; enables the
+#                     clang frontend and hosts the AST-facts cache
+#                     (default: build)
+#   --base REF        analyze only src/ files changed since merge-base
+#                     with REF (default mode; REF defaults to
+#                     origin/main, falling back to main, then HEAD~1).
+#                     Note: lock-order is a whole-program graph, so the
+#                     diff mode analyzes the full tree whenever any
+#                     lock-bearing file changed; other rules are
+#                     per-file and honor the narrow file list.
+#   --all             analyze every tracked src/ source and header
+#   --require         fail (exit 2) if python3 is missing; the default
+#                     is a clearly-labelled skip. CI passes --require.
+#
+# Exit codes: 0 clean (or skipped), 1 findings, 2 environment error.
+set -u -o pipefail
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel 2>/dev/null || dirname "$0")" || exit 2
+
+BUILD_DIR=build
+BASE_REF=""
+ALL=0
+REQUIRE=0
+EXTRA_ARGS=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    --base) BASE_REF=$2; shift 2 ;;
+    --all) ALL=1; shift ;;
+    --require) REQUIRE=1; shift ;;
+    --) shift; EXTRA_ARGS=("$@"); break ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+done
+
+if ! command -v python3 > /dev/null 2>&1; then
+  if [ "$REQUIRE" = 1 ]; then
+    echo "run_astcheck: python3 not found and --require given" >&2
+    exit 2
+  fi
+  echo "run_astcheck: SKIPPED — python3 not installed"
+  exit 0
+fi
+
+ANALYZER=tools/analyze/gdelt_astcheck.py
+COMMON=(--build-dir "$BUILD_DIR")
+
+# Select the files to analyze. Unlike clang-tidy, headers are analyzed
+# directly (the builtin frontend needs no compilation database entry).
+FILES=()
+if [ "$ALL" = 1 ]; then
+  while IFS= read -r f; do FILES+=("$f"); done \
+    < <(git ls-files 'src/**/*.cpp' 'src/*.cpp' 'src/**/*.hpp' 'src/*.hpp')
+else
+  if [ -z "$BASE_REF" ]; then
+    for ref in origin/main main 'HEAD~1'; do
+      if git rev-parse --verify --quiet "$ref" > /dev/null; then
+        BASE_REF=$ref
+        break
+      fi
+    done
+  fi
+  MERGE_BASE=$(git merge-base "$BASE_REF" HEAD 2>/dev/null || echo "$BASE_REF")
+  while IFS= read -r f; do
+    case "$f" in
+      src/*.cpp | src/*/*.cpp | src/*.hpp | src/*/*.hpp)
+        [ -f "$f" ] && FILES+=("$f") ;;
+    esac
+  done < <(git diff --name-only "$MERGE_BASE" HEAD; git diff --name-only)
+fi
+
+if [ ${#FILES[@]} -eq 0 ]; then
+  echo "run_astcheck: no source files to analyze (clean diff)"
+  exit 0
+fi
+
+# Lock-order and interprocedural call summaries need the whole tree; a
+# narrowed run would miss cross-file inversions. The facts cache in
+# $BUILD_DIR/astcheck-cache makes the widened run cheap: only changed
+# files re-parse; everything else is a content-hash hit.
+if [ "$ALL" != 1 ]; then
+  for f in "${FILES[@]}"; do
+    if grep -q 'sync::MutexLock' "$f" 2>/dev/null; then
+      echo "run_astcheck: $f holds locks — widening to the full tree" \
+           "for the acquisition graph (cache keeps this cheap)"
+      FILES=()
+      break
+    fi
+  done
+fi
+
+if [ ${#FILES[@]} -eq 0 ]; then
+  python3 "$ANALYZER" "${COMMON[@]}" "${EXTRA_ARGS[@]}" src
+  STATUS=$?
+else
+  echo "run_astcheck: ${#FILES[@]} changed file(s)"
+  python3 "$ANALYZER" "${COMMON[@]}" "${EXTRA_ARGS[@]}" "${FILES[@]}"
+  STATUS=$?
+fi
+
+if [ "$STATUS" = 0 ]; then
+  echo "run_astcheck: clean"
+elif [ "$STATUS" = 1 ]; then
+  echo "run_astcheck: findings above must be fixed or suppressed with a justified allow tag" >&2
+fi
+exit $STATUS

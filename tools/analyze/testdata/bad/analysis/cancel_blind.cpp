@@ -1,0 +1,31 @@
+// Seeded cancel-poll violations. gdelt_astcheck_test.py expects exactly
+// TWO findings from this file: a full row-range loop with no poll at
+// all, and one whose only "Cancelled" appears inside a comment (the AST
+// rule strips comments; a naive grep would be fooled). Never compiled;
+// analyzer fixture only.
+
+#include <cstddef>
+
+struct Db {
+  std::size_t num_events() const;
+  std::size_t num_mentions() const;
+};
+
+void Consume(std::size_t row);
+
+// Scans every event row and never looks at the cancel token: a slow
+// query holds its worker thread hostage past its deadline.
+void ScanAll(const Db& db) {
+  for (std::size_t e = 0; e < db.num_events(); ++e) {
+    Consume(e);
+  }
+}
+
+// The poll exists only in prose. Comment text must not count as
+// coverage.
+void ScanMentions(const Db& db) {
+  for (std::size_t m = 0; m < db.num_mentions(); ++m) {
+    // A production kernel would check util::Cancelled(cancel) here.
+    Consume(m);
+  }
+}

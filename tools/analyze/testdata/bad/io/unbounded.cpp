@@ -1,0 +1,43 @@
+// Seeded bounded-alloc violations. gdelt_astcheck_test.py expects
+// exactly FOUR findings from this file: a size with no guard at all, a
+// guard naming the wrong variable, a guard that arrives after the
+// allocation, and a quadratic size from input. Never compiled; analyzer
+// fixture only.
+
+#include <cstdint>
+#include <vector>
+
+struct Reader {
+  std::uint64_t U64();
+};
+
+// No guard: a hostile header field becomes the allocation size verbatim
+// (the 2^63 "please OOM me" frame).
+void ReadBlob(Reader& r, std::vector<std::uint8_t>& out) {
+  std::uint64_t len = r.U64();
+  out.resize(len);
+}
+
+// A guard exists, but it bounds `cols` while the allocation is sized by
+// `rows` — dominance must track the exact identifier.
+void ReadRows(Reader& r, std::vector<std::uint8_t>& out) {
+  std::uint64_t rows = r.U64();
+  std::uint64_t cols = r.U64();
+  if (cols > 4096) return;
+  out.resize(rows);
+}
+
+// The guard names the right variable but runs after the damage; the
+// allocation it should dominate precedes it.
+void ReadLate(Reader& r, std::vector<std::uint8_t>& out) {
+  std::uint64_t len = r.U64();
+  out.resize(len);
+  if (len > 4096) return;
+}
+
+// Quadratic amplification: n items in the frame demand n*n accumulator
+// slots (the MergeCoreport shape before its top_k bound).
+void ReadMatrix(Reader& r, std::vector<std::uint64_t>& out) {
+  std::uint64_t n = r.U64();
+  out.assign(n * n, 0);
+}

@@ -1,0 +1,23 @@
+// Seeded suppression-contract violations. gdelt_astcheck_test.py
+// expects exactly TWO bare-allow findings from this file (and ZERO
+// view-escape findings: a bare tag still suppresses, it just gets
+// reported itself, so silent escapes cannot accumulate). Never
+// compiled; analyzer fixture only.
+
+#include <string>
+#include <string_view>
+
+// Tag with no justification: the base finding is suppressed, but the
+// naked tag is a finding of its own.
+std::string_view Nick() {
+  std::string n = "x";
+  // gdelt-astcheck: allow(view-escape)
+  return n;
+}
+
+// Tag naming a rule that does not exist (typo'd rule names would
+// otherwise rot silently, suppressing nothing while looking load-bearing).
+std::string_view Alias() {
+  // gdelt-astcheck: allow(view-escapes) — plausible but misspelled
+  return "literal";
+}

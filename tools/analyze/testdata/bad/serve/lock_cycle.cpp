@@ -1,0 +1,64 @@
+// Seeded lock-order violations. gdelt_astcheck_test.py expects exactly
+// TWO cycle findings from this file: one direct two-mutex inversion and
+// one that only exists interprocedurally (neither function on its own
+// ever holds two locks at once in source order — the cycle appears when
+// call summaries are folded in).
+//
+// Never compiled; analyzer fixture only.
+
+namespace sync {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+}  // namespace sync
+
+class Ledger {
+ public:
+  void Credit();
+  void Debit();
+  void Reconcile();
+  void Audit();
+  void FlushJournal();
+  void ReplayLog();
+
+ private:
+  sync::Mutex accounts_mu_;
+  sync::Mutex journal_mu_;
+  sync::Mutex replay_mu_;
+  sync::Mutex flush_mu_;
+};
+
+// Direct cycle: Credit nests accounts_mu_ -> journal_mu_, Debit nests
+// journal_mu_ -> accounts_mu_. Two threads, one in each, deadlock.
+void Ledger::Credit() {
+  sync::MutexLock accounts(accounts_mu_);
+  sync::MutexLock journal(journal_mu_);
+}
+
+void Ledger::Debit() {
+  sync::MutexLock journal(journal_mu_);
+  sync::MutexLock accounts(accounts_mu_);
+}
+
+// Interprocedural cycle: Reconcile holds replay_mu_ while calling
+// FlushJournal (which takes flush_mu_); Audit holds flush_mu_ while
+// calling ReplayLog (which takes replay_mu_).
+void Ledger::Reconcile() {
+  sync::MutexLock replay(replay_mu_);
+  FlushJournal();
+}
+
+void Ledger::FlushJournal() {
+  sync::MutexLock flush(flush_mu_);
+}
+
+void Ledger::Audit() {
+  sync::MutexLock flush(flush_mu_);
+  ReplayLog();
+}
+
+void Ledger::ReplayLog() {
+  sync::MutexLock replay(replay_mu_);
+}

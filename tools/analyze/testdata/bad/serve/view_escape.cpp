@@ -1,0 +1,37 @@
+// Seeded view-escape violations. gdelt_astcheck_test.py expects exactly
+// THREE findings from this file: an SSO-length local escape, a
+// reallocatable member element, and an owning temporary. Never
+// compiled; analyzer fixture only.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+class Catalog {
+ public:
+  std::string_view Name() const;
+  std::string_view Mangled() const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+// An SSO-length string never touches the heap, so nothing "leaks" in a
+// heap checker — but the bytes live in the dying stack frame. This is
+// the shape ASan catches only with use-after-return instrumentation.
+std::string_view ShortLabel() {
+  std::string label = "ok";
+  return label;
+}
+
+// names_ is a std::vector<std::string>: push_back can move every
+// element, and the element's own growth can reallocate its buffer.
+std::string_view Catalog::Name() const {
+  return names_[0];
+}
+
+// The temporary from to_string dies at the end of the full expression;
+// the caller receives a view of freed (or reused) stack bytes.
+std::string_view Catalog::Mangled() const {
+  return std::to_string(42);
+}

@@ -1,0 +1,40 @@
+// Seeded snapshot-discipline violations. gdelt_astcheck_test.py expects
+// exactly TWO findings from this file: one per function that reads two
+// or more DeltaStore convenience accessors instead of holding a single
+// Acquire()d snapshot. Never compiled; analyzer fixture only.
+
+#include <cstdint>
+
+class DeltaStore;
+
+class StatusPage {
+ public:
+  void Render(const DeltaStore& store);
+};
+
+class Dashboard {
+ public:
+  void Refresh();
+
+ private:
+  DeltaStore* delta_ = nullptr;
+  std::uint64_t last_gen_ = 0;
+  std::uint64_t rows_ = 0;
+};
+
+// Generation() and delta_events() each acquire their own snapshot; an
+// ingest between the two calls makes the page report a generation that
+// does not match the row count beside it.
+void StatusPage::Render(const DeltaStore& store) {
+  const std::uint64_t gen = store.Generation();
+  const std::uint64_t rows = store.delta_events();
+  (void)gen;
+  (void)rows;
+}
+
+// Same torn-read shape through a member pointer: three accessors, three
+// independent snapshots.
+void Dashboard::Refresh() {
+  last_gen_ = delta_->Generation();
+  rows_ = delta_->delta_events() + delta_->delta_mentions();
+}

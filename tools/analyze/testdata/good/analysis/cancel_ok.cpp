@@ -1,0 +1,66 @@
+// Clean cancellation patterns the analyzer must NOT flag: a poll deep
+// inside a long loop body (beyond any fixed line window — the reason
+// the AST rule replaced the 6-line regex), a poll in the loop header,
+// a non-row-range loop with no poll obligation, and a justified allow
+// tag. Never compiled; analyzer fixture only.
+
+#include <cstddef>
+
+struct Db {
+  std::size_t num_events() const;
+  std::size_t num_mentions() const;
+};
+
+namespace util {
+struct CancelToken;
+bool Cancelled(const CancelToken* token);
+}  // namespace util
+
+void StageA(std::size_t row);
+void StageB(std::size_t row);
+void StageC(std::size_t row);
+void StageD(std::size_t row);
+void StageE(std::size_t row);
+void StageF(std::size_t row);
+void StageG(std::size_t row);
+
+// The poll sits more than six lines into the body: a line-window regex
+// declares this loop blind; real body analysis sees the poll.
+void ScanDeep(const Db& db, const util::CancelToken* cancel) {
+  for (std::size_t e = 0; e < db.num_events(); ++e) {
+    StageA(e);
+    StageB(e);
+    StageC(e);
+    StageD(e);
+    StageE(e);
+    StageF(e);
+    StageG(e);
+    if ((e & 1023) == 0 && util::Cancelled(cancel)) {
+      return;
+    }
+  }
+}
+
+// Poll in the loop condition itself.
+void ScanGuarded(const Db& db, const util::CancelToken* cancel) {
+  for (std::size_t m = 0; m < db.num_mentions() && !util::Cancelled(cancel);
+       ++m) {
+    StageA(m);
+  }
+}
+
+// Not a row-range loop: no obligation to poll.
+void WarmCaches() {
+  for (int pass = 0; pass < 3; ++pass) {
+    StageA(0);
+  }
+}
+
+// A justified suppression: bench-only kernel with no token parameter.
+void BenchScan(const Db& db) {
+  // gdelt-astcheck: allow(cancel-poll) — bench-only ablation kernel;
+  // no cancel token is plumbed and benches want the uninterrupted scan.
+  for (std::size_t e = 0; e < db.num_events(); ++e) {
+    StageA(e);
+  }
+}

@@ -1,0 +1,54 @@
+// Clean allocation patterns the analyzer must NOT flag: clamped
+// initializers, early-exit guard dominance, allocation inside the
+// guard's block, sizes derived from in-memory containers, and a
+// justified allow tag. Never compiled; analyzer fixture only.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+struct Reader {
+  std::uint64_t U64();
+  std::size_t remaining() const;
+};
+
+inline constexpr std::uint64_t kMaxLen = 1 << 20;
+
+// The size identifier is born clamped: its initializer is the bound.
+void ReadClamped(Reader& r, std::vector<std::uint8_t>& out) {
+  const std::uint64_t take = std::min<std::uint64_t>(r.U64(), kMaxLen);
+  out.resize(take);
+}
+
+// Early-exit guard dominance: every path reaching the allocation has
+// len <= remaining().
+void ReadGuarded(Reader& r, std::vector<std::uint8_t>& out) {
+  std::uint64_t len = r.U64();
+  if (len > r.remaining()) {
+    return;
+  }
+  out.resize(len);
+}
+
+// Allocation inside the guard's own block.
+void ReadInside(Reader& r, std::vector<std::uint8_t>& out) {
+  std::uint64_t len = r.U64();
+  if (len <= kMaxLen) {
+    out.resize(len);
+  }
+}
+
+// Sized from an in-memory container: .size() cannot be hostile.
+void CopyRows(const std::vector<std::uint8_t>& src,
+              std::vector<std::uint8_t>& out) {
+  out.reserve(src.size());
+}
+
+// A justified suppression for a size the surrounding system already
+// bounds.
+void ReadTrusted(Reader& r, std::vector<std::uint8_t>& out) {
+  std::uint64_t len = r.U64();
+  // gdelt-astcheck: allow(bounded-alloc) — len was validated against
+  // the archive's framing by the caller before this reader was built.
+  out.resize(len);
+}

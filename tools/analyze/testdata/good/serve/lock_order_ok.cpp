@@ -1,0 +1,84 @@
+// Clean lock-order patterns the analyzer must NOT flag: sequential
+// (non-nested) scopes, a consistent one-directional nesting order, and
+// same-named members of different classes (per-class mutex identity —
+// a name-only graph would see a false cycle here). Never compiled;
+// analyzer fixture only.
+
+namespace sync {
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+}  // namespace sync
+
+class Pool {
+ public:
+  void Shutdown();
+  void Join();
+  void Submit();
+  void Steal();
+
+ private:
+  sync::Mutex mu_;
+  sync::Mutex join_mu_;
+};
+
+// Sequential scopes: mu_ is RELEASED at the inner closing brace before
+// join_mu_ is taken, in both orders. Only brace-accurate scope extents
+// keep this edge-free (a line-window heuristic would see a cycle).
+void Pool::Shutdown() {
+  {
+    sync::MutexLock lock(mu_);
+  }
+  sync::MutexLock join(join_mu_);
+}
+
+void Pool::Join() {
+  {
+    sync::MutexLock join(join_mu_);
+  }
+  sync::MutexLock lock(mu_);
+}
+
+// Consistent nesting direction: mu_ -> join_mu_ in every path is a
+// hierarchy, not a cycle.
+void Pool::Submit() {
+  sync::MutexLock lock(mu_);
+  sync::MutexLock join(join_mu_);
+}
+
+void Pool::Steal() {
+  sync::MutexLock lock(mu_);
+  sync::MutexLock join(join_mu_);
+}
+
+// Same member names, different classes: Alpha::mu_ and Beta::mu_ are
+// distinct mutexes, so opposite orders across the two classes are fine.
+class Alpha {
+ public:
+  void Tick();
+
+ private:
+  sync::Mutex mu_;
+  sync::Mutex aux_mu_;
+};
+
+class Beta {
+ public:
+  void Tock();
+
+ private:
+  sync::Mutex mu_;
+  sync::Mutex aux_mu_;
+};
+
+void Alpha::Tick() {
+  sync::MutexLock a(mu_);
+  sync::MutexLock b(aux_mu_);
+}
+
+void Beta::Tock() {
+  sync::MutexLock b(aux_mu_);
+  sync::MutexLock a(mu_);
+}

@@ -1,0 +1,33 @@
+// Clean DeltaStore usage the analyzer must NOT flag: one Acquire() per
+// scope with every fact read from that snapshot, and single-accessor
+// convenience calls (one call cannot tear). Never compiled; analyzer
+// fixture only.
+
+#include <cstdint>
+
+class DeltaStore;
+
+class Dashboard {
+ public:
+  void Refresh();
+  std::uint64_t Epoch() const;
+
+ private:
+  DeltaStore* delta_ = nullptr;
+  std::uint64_t last_gen_ = 0;
+  std::uint64_t rows_ = 0;
+};
+
+// The discipline the rule enforces: acquire once, read everything from
+// the immutable snapshot — generation and counts cannot tear.
+void Dashboard::Refresh() {
+  const auto snap = delta_->Acquire();
+  last_gen_ = snap->generation();
+  rows_ = snap->delta_events() + snap->delta_mentions();
+}
+
+// A single convenience accessor is fine: there is no second read for
+// it to be inconsistent with.
+std::uint64_t Dashboard::Epoch() const {
+  return delta_->Generation();
+}

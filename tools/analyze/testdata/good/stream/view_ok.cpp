@@ -1,0 +1,59 @@
+// Clean view-returning patterns the analyzer must NOT flag:
+// parameter-derived views, string literals, address-stable deque
+// storage, vectors that already hold views, and a tagged escape whose
+// justification documents the lifetime contract. Never compiled;
+// analyzer fixture only.
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Parameter-derived: the caller owns the storage; a sub-view of it is
+// exactly as valid as what was passed in.
+std::string_view TrimFront(std::string_view s) {
+  return s.substr(1);
+}
+
+// String literals live in static storage.
+std::string_view KindName() {
+  return "coreport";
+}
+
+class StableDictionary {
+ public:
+  std::string_view At(std::size_t id) const {
+    // deque never moves settled elements on push_back: views into its
+    // strings survive growth (the StringDictionary design).
+    return strings_[id];
+  }
+
+ private:
+  std::deque<std::string> strings_;
+};
+
+class ViewTable {
+ public:
+  std::string_view Pick(std::size_t i) const {
+    // The vector holds views, not strings: reallocating the vector
+    // copies the (non-owning) views; nothing dangles.
+    return views_[i];
+  }
+
+ private:
+  std::vector<std::string_view> views_;
+};
+
+class PinnedSnapshot {
+ public:
+  std::string_view Domain(std::size_t i) const {
+    // gdelt-astcheck: allow(view-escape) — the snapshot is immutable
+    // after publication and the caller's shared_ptr pins it for the
+    // view's whole life.
+    return domains_[i];
+  }
+
+ private:
+  std::vector<std::string> domains_;
+};

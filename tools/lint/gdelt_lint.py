@@ -34,7 +34,7 @@ Clang enforces, leaving GCC-only boxes unprotected):
                   cannot monopolize a private thread team. Ablation
                   baselines that must keep a private OpenMP team carry
                   `// gdelt-lint: allow(raw-omp)` with a reason.
-  cancel-blind-loop
+  cancel-blind-loop  (fallback only — run with --no-ast)
                   In src/analysis, src/engine and src/stream, a `for`
                   loop bounded by the full row range (num_events()/
                   num_mentions()/events_end) or walking every delta
@@ -47,8 +47,17 @@ Clang enforces, leaving GCC-only boxes unprotected):
                   setup passes that deliberately run to completion carry
                   `// gdelt-lint: allow(cancel-blind-loop)` with a reason.
 
+                  RETIRED from the default run: the AST-accurate
+                  cancel-poll rule in tools/analyze/gdelt_astcheck.py
+                  analyzes the real brace-matched loop body instead of a
+                  6-line window (no false findings on deep polls, no
+                  false confidence from polls in comments). The regex
+                  version stays available behind --no-ast for quick
+                  checks in environments where running the analyzer is
+                  inconvenient; both honor the same allow tag.
+
 Usage:
-  gdelt_lint.py [--root DIR] [paths...]
+  gdelt_lint.py [--root DIR] [--no-ast] [paths...]
 
 With no paths, lints `src/` under --root (default: the repository root
 two levels above this script). Paths may be files or directories.
@@ -196,7 +205,8 @@ def in_cancel_scope(path: str) -> bool:
         p.startswith("stream/")
 
 
-def check_file(path: str, rel: str) -> Iterator[Finding]:
+def check_file(path: str, rel: str,
+               cancel_fallback: bool = False) -> Iterator[Finding]:
     try:
         with open(path, encoding="utf-8") as fh:
             lines = fh.read().splitlines()
@@ -293,8 +303,9 @@ def check_file(path: str, rel: str) -> Iterator[Finding]:
                     "morsel pool) or annotate an ablation baseline with "
                     "`// gdelt-lint: allow(raw-omp)` and a reason")
 
-        # --- cancel-blind-loop -------------------------------------------
-        if in_cancel_scope(rel) and ROW_LOOP_RE.search(code):
+        # --- cancel-blind-loop (fallback; gdelt_astcheck owns this) ------
+        if cancel_fallback and in_cancel_scope(rel) and \
+                ROW_LOOP_RE.search(code):
             window = lines[i:min(len(lines), i + 1 + CANCEL_WINDOW)]
             if not any(CANCEL_POLL_RE.search(strip_comment(w))
                        for w in window) \
@@ -350,6 +361,11 @@ def main(argv: List[str]) -> int:
     parser.add_argument("--root", default=default_root,
                         help="repository root (default: two levels above "
                              "this script)")
+    parser.add_argument("--no-ast", action="store_true",
+                        help="also run the retired regex cancel-blind-loop "
+                             "heuristic (fallback for environments not "
+                             "running tools/analyze/gdelt_astcheck.py, "
+                             "whose AST cancel-poll rule supersedes it)")
     parser.add_argument("paths", nargs="*",
                         help="files or directories (default: ROOT/src)")
     args = parser.parse_args(argv)
@@ -358,7 +374,7 @@ def main(argv: List[str]) -> int:
     findings: List[Finding] = []
     for path in collect_files(root, args.paths):
         rel = os.path.relpath(path, root)
-        findings.extend(check_file(path, rel))
+        findings.extend(check_file(path, rel, cancel_fallback=args.no_ast))
 
     for f in sorted(findings):
         print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")

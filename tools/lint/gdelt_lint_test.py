@@ -46,10 +46,23 @@ class GdeltLintTest(unittest.TestCase):
         self.assertEqual(counts.get("trace-name"), 2, out)
         self.assertEqual(counts.get("raw-random"), 2, out)
         self.assertEqual(counts.get("raw-omp"), 2, out)
+        # Retired from the default run: the AST cancel-poll rule in
+        # tools/analyze/gdelt_astcheck.py owns this class now.
+        self.assertNotIn("cancel-blind-loop", counts, out)
+
+    def test_cancel_fallback_still_works_behind_no_ast(self):
+        code, out = run_lint("--no-ast", "bad")
+        self.assertEqual(code, 1, out)
+        counts = findings_by_rule(out)
         self.assertEqual(counts.get("cancel-blind-loop"), 3, out)
 
     def test_good_fixtures_are_clean(self):
         code, out = run_lint("good")
+        self.assertEqual(code, 0, out)
+        self.assertEqual(findings_by_rule(out), {}, out)
+
+    def test_good_fixtures_are_clean_with_fallback(self):
+        code, out = run_lint("--no-ast", "good")
         self.assertEqual(code, 0, out)
         self.assertEqual(findings_by_rule(out), {}, out)
 
